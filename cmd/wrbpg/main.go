@@ -1,0 +1,445 @@
+// Command wrbpg is a CLI for the Weighted Red-Blue Pebble Game
+// library: build the paper's dataflow graphs, run schedulers,
+// validate schedules, search minimum memory sizes, and synthesize
+// memory macros.
+//
+// Usage:
+//
+//	wrbpg info     -workload dwt|mvm [-n N] [-d D] [-m M] [-weights equal|da]
+//	wrbpg schedule -workload dwt|mvm -budget BITS [...] [-moves]
+//	wrbpg minmem   -workload dwt|mvm [...]
+//	wrbpg synth    -bits CAPACITY [-word BITS]
+//	wrbpg dot      -workload dwt|mvm [...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"wrbpg/internal/baseline"
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/conv"
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/fft"
+	"wrbpg/internal/ioopt"
+	"wrbpg/internal/memdesign"
+	"wrbpg/internal/mmm"
+	"wrbpg/internal/mvm"
+	"wrbpg/internal/synth"
+	"wrbpg/internal/wcfg"
+)
+
+type workloadFlags struct {
+	workload string
+	n, d, m  int
+	k, taps  int
+	weights  string
+}
+
+func addWorkloadFlags(fs *flag.FlagSet) *workloadFlags {
+	wf := &workloadFlags{}
+	fs.StringVar(&wf.workload, "workload", "dwt", "dwt, mvm, fft, mmm or conv")
+	fs.IntVar(&wf.n, "n", 256, "DWT/FFT/conv inputs, MVM/MMM columns")
+	fs.IntVar(&wf.d, "d", 8, "DWT level / conv downsample")
+	fs.IntVar(&wf.m, "m", 96, "MVM/MMM rows")
+	fs.IntVar(&wf.k, "k", 16, "MMM inner dimension")
+	fs.IntVar(&wf.taps, "taps", 4, "conv filter taps")
+	fs.StringVar(&wf.weights, "weights", "equal", "equal or da (double accumulator)")
+	return wf
+}
+
+func (wf *workloadFlags) config() wcfg.Config {
+	switch wf.weights {
+	case "equal":
+		return wcfg.Equal(wcfg.DefaultWordBits)
+	case "da", "double", "double-accumulator":
+		return wcfg.DoubleAccumulator(wcfg.DefaultWordBits)
+	default:
+		log.Fatalf("unknown weights %q (want equal or da)", wf.weights)
+		panic("unreachable")
+	}
+}
+
+// built bundles whichever workload graph was constructed; exactly one
+// typed field is non-nil.
+type built struct {
+	g     *cdag.Graph
+	dwt   *dwt.Graph
+	mvm   *mvm.Graph
+	fft   *fft.Graph
+	mmm   *mmm.Graph
+	conv  *conv.Graph
+	label string
+}
+
+// build constructs the selected workload graph.
+func (wf *workloadFlags) build() built {
+	cfg := wf.config()
+	switch wf.workload {
+	case "dwt":
+		g, err := dwt.Build(wf.n, wf.d, dwt.ConfigWeights(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return built{g: g.G, dwt: g, label: fmt.Sprintf("%s DWT(%d,%d)", cfg.Name, wf.n, wf.d)}
+	case "mvm":
+		g, err := mvm.Build(wf.m, wf.n, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return built{g: g.G, mvm: g, label: fmt.Sprintf("%s MVM(%d,%d)", cfg.Name, wf.m, wf.n)}
+	case "fft":
+		g, err := fft.Build(wf.n, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return built{g: g.G, fft: g, label: fmt.Sprintf("%s FFT(%d)", cfg.Name, wf.n)}
+	case "mmm":
+		g, err := mmm.Build(wf.m, wf.k, wf.n, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return built{g: g.G, mmm: g, label: fmt.Sprintf("%s MMM(%d,%d,%d)", cfg.Name, wf.m, wf.k, wf.n)}
+	case "conv":
+		g, err := conv.Build(wf.n, wf.taps, wf.d, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return built{g: g.G, conv: g, label: fmt.Sprintf("%s Conv(%d,%d,%d)", cfg.Name, wf.n, wf.taps, wf.d)}
+	default:
+		log.Fatalf("unknown workload %q (want dwt, mvm, fft, mmm or conv)", wf.workload)
+		panic("unreachable")
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wrbpg: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "schedule":
+		cmdSchedule(os.Args[2:])
+	case "minmem":
+		cmdMinMem(os.Args[2:])
+	case "synth":
+		cmdSynth(os.Args[2:])
+	case "compile":
+		cmdCompile(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	case "dot":
+		cmdDOT(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		log.Printf("unknown subcommand %q", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: wrbpg <info|schedule|minmem|synth|compile|verify|dot> [flags]
+  info      graph statistics and bounds
+  schedule  run the optimal scheduler at a budget and validate
+  minmem    minimum fast memory per approach (Definition 2.6)
+  synth     synthesize an SRAM macro for a capacity
+  compile   write a schedule manifest (JSON) for deployment
+  verify    re-validate a manifest against its workload
+  dot       emit the graph in Graphviz DOT`)
+	os.Exit(2)
+}
+
+// buildSchedule produces the workload's preferred schedule at the
+// budget (0 = the workload's minimum memory), shared by compile and
+// schedule.
+func buildSchedule(w built, budget cdag.Weight) (cdag.Weight, core.Schedule, error) {
+	b := budget
+	switch {
+	case w.dwt != nil:
+		s, err := dwt.NewScheduler(w.dwt)
+		if err != nil {
+			return 0, nil, err
+		}
+		if b == 0 {
+			if b, err = s.MinMemory(16); err != nil {
+				return 0, nil, err
+			}
+		}
+		sched, err := s.Schedule(b)
+		return b, sched, err
+	case w.mvm != nil:
+		if b == 0 {
+			b = w.mvm.MinMemory()
+		}
+		tc, _, err := w.mvm.Search(b)
+		if err != nil {
+			return 0, nil, err
+		}
+		sched, err := w.mvm.TileSchedule(tc)
+		return b, sched, err
+	case w.fft != nil:
+		if b == 0 {
+			b = w.fft.MinMemory()
+		}
+		t, _, err := w.fft.Search(b)
+		if err != nil {
+			return 0, nil, err
+		}
+		sched, err := w.fft.BlockedSchedule(t)
+		return b, sched, err
+	case w.mmm != nil:
+		if b == 0 {
+			b = w.mmm.MinMemory()
+		}
+		c, _, err := w.mmm.Search(b)
+		if err != nil {
+			return 0, nil, err
+		}
+		sched, err := w.mmm.Schedule(c)
+		return b, sched, err
+	case w.conv != nil:
+		if b == 0 {
+			b = w.conv.MinMemory()
+		}
+		c, _, err := w.conv.Search(b)
+		if err != nil {
+			return 0, nil, err
+		}
+		sched, err := w.conv.Schedule(c)
+		return b, sched, err
+	}
+	return 0, nil, fmt.Errorf("no workload built")
+}
+
+func cmdCompile(args []string) {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	wf := addWorkloadFlags(fs)
+	budget := fs.Int64("budget", 0, "fast memory budget in bits (0 = minimum memory)")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	w := wf.build()
+	b, sched, err := buildSchedule(w, cdag.Weight(*budget))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := core.NewManifest(w.label, w.g, b, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := core.WriteManifest(dst, m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "compiled %s: %d moves, %d bits I/O at %d bits fast memory\n",
+		w.label, len(m.Moves), m.CostBits, m.BudgetBits)
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	wf := addWorkloadFlags(fs)
+	in := fs.String("manifest", "", "manifest file to verify")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("verify: -manifest is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	m, err := core.ReadManifest(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := wf.build()
+	if err := m.Verify(w.g); err != nil {
+		log.Fatalf("verification FAILED: %v", err)
+	}
+	fmt.Printf("manifest %q verifies against %s: cost %d bits, peak %d bits at budget %d\n",
+		m.Workload, w.label, m.CostBits, m.PeakBits, m.BudgetBits)
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	wf := addWorkloadFlags(fs)
+	fs.Parse(args)
+	b := wf.build()
+	g, label := b.g, b.label
+	fmt.Printf("%s\n", label)
+	fmt.Printf("  nodes:            %d\n", g.Len())
+	fmt.Printf("  edges:            %d\n", g.EdgeCount())
+	fmt.Printf("  sources:          %d (weight %d bits)\n", len(g.Sources()), g.SourceWeight())
+	fmt.Printf("  sinks:            %d (weight %d bits)\n", len(g.Sinks()), g.SinkWeight())
+	fmt.Printf("  total weight:     %d bits\n", g.TotalWeight())
+	fmt.Printf("  algorithmic LB:   %d bits (Proposition 2.4)\n", core.LowerBound(g))
+	fmt.Printf("  existence bound:  %d bits (Proposition 2.3)\n", core.MinExistenceBudget(g))
+}
+
+func cmdSchedule(args []string) {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	wf := addWorkloadFlags(fs)
+	budget := fs.Int64("budget", 0, "fast memory budget in bits (0 = minimum memory)")
+	moves := fs.Bool("moves", false, "print the full move sequence")
+	trace := fs.Bool("trace", false, "print the fast-memory occupancy sparkline")
+	fs.Parse(args)
+	w := wf.build()
+
+	var sched core.Schedule
+	var err error
+	b := cdag.Weight(*budget)
+	switch {
+	case w.dwt != nil:
+		s, serr := dwt.NewScheduler(w.dwt)
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		if b == 0 {
+			if b, err = s.MinMemory(16); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sched, err = s.Schedule(b)
+	case w.mvm != nil:
+		if b == 0 {
+			b = w.mvm.MinMemory()
+		}
+		tc, _, serr := w.mvm.Search(b)
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		fmt.Printf("tile configuration: %v\n", tc)
+		sched, err = w.mvm.TileSchedule(tc)
+	case w.fft != nil:
+		if b == 0 {
+			b = w.fft.MinMemory()
+		}
+		t, _, serr := w.fft.Search(b)
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		fmt.Printf("block exponent: %d (%d passes)\n", t, w.fft.Passes(t))
+		sched, err = w.fft.BlockedSchedule(t)
+	case w.mmm != nil:
+		if b == 0 {
+			b = w.mmm.MinMemory()
+		}
+		cfg, _, serr := w.mmm.Search(b)
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		fmt.Printf("strategy: %v\n", cfg)
+		sched, err = w.mmm.Schedule(cfg)
+	case w.conv != nil:
+		if b == 0 {
+			b = w.conv.MinMemory()
+		}
+		c, _, serr := w.conv.Search(b)
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		fmt.Printf("resident window buffer: %d inputs\n", c)
+		sched, err = w.conv.Schedule(c)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := core.Simulate(w.g, b, sched)
+	if err != nil {
+		log.Fatalf("schedule failed validation: %v", err)
+	}
+	fmt.Printf("%s at %d bits:\n", w.label, b)
+	fmt.Printf("  moves:        %d (M1 %d, M2 %d, M3 %d, M4 %d)\n",
+		len(sched), stats.Moves[core.M1], stats.Moves[core.M2], stats.Moves[core.M3], stats.Moves[core.M4])
+	fmt.Printf("  weighted I/O: %d bits (LB %d)\n", stats.Cost, core.LowerBound(w.g))
+	fmt.Printf("  peak red:     %d bits\n", stats.PeakRedWeight)
+	if *trace {
+		tr, err := core.OccupancyTrace(w.g, b, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  occupancy:    %s\n", core.Sparkline(tr, b, 72))
+	}
+	if *moves {
+		fmt.Println(sched)
+	}
+}
+
+func cmdMinMem(args []string) {
+	fs := flag.NewFlagSet("minmem", flag.ExitOnError)
+	wf := addWorkloadFlags(fs)
+	fs.Parse(args)
+	w := wf.build()
+	cfg := wf.config()
+	fmt.Printf("%s minimum fast memory (Definition 2.6):\n", w.label)
+	switch {
+	case w.dwt != nil:
+		s, err := dwt.NewScheduler(w.dwt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := s.MinMemory(16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lbl, err := baseline.MinMemory(w.dwt.G, w.dwt.Layers, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  optimum (ours):  %v\n", memdesign.NewSpec(opt, cfg.WordBits))
+		fmt.Printf("  layer-by-layer:  %v\n", memdesign.NewSpec(lbl, cfg.WordBits))
+		fmt.Printf("  reduction:       %.1f%%\n", memdesign.Reduction(lbl, opt))
+	case w.mvm != nil:
+		model := ioopt.New(wf.m, wf.n, cfg)
+		tiling := w.mvm.MinMemory()
+		io := model.MinMemoryBits()
+		fmt.Printf("  tiling (ours):   %v\n", memdesign.NewSpec(tiling, cfg.WordBits))
+		fmt.Printf("  IOOpt UB:        %v\n", memdesign.NewSpec(io, cfg.WordBits))
+		fmt.Printf("  reduction:       %.1f%%\n", memdesign.Reduction(io, tiling))
+	case w.fft != nil:
+		fmt.Printf("  blocked (t=%d):  %v\n", w.fft.K, memdesign.NewSpec(w.fft.MinMemory(), cfg.WordBits))
+	case w.mmm != nil:
+		c, _, err := w.mmm.Search(w.mmm.MinMemory())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15v %v\n", c, memdesign.NewSpec(w.mmm.MinMemory(), cfg.WordBits))
+	case w.conv != nil:
+		fmt.Printf("  full window:     %v\n", memdesign.NewSpec(w.conv.MinMemory(), cfg.WordBits))
+	}
+}
+
+func cmdSynth(args []string) {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	bits := fs.Int64("bits", 2048, "capacity in bits")
+	word := fs.Int("word", 16, "word size in bits")
+	fs.Parse(args)
+	m, err := synth.Synthesize(cdag.Weight(*bits), *word, synth.TSMC65())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m)
+	fmt.Print(m.Layout(m.WidthLambda / 40))
+}
+
+func cmdDOT(args []string) {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	wf := addWorkloadFlags(fs)
+	fs.Parse(args)
+	w := wf.build()
+	fmt.Print(w.g.DOT(w.label))
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"wrbpg/internal/core"
+)
+
+// TestBuildAllWorkloads: every workload flag combination builds and
+// produces a valid minimum-memory schedule through the shared helper.
+func TestBuildAllWorkloads(t *testing.T) {
+	cases := []workloadFlags{
+		{workload: "dwt", n: 16, d: 4, weights: "equal"},
+		{workload: "dwt", n: 16, d: 4, weights: "da"},
+		{workload: "mvm", m: 4, n: 6, weights: "equal"},
+		{workload: "fft", n: 16, weights: "da"},
+		{workload: "mmm", m: 3, k: 2, n: 4, weights: "equal"},
+		{workload: "conv", n: 12, taps: 4, d: 2, weights: "equal"},
+	}
+	for _, wf := range cases {
+		w := wf.build()
+		if w.g == nil || w.label == "" {
+			t.Fatalf("%s: empty build", wf.workload)
+		}
+		b, sched, err := buildSchedule(w, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", wf.workload, err)
+		}
+		stats, err := core.Simulate(w.g, b, sched)
+		if err != nil {
+			t.Fatalf("%s: %v", wf.workload, err)
+		}
+		if stats.Cost != core.LowerBound(w.g) {
+			t.Errorf("%s: minimum-memory schedule cost %d != LB %d", wf.workload, stats.Cost, core.LowerBound(w.g))
+		}
+	}
+}
+
+// TestBuildScheduleExplicitBudget: a generous explicit budget works
+// for every workload.
+func TestBuildScheduleExplicitBudget(t *testing.T) {
+	wf := workloadFlags{workload: "dwt", n: 8, d: 3, weights: "equal"}
+	w := wf.build()
+	b, sched, err := buildSchedule(w, w.g.TotalWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != w.g.TotalWeight() {
+		t.Errorf("budget not honoured: %d", b)
+	}
+	if _, err := core.Simulate(w.g, b, sched); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package wrbpg_test
+
+import (
+	"fmt"
+
+	"wrbpg"
+)
+
+// Build a small DWT, schedule it optimally under five words of fast
+// memory, and validate the schedule against the game rules.
+func Example() {
+	g, err := wrbpg.BuildDWT(8, 3, wrbpg.Equal(16))
+	if err != nil {
+		panic(err)
+	}
+	budget := wrbpg.Weight(5 * 16)
+	sched, cost, err := wrbpg.ScheduleDWT(g, budget)
+	if err != nil {
+		panic(err)
+	}
+	stats, err := wrbpg.Simulate(g.G, budget, sched)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost=%d bits (LB %d), peak=%d bits, moves=%d\n",
+		cost, wrbpg.LowerBound(g.G), stats.PeakRedWeight, len(sched))
+	// Output: cost=256 bits (LB 256), peak=80 bits, moves=52
+}
+
+// The Double Accumulator weighting flips the MVM tiling strategy from
+// accumulator-resident to vector-resident.
+func ExampleBuildMVM() {
+	for _, cfg := range []wrbpg.WeightConfig{wrbpg.Equal(16), wrbpg.DoubleAccumulator(16)} {
+		g, err := wrbpg.BuildMVM(96, 120, cfg)
+		if err != nil {
+			panic(err)
+		}
+		budget := g.MinMemory()
+		_, cost, err := wrbpg.ScheduleMVM(g, budget)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d words, %d bits moved\n", cfg.Name, budget/16, cost)
+	}
+	// Output:
+	// Equal: 99 words, 187776 bits moved
+	// Double Accumulator: 126 words, 189312 bits moved
+}
+
+// Hand-written schedules are validated move by move.
+func ExampleSimulate() {
+	g, err := wrbpg.BuildDWT(2, 1, wrbpg.Equal(16))
+	if err != nil {
+		panic(err)
+	}
+	x1, x2 := g.NodeAt(1, 1), g.NodeAt(1, 2)
+	avg, coef := g.NodeAt(2, 1), g.NodeAt(2, 2)
+	sched := wrbpg.Schedule{
+		{Kind: wrbpg.M1, Node: x1}, {Kind: wrbpg.M1, Node: x2},
+		{Kind: wrbpg.M3, Node: avg}, {Kind: wrbpg.M2, Node: avg}, {Kind: wrbpg.M4, Node: avg},
+		{Kind: wrbpg.M3, Node: coef}, {Kind: wrbpg.M2, Node: coef}, {Kind: wrbpg.M4, Node: coef},
+		{Kind: wrbpg.M4, Node: x1}, {Kind: wrbpg.M4, Node: x2},
+	}
+	stats, err := wrbpg.Simulate(g.G, 48, sched)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost=%d peak=%d\n", stats.Cost, stats.PeakRedWeight)
+	// Output: cost=64 peak=48
+}

@@ -1,0 +1,53 @@
+// Quickstart: build a small DWT dataflow graph, generate a provably
+// minimal data-movement schedule under a tight fast-memory budget,
+// validate it against the game rules, and compare its cost to the
+// algorithmic lower bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wrbpg"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// An 8-sample, 3-level Haar DWT with 16-bit samples; every node
+	// costs one memory word (the paper's Equal configuration).
+	g, err := wrbpg.BuildDWT(8, 3, wrbpg.Equal(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DWT(8,3): %d nodes, %d edges\n", g.G.Len(), g.G.EdgeCount())
+	fmt.Printf("algorithmic lower bound: %d bits\n", wrbpg.LowerBound(g.G))
+
+	// Schedule with room for just five 16-bit words of fast memory.
+	budget := wrbpg.Weight(5 * 16)
+	sched, cost, err := wrbpg.ScheduleDWT(g, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal schedule at %d bits: %d moves, %d bits transferred\n",
+		budget, len(sched), cost)
+
+	// The simulator re-checks every rule of the game plus the
+	// weighted red-pebble constraint — nothing is taken on faith.
+	stats, err := wrbpg.Simulate(g.G, budget, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validated: cost %d bits, peak fast-memory use %d bits\n",
+		stats.Cost, stats.PeakRedWeight)
+
+	// More memory means less traffic, until the compulsory minimum.
+	for _, words := range []int{3, 4, 5, 8, 16} {
+		b := wrbpg.Weight(words * 16)
+		_, c, err := wrbpg.ScheduleDWT(g, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d words -> %5d bits transferred\n", words, c)
+	}
+}

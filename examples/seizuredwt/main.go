@@ -1,0 +1,131 @@
+// Seizure detection on an implanted BCI: the motivating workload of
+// the paper's Section 1. A 256-sample window of a synthetic
+// intracranial EEG channel is decomposed with an 8-level Haar DWT —
+// executed, value by value, on the two-level memory machine under
+// the paper's 10-word minimum fast memory (Table 1) — and band
+// energies of the wavelet coefficients flag the seizure burst.
+//
+// The point: the full signal-processing kernel runs inside 160 bits
+// of SRAM with only compulsory data movement (8192 bits), because
+// the schedule is the provably optimal one of Algorithm 1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/machine"
+	"wrbpg/internal/wavelet"
+	"wrbpg/internal/wcfg"
+)
+
+const (
+	samples  = 256
+	levels   = 8
+	sampleHz = 512.0
+)
+
+// synthEEG generates a background rhythm with a high-frequency
+// seizure-like burst in the second half of the window.
+func synthEEG(rng *rand.Rand) []float64 {
+	x := make([]float64, samples)
+	for i := range x {
+		t := float64(i) / sampleHz
+		x[i] = 0.6*math.Sin(2*math.Pi*9*t) + 0.2*rng.NormFloat64()
+		if i >= samples/2 && i < samples/2+64 {
+			x[i] += 2.5 * math.Sin(2*math.Pi*70*t) // ictal burst
+		}
+	}
+	return x
+}
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(2025))
+	signal := synthEEG(rng)
+
+	cfg := wcfg.Equal(16)
+	g, err := dwt.Build(samples, levels, dwt.ConfigWeights(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := dwt.NewScheduler(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget, err := sched.MinMemory(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	moves, err := sched.Schedule(budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DWT(%d,%d) on %d bits of fast memory (%d words)\n",
+		samples, levels, budget, budget/16)
+	fmt.Printf("schedule: %d moves, weighted I/O %d bits (lower bound %d)\n",
+		len(moves), mustCost(g, budget, moves), core.LowerBound(g.G))
+
+	prog, err := machine.FromDWT(g, signal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	values, stats, err := machine.Run(prog, budget, moves)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: %d computes, %d bits moved, peak fast use %d bits\n\n",
+		stats.Computes, stats.TrafficBits, stats.PeakFastBits)
+
+	coeffs, finalAvg := machine.DWTOutputs(g, values)
+
+	// Cross-check against the textbook transform.
+	ref, err := wavelet.Transform(signal, levels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refC, refA := wavelet.Outputs(ref)
+	var maxDiff float64
+	for l := range refC {
+		for j := range refC[l] {
+			if d := math.Abs(refC[l][j] - coeffs[l][j]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	for j := range refA {
+		if d := math.Abs(refA[j] - finalAvg[j]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("reference check: max |Δ| = %.2e\n\n", maxDiff)
+
+	// Band energies: level 1–2 coefficients carry the 64–256 Hz
+	// content where the synthetic seizure lives.
+	fmt.Println("per-level coefficient energy:")
+	for l, cs := range coeffs {
+		lo := sampleHz / float64(int(2)<<uint(l+1))
+		hi := sampleHz / float64(int(2)<<uint(l))
+		fmt.Printf("  level %d (%5.1f–%5.1f Hz): %8.2f\n", l+1, lo, hi, wavelet.Energy(cs))
+	}
+	highBand := wavelet.Energy(coeffs[0]) + wavelet.Energy(coeffs[1])
+	total := wavelet.TransformEnergy(ref)
+	fmt.Printf("\nhigh-band share: %.1f%% of signal energy", 100*highBand/total)
+	if highBand/total > 0.15 {
+		fmt.Println("  -> SEIZURE BURST DETECTED")
+	} else {
+		fmt.Println("  -> background activity")
+	}
+}
+
+func mustCost(g *dwt.Graph, budget int64, moves core.Schedule) int64 {
+	stats, err := core.Simulate(g.G, budget, moves)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return stats.Cost
+}

@@ -1,0 +1,3 @@
+module wrbpg
+
+go 1.22

@@ -1,0 +1,183 @@
+package banded
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/exact"
+	"wrbpg/internal/mvm"
+	"wrbpg/internal/wcfg"
+)
+
+func buildOrFatal(t *testing.T, n, w int, cfg wcfg.Config) *Graph {
+	t.Helper()
+	g, err := Build(n, w, cfg)
+	if err != nil {
+		t.Fatalf("Build(%d,%d): %v", n, w, err)
+	}
+	return g
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	eq := wcfg.Equal(16)
+	for _, d := range [][2]int{{1, 0}, {4, -1}, {4, 4}, {0, 0}} {
+		if _, err := Build(d[0], d[1], eq); err == nil {
+			t.Errorf("Build(%v) should fail", d)
+		}
+	}
+}
+
+func TestBandRanges(t *testing.T) {
+	g := buildOrFatal(t, 6, 2, wcfg.Equal(16))
+	cases := map[int][2]int{1: {1, 3}, 2: {1, 4}, 3: {1, 5}, 4: {2, 6}, 6: {4, 6}}
+	for i, want := range cases {
+		lo, hi := g.Band(i)
+		if lo != want[0] || hi != want[1] {
+			t.Errorf("Band(%d) = [%d,%d], want %v", i, lo, hi, want)
+		}
+	}
+	if g.NNZ() != 3+4+5+5+4+3 {
+		t.Errorf("NNZ = %d", g.NNZ())
+	}
+}
+
+func TestDiagonalCase(t *testing.T) {
+	// W = 0: one product per row, products are the outputs.
+	g := buildOrFatal(t, 4, 0, wcfg.Equal(16))
+	if g.NNZ() != 4 {
+		t.Fatalf("NNZ = %d", g.NNZ())
+	}
+	for i := 1; i <= 4; i++ {
+		if g.Output(i) != g.Prod[i-1][0] {
+			t.Errorf("diagonal output %d should be the product", i)
+		}
+	}
+	sched := g.Schedule()
+	cost, peak := g.Metrics()
+	stats, err := core.Simulate(g.G, peak, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cost != cost || cost != core.LowerBound(g.G) {
+		t.Errorf("diagonal cost = %d, LB %d", cost, core.LowerBound(g.G))
+	}
+}
+
+// TestScheduleValidAndLB: the sliding-window schedule always
+// validates at its own peak and performs compulsory-only I/O.
+func TestScheduleValidAndLB(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, d := range [][2]int{{4, 0}, {4, 1}, {8, 2}, {8, 7}, {16, 3}} {
+			g := buildOrFatal(t, d[0], d[1], cfg)
+			sched := g.Schedule()
+			cost, peak := g.Metrics()
+			stats, err := core.Simulate(g.G, peak, sched)
+			if err != nil {
+				t.Fatalf("%s Banded%v: %v", cfg.Name, d, err)
+			}
+			if stats.Cost != cost || stats.PeakRedWeight != peak {
+				t.Errorf("%s Banded%v: metrics (%d,%d) vs simulated (%d,%d)",
+					cfg.Name, d, cost, peak, stats.Cost, stats.PeakRedWeight)
+			}
+			if cost != core.LowerBound(g.G) {
+				t.Errorf("%s Banded%v: cost %d != LB %d", cfg.Name, d, cost, core.LowerBound(g.G))
+			}
+			// One word less must fail.
+			if _, err := core.Simulate(g.G, peak-1, sched); err == nil {
+				t.Errorf("%s Banded%v: schedule valid below its peak", cfg.Name, d)
+			}
+		}
+	}
+}
+
+// TestMemoryScalesWithBandNotSize: the headline structural result —
+// for fixed W, minimum memory is flat in n; the dense scheduler's
+// grows linearly.
+func TestMemoryScalesWithBandNotSize(t *testing.T) {
+	cfg := wcfg.Equal(16)
+	m16 := buildOrFatal(t, 16, 2, cfg).MinMemory()
+	m64 := buildOrFatal(t, 64, 2, cfg).MinMemory()
+	m256 := buildOrFatal(t, 256, 2, cfg).MinMemory()
+	if m64 != m16 || m256 != m16 {
+		t.Errorf("banded min memory should be flat in n: %d %d %d", m16, m64, m256)
+	}
+	// Dense comparison: MVM(n,n) minimum grows with n.
+	d16, err := mvm.Build(16, 16, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d64, err := mvm.Build(64, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d64.MinMemory() <= d16.MinMemory() {
+		t.Error("dense min memory should grow with n")
+	}
+	if m256 >= d64.MinMemory() {
+		t.Errorf("banded(256,W=2) %d should undercut dense(64) %d", m256, d64.MinMemory())
+	}
+}
+
+// TestMemoryGrowsWithBand: for fixed n, widening the band raises the
+// window.
+func TestMemoryGrowsWithBand(t *testing.T) {
+	cfg := wcfg.Equal(16)
+	prev := cdag.Weight(0)
+	for w := 0; w <= 7; w++ {
+		m := buildOrFatal(t, 16, w, cfg).MinMemory()
+		if m < prev {
+			t.Fatalf("min memory decreased at W=%d", w)
+		}
+		prev = m
+	}
+}
+
+// TestFullBandMatchesDenseLB: W = n−1 is the dense MVM; costs agree
+// with the dense lower bound for the same shape.
+func TestFullBandMatchesDenseLB(t *testing.T) {
+	cfg := wcfg.Equal(16)
+	g := buildOrFatal(t, 6, 5, cfg)
+	d, err := mvm.Build(6, 6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, _ := g.Metrics()
+	if cost != core.LowerBound(d.G) {
+		t.Errorf("full-band cost %d != dense LB %d", cost, core.LowerBound(d.G))
+	}
+}
+
+// TestAgainstExactTiny: Banded(3,0) — 6 nodes — matches the
+// exhaustive optimum.
+func TestAgainstExactTiny(t *testing.T) {
+	g := buildOrFatal(t, 3, 0, wcfg.Equal(1))
+	res, err := exact.Solve(g.G, g.G.TotalWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, _ := g.Metrics()
+	if cost != res.Cost {
+		t.Errorf("banded = %d, exact = %d", cost, res.Cost)
+	}
+}
+
+// TestPeakQuick: the peak never exceeds (2W+2) vector words plus the
+// chain working set.
+func TestPeakQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 4 + int(uint64(seed)%12)
+		w := int(uint64(seed>>8) % uint64(n))
+		g, err := Build(n, w, wcfg.Equal(16))
+		if err != nil {
+			return false
+		}
+		_, peak := g.Metrics()
+		bound := cdag.Weight((2*w+2)+4) * 16
+		return peak <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package baseline implements the comparison schedulers of
+// Section 5.1: the layer-by-layer heuristic used as the DWT upper
+// bound, and a greedy topological scheduler that realizes the
+// constructive direction of Proposition 2.3 on arbitrary CDAGs.
+//
+// Both process nodes in a fixed order, loading missing parents on
+// demand and spilling resident values in first-in-first-out order
+// when the weighted budget would be exceeded. The layer-by-layer
+// order traverses layers S_2 … S_{d+1}, alternating direction each
+// layer — ascending index order, then descending — which retains
+// recently computed values across adjacent layers.
+package baseline
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+)
+
+// engine executes a fixed compute order under FIFO spilling.
+type engine struct {
+	g         *cdag.Graph
+	st        *core.State
+	sched     core.Schedule
+	fifo      []cdag.NodeID // resident nodes, oldest first
+	remaining []int         // children left to compute per node
+}
+
+func newEngine(g *cdag.Graph, budget cdag.Weight) *engine {
+	e := &engine{g: g, st: core.NewState(g, budget), remaining: make([]int, g.Len())}
+	for v := 0; v < g.Len(); v++ {
+		e.remaining[v] = g.OutDegree(cdag.NodeID(v))
+	}
+	return e
+}
+
+func (e *engine) apply(m core.Move) error {
+	if _, err := e.st.Apply(m); err != nil {
+		return err
+	}
+	e.sched = append(e.sched, m)
+	return nil
+}
+
+// dropFromFIFO removes v from the residency queue.
+func (e *engine) dropFromFIFO(v cdag.NodeID) {
+	for i, u := range e.fifo {
+		if u == v {
+			e.fifo = append(e.fifo[:i], e.fifo[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictOne spills the oldest resident node not in pinned. A spilled
+// node that is still needed (remaining children, or an unstored sink)
+// is written to slow memory first; otherwise its red pebble is simply
+// deleted.
+func (e *engine) evictOne(pinned map[cdag.NodeID]bool) error {
+	for i, v := range e.fifo {
+		if pinned[v] {
+			continue
+		}
+		needsStore := e.remaining[v] > 0 || e.g.IsSink(v)
+		if needsStore && !e.st.Label(v).HasBlue() {
+			if err := e.apply(core.Move{Kind: core.M2, Node: v}); err != nil {
+				return err
+			}
+		}
+		if err := e.apply(core.Move{Kind: core.M4, Node: v}); err != nil {
+			return err
+		}
+		e.fifo = append(e.fifo[:i], e.fifo[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("baseline: cannot evict: all %d resident nodes pinned (budget too small)", len(e.fifo))
+}
+
+// makeRoom evicts until w more red weight fits.
+func (e *engine) makeRoom(w cdag.Weight, pinned map[cdag.NodeID]bool) error {
+	for e.st.RedWeight()+w > e.st.Budget() {
+		if err := e.evictOne(pinned); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compute brings v's parents into fast memory (FIFO-spilling as
+// needed), computes v, releases finished parents, and immediately
+// stores v if it is a sink.
+func (e *engine) compute(v cdag.NodeID) error {
+	parents := e.g.Parents(v)
+	pinned := map[cdag.NodeID]bool{}
+	for _, p := range parents {
+		pinned[p] = true
+	}
+	for _, p := range parents {
+		if e.st.Label(p).HasRed() {
+			continue
+		}
+		if err := e.makeRoom(e.g.Weight(p), pinned); err != nil {
+			return err
+		}
+		if err := e.apply(core.Move{Kind: core.M1, Node: p}); err != nil {
+			return err
+		}
+		e.fifo = append(e.fifo, p)
+	}
+	if err := e.makeRoom(e.g.Weight(v), pinned); err != nil {
+		return err
+	}
+	if err := e.apply(core.Move{Kind: core.M3, Node: v}); err != nil {
+		return err
+	}
+	e.fifo = append(e.fifo, v)
+	// Account the use of each parent; fully consumed values leave
+	// fast memory (outputs were stored when computed or when evicted).
+	for _, p := range parents {
+		e.remaining[p]--
+		if e.remaining[p] == 0 {
+			if e.g.IsSink(p) && !e.st.Label(p).HasBlue() {
+				if err := e.apply(core.Move{Kind: core.M2, Node: p}); err != nil {
+					return err
+				}
+			}
+			if err := e.apply(core.Move{Kind: core.M4, Node: p}); err != nil {
+				return err
+			}
+			e.dropFromFIFO(p)
+		}
+	}
+	if e.g.IsSink(v) {
+		if err := e.apply(core.Move{Kind: core.M2, Node: v}); err != nil {
+			return err
+		}
+		if err := e.apply(core.Move{Kind: core.M4, Node: v}); err != nil {
+			return err
+		}
+		e.dropFromFIFO(v)
+	}
+	return nil
+}
+
+// run executes the order and returns the schedule.
+func run(g *cdag.Graph, budget cdag.Weight, order []cdag.NodeID) (core.Schedule, error) {
+	if !core.ScheduleExists(g, budget) {
+		return nil, fmt.Errorf("baseline: no valid schedule exists under budget %d (existence bound %d)", budget, core.MinExistenceBudget(g))
+	}
+	e := newEngine(g, budget)
+	for _, v := range order {
+		if err := e.compute(v); err != nil {
+			return nil, err
+		}
+	}
+	// Drop any still-resident inputs (nodes never computed).
+	for len(e.fifo) > 0 {
+		v := e.fifo[0]
+		if err := e.apply(core.Move{Kind: core.M4, Node: v}); err != nil {
+			return nil, err
+		}
+		e.fifo = e.fifo[1:]
+	}
+	return e.sched, nil
+}
+
+// LayerByLayerOrder returns the compute order of the Section 5.1
+// baseline for a layered graph: layers[1:] in sequence, alternating
+// ascending and descending index order.
+func LayerByLayerOrder(layers [][]cdag.NodeID) []cdag.NodeID {
+	var order []cdag.NodeID
+	for i := 1; i < len(layers); i++ {
+		l := layers[i]
+		if i%2 == 1 { // S_2, S_4, …: ascending
+			order = append(order, l...)
+		} else { // S_3, S_5, …: descending
+			for j := len(l) - 1; j >= 0; j-- {
+				order = append(order, l[j])
+			}
+		}
+	}
+	return order
+}
+
+// LayerByLayer schedules a layered graph (layers[0] must be the input
+// layer) under the FIFO-spilling layer-by-layer heuristic.
+func LayerByLayer(g *cdag.Graph, layers [][]cdag.NodeID, budget cdag.Weight) (core.Schedule, error) {
+	return run(g, budget, LayerByLayerOrder(layers))
+}
+
+// LayerByLayerAscending is the ablation variant without the
+// alternating-direction optimization: every layer is traversed in
+// ascending index order. Section 5.1 motivates alternation as a way
+// to retain recently computed values across adjacent layers; the
+// ablation benchmark quantifies the difference.
+func LayerByLayerAscending(g *cdag.Graph, layers [][]cdag.NodeID, budget cdag.Weight) (core.Schedule, error) {
+	var order []cdag.NodeID
+	for i := 1; i < len(layers); i++ {
+		order = append(order, layers[i]...)
+	}
+	return run(g, budget, order)
+}
+
+// Greedy schedules an arbitrary CDAG by computing non-source nodes in
+// topological (ID) order with FIFO spilling — the constructive proof
+// of Proposition 2.3: it succeeds for every budget at or above the
+// existence bound.
+func Greedy(g *cdag.Graph, budget cdag.Weight) (core.Schedule, error) {
+	var order []cdag.NodeID
+	for v := 0; v < g.Len(); v++ {
+		if !g.IsSource(cdag.NodeID(v)) {
+			order = append(order, cdag.NodeID(v))
+		}
+	}
+	return run(g, budget, order)
+}
+
+// Cost simulates the layer-by-layer schedule and returns its weighted
+// I/O, a convenience for sweeps.
+func Cost(g *cdag.Graph, layers [][]cdag.NodeID, budget cdag.Weight) (cdag.Weight, error) {
+	sched, err := LayerByLayer(g, layers, budget)
+	if err != nil {
+		return 0, err
+	}
+	stats, err := core.Simulate(g, budget, sched)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Cost, nil
+}
+
+// MinMemory returns the smallest budget (on multiples of step) at
+// which the layer-by-layer cost equals the algorithmic lower bound.
+// The heuristic's cost is not guaranteed monotone in the budget, so
+// the search scans linearly from the existence bound.
+func MinMemory(g *cdag.Graph, layers [][]cdag.NodeID, step cdag.Weight) (cdag.Weight, error) {
+	if step <= 0 {
+		step = 1
+	}
+	lb := core.LowerBound(g)
+	b := core.MinExistenceBudget(g)
+	if r := b % step; r != 0 {
+		b += step - r
+	}
+	limit := g.TotalWeight() + step
+	for ; b <= limit; b += step {
+		c, err := Cost(g, layers, b)
+		if err != nil {
+			return 0, err
+		}
+		if c == lb {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("baseline: lower bound %d not reached up to budget %d", lb, limit)
+}

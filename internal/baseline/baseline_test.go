@@ -1,0 +1,248 @@
+package baseline
+
+import (
+	"testing"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/mvm"
+	"wrbpg/internal/wcfg"
+)
+
+func dwtGraph(t *testing.T, n, d int, cfg wcfg.Config) *dwt.Graph {
+	t.Helper()
+	g, err := dwt.Build(n, d, dwt.ConfigWeights(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestLayerByLayerValid: schedules are rule-abiding across budgets
+// and configurations.
+func TestLayerByLayerValid(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, nd := range []struct{ n, d int }{{4, 1}, {8, 3}, {16, 4}, {32, 5}} {
+			g := dwtGraph(t, nd.n, nd.d, cfg)
+			minB := core.MinExistenceBudget(g.G)
+			for b := minB; b <= minB+cdag.Weight(20*16); b += 64 {
+				sched, err := LayerByLayer(g.G, g.Layers, b)
+				if err != nil {
+					t.Fatalf("%s DWT(%d,%d) b=%d: %v", cfg.Name, nd.n, nd.d, b, err)
+				}
+				stats, err := core.Simulate(g.G, b, sched)
+				if err != nil {
+					t.Fatalf("%s DWT(%d,%d) b=%d: %v", cfg.Name, nd.n, nd.d, b, err)
+				}
+				if stats.PeakRedWeight > b {
+					t.Fatalf("peak %d > budget %d", stats.PeakRedWeight, b)
+				}
+			}
+		}
+	}
+}
+
+// TestNeverBeatsOptimum: the heuristic upper-bounds the DP optimum at
+// every budget, and the gap closes at large budgets.
+func TestNeverBeatsOptimum(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		g := dwtGraph(t, 32, 5, cfg)
+		s, err := dwt.NewScheduler(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minB := core.MinExistenceBudget(g.G)
+		for b := minB; b <= g.G.TotalWeight(); b += 128 {
+			lbl, err := Cost(g.G, g.Layers, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt := s.MinCost(b); lbl < opt {
+				t.Fatalf("%s b=%d: layer-by-layer %d beat the optimum %d", cfg.Name, b, lbl, opt)
+			}
+		}
+	}
+}
+
+// TestConvergesToLowerBound: with the whole graph resident the
+// heuristic performs only compulsory I/O.
+func TestConvergesToLowerBound(t *testing.T) {
+	g := dwtGraph(t, 16, 4, wcfg.Equal(16))
+	got, err := Cost(g.G, g.Layers, g.G.TotalWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := core.LowerBound(g.G); got != want {
+		t.Errorf("cost at full residency = %d, want LB %d", got, want)
+	}
+}
+
+// TestTable1BaselineAnchors pins the layer-by-layer minimum memory
+// for DWT(256,8). The paper reports 445 words (Equal) and 636 (DA);
+// its FIFO-spill discipline is underspecified, and our implementation
+// (lazy parent loads, eager release of fully consumed values) is
+// stronger, reaching the lower bound at 131 / 260 words. The
+// comparison the evaluation rests on — the optimum (10 / 18 words)
+// undercutting layer-by-layer by an order of magnitude — holds either
+// way; see EXPERIMENTS.md.
+func TestTable1BaselineAnchors(t *testing.T) {
+	cases := []struct {
+		cfg        wcfg.Config
+		measured   cdag.Weight // regression anchor for this repo
+		paperWords int
+	}{
+		{wcfg.Equal(16), 131, 445},
+		{wcfg.DoubleAccumulator(16), 260, 636},
+	}
+	for _, c := range cases {
+		g := dwtGraph(t, 256, 8, c.cfg)
+		got, err := MinMemory(g.G, g.Layers, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", c.cfg.Name, err)
+		}
+		if got/16 != c.measured {
+			t.Errorf("%s: min memory = %d words, want %d (paper's weaker baseline: %d)",
+				c.cfg.Name, got/16, c.measured, c.paperWords)
+		}
+		// The side of the comparison must match the paper: the
+		// baseline needs an order of magnitude more memory than the
+		// optimum scheduler's 10/18 words.
+		s, err := dwt.NewScheduler(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := s.MinMemory(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 10*opt {
+			t.Errorf("%s: baseline %d not ≥ 10× optimum %d", c.cfg.Name, got, opt)
+		}
+	}
+}
+
+// TestAlternatingOrder: S_2 ascends, S_3 descends.
+func TestAlternatingOrder(t *testing.T) {
+	layers := [][]cdag.NodeID{{0, 1}, {2, 3}, {4, 5}, {6}}
+	order := LayerByLayerOrder(layers)
+	want := []cdag.NodeID{2, 3, 5, 4, 6}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestGreedyArbitraryCDAG: the greedy scheduler handles non-layered,
+// non-tree graphs at the existence bound (Proposition 2.3).
+func TestGreedyArbitraryCDAG(t *testing.T) {
+	g := &cdag.Graph{}
+	a := g.AddNode(2, "a")
+	b := g.AddNode(1, "b")
+	c := g.AddNode(3, "c", a, b)
+	d := g.AddNode(1, "d", a, c)
+	e := g.AddNode(2, "e", c)
+	g.AddNode(1, "f", d, e)
+	minB := core.MinExistenceBudget(g)
+	for b2 := minB; b2 <= minB+5; b2++ {
+		sched, err := Greedy(g, b2)
+		if err != nil {
+			t.Fatalf("b=%d: %v", b2, err)
+		}
+		if _, err := core.Simulate(g, b2, sched); err != nil {
+			t.Fatalf("b=%d: %v", b2, err)
+		}
+	}
+	if _, err := Greedy(g, minB-1); err == nil {
+		t.Error("expected failure below existence bound")
+	}
+}
+
+// TestGreedyOnMVM: the greedy scheduler also covers MVM graphs,
+// giving a generic (if weak) baseline there.
+func TestGreedyOnMVM(t *testing.T) {
+	g, err := mvm.Build(4, 3, wcfg.Equal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.MinExistenceBudget(g.G) + 64
+	sched, err := Greedy(g.G, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.Simulate(g.G, b, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cost < core.LowerBound(g.G) {
+		t.Errorf("cost %d below LB %d", stats.Cost, core.LowerBound(g.G))
+	}
+}
+
+// TestMinMemorySmall: on a small DWT the heuristic's min memory is at
+// least the optimum's.
+func TestMinMemorySmall(t *testing.T) {
+	g := dwtGraph(t, 16, 4, wcfg.Equal(16))
+	lbl, err := MinMemory(g.G, g.Layers, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dwt.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := s.MinMemory(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lbl < opt {
+		t.Errorf("baseline min memory %d < optimum %d", lbl, opt)
+	}
+}
+
+// TestEachInputLoadedAtLeastOnce and outputs stored exactly once at
+// generous budget.
+func TestMoveAccounting(t *testing.T) {
+	g := dwtGraph(t, 8, 3, wcfg.Equal(16))
+	b := g.G.TotalWeight()
+	sched, err := LayerByLayer(g.G, g.Layers, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := map[cdag.NodeID]int{}
+	m2 := map[cdag.NodeID]int{}
+	for _, mv := range sched {
+		switch mv.Kind {
+		case core.M1:
+			m1[mv.Node]++
+		case core.M2:
+			m2[mv.Node]++
+		}
+	}
+	for _, v := range g.G.Sources() {
+		if m1[v] != 1 {
+			t.Errorf("input %d loaded %d times at full budget", v, m1[v])
+		}
+	}
+	for _, v := range g.G.Sinks() {
+		if m2[v] != 1 {
+			t.Errorf("sink %d stored %d times", v, m2[v])
+		}
+	}
+}
+
+func BenchmarkLayerByLayerDWT256(b *testing.B) {
+	g, err := dwt.Build(256, 8, dwt.ConfigWeights(wcfg.Equal(16)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := LayerByLayer(g.G, g.Layers, 7120); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+
+	"wrbpg/internal/wcfg"
+)
+
+// ParMap evaluates f over every input on a bounded worker pool and
+// returns the outputs in input order. The experiment sweeps of
+// Figures 5 and 6 are embarrassingly parallel — every budget or
+// problem size builds its own graphs and schedulers — so the harness
+// fans them out across cores; the first error wins and is returned
+// after all workers drain.
+func ParMap[I, O any](workers int, in []I, f func(I) (O, error)) ([]O, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(in) {
+		workers = len(in)
+	}
+	out := make([]O, len(in))
+	if len(in) == 0 {
+		return out, nil
+	}
+	if workers <= 1 {
+		for i, x := range in {
+			y, err := f(x)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = y
+		}
+		return out, nil
+	}
+	type job struct{ idx int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				y, err := f(in[j.idx])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[j.idx] = y
+			}
+		}()
+	}
+	for i := range in {
+		jobs <- job{idx: i}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Fig6DWTParallel is Fig6DWT fanned out across cores; results are
+// identical (the computation is deterministic per problem size).
+func Fig6DWTParallel(cfg wcfg.Config, maxN, workers int) ([]Fig6DWTRow, error) {
+	var sizes []int
+	for n := 2; n <= maxN; n += 2 {
+		sizes = append(sizes, n)
+	}
+	return ParMap(workers, sizes, func(n int) (Fig6DWTRow, error) {
+		return fig6DWTPoint(cfg, n)
+	})
+}
+
+// Fig6MVMParallel is Fig6MVM fanned out across cores.
+func Fig6MVMParallel(cfg wcfg.Config, m, maxN, workers int) ([]Fig6MVMRow, error) {
+	var sizes []int
+	for n := 1; n <= maxN; n++ {
+		sizes = append(sizes, n)
+	}
+	return ParMap(workers, sizes, func(n int) (Fig6MVMRow, error) {
+		return fig6MVMPoint(cfg, m, n)
+	})
+}

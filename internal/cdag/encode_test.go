@@ -1,0 +1,84 @@
+package cdag
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g, _ := diamond(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(&back) {
+		t.Error("round trip changed the graph")
+	}
+}
+
+func TestGraphWriteReadJSON(t *testing.T) {
+	g, _ := diamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Error("stream round trip changed the graph")
+	}
+}
+
+func TestGraphUnmarshalRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{"nodes":[{"w":0}]}`,                       // zero weight
+		`{"nodes":[{"w":1,"parents":[0]}]}`,         // self/forward parent
+		`{"nodes":[{"w":1},{"w":1,"parents":[5]}]}`, // out of range
+		`{"nodes":`, // truncated
+	}
+	for _, c := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(c), &g); err == nil {
+			t.Errorf("%q accepted", c)
+		}
+	}
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestGraphEqual(t *testing.T) {
+	g, ids := diamond(t)
+	h := g.Clone()
+	if !g.Equal(h) {
+		t.Fatal("clone should be equal")
+	}
+	h.SetWeight(ids[0], 99)
+	if g.Equal(h) {
+		t.Error("weight change undetected")
+	}
+	short := &Graph{}
+	short.AddNode(1, "x")
+	if g.Equal(short) {
+		t.Error("size change undetected")
+	}
+	// Different parents.
+	p := &Graph{}
+	a := p.AddNode(1, "a")
+	b := p.AddNode(2, "b", a)
+	_ = b
+	q := &Graph{}
+	qa := q.AddNode(1, "a")
+	q.AddNode(2, "b", qa)
+	if !p.Equal(q) {
+		t.Error("identical graphs unequal")
+	}
+}

@@ -1,0 +1,236 @@
+// Package conv builds 1-D finite-impulse-response (FIR) convolution
+// dataflows — the generalization the paper defers as future work:
+// "wavelet transforms that perform convolutions with more than two
+// inputs/averages or coarser operations are left to future work"
+// (Section 3.1), and implements a sliding-window scheduler for them.
+//
+// Conv(n, T, D) computes the valid convolution of an n-sample signal
+// with a T-tap filter, downsampling by D:
+//
+//	y[o] = Σ_{t<T} h_t · x[o·D + t],  o = 0 … (n−T)/D
+//
+// Each output is a chain of T−1 two-input multiply-accumulate nodes
+// (the paper's fine operation granularity); adjacent windows share
+// T−D inputs, so inputs have out-degree up to ⌈T/D⌉ and the graph is
+// not a tree — data reuse, not tree pebbling, decides the schedule.
+// The Haar DWT's single level is the special case T = D = 2 (where
+// windows are disjoint); larger T (e.g. Daubechies-4's four taps)
+// introduces the overlap this package manages.
+//
+// The sliding scheduler keeps a suffix buffer of the C most recent
+// inputs resident. C = T re-reads nothing and meets the algorithmic
+// lower bound with Θ(T) fast memory; smaller buffers trade memory
+// for reloads of the window prefix, down to C = 0 which reloads
+// every overlapping input.
+package conv
+
+import (
+	"fmt"
+	"math"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/wcfg"
+)
+
+// Inf is the sentinel cost of an infeasible configuration.
+const Inf cdag.Weight = math.MaxInt64 / 4
+
+// Graph is a Conv(n, T, D) CDAG with its layout.
+type Graph struct {
+	// G is the underlying node-weighted CDAG.
+	G *cdag.Graph
+	// N is the signal length, Taps the filter length, Down the
+	// downsampling factor.
+	N, Taps, Down int
+	// Cfg records the weight configuration.
+	Cfg wcfg.Config
+	// X[i] is input sample i (0-based).
+	X []cdag.NodeID
+	// Mac[o][t-1] is output o's chain node after consuming tap t ≥ 1
+	// (Mac[o][0] consumes taps 0 and 1). Mac[o][Taps-2] is y[o].
+	Mac [][]cdag.NodeID
+}
+
+// Build constructs Conv(n, T, D). Requirements: T ≥ 2, 1 ≤ D ≤ T
+// (windows must not skip samples), n ≥ T, and (n−T) divisible by D so
+// the last window ends exactly at the signal boundary.
+func Build(n, taps, down int, cfg wcfg.Config) (*Graph, error) {
+	if taps < 2 {
+		return nil, fmt.Errorf("conv: taps=%d must be ≥ 2", taps)
+	}
+	if down < 1 || down > taps {
+		return nil, fmt.Errorf("conv: downsample=%d out of range [1,%d]", down, taps)
+	}
+	if n < taps || (n-taps)%down != 0 {
+		return nil, fmt.Errorf("conv: n=%d incompatible with taps=%d, downsample=%d", n, taps, down)
+	}
+	g := &cdag.Graph{}
+	out := &Graph{G: g, N: n, Taps: taps, Down: down, Cfg: cfg}
+	out.X = make([]cdag.NodeID, n)
+	for i := 0; i < n; i++ {
+		out.X[i] = g.AddNode(cfg.Input(), fmt.Sprintf("x[%d]", i))
+	}
+	numOut := (n-taps)/down + 1
+	out.Mac = make([][]cdag.NodeID, numOut)
+	for o := 0; o < numOut; o++ {
+		base := o * down
+		chain := make([]cdag.NodeID, taps-1)
+		chain[0] = g.AddNode(cfg.Node(), fmt.Sprintf("m[%d,1]", o), out.X[base], out.X[base+1])
+		for t := 2; t < taps; t++ {
+			chain[t-1] = g.AddNode(cfg.Node(), fmt.Sprintf("m[%d,%d]", o, t),
+				chain[t-2], out.X[base+t])
+		}
+		out.Mac[o] = chain
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("conv: internal construction error: %w", err)
+	}
+	return out, nil
+}
+
+// Outputs returns the number of output samples.
+func (g *Graph) Outputs() int { return len(g.Mac) }
+
+// Output returns y[o]'s node.
+func (g *Graph) Output(o int) cdag.NodeID { return g.Mac[o][g.Taps-2] }
+
+// emit drives the sliding-window schedule with a resident suffix
+// buffer of bufferC inputs. Schedule materializes the moves;
+// PredictCost/PredictPeak run the same loop with counters, so the
+// predictions are exact by construction and the package tests verify
+// the pair against the independent rule-checking simulator.
+func (g *Graph) emit(bufferC int, mv func(core.MoveKind, cdag.NodeID)) error {
+	if bufferC < 0 || bufferC > g.Taps {
+		return fmt.Errorf("conv: buffer %d out of range [0,%d]", bufferC, g.Taps)
+	}
+	resident := map[int]bool{} // input indices currently red
+	numOut := g.Outputs()
+	for o := 0; o < numOut; o++ {
+		base := o * g.Down
+		end := base + g.Taps // exclusive
+		// keepFrom: inputs at or beyond it stay resident after this
+		// output (suffix buffer ∩ next window).
+		keepFrom := end
+		if o+1 < numOut {
+			keepFrom = end - bufferC
+			if next := (o + 1) * g.Down; keepFrom < next {
+				keepFrom = next
+			}
+		}
+		use := func(idx int) {
+			if !resident[idx] {
+				mv(core.M1, g.X[idx])
+				resident[idx] = true
+			}
+		}
+		release := func(idx int) {
+			if idx < keepFrom && resident[idx] {
+				mv(core.M4, g.X[idx])
+				delete(resident, idx)
+			}
+		}
+		use(base)
+		use(base + 1)
+		mv(core.M3, g.Mac[o][0])
+		release(base)
+		release(base + 1)
+		for t := 2; t < g.Taps; t++ {
+			use(base + t)
+			mv(core.M3, g.Mac[o][t-1])
+			mv(core.M4, g.Mac[o][t-2])
+			release(base + t)
+		}
+		out := g.Output(o)
+		mv(core.M2, out)
+		mv(core.M4, out)
+	}
+	// The final window keeps nothing.
+	for idx := 0; idx < g.N; idx++ {
+		if resident[idx] {
+			mv(core.M4, g.X[idx])
+		}
+	}
+	return nil
+}
+
+// Schedule emits the sliding-window schedule with a resident suffix
+// buffer of bufferC inputs (0 ≤ bufferC ≤ Taps): the buffer carries
+// the tail of each window into the next, trading fast memory for
+// reloads; everything else is dropped as soon as the chain consumes
+// it.
+func (g *Graph) Schedule(bufferC int) (core.Schedule, error) {
+	var s core.Schedule
+	err := g.emit(bufferC, func(k core.MoveKind, v cdag.NodeID) {
+		s = append(s, core.Move{Kind: k, Node: v})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// metrics replays the emission with counters.
+func (g *Graph) metrics(bufferC int) (cost, peak cdag.Weight, err error) {
+	var red cdag.Weight
+	err = g.emit(bufferC, func(k core.MoveKind, v cdag.NodeID) {
+		w := g.G.Weight(v)
+		switch k {
+		case core.M1:
+			cost += w
+			red += w
+		case core.M2:
+			cost += w
+		case core.M3:
+			red += w
+		case core.M4:
+			red -= w
+		}
+		if red > peak {
+			peak = red
+		}
+	})
+	return cost, peak, err
+}
+
+// PredictCost returns the exact weighted I/O of Schedule(bufferC).
+func (g *Graph) PredictCost(bufferC int) cdag.Weight {
+	c, _, err := g.metrics(bufferC)
+	if err != nil {
+		return Inf
+	}
+	return c
+}
+
+// PredictPeak returns the exact peak red weight of Schedule(bufferC).
+func (g *Graph) PredictPeak(bufferC int) cdag.Weight {
+	_, p, err := g.metrics(bufferC)
+	if err != nil {
+		return Inf
+	}
+	return p
+}
+
+// MinMemory returns the smallest budget meeting the algorithmic lower
+// bound: the full-buffer peak.
+func (g *Graph) MinMemory() cdag.Weight { return g.PredictPeak(g.Taps) }
+
+// Search returns the largest buffer (cheapest cost) whose peak fits
+// the budget.
+func (g *Graph) Search(budget cdag.Weight) (int, cdag.Weight, error) {
+	for c := g.Taps; c >= 0; c-- {
+		if g.PredictPeak(c) <= budget {
+			return c, g.PredictCost(c), nil
+		}
+	}
+	return 0, Inf, fmt.Errorf("conv: no buffer configuration fits budget %d", budget)
+}
+
+// MinCost returns the best cost under the budget, Inf if none fits.
+func (g *Graph) MinCost(budget cdag.Weight) cdag.Weight {
+	_, c, err := g.Search(budget)
+	if err != nil {
+		return Inf
+	}
+	return c
+}

@@ -1,0 +1,215 @@
+package conv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/exact"
+	"wrbpg/internal/wcfg"
+)
+
+func buildOrFatal(t *testing.T, n, taps, down int, cfg wcfg.Config) *Graph {
+	t.Helper()
+	g, err := Build(n, taps, down, cfg)
+	if err != nil {
+		t.Fatalf("Build(%d,%d,%d): %v", n, taps, down, err)
+	}
+	return g
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	eq := wcfg.Equal(16)
+	for _, d := range [][3]int{{8, 1, 1}, {8, 4, 0}, {8, 4, 5}, {3, 4, 1}, {9, 4, 2}} {
+		if _, err := Build(d[0], d[1], d[2], eq); err == nil {
+			t.Errorf("Build(%v) should fail", d)
+		}
+	}
+}
+
+func TestStructureHaarSpecialCase(t *testing.T) {
+	// T = D = 2: disjoint windows, one chain node per output — the
+	// averages half of a Haar DWT level.
+	g := buildOrFatal(t, 8, 2, 2, wcfg.Equal(16))
+	if g.Outputs() != 4 {
+		t.Fatalf("outputs = %d", g.Outputs())
+	}
+	if g.G.Len() != 8+4 {
+		t.Errorf("nodes = %d", g.G.Len())
+	}
+	for o := 0; o < 4; o++ {
+		ps := g.G.Parents(g.Output(o))
+		if ps[0] != g.X[2*o] || ps[1] != g.X[2*o+1] {
+			t.Errorf("output %d parents wrong", o)
+		}
+	}
+}
+
+func TestStructureDB4Shape(t *testing.T) {
+	// T=4, D=2: Daubechies-4-style windows overlapping by two.
+	g := buildOrFatal(t, 10, 4, 2, wcfg.Equal(16))
+	if g.Outputs() != 4 {
+		t.Fatalf("outputs = %d", g.Outputs())
+	}
+	// Interior inputs feed two windows.
+	if g.G.OutDegree(g.X[2]) != 2 || g.G.OutDegree(g.X[3]) != 2 {
+		t.Error("overlapping inputs should have out-degree 2")
+	}
+	if g.G.OutDegree(g.X[0]) != 1 {
+		t.Error("first input should feed one window")
+	}
+	// Chain shape: y[o] has taps−1 = 3 nodes.
+	if len(g.Mac[0]) != 3 {
+		t.Errorf("chain length = %d", len(g.Mac[0]))
+	}
+	if g.G.IsTree() {
+		t.Error("overlapping windows must not form a tree")
+	}
+}
+
+// TestScheduleValidAndPredicted across buffers, shapes and weights.
+func TestScheduleValidAndPredicted(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, d := range [][3]int{{8, 2, 2}, {10, 4, 2}, {9, 3, 1}, {16, 4, 4}, {11, 5, 3}} {
+			g := buildOrFatal(t, d[0], d[1], d[2], cfg)
+			for c := 0; c <= g.Taps; c++ {
+				sched, err := g.Schedule(c)
+				if err != nil {
+					t.Fatalf("%s Conv%v C=%d: %v", cfg.Name, d, c, err)
+				}
+				peak := g.PredictPeak(c)
+				stats, err := core.Simulate(g.G, peak, sched)
+				if err != nil {
+					t.Fatalf("%s Conv%v C=%d: %v", cfg.Name, d, c, err)
+				}
+				if stats.PeakRedWeight != peak || stats.Cost != g.PredictCost(c) {
+					t.Errorf("%s Conv%v C=%d: got (%d,%d), predicted (%d,%d)",
+						cfg.Name, d, c, stats.Cost, stats.PeakRedWeight, g.PredictCost(c), peak)
+				}
+			}
+		}
+	}
+}
+
+// TestFullBufferMeetsLB: C = T reads every input once.
+func TestFullBufferMeetsLB(t *testing.T) {
+	for _, d := range [][3]int{{10, 4, 2}, {9, 3, 1}, {8, 2, 2}} {
+		g := buildOrFatal(t, d[0], d[1], d[2], wcfg.Equal(16))
+		if got, want := g.PredictCost(g.Taps), core.LowerBound(g.G); got != want {
+			t.Errorf("Conv%v: full-buffer cost %d != LB %d", d, got, want)
+		}
+	}
+}
+
+// TestZeroBufferReloadsEverything: C = 0 loads T inputs per window.
+func TestZeroBufferReloadsEverything(t *testing.T) {
+	g := buildOrFatal(t, 10, 4, 2, wcfg.Equal(16))
+	want := cdag.Weight(4*16*4 + 4*16) // 4 windows × 4 loads + 4 outputs
+	if got := g.PredictCost(0); got != want {
+		t.Errorf("zero-buffer cost = %d, want %d", got, want)
+	}
+}
+
+// TestHaarCaseBufferIrrelevant: with disjoint windows (T = D) there
+// is no reuse, so every buffer size meets the lower bound.
+func TestHaarCaseBufferIrrelevant(t *testing.T) {
+	g := buildOrFatal(t, 12, 2, 2, wcfg.DoubleAccumulator(16))
+	lb := core.LowerBound(g.G)
+	for c := 0; c <= 2; c++ {
+		if got := g.PredictCost(c); got != lb {
+			t.Errorf("C=%d: cost %d != LB %d", c, got, lb)
+		}
+	}
+}
+
+// TestCostMonotoneInBuffer and peak non-decreasing.
+func TestCostMonotoneInBuffer(t *testing.T) {
+	f := func(seed int64) bool {
+		d := [][3]int{{10, 4, 2}, {9, 3, 1}, {13, 5, 2}, {16, 4, 1}}[int(uint64(seed)%4)]
+		g, err := Build(d[0], d[1], d[2], wcfg.Equal(16))
+		if err != nil {
+			return false
+		}
+		prevCost, prevPeak := Inf, cdag.Weight(0)
+		for c := 0; c <= g.Taps; c++ {
+			cost, peak := g.PredictCost(c), g.PredictPeak(c)
+			if cost > prevCost {
+				return false
+			}
+			if peak < prevPeak {
+				return false
+			}
+			prevCost, prevPeak = cost, peak
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchAndMinMemory(t *testing.T) {
+	g := buildOrFatal(t, 10, 4, 2, wcfg.Equal(16))
+	b := g.MinMemory()
+	c, cost, err := g.Search(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != g.Taps || cost != core.LowerBound(g.G) {
+		t.Errorf("at MinMemory: C=%d cost=%d", c, cost)
+	}
+	if g.MinCost(b-16) == core.LowerBound(g.G) {
+		t.Error("LB met below MinMemory")
+	}
+	if _, _, err := g.Search(16); err == nil {
+		t.Error("tiny budget should fail")
+	}
+}
+
+// TestAgainstExactTiny: Conv(4,2,2) — 6 nodes — at full memory.
+func TestAgainstExactTiny(t *testing.T) {
+	g := buildOrFatal(t, 4, 2, 2, wcfg.Equal(1))
+	b := g.G.TotalWeight()
+	res, err := exact.Solve(g.G, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MinCost(b); got != res.Cost {
+		t.Errorf("conv at full memory = %d, exact = %d", got, res.Cost)
+	}
+	// Overlapping case: Conv(5,3,2) has 5+2·2 = 9 nodes with windows
+	// sharing x[2].
+	g2 := buildOrFatal(t, 5, 3, 2, wcfg.Equal(1))
+	res2, err := exact.Solve(g2.G, g2.G.TotalWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.MinCost(g2.G.TotalWeight()); got != res2.Cost {
+		t.Errorf("overlapping conv = %d, exact = %d", got, res2.Cost)
+	}
+}
+
+// TestEveryNodeComputedOnce at any buffer.
+func TestEveryNodeComputedOnce(t *testing.T) {
+	g := buildOrFatal(t, 10, 4, 2, wcfg.Equal(16))
+	for _, c := range []int{0, 2, 4} {
+		sched, err := g.Schedule(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := map[cdag.NodeID]int{}
+		for _, m := range sched {
+			if m.Kind == core.M3 {
+				count[m.Node]++
+			}
+		}
+		for o := 0; o < g.Outputs(); o++ {
+			for _, v := range g.Mac[o] {
+				if count[v] != 1 {
+					t.Fatalf("C=%d: node computed %d times", c, count[v])
+				}
+			}
+		}
+	}
+}

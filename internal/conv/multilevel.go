@@ -1,0 +1,227 @@
+package conv
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/wcfg"
+)
+
+// MultiLevel is the full multi-resolution wavelet dataflow for an
+// arbitrary T-tap filter pair — the complete generalization of the
+// paper's DWT(n,d) (which is the T = 2 Haar case) to the wavelets its
+// Section 3.1 defers: each level convolves the previous level's
+// low-pass outputs with a low-pass filter (feeding the next level)
+// and a high-pass filter (producing coefficient outputs), both
+// downsampled by Down.
+//
+// For T > Down adjacent windows overlap, the per-level graphs stop
+// being trees, and the paper's tree-optimal scheduling no longer
+// applies. The scheduler here runs levels in sequence with a
+// sliding resident window per level: every level individually
+// performs compulsory-only I/O, but each intermediate low-pass value
+// round-trips through slow memory between levels. The Haar
+// comparison test quantifies exactly what the paper's tree recursion
+// buys: for T = 2 the tree-optimal DWT schedule saves one
+// write+read per intermediate average.
+type MultiLevel struct {
+	// G is the underlying node-weighted CDAG.
+	G *cdag.Graph
+	// N is the input length; Taps, Down and Levels the filter shape.
+	N, Taps, Down, Levels int
+	// Cfg records the weight configuration.
+	Cfg wcfg.Config
+	// Inputs are the level-0 samples.
+	Inputs []cdag.NodeID
+	// LowChain[l][o] / HighChain[l][o] are the MAC chains of level
+	// l+1's output o; the last chain node is the output value.
+	LowChain, HighChain [][][]cdag.NodeID
+	// sizes[l] is the number of values entering level l+1.
+	sizes []int
+}
+
+// LevelOutputs returns how many outputs each level produces.
+func (m *MultiLevel) LevelOutputs() []int {
+	out := make([]int, m.Levels)
+	for l := 0; l < m.Levels; l++ {
+		out[l] = (m.sizes[l]-m.Taps)/m.Down + 1
+	}
+	return out
+}
+
+// Low returns level l's (1-based) low-pass output o (0-based).
+func (m *MultiLevel) Low(l, o int) cdag.NodeID {
+	c := m.LowChain[l-1][o]
+	return c[len(c)-1]
+}
+
+// High returns level l's high-pass output o.
+func (m *MultiLevel) High(l, o int) cdag.NodeID {
+	c := m.HighChain[l-1][o]
+	return c[len(c)-1]
+}
+
+// MaxLevels returns how many levels an n-sample signal admits for the
+// filter shape.
+func MaxLevels(n, taps, down int) int {
+	levels := 0
+	for n >= taps && (n-taps)%down == 0 {
+		n = (n-taps)/down + 1
+		levels++
+		if n < taps {
+			break
+		}
+	}
+	return levels
+}
+
+// BuildMultiLevel constructs the multi-resolution graph. Every
+// level's input size must satisfy the Conv constraints.
+func BuildMultiLevel(n, taps, down, levels int, cfg wcfg.Config) (*MultiLevel, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("conv: levels=%d must be ≥ 1", levels)
+	}
+	if taps < 2 || down < 1 || down > taps {
+		return nil, fmt.Errorf("conv: invalid filter shape taps=%d down=%d", taps, down)
+	}
+	g := &cdag.Graph{}
+	m := &MultiLevel{G: g, N: n, Taps: taps, Down: down, Levels: levels, Cfg: cfg}
+	m.Inputs = make([]cdag.NodeID, n)
+	for i := 0; i < n; i++ {
+		m.Inputs[i] = g.AddNode(cfg.Input(), fmt.Sprintf("x[%d]", i))
+	}
+	prev := m.Inputs
+	size := n
+	for l := 1; l <= levels; l++ {
+		if size < taps || (size-taps)%down != 0 {
+			return nil, fmt.Errorf("conv: level %d input size %d incompatible with taps=%d down=%d", l, size, taps, down)
+		}
+		m.sizes = append(m.sizes, size)
+		numOut := (size-taps)/down + 1
+		lows := make([][]cdag.NodeID, numOut)
+		highs := make([][]cdag.NodeID, numOut)
+		nextPrev := make([]cdag.NodeID, numOut)
+		for o := 0; o < numOut; o++ {
+			base := o * down
+			mkChain := func(kind string) []cdag.NodeID {
+				chain := make([]cdag.NodeID, taps-1)
+				chain[0] = g.AddNode(cfg.Node(), fmt.Sprintf("%s[%d,%d,1]", kind, l, o),
+					prev[base], prev[base+1])
+				for t := 2; t < taps; t++ {
+					chain[t-1] = g.AddNode(cfg.Node(), fmt.Sprintf("%s[%d,%d,%d]", kind, l, o, t),
+						chain[t-2], prev[base+t])
+				}
+				return chain
+			}
+			lows[o] = mkChain("a")
+			highs[o] = mkChain("c")
+			nextPrev[o] = lows[o][taps-2]
+		}
+		m.LowChain = append(m.LowChain, lows)
+		m.HighChain = append(m.HighChain, highs)
+		prev = nextPrev
+		size = numOut
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("conv: internal construction error: %w", err)
+	}
+	return m, nil
+}
+
+// emit drives the level-sequential sliding-window schedule.
+func (m *MultiLevel) emit(mv func(core.MoveKind, cdag.NodeID)) {
+	prev := m.Inputs
+	for l := 1; l <= m.Levels; l++ {
+		numOut := len(m.LowChain[l-1])
+		resident := map[int]bool{}
+		lastUse := func(idx int) int {
+			// The window containing idx with the largest base.
+			o := idx / m.Down
+			if o > numOut-1 {
+				o = numOut - 1
+			}
+			return o
+		}
+		for o := 0; o < numOut; o++ {
+			base := o * m.Down
+			for t := 0; t < m.Taps; t++ {
+				if !resident[base+t] {
+					mv(core.M1, prev[base+t])
+					resident[base+t] = true
+				}
+			}
+			runChain := func(chain []cdag.NodeID) {
+				mv(core.M3, chain[0])
+				for t := 1; t < len(chain); t++ {
+					mv(core.M3, chain[t])
+					mv(core.M4, chain[t-1])
+				}
+				out := chain[len(chain)-1]
+				mv(core.M2, out)
+				mv(core.M4, out)
+			}
+			runChain(m.LowChain[l-1][o])
+			runChain(m.HighChain[l-1][o])
+			for t := 0; t < m.Taps; t++ {
+				idx := base + t
+				if resident[idx] && lastUse(idx) == o {
+					mv(core.M4, prev[idx])
+					delete(resident, idx)
+				}
+			}
+		}
+		next := make([]cdag.NodeID, numOut)
+		for o := 0; o < numOut; o++ {
+			next[o] = m.Low(l, o)
+		}
+		prev = next
+	}
+}
+
+// Schedule returns the level-sequential sliding-window schedule.
+func (m *MultiLevel) Schedule() core.Schedule {
+	var s core.Schedule
+	m.emit(func(k core.MoveKind, v cdag.NodeID) {
+		s = append(s, core.Move{Kind: k, Node: v})
+	})
+	return s
+}
+
+// Metrics returns the schedule's exact weighted I/O and peak red
+// weight.
+func (m *MultiLevel) Metrics() (cost, peak cdag.Weight) {
+	var red cdag.Weight
+	m.emit(func(k core.MoveKind, v cdag.NodeID) {
+		w := m.G.Weight(v)
+		switch k {
+		case core.M1:
+			cost += w
+			red += w
+		case core.M2:
+			cost += w
+		case core.M3:
+			red += w
+		case core.M4:
+			red -= w
+		}
+		if red > peak {
+			peak = red
+		}
+	})
+	return cost, peak
+}
+
+// IntermediateWeight returns the total weight of low-pass values that
+// are neither inputs nor final outputs — the values the
+// level-sequential schedule round-trips and a fused (tree-style)
+// schedule could keep resident.
+func (m *MultiLevel) IntermediateWeight() cdag.Weight {
+	var w cdag.Weight
+	for l := 1; l < m.Levels; l++ {
+		for o := range m.LowChain[l-1] {
+			w += m.G.Weight(m.Low(l, o))
+		}
+	}
+	return w
+}

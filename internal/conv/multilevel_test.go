@@ -1,0 +1,147 @@
+package conv
+
+import (
+	"testing"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/wcfg"
+)
+
+func TestMaxLevels(t *testing.T) {
+	cases := []struct {
+		n, taps, down int
+		want          int
+	}{
+		{16, 2, 2, 4},
+		{256, 2, 2, 8},
+		{10, 4, 2, 2}, // 10 → 4 → (4−4)/2+1 = 1
+		{3, 4, 2, 0},
+		{22, 4, 2, 3}, // 22 → 10 → 4 → 1
+	}
+	for _, c := range cases {
+		if got := MaxLevels(c.n, c.taps, c.down); got != c.want {
+			t.Errorf("MaxLevels(%d,%d,%d) = %d, want %d", c.n, c.taps, c.down, got, c.want)
+		}
+	}
+}
+
+func TestBuildMultiLevelRejectsBadParams(t *testing.T) {
+	eq := wcfg.Equal(16)
+	for _, c := range [][4]int{{16, 2, 2, 0}, {16, 1, 1, 1}, {16, 4, 5, 1}, {9, 4, 2, 1}, {10, 4, 2, 3}} {
+		if _, err := BuildMultiLevel(c[0], c[1], c[2], c[3], eq); err == nil {
+			t.Errorf("BuildMultiLevel(%v) should fail", c)
+		}
+	}
+}
+
+func TestMultiLevelHaarShapeMatchesDWT(t *testing.T) {
+	// T = D = 2 over 3 levels on 16 samples: same node count and the
+	// same layer sizes as DWT(16,3).
+	m, err := BuildMultiLevel(16, 2, 2, 3, wcfg.Equal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := dwt.Build(16, 3, dwt.ConfigWeights(wcfg.Equal(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.G.Len() != dg.G.Len() {
+		t.Errorf("node counts differ: %d vs %d", m.G.Len(), dg.G.Len())
+	}
+	if got := m.LevelOutputs(); got[0] != 8 || got[1] != 4 || got[2] != 2 {
+		t.Errorf("level outputs = %v", got)
+	}
+	if core.LowerBound(m.G) != core.LowerBound(dg.G) {
+		t.Errorf("LBs differ: %d vs %d", core.LowerBound(m.G), core.LowerBound(dg.G))
+	}
+}
+
+// TestMultiLevelScheduleValid: the level-sequential schedule
+// validates at its own peak for several shapes and weightings.
+func TestMultiLevelScheduleValid(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, c := range [][3]int{{16, 2, 4}, {22, 4, 3}, {15, 3, 2}} {
+			n, taps, levels := c[0], c[1], c[2]
+			m, err := BuildMultiLevel(n, taps, 2, levels, cfg)
+			if err != nil {
+				t.Fatalf("%s %v: %v", cfg.Name, c, err)
+			}
+			sched := m.Schedule()
+			cost, peak := m.Metrics()
+			stats, err := core.Simulate(m.G, peak, sched)
+			if err != nil {
+				t.Fatalf("%s %v: %v", cfg.Name, c, err)
+			}
+			if stats.Cost != cost || stats.PeakRedWeight != peak {
+				t.Errorf("%s %v: metrics (%d,%d) vs simulated (%d,%d)",
+					cfg.Name, c, cost, peak, stats.Cost, stats.PeakRedWeight)
+			}
+		}
+	}
+}
+
+// TestLevelSequentialPaysIntermediates: the schedule's cost is
+// exactly the lower bound plus one write+read per intermediate
+// low-pass value.
+func TestLevelSequentialPaysIntermediates(t *testing.T) {
+	for _, c := range [][4]int{{16, 2, 2, 4}, {22, 4, 2, 3}} {
+		m, err := BuildMultiLevel(c[0], c[1], c[2], c[3], wcfg.Equal(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, _ := m.Metrics()
+		want := core.LowerBound(m.G) + 2*m.IntermediateWeight()
+		if cost != want {
+			t.Errorf("shape %v: cost %d, want LB+2·intermediates = %d", c, cost, want)
+		}
+	}
+}
+
+// TestTreeOptimumBeatsLevelSequentialOnHaar: for the Haar case the
+// paper's tree-optimal DWT schedule avoids every intermediate
+// round-trip — the exact gap the future-work generalization leaves
+// open for T > 2.
+func TestTreeOptimumBeatsLevelSequentialOnHaar(t *testing.T) {
+	cfg := wcfg.Equal(16)
+	m, err := BuildMultiLevel(16, 2, 2, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlCost, _ := m.Metrics()
+	dg, err := dwt.Build(16, 4, dwt.ConfigWeights(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dwt.NewScheduler(dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optCost := s.MinCost(dg.G.TotalWeight())
+	if gap := mlCost - optCost; gap != 2*m.IntermediateWeight() {
+		t.Errorf("gap = %d, want 2·intermediates = %d", gap, 2*m.IntermediateWeight())
+	}
+}
+
+// TestMultiLevelPeakIsWindowSized: peak memory stays Θ(taps), not
+// Θ(n) — the streaming property carries to every level.
+func TestMultiLevelPeakIsWindowSized(t *testing.T) {
+	cfg := wcfg.Equal(16)
+	small, err := BuildMultiLevel(34, 4, 2, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := BuildMultiLevel(130, 4, 2, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ps := small.Metrics()
+	_, pb := big.Metrics()
+	if pb != ps {
+		t.Errorf("peak should be size-independent: %d vs %d", ps, pb)
+	}
+	if pb > cdag.Weight((4+4)*32) {
+		t.Errorf("peak %d larger than a window plus working set", pb)
+	}
+}

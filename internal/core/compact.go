@@ -1,0 +1,92 @@
+package core
+
+import (
+	"wrbpg/internal/cdag"
+)
+
+// Compact removes provably useless moves from a schedule — the
+// peephole pass a schedule compiler runs before burning moves into
+// firmware, where every stored move costs ROM and every executed move
+// costs a cycle. Two conservative rules:
+//
+//  1. A load or compute whose red pebble is deleted without any
+//     intervening use (no child computed from it, no store, and —
+//     for M1 — no role in the stopping condition) did nothing: drop
+//     the M1/M3 and its matching M4.
+//  2. A store M2(v) on a non-sink v whose blue pebble is never read
+//     back (no later M1(v)) paid for nothing: drop it.
+//
+// Rule 1 never drops an M3 whose value is a sink (the compute may be
+// needed for the stopping condition via an M2 that rule 2 keeps).
+// Compacting preserves validity and the stopping condition, and never
+// increases cost; the fixpoint is reached by iterating, since each
+// pass only removes moves.
+func Compact(g *cdag.Graph, s Schedule) Schedule {
+	cur := append(Schedule(nil), s...)
+	for {
+		next := compactOnce(g, cur)
+		if len(next) == len(cur) {
+			return next
+		}
+		cur = next
+	}
+}
+
+func compactOnce(g *cdag.Graph, s Schedule) Schedule {
+	drop := make([]bool, len(s))
+
+	// Rule 1: find M1/M3 … M4 spans with no use of the red pebble.
+	// openIdx[v] is the index of v's live red-pebble placement.
+	openIdx := map[cdag.NodeID]int{}
+	used := map[cdag.NodeID]bool{}
+	for i, m := range s {
+		switch m.Kind {
+		case M1, M3:
+			openIdx[m.Node] = i
+			used[m.Node] = m.Kind == M3 && g.IsSink(m.Node)
+			if m.Kind == M3 {
+				// The compute uses its parents' red pebbles.
+				for _, p := range g.Parents(m.Node) {
+					used[p] = true
+				}
+			}
+		case M2:
+			used[m.Node] = true
+		case M4:
+			if j, ok := openIdx[m.Node]; ok && !used[m.Node] {
+				drop[j] = true
+				drop[i] = true
+			}
+			delete(openIdx, m.Node)
+			delete(used, m.Node)
+		}
+	}
+
+	// Rule 2: M2 on a non-sink never read back.
+	lastLoad := map[cdag.NodeID]int{}
+	for i := len(s) - 1; i >= 0; i-- {
+		m := s[i]
+		if drop[i] {
+			continue
+		}
+		switch m.Kind {
+		case M1:
+			lastLoad[m.Node] = i
+		case M2:
+			if g.IsSink(m.Node) {
+				continue
+			}
+			if j, ok := lastLoad[m.Node]; !ok || j < i {
+				drop[i] = true
+			}
+		}
+	}
+
+	out := make(Schedule, 0, len(s))
+	for i, m := range s {
+		if !drop[i] {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"wrbpg/internal/cdag"
+)
+
+// Schedules are deployment artifacts: in the paper's domain they are
+// compiled offline and burned into an implant's firmware alongside
+// the memory design they were sized for. This file provides two
+// interchange formats — a line-oriented text format ("M1 3") that is
+// trivial to parse from C firmware, and JSON for tooling — plus a
+// manifest type binding a schedule to the graph and budget it was
+// generated for.
+
+// MarshalText renders the schedule one move per line: "<kind> <node>".
+func (s Schedule) MarshalText() ([]byte, error) {
+	var b strings.Builder
+	for _, m := range s {
+		fmt.Fprintf(&b, "%s %d\n", m.Kind, m.Node)
+	}
+	return []byte(b.String()), nil
+}
+
+// UnmarshalText parses the line-oriented format produced by
+// MarshalText. Blank lines and lines starting with '#' are ignored.
+func (s *Schedule) UnmarshalText(data []byte) error {
+	parsed, err := ParseSchedule(strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
+// ParseSchedule reads the text format from r.
+func ParseSchedule(r io.Reader) (Schedule, error) {
+	var out Schedule
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("core: schedule line %d: want \"<kind> <node>\", got %q", line, text)
+		}
+		var kind MoveKind
+		switch fields[0] {
+		case "M1":
+			kind = M1
+		case "M2":
+			kind = M2
+		case "M3":
+			kind = M3
+		case "M4":
+			kind = M4
+		default:
+			return nil, fmt.Errorf("core: schedule line %d: unknown move kind %q", line, fields[0])
+		}
+		node, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil || node < 0 {
+			return nil, fmt.Errorf("core: schedule line %d: bad node %q", line, fields[1])
+		}
+		out = append(out, Move{Kind: kind, Node: cdag.NodeID(node)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// moveJSON is the JSON wire form of a move.
+type moveJSON struct {
+	Kind string      `json:"kind"`
+	Node cdag.NodeID `json:"node"`
+}
+
+// MarshalJSON encodes the schedule as an array of {kind, node}.
+func (s Schedule) MarshalJSON() ([]byte, error) {
+	out := make([]moveJSON, len(s))
+	for i, m := range s {
+		out[i] = moveJSON{Kind: m.Kind.String(), Node: m.Node}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the array form.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var raw []moveJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make(Schedule, len(raw))
+	for i, m := range raw {
+		switch m.Kind {
+		case "M1":
+			out[i] = Move{M1, m.Node}
+		case "M2":
+			out[i] = Move{M2, m.Node}
+		case "M3":
+			out[i] = Move{M3, m.Node}
+		case "M4":
+			out[i] = Move{M4, m.Node}
+		default:
+			return fmt.Errorf("core: unknown move kind %q at index %d", m.Kind, i)
+		}
+	}
+	*s = out
+	return nil
+}
+
+// Manifest binds a schedule to the budget and expected metrics it was
+// generated under, so a loader can refuse a schedule that does not
+// match its memory design.
+type Manifest struct {
+	// Workload is a free-form label, e.g. "DWT(256,8)/Equal".
+	Workload string `json:"workload"`
+	// BudgetBits is the fast-memory budget the schedule was sized for.
+	BudgetBits cdag.Weight `json:"budget_bits"`
+	// CostBits and PeakBits are the expected weighted I/O and peak
+	// residency; Verify checks them.
+	CostBits cdag.Weight `json:"cost_bits"`
+	PeakBits cdag.Weight `json:"peak_bits"`
+	// Moves is the schedule itself.
+	Moves Schedule `json:"moves"`
+}
+
+// NewManifest simulates the schedule and records its metrics.
+func NewManifest(workload string, g *cdag.Graph, budget cdag.Weight, s Schedule) (*Manifest, error) {
+	stats, err := Simulate(g, budget, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Manifest{
+		Workload:   workload,
+		BudgetBits: budget,
+		CostBits:   stats.Cost,
+		PeakBits:   stats.PeakRedWeight,
+		Moves:      s,
+	}, nil
+}
+
+// Verify re-simulates the manifest against a graph and confirms the
+// recorded metrics still hold — the loader-side check.
+func (m *Manifest) Verify(g *cdag.Graph) error {
+	stats, err := Simulate(g, m.BudgetBits, m.Moves)
+	if err != nil {
+		return fmt.Errorf("core: manifest %q: %w", m.Workload, err)
+	}
+	if stats.Cost != m.CostBits {
+		return fmt.Errorf("core: manifest %q: cost %d != recorded %d", m.Workload, stats.Cost, m.CostBits)
+	}
+	if stats.PeakRedWeight != m.PeakBits {
+		return fmt.Errorf("core: manifest %q: peak %d != recorded %d", m.Workload, stats.PeakRedWeight, m.PeakBits)
+	}
+	return nil
+}
+
+// WriteManifest serializes a manifest as indented JSON.
+func WriteManifest(w io.Writer, m *Manifest) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadManifest parses a manifest written by WriteManifest.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSchedule: the firmware text format must never panic and
+// must round-trip whatever it accepts.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("M1 0\nM3 2\nM2 2\n")
+	f.Add("# comment\n\nM4 1")
+	f.Add("M9 1")
+	f.Add("M1 -3")
+	f.Add("M1 99999999999999999999")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSchedule(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a marshal/parse round trip.
+		data, err := s.MarshalText()
+		if err != nil {
+			t.Fatalf("marshal of accepted schedule failed: %v", err)
+		}
+		var back Schedule
+		if err := back.UnmarshalText(data); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(back) != len(s) {
+			t.Fatalf("round trip changed length: %d vs %d", len(back), len(s))
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				t.Fatalf("round trip changed move %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wrbpg/internal/cdag"
+)
+
+// Adversarial mutation tests: corrupting a valid schedule must never
+// yield a valid schedule that beats the known optimum, and most
+// corruptions must be rejected outright by the simulator. This is the
+// failure-injection counterpart of the constructive tests — it checks
+// that the rule checker has no blind spots the schedulers could
+// accidentally exploit.
+
+// optimalPairSchedule returns the cost-9 optimal schedule for the
+// 2/3/4-weighted pair graph.
+func optimalPairSchedule() Schedule {
+	return Schedule{{M1, 0}, {M1, 1}, {M3, 2}, {M2, 2}, {M4, 0}, {M4, 1}, {M4, 2}}
+}
+
+func mutate(rng *rand.Rand, s Schedule) Schedule {
+	out := append(Schedule(nil), s...)
+	if len(out) == 0 {
+		return out
+	}
+	switch rng.Intn(4) {
+	case 0: // drop a move
+		i := rng.Intn(len(out))
+		out = append(out[:i], out[i+1:]...)
+	case 1: // duplicate a move
+		i := rng.Intn(len(out))
+		out = append(out[:i+1], append(Schedule{out[i]}, out[i+1:]...)...)
+	case 2: // swap adjacent moves
+		if len(out) >= 2 {
+			i := rng.Intn(len(out) - 1)
+			out[i], out[i+1] = out[i+1], out[i]
+		}
+	default: // retarget a move to a random node
+		i := rng.Intn(len(out))
+		out[i].Node = cdag.NodeID(rng.Intn(3))
+	}
+	return out
+}
+
+// TestMutationsNeverBeatOptimum: on the pair graph, whose optimum (9)
+// equals the algorithmic lower bound, no sequence of mutations can
+// produce a valid schedule costing less.
+func TestMutationsNeverBeatOptimum(t *testing.T) {
+	g, _, _, _ := pair(2, 3, 4)
+	base := optimalPairSchedule()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := base
+		for i := 0; i <= rng.Intn(4); i++ {
+			s = mutate(rng, s)
+		}
+		stats, err := Simulate(g, 9, s)
+		if err != nil {
+			return true // rejected: fine
+		}
+		return stats.Cost >= 9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDroppingLoadBreaksSchedule: removing any M1 or the M3 or the M2
+// from the pair schedule must invalidate it.
+func TestDroppingEssentialMoves(t *testing.T) {
+	g, _, _, _ := pair(2, 3, 4)
+	base := optimalPairSchedule()
+	for i := 0; i < 4; i++ { // the first four moves are all essential
+		s := append(Schedule{}, base[:i]...)
+		s = append(s, base[i+1:]...)
+		if _, err := Simulate(g, 9, s); err == nil {
+			t.Errorf("dropping move %d (%v) should invalidate the schedule", i, base[i])
+		}
+	}
+}
+
+// TestReorderingComputeBeforeLoadFails.
+func TestReorderingComputeBeforeLoadFails(t *testing.T) {
+	g, _, _, _ := pair(2, 3, 4)
+	s := Schedule{{M3, 2}, {M1, 0}, {M1, 1}, {M2, 2}}
+	if _, err := Simulate(g, 9, s); err == nil {
+		t.Error("compute before loads accepted")
+	}
+}
+
+// TestBudgetFuzzNeverUndercounts: for random small chains, the
+// simulator's peak always bounds the budget check — a schedule valid
+// at budget B is valid at every B' ≥ B and invalid below its peak.
+func TestBudgetFuzzNeverUndercounts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := &cdag.Graph{}
+		prev := g.AddNode(cdag.Weight(1+rng.Intn(3)), "x")
+		n := 3 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			prev = g.AddNode(cdag.Weight(1+rng.Intn(3)), "n", prev)
+		}
+		// Greedy chain schedule.
+		var s Schedule
+		var last cdag.NodeID
+		for v := 0; v < g.Len(); v++ {
+			id := cdag.NodeID(v)
+			if g.IsSource(id) {
+				s = append(s, Move{M1, id})
+			} else {
+				s = append(s, Move{M3, id})
+				s = append(s, Move{M4, last})
+			}
+			last = id
+		}
+		s = append(s, Move{M2, last}, Move{M4, last})
+		big := g.TotalWeight()
+		stats, err := Simulate(g, big, s)
+		if err != nil {
+			return false
+		}
+		if _, err := Simulate(g, stats.PeakRedWeight, s); err != nil {
+			return false // must be valid exactly at its peak
+		}
+		if _, err := Simulate(g, stats.PeakRedWeight-1, s); err == nil {
+			return false // must fail below its peak
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestOccupancyTrace(t *testing.T) {
+	g, a, b, c := pair(2, 3, 4)
+	sched := Schedule{{M1, a}, {M1, b}, {M3, c}, {M2, c}, {M4, a}, {M4, b}, {M4, c}}
+	trace, err := OccupancyTrace(g, 9, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 2, 5, 9, 9, 7, 4, 0}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if int64(trace[i]) != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if _, err := OccupancyTrace(g, 8, sched); err == nil {
+		t.Error("over-budget trace should fail")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	g, a, b, c := pair(2, 3, 4)
+	sched := Schedule{{M1, a}, {M1, b}, {M3, c}, {M2, c}, {M4, a}, {M4, b}, {M4, c}}
+	trace, err := OccupancyTrace(g, 9, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Sparkline(trace, 9, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Errorf("sparkline width = %d, want 8", utf8.RuneCountInString(s))
+	}
+	if !strings.ContainsRune(s, '█') {
+		t.Errorf("peak at budget should render full block: %q", s)
+	}
+	if !strings.ContainsRune(s, '▁') {
+		t.Errorf("empty start should render empty block: %q", s)
+	}
+	// Degenerate inputs.
+	if Sparkline(nil, 9, 8) != "" || Sparkline(trace, 0, 8) != "" {
+		t.Error("degenerate sparkline should be empty")
+	}
+	// Width capped at trace length.
+	if got := utf8.RuneCountInString(Sparkline(trace, 9, 100)); got != len(trace) {
+		t.Errorf("capped width = %d", got)
+	}
+	// Default width.
+	if utf8.RuneCountInString(Sparkline(trace, 9, 0)) == 0 {
+		t.Error("default width should render")
+	}
+}

@@ -1,0 +1,64 @@
+package dwt
+
+import (
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+)
+
+// MinCostNoMemo recomputes the minimum schedule cost without
+// memoization — the exponential recursion the DP of Theorem 3.5
+// collapses. It exists purely for the ablation benchmark comparing
+// the two; use Scheduler.MinCost for real work.
+func MinCostNoMemo(dg *Graph, b cdag.Weight) cdag.Weight {
+	if err := dg.CheckWeightAssumption(); err != nil {
+		return Inf
+	}
+	if !core.ScheduleExists(dg.G, b) {
+		return Inf
+	}
+	g := dg.G
+	var p func(v cdag.NodeID, b cdag.Weight) cdag.Weight
+	p = func(v cdag.NodeID, b cdag.Weight) cdag.Weight {
+		if g.IsSource(v) {
+			if g.Weight(v) <= b {
+				return g.Weight(v)
+			}
+			return Inf
+		}
+		ps := g.Parents(v)
+		p1, p2 := ps[0], ps[1]
+		w1, w2 := g.Weight(p1), g.Weight(p2)
+		if g.Weight(v)+w1+w2 > b {
+			return Inf
+		}
+		add := func(a, c cdag.Weight) cdag.Weight {
+			if a >= Inf || c >= Inf {
+				return Inf
+			}
+			return a + c
+		}
+		best := add(p(p1, b), p(p2, b-w1))
+		if c := add(p(p2, b), p(p1, b-w2)); c < best {
+			best = c
+		}
+		if c := add(add(p(p1, b), p(p2, b)), 2*w1); c < best {
+			best = c
+		}
+		if c := add(add(p(p2, b), p(p1, b)), 2*w2); c < best {
+			best = c
+		}
+		return best
+	}
+	var total cdag.Weight
+	for _, r := range dg.Roots() {
+		c := p(r, b)
+		if c >= Inf {
+			return Inf
+		}
+		total += c + g.Weight(r)
+	}
+	for v := range dg.PrunedNodes() {
+		total += g.Weight(v)
+	}
+	return total
+}

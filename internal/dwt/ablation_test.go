@@ -1,0 +1,37 @@
+package dwt
+
+import (
+	"testing"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/wcfg"
+)
+
+// TestNoMemoMatchesMemoized: the ablation recursion returns exactly
+// the DP's answers (it only trades time, never value).
+func TestNoMemoMatchesMemoized(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, nd := range []struct{ n, d int }{{4, 2}, {8, 3}, {16, 4}} {
+			g, s := newSched(t, nd.n, nd.d, ConfigWeights(cfg))
+			minB := core.MinExistenceBudget(g.G)
+			for b := minB; b <= minB+cdag.Weight(6*cfg.WordBits); b += cdag.Weight(cfg.WordBits) {
+				if got, want := MinCostNoMemo(g, b), s.MinCost(b); got != want {
+					t.Errorf("%s DWT(%d,%d) b=%d: no-memo %d != memo %d", cfg.Name, nd.n, nd.d, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNoMemoInfeasible(t *testing.T) {
+	g := buildOrFatal(t, 8, 3, equalWeights)
+	if MinCostNoMemo(g, core.MinExistenceBudget(g.G)-1) < Inf {
+		t.Error("infeasible budget should be Inf")
+	}
+	// Violated weight assumption is also rejected.
+	g.G.SetWeight(g.NodeAt(2, 2), 1000)
+	if MinCostNoMemo(g, 10000) < Inf {
+		t.Error("violated assumption should be Inf")
+	}
+}

@@ -1,0 +1,122 @@
+package dwt
+
+import (
+	"testing"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/ktree"
+	"wrbpg/internal/memstate"
+	"wrbpg/internal/wcfg"
+)
+
+// TestDWTMatchesKtreeOnPrunedTree cross-validates the two independent
+// dynamic programs: the DWT scheduler's P(v,b) (Eq. 2) and the k-ary
+// tree scheduler's Pt(v,b) (Eq. 6) must agree on the pruned DWT
+// graph, whose components are exactly binary trees. The DWT total
+// additionally pays one store per pruned coefficient and per root.
+func TestDWTMatchesKtreeOnPrunedTree(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, nd := range []struct{ n, d int }{{8, 3}, {16, 4}, {12, 2}, {32, 5}} {
+			g, s := newSched(t, nd.n, nd.d, ConfigWeights(cfg))
+			pruned, _, err := g.Prune()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Identify the pruned forest's components by repeated
+			// tree extraction: component roots are the sinks.
+			roots := pruned.Sinks()
+			var prunedWeight cdag.Weight
+			for v := range g.PrunedNodes() {
+				prunedWeight += g.G.Weight(v)
+			}
+			minB := core.MinExistenceBudget(g.G)
+			for b := minB; b <= minB+cdag.Weight(8*cfg.WordBits); b += cdag.Weight(cfg.WordBits) {
+				// Sum the per-tree optima from the ktree DP.
+				var ktreeTotal cdag.Weight
+				feasible := true
+				for _, r := range roots {
+					sub := extractSubtree(t, pruned, r)
+					ks := ktree.NewScheduler(sub)
+					c := ks.MinCost(b)
+					if c >= ktree.Inf {
+						feasible = false
+						break
+					}
+					ktreeTotal += c
+				}
+				if !feasible {
+					continue
+				}
+				want := ktreeTotal + prunedWeight
+				if got := s.MinCost(b); got != want {
+					t.Errorf("%s DWT(%d,%d) b=%d: DWT DP %d != ktree DP %d + pruned %d",
+						cfg.Name, nd.n, nd.d, b, got, ktreeTotal, prunedWeight)
+				}
+			}
+		}
+	}
+}
+
+// extractSubtree copies the ancestor closure of root r in g into a
+// fresh graph and wraps it as a ktree.Tree.
+func extractSubtree(t *testing.T, g *cdag.Graph, r cdag.NodeID) *ktree.Tree {
+	t.Helper()
+	keep := g.Ancestors(r)
+	keep[r] = true
+	sub := &cdag.Graph{}
+	mapping := make(map[cdag.NodeID]cdag.NodeID)
+	for v := 0; v < g.Len(); v++ {
+		id := cdag.NodeID(v)
+		if !keep[id] {
+			continue
+		}
+		ps := g.Parents(id)
+		mapped := make([]cdag.NodeID, len(ps))
+		for i, p := range ps {
+			mapped[i] = mapping[p]
+		}
+		mapping[id] = sub.AddNode(g.Weight(id), g.Name(id), mapped...)
+	}
+	tr, err := ktree.New(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestDWTMatchesMemstateOnPrunedTree: with empty memory states, the
+// Pm recursion (Eq. 8) agrees with P (Eq. 2) too — all three DPs
+// coincide where their domains overlap.
+func TestDWTMatchesMemstateOnPrunedTree(t *testing.T) {
+	g, s := newSched(t, 16, 4, ConfigWeights(wcfg.Equal(16)))
+	pruned, _, err := g.Prune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := pruned.Sinks()
+	if len(roots) != 1 {
+		t.Fatalf("pruned DWT(16,4) should be a single tree, got %d roots", len(roots))
+	}
+	ms, err := memstate.NewScheduler(pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prunedWeight cdag.Weight
+	for v := range g.PrunedNodes() {
+		prunedWeight += g.G.Weight(v)
+	}
+	minB := core.MinExistenceBudget(g.G)
+	for b := minB; b <= minB+8*16; b += 16 {
+		pm := ms.PlainCost(roots[0], b)
+		if pm >= memstate.Inf {
+			continue
+		}
+		// Pm excludes the final root store; the DWT total includes it
+		// plus the pruned coefficients.
+		want := pm + pruned.Weight(roots[0]) + prunedWeight
+		if got := s.MinCost(b); got != want {
+			t.Errorf("b=%d: DWT DP %d != memstate DP %d (+stores)", b, got, want)
+		}
+	}
+}

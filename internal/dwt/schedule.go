@@ -1,0 +1,250 @@
+package dwt
+
+import (
+	"fmt"
+	"math"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+)
+
+// Inf is the sentinel cost of an infeasible subproblem (the ∞ entries
+// of Eq. 2). It is large enough that sums of Inf with node weights
+// never overflow int64.
+const Inf cdag.Weight = math.MaxInt64 / 4
+
+// strategy identifies one of the four representative parent-scheduling
+// strategies of Eq. 4. Keep strategies retain the first parent's red
+// pebble while the second parent's subtree is computed under a reduced
+// budget; spill strategies write the first parent to slow memory,
+// compute the second at full budget, and reload.
+type strategy int8
+
+const (
+	stratLeaf    strategy = iota - 1 // base case: M1 on an input
+	stratKeepP1                      // (4): red p1, red p2 — P(p1,b) + P(p2,b−w1)
+	stratKeepP2                      // (8): red p2, red p1 — P(p2,b) + P(p1,b−w2)
+	stratSpillP1                     // (3): blue p1, red p2 — P(p1,b) + P(p2,b) + 2w1
+	stratSpillP2                     // (7): blue p2, red p1 — P(p2,b) + P(p1,b) + 2w2
+)
+
+type entry struct {
+	cost   cdag.Weight
+	choice strategy
+}
+
+// Scheduler computes minimum weighted WRBPG schedules for a DWT graph
+// via the memoized dynamic program P(v, b) of Lemma 3.3 and generates
+// the corresponding move sequences (Algorithm 1). A Scheduler caches
+// subproblem solutions across budgets, so sweeping budgets on one
+// graph reuses work.
+type Scheduler struct {
+	dg   *Graph
+	memo map[cdag.NodeID]map[cdag.Weight]entry
+}
+
+// NewScheduler validates the weight assumption of Lemma 3.2 and
+// returns a scheduler for the graph.
+func NewScheduler(dg *Graph) (*Scheduler, error) {
+	if err := dg.CheckWeightAssumption(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{dg: dg, memo: map[cdag.NodeID]map[cdag.Weight]entry{}}, nil
+}
+
+// p computes P(v, b): the minimum weighted cost to place a red pebble
+// on v, starting from blue pebbles on the subtree's inputs, using at
+// most b red weight inside the subtree, and leaving no other red
+// pebbles behind. Results are memoized per (v, b).
+func (s *Scheduler) p(v cdag.NodeID, b cdag.Weight) entry {
+	if m, ok := s.memo[v]; ok {
+		if e, ok := m[b]; ok {
+			return e
+		}
+	} else {
+		s.memo[v] = map[cdag.Weight]entry{}
+	}
+	g := s.dg.G
+	var e entry
+	if g.IsSource(v) {
+		if g.Weight(v) <= b {
+			e = entry{cost: g.Weight(v), choice: stratLeaf}
+		} else {
+			e = entry{cost: Inf, choice: stratLeaf}
+		}
+		s.memo[v][b] = e
+		return e
+	}
+	ps := g.Parents(v)
+	p1, p2 := ps[0], ps[1]
+	w1, w2 := g.Weight(p1), g.Weight(p2)
+	if g.Weight(v)+w1+w2 > b {
+		e = entry{cost: Inf, choice: stratKeepP1}
+		s.memo[v][b] = e
+		return e
+	}
+	// Keep strategies are evaluated first so that ties resolve to
+	// them; spill strategies on source parents are strictly dominated
+	// (see package tests), so the generator never has to write a blue
+	// pebble onto a node that already has one.
+	best := entry{cost: Inf, choice: stratKeepP1}
+	consider := func(c cdag.Weight, st strategy) {
+		if c < best.cost {
+			best = entry{cost: c, choice: st}
+		}
+	}
+	add := func(a, b cdag.Weight) cdag.Weight {
+		if a >= Inf || b >= Inf {
+			return Inf
+		}
+		return a + b
+	}
+	consider(add(s.p(p1, b).cost, s.p(p2, b-w1).cost), stratKeepP1)
+	consider(add(s.p(p2, b).cost, s.p(p1, b-w2).cost), stratKeepP2)
+	consider(add(add(s.p(p1, b).cost, s.p(p2, b).cost), 2*w1), stratSpillP1)
+	consider(add(add(s.p(p2, b).cost, s.p(p1, b).cost), 2*w2), stratSpillP2)
+	s.memo[v][b] = best
+	return best
+}
+
+// MinCost returns the cost of the minimum weighted schedule for the
+// whole DWT graph under budget b, per Lemma 3.4: the DP cost of every
+// pruned-tree root, plus the weights of all pruned (coefficient)
+// nodes, plus the final blue-pebble placements on the roots. It
+// returns Inf when no valid schedule exists under b.
+func (s *Scheduler) MinCost(b cdag.Weight) cdag.Weight {
+	if !core.ScheduleExists(s.dg.G, b) {
+		return Inf
+	}
+	g := s.dg.G
+	var total cdag.Weight
+	for _, r := range s.dg.Roots() {
+		e := s.p(r, b)
+		if e.cost >= Inf {
+			return Inf
+		}
+		total += e.cost + g.Weight(r) // P(r, B) plus the root's own M2
+	}
+	for v := range s.dg.PrunedNodes() {
+		total += g.Weight(v) // each pruned coefficient is written once
+	}
+	return total
+}
+
+// Schedule generates a minimum weighted WRBPG schedule for budget b
+// (Algorithm 1: PebbleDWT). The returned schedule always passes
+// core.Simulate with exactly MinCost(b) weighted I/O.
+func (s *Scheduler) Schedule(b cdag.Weight) (core.Schedule, error) {
+	if c := s.MinCost(b); c >= Inf {
+		return nil, fmt.Errorf("dwt: no valid schedule under budget %d (existence bound %d)", b, core.MinExistenceBudget(s.dg.G))
+	}
+	var sched core.Schedule
+	for _, r := range s.dg.Roots() {
+		if err := s.gen(r, b, &sched); err != nil {
+			return nil, err
+		}
+		sched = sched.Append(
+			core.Move{Kind: core.M2, Node: r},
+			core.Move{Kind: core.M4, Node: r},
+		)
+	}
+	return sched, nil
+}
+
+// gen emits the moves realizing P(v, b), leaving a red pebble on v and
+// no other red pebbles in v's subtree. For non-input v it also emits
+// the sibling coefficient's compute/store (the C block of Algorithm 1,
+// line 25), whose M2 cost is the pruned-node term of Lemma 3.4.
+func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, sched *core.Schedule) error {
+	g := s.dg.G
+	e := s.p(v, b)
+	if e.cost >= Inf {
+		return fmt.Errorf("dwt: internal error: generating infeasible subproblem for node %d at budget %d", v, b)
+	}
+	if e.choice == stratLeaf {
+		*sched = sched.Append(core.Move{Kind: core.M1, Node: v})
+		return nil
+	}
+	ps := g.Parents(v)
+	p1, p2 := ps[0], ps[1]
+	first, second := p1, p2
+	if e.choice == stratKeepP2 || e.choice == stratSpillP2 {
+		first, second = p2, p1
+	}
+	spill := e.choice == stratSpillP1 || e.choice == stratSpillP2
+
+	if err := s.gen(first, b, sched); err != nil {
+		return err
+	}
+	if spill {
+		if g.IsSource(first) {
+			// Strictly dominated by the keep strategy with swapped
+			// order; selecting it would make the generated cost
+			// diverge from P(v, b).
+			return fmt.Errorf("dwt: internal error: spill strategy selected for source parent %d", first)
+		}
+		*sched = sched.Append(
+			core.Move{Kind: core.M2, Node: first},
+			core.Move{Kind: core.M4, Node: first},
+		)
+		if err := s.gen(second, b, sched); err != nil {
+			return err
+		}
+		*sched = sched.Append(core.Move{Kind: core.M1, Node: first})
+	} else {
+		if err := s.gen(second, b-g.Weight(first), sched); err != nil {
+			return err
+		}
+	}
+	// Both parents now hold red pebbles. Emit the pruned sibling's
+	// compute/store/delete, then compute v and release the parents.
+	if u := s.dg.Sibling(v); u != cdag.None {
+		*sched = sched.Append(
+			core.Move{Kind: core.M3, Node: u},
+			core.Move{Kind: core.M2, Node: u},
+			core.Move{Kind: core.M4, Node: u},
+		)
+	}
+	*sched = sched.Append(
+		core.Move{Kind: core.M3, Node: v},
+		core.Move{Kind: core.M4, Node: p1},
+		core.Move{Kind: core.M4, Node: p2},
+	)
+	return nil
+}
+
+// MinMemory returns the minimum fast memory size of Definition 2.6:
+// the smallest budget (searched on multiples of step) whose minimum
+// schedule cost equals the algorithmic lower bound. MinCost is
+// monotone non-increasing in the budget, so binary search applies.
+func (s *Scheduler) MinMemory(step cdag.Weight) (cdag.Weight, error) {
+	if step <= 0 {
+		step = 1
+	}
+	g := s.dg.G
+	lb := core.LowerBound(g)
+	lo := core.MinExistenceBudget(g)
+	if r := lo % step; r != 0 {
+		lo += step - r
+	}
+	hi := g.TotalWeight()
+	if r := hi % step; r != 0 {
+		hi += step - r
+	}
+	if s.MinCost(hi) != lb {
+		return 0, fmt.Errorf("dwt: lower bound %d not attained even at budget %d", lb, hi)
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		mid -= mid % step
+		if mid < lo {
+			mid = lo
+		}
+		if s.MinCost(mid) == lb {
+			hi = mid
+		} else {
+			lo = mid + step
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,100 @@
+// Package energy turns schedules and synthesized memories into
+// end-to-end energy and thermal estimates — the quantity the paper's
+// domain actually constrains: "implanted BCIs that even slightly
+// increase brain temperature can induce seizures, or long-term
+// neurological damage, making power efficiency paramount"
+// (Section 1). The weighted schedule cost "minimizes the total data
+// transferred, and by extension, the energy cost of the schedule"
+// (Section 2); this package makes the extension explicit.
+//
+// The model charges every bit moved between memories with a transfer
+// energy, every computation with an operation energy, and the fast
+// memory with its synthesized leakage for the kernel's duration:
+//
+//	E = cost_bits·E_xfer + computes·E_op + P_leak·T
+//
+// The slow memory (non-volatile, per Section 1) costs energy per
+// access but no standby power in this model.
+package energy
+
+import (
+	"fmt"
+
+	"wrbpg/internal/core"
+	"wrbpg/internal/synth"
+)
+
+// Params are the per-event energies and timing of the model.
+type Params struct {
+	// TransferPJPerBit is the energy to move one bit between fast
+	// and slow memory (wire + slow-memory access), in picojoules.
+	TransferPJPerBit float64
+	// OpPJ is the energy of one compute node evaluation (M3), pJ.
+	OpPJ float64
+	// FastAccessPJPerBit is the fast-memory read/write energy per
+	// bit touched by a compute (operands + result), pJ.
+	FastAccessPJPerBit float64
+	// ClockHz is the execution rate: one schedule move per cycle, the
+	// granularity of the asynchronous pipeline the paper's domain
+	// uses.
+	ClockHz float64
+}
+
+// Default65nm returns parameters in the ballpark of 65 nm embedded
+// design practice: on-chip SRAM accesses cost ~0.1 pJ/bit, off-macro
+// transfers to non-volatile memory an order of magnitude more, and a
+// 16-bit MAC a few pJ.
+func Default65nm() Params {
+	return Params{
+		TransferPJPerBit:   1.5,
+		OpPJ:               2.0,
+		FastAccessPJPerBit: 0.1,
+		ClockHz:            20e6,
+	}
+}
+
+// Report is the energy breakdown of one schedule execution.
+type Report struct {
+	// Moves is the schedule length; Seconds the execution time at the
+	// model's clock.
+	Moves   int
+	Seconds float64
+	// TransferPJ, ComputePJ, LeakagePJ are the three energy terms;
+	// TotalPJ their sum.
+	TransferPJ, ComputePJ, LeakagePJ, TotalPJ float64
+	// AvgPowerMW is TotalPJ over the execution time.
+	AvgPowerMW float64
+}
+
+// Estimate combines schedule statistics with a synthesized macro.
+func Estimate(stats core.Stats, moves int, m synth.Macro, p Params) (Report, error) {
+	if p.ClockHz <= 0 {
+		return Report{}, fmt.Errorf("energy: clock must be positive")
+	}
+	if moves <= 0 {
+		return Report{}, fmt.Errorf("energy: schedule has no moves")
+	}
+	r := Report{Moves: moves}
+	r.Seconds = float64(moves) / p.ClockHz
+	r.TransferPJ = float64(stats.Cost) * p.TransferPJPerBit
+	// Each compute touches roughly three fast-memory words of the
+	// macro's width (two operands, one result).
+	r.ComputePJ = float64(stats.Computations) * (p.OpPJ + 3*float64(m.WordBits)*p.FastAccessPJPerBit)
+	r.LeakagePJ = m.LeakageMW * 1e9 * r.Seconds // mW · s = mJ; ×1e9 → pJ
+	r.TotalPJ = r.TransferPJ + r.ComputePJ + r.LeakagePJ
+	r.AvgPowerMW = r.TotalPJ * 1e-9 / r.Seconds
+	return r, nil
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%.1f nJ total (%.1f transfer + %.1f compute + %.1f leakage) over %.1f µs, %.3f mW avg",
+		r.TotalPJ/1e3, r.TransferPJ/1e3, r.ComputePJ/1e3, r.LeakagePJ/1e3, r.Seconds*1e6, r.AvgPowerMW)
+}
+
+// Compare returns the percent total-energy reduction of a versus b.
+func Compare(a, b Report) float64 {
+	if b.TotalPJ <= 0 {
+		return 0
+	}
+	return 100 * (b.TotalPJ - a.TotalPJ) / b.TotalPJ
+}

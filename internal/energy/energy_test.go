@@ -1,0 +1,137 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"wrbpg/internal/baseline"
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/memdesign"
+	"wrbpg/internal/synth"
+	"wrbpg/internal/wcfg"
+)
+
+func TestEstimateBasics(t *testing.T) {
+	m, err := synth.Synthesize(256, 16, synth.TSMC65())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Default65nm()
+	stats := core.Stats{Cost: 8192, Computations: 510}
+	r, err := Estimate(stats, 1788, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TransferPJ != 8192*p.TransferPJPerBit {
+		t.Errorf("transfer = %f", r.TransferPJ)
+	}
+	if r.TotalPJ <= r.TransferPJ || r.TotalPJ <= r.LeakagePJ {
+		t.Error("total must exceed each component")
+	}
+	if r.Seconds <= 0 || r.AvgPowerMW <= 0 {
+		t.Error("time/power must be positive")
+	}
+	if !strings.Contains(r.String(), "nJ") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	m, _ := synth.Synthesize(256, 16, synth.TSMC65())
+	if _, err := Estimate(core.Stats{}, 0, m, Default65nm()); err == nil {
+		t.Error("zero moves accepted")
+	}
+	bad := Default65nm()
+	bad.ClockHz = 0
+	if _, err := Estimate(core.Stats{}, 10, m, bad); err == nil {
+		t.Error("zero clock accepted")
+	}
+}
+
+// TestOptimumBeatsBaselineEndToEnd: the paper's bottom line in energy
+// terms — the optimum DWT schedule on its small memory consumes less
+// total energy than layer-by-layer on its large one.
+func TestOptimumBeatsBaselineEndToEnd(t *testing.T) {
+	cfg := wcfg.Equal(16)
+	g, err := dwt.Build(256, 8, dwt.ConfigWeights(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dwt.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optB, err := s.MinMemory(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optSched, err := s.Schedule(optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optStats, err := core.Simulate(g.G, optB, optSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optMacro, err := synth.Synthesize(memdesign.NewSpec(optB, 16).Pow2Bits, 16, synth.TSMC65())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lblB, err := baseline.MinMemory(g.G, g.Layers, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lblSched, err := baseline.LayerByLayer(g.G, g.Layers, lblB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lblStats, err := core.Simulate(g.G, lblB, lblSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lblMacro, err := synth.Synthesize(memdesign.NewSpec(lblB, 16).Pow2Bits, 16, synth.TSMC65())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := Default65nm()
+	opt, err := Estimate(optStats, len(optSched), optMacro, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl, err := Estimate(lblStats, len(lblSched), lblMacro, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.TotalPJ >= lbl.TotalPJ {
+		t.Errorf("optimum energy %f pJ not below baseline %f pJ", opt.TotalPJ, lbl.TotalPJ)
+	}
+	if red := Compare(opt, lbl); red <= 0 || red >= 100 {
+		t.Errorf("reduction = %f%%", red)
+	}
+}
+
+// TestLeakageDominatesOnBigMemory: with the large baseline macro,
+// leakage is a significant share — the thermal argument.
+func TestLeakageShare(t *testing.T) {
+	m, err := synth.Synthesize(8192, 16, synth.TSMC65())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := core.Stats{Cost: 12288, Computations: 510}
+	r, err := Estimate(stats, 5000, m, Default65nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LeakagePJ/r.TotalPJ < 0.2 {
+		t.Errorf("leakage share = %.2f; expected the big macro to leak heavily", r.LeakagePJ/r.TotalPJ)
+	}
+}
+
+func TestCompareDegenerate(t *testing.T) {
+	if Compare(Report{TotalPJ: 5}, Report{}) != 0 {
+		t.Error("zero denominator should yield 0")
+	}
+}

@@ -1,0 +1,193 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+)
+
+func pair(wa, wb, wc cdag.Weight) *cdag.Graph {
+	g := &cdag.Graph{}
+	a := g.AddNode(wa, "a")
+	b := g.AddNode(wb, "b")
+	g.AddNode(wc, "c", a, b)
+	return g
+}
+
+// TestPairOptimal: the optimal cost of a two-input/one-output graph
+// is exactly the lower bound once feasible.
+func TestPairOptimal(t *testing.T) {
+	g := pair(2, 3, 4)
+	res, err := Solve(g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != core.LowerBound(g) {
+		t.Errorf("cost = %d, want LB %d", res.Cost, core.LowerBound(g))
+	}
+	// The returned schedule must be valid and meet the cost.
+	stats, err := core.Simulate(g, 9, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cost != res.Cost {
+		t.Errorf("schedule cost %d != reported %d", stats.Cost, res.Cost)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	g := pair(2, 3, 4)
+	if _, err := Solve(g, 8); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+	if CostOrInf(g, 8) != math.MaxInt64 {
+		t.Error("CostOrInf should be MaxInt64 when infeasible")
+	}
+	if CostOrInf(g, 9) != 9 {
+		t.Errorf("CostOrInf(9) = %d", CostOrInf(g, 9))
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	g := &cdag.Graph{}
+	prev := g.AddNode(1, "v")
+	for i := 0; i < MaxNodes+1; i++ {
+		prev = g.AddNode(1, "v", prev)
+	}
+	if _, err := Solve(g, 100); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("want ErrTooLarge, got %v", err)
+	}
+}
+
+// TestChainOptimal: a path graph costs w_leaf + w_root at any
+// feasible budget — the exact solver must find it.
+func TestChainOptimal(t *testing.T) {
+	g := &cdag.Graph{}
+	prev := g.AddNode(5, "leaf")
+	for i := 0; i < 4; i++ {
+		prev = g.AddNode(cdag.Weight(i+1), "n", prev)
+	}
+	minB := core.MinExistenceBudget(g)
+	res, err := Solve(g, minB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cdag.Weight(5 + 4); res.Cost != want {
+		t.Errorf("chain cost = %d, want %d", res.Cost, want)
+	}
+}
+
+// TestDiamondReuse: a value consumed twice should be computed once
+// and kept when memory allows — the exact optimum exploits reuse.
+func TestDiamondReuse(t *testing.T) {
+	g := &cdag.Graph{}
+	a := g.AddNode(1, "a")
+	b := g.AddNode(1, "b", a)
+	c := g.AddNode(1, "c", b)
+	d := g.AddNode(1, "d", b)
+	g.AddNode(1, "e", c, d)
+	// With enough memory: load a once, compute b once, reuse for c
+	// and d: cost = w_a + w_e = 2.
+	res, err := Solve(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 2 {
+		t.Errorf("diamond cost = %d, want 2", res.Cost)
+	}
+	// At budget 3 the reuse still works (b, c, d fit one at a time).
+	res3, err := Solve(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Cost < 2 {
+		t.Errorf("budget 3 cost %d below LB", res3.Cost)
+	}
+}
+
+// TestTightMemoryForcesSpills: shrinking the budget strictly
+// increases the optimum on a graph with reuse pressure.
+func TestTightMemoryForcesSpills(t *testing.T) {
+	// Binary tree of height 2 with unit weights: budget 4 reaches the
+	// LB (4+1 ... classic h+2 pebbles), budget 3 must respill.
+	g := &cdag.Graph{}
+	l := make([]cdag.NodeID, 4)
+	for i := range l {
+		l[i] = g.AddNode(1, "l")
+	}
+	m1 := g.AddNode(1, "m1", l[0], l[1])
+	m2 := g.AddNode(1, "m2", l[2], l[3])
+	g.AddNode(1, "r", m1, m2)
+	at4, err := Solve(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at3, err := Solve(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at4.Cost != core.LowerBound(g) {
+		t.Errorf("cost at 4 = %d, want LB %d", at4.Cost, core.LowerBound(g))
+	}
+	if at3.Cost <= at4.Cost {
+		t.Errorf("tighter budget should cost more: %d vs %d", at3.Cost, at4.Cost)
+	}
+}
+
+func TestMinimumBudget(t *testing.T) {
+	g := &cdag.Graph{}
+	l := make([]cdag.NodeID, 4)
+	for i := range l {
+		l[i] = g.AddNode(1, "l")
+	}
+	m1 := g.AddNode(1, "m1", l[0], l[1])
+	m2 := g.AddNode(1, "m2", l[2], l[3])
+	g.AddNode(1, "r", m1, m2)
+	b, cost, err := MinimumBudget(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 4 {
+		t.Errorf("minimum budget = %d, want 4", b)
+	}
+	if cost != core.LowerBound(g) {
+		t.Errorf("cost = %d, want LB", cost)
+	}
+}
+
+// TestStatesExplored: the search reports its work, and more memory
+// explores at least a different amount of state.
+func TestStatesExplored(t *testing.T) {
+	g := pair(1, 1, 1)
+	res, err := Solve(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatesExplored <= 0 {
+		t.Error("no states explored?")
+	}
+}
+
+// TestScheduleReconstruction: the move list replays to the goal from
+// the start for a multi-level graph.
+func TestScheduleReconstruction(t *testing.T) {
+	g := &cdag.Graph{}
+	a := g.AddNode(1, "a")
+	b := g.AddNode(1, "b")
+	c := g.AddNode(1, "c", a, b)
+	g.AddNode(1, "d", c)
+	res, err := Solve(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.Simulate(g, 3, res.Schedule)
+	if err != nil {
+		t.Fatalf("reconstructed schedule invalid: %v", err)
+	}
+	if stats.Cost != res.Cost {
+		t.Errorf("cost mismatch: %d vs %d", stats.Cost, res.Cost)
+	}
+}

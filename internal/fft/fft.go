@@ -1,0 +1,218 @@
+// Package fft extends the dataflow-specific scheduling approach to
+// the radix-2 butterfly graphs of the fast Fourier transform — the
+// family the paper's introduction points to as sharing the DWT's
+// recursive divide-and-conquer structure ("DWT's recursive
+// divide-and-conquer structure appears in filters and fast Fourier
+// transforms").
+//
+// An FFT(n) graph has log₂(n) stages of n nodes; the two nodes of a
+// butterfly share the same two parents from the previous stage, so
+// unlike the DWT's pruned binary trees every node has out-degree two
+// and the graph is *not* a tree — tree-optimal pebbling does not
+// apply, and the classic blocked FFT schedule takes its place: with
+// room for 2^t values, the transform runs in ⌈log₂(n)/t⌉ passes,
+// each pass streaming groups of 2^t values through t stages entirely
+// in fast memory. This reproduces the Hong–Kung Θ(n log n / log S)
+// I/O behaviour inside the WRBPG, weighted variants included.
+//
+// The same dataflow computes the Walsh–Hadamard transform with ±1
+// butterflies, which keeps the machine-execution tests real-valued
+// (package machine works on float64 scalars); the pebbling structure
+// is identical to the complex FFT's.
+package fft
+
+import (
+	"fmt"
+	"math"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/wcfg"
+)
+
+// Inf is the sentinel cost of an infeasible configuration.
+const Inf cdag.Weight = math.MaxInt64 / 4
+
+// Graph is a radix-2 butterfly CDAG with its stage layout.
+type Graph struct {
+	// G is the underlying node-weighted CDAG.
+	G *cdag.Graph
+	// N is the transform size (a power of two ≥ 2); K = log₂(N).
+	N, K int
+	// Cfg records the weight configuration.
+	Cfg wcfg.Config
+	// Stages[s][j] is the node of index j after s stages; Stages[0]
+	// holds the inputs, Stages[K] the outputs.
+	Stages [][]cdag.NodeID
+}
+
+// Build constructs the FFT(n) butterfly graph. n must be a power of
+// two, at least 2.
+func Build(n int, cfg wcfg.Config) (*Graph, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: n=%d must be a power of two ≥ 2", n)
+	}
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	g := &cdag.Graph{}
+	out := &Graph{G: g, N: n, K: k, Cfg: cfg, Stages: make([][]cdag.NodeID, k+1)}
+	out.Stages[0] = make([]cdag.NodeID, n)
+	for j := 0; j < n; j++ {
+		out.Stages[0][j] = g.AddNode(cfg.Input(), fmt.Sprintf("x[%d]", j))
+	}
+	for s := 1; s <= k; s++ {
+		out.Stages[s] = make([]cdag.NodeID, n)
+		bit := 1 << uint(s-1)
+		for j := 0; j < n; j++ {
+			p1 := out.Stages[s-1][j]
+			p2 := out.Stages[s-1][j^bit]
+			out.Stages[s][j] = g.AddNode(cfg.Node(), fmt.Sprintf("s%d[%d]", s, j), p1, p2)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("fft: internal construction error: %w", err)
+	}
+	return out, nil
+}
+
+// Passes returns ⌈K/t⌉, the number of passes of the blocked schedule
+// with block exponent t.
+func (g *Graph) Passes(t int) int {
+	if t < 1 {
+		return 0
+	}
+	if t > g.K {
+		t = g.K
+	}
+	return (g.K + t - 1) / t
+}
+
+// BlockedSchedule emits the classic I/O-efficient FFT schedule for
+// block exponent t (block size 2^t values): each pass loads one
+// group of 2^t values sharing all index bits outside the pass's
+// stage window, runs the window's stages with butterflies resolved
+// pairwise (compute both children, then release both parents), and
+// stores the window's final stage.
+func (g *Graph) BlockedSchedule(t int) (core.Schedule, error) {
+	if t < 1 || t > g.K {
+		return nil, fmt.Errorf("fft: block exponent %d out of range [1,%d]", t, g.K)
+	}
+	var s core.Schedule
+	mv := func(k core.MoveKind, v cdag.NodeID) {
+		s = append(s, core.Move{Kind: k, Node: v})
+	}
+	for lo := 0; lo < g.K; lo += t {
+		hi := lo + t
+		if hi > g.K {
+			hi = g.K
+		}
+		width := hi - lo
+		group := 1 << uint(width)
+		// Enumerate group bases: indices with zeros in bit window
+		// [lo, hi).
+		mask := (group - 1) << uint(lo)
+		for base := 0; base < g.N; base++ {
+			if base&mask != 0 {
+				continue
+			}
+			members := make([]int, group)
+			for m := 0; m < group; m++ {
+				members[m] = base | m<<uint(lo)
+			}
+			for _, j := range members {
+				mv(core.M1, g.Stages[lo][j])
+			}
+			for st := lo + 1; st <= hi; st++ {
+				bit := 1 << uint(st-1)
+				for _, j := range members {
+					if j&bit != 0 {
+						continue // handled as the pair's low member
+					}
+					p := j | bit
+					mv(core.M3, g.Stages[st][j])
+					mv(core.M3, g.Stages[st][p])
+					mv(core.M4, g.Stages[st-1][j])
+					mv(core.M4, g.Stages[st-1][p])
+				}
+			}
+			for _, j := range members {
+				mv(core.M2, g.Stages[hi][j])
+				mv(core.M4, g.Stages[hi][j])
+			}
+		}
+	}
+	return s, nil
+}
+
+// PredictCost returns the weighted I/O of BlockedSchedule(t): inputs
+// once, the window boundary of every pass written once and (except
+// the final outputs) read back by the next pass.
+func (g *Graph) PredictCost(t int) cdag.Weight {
+	p := g.Passes(t)
+	if p == 0 {
+		return Inf
+	}
+	wi, wn := g.Cfg.Input(), g.Cfg.Node()
+	n := cdag.Weight(g.N)
+	return n*wi + n*wn*cdag.Weight(2*p-1)
+}
+
+// PredictPeak returns the peak red weight of BlockedSchedule(t): a
+// full group resident plus the two in-flight butterfly outputs.
+func (g *Graph) PredictPeak(t int) cdag.Weight {
+	if t > g.K {
+		t = g.K
+	}
+	if t < 1 {
+		return Inf
+	}
+	wi, wn := g.Cfg.Input(), g.Cfg.Node()
+	group := cdag.Weight(int64(1) << uint(t))
+	// Within the first stage of the first pass, residency after i
+	// butterflies is (group−2i)·wi + 2i·wn plus the two in-flight
+	// children — linear in i, so the peak sits at an endpoint. Later
+	// stages hold stage values only.
+	peak := group*wi + 2*wn             // first butterfly of the input stage
+	if p := 2*wi + group*wn; p > peak { // last butterfly of the input stage
+		peak = p
+	}
+	if g.K >= 2 { // stages with stage-value parents exist
+		if p := (group + 2) * wn; p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// Search returns the cheapest block exponent whose peak fits the
+// budget, with its predicted cost.
+func (g *Graph) Search(budget cdag.Weight) (int, cdag.Weight, error) {
+	for t := g.K; t >= 1; t-- {
+		if g.PredictPeak(t) <= budget {
+			return t, g.PredictCost(t), nil
+		}
+	}
+	return 0, Inf, fmt.Errorf("fft: no blocked schedule fits budget %d (minimum %d)", budget, g.PredictPeak(1))
+}
+
+// MinCost returns the best blocked cost under the budget, Inf if none
+// fits.
+func (g *Graph) MinCost(budget cdag.Weight) cdag.Weight {
+	_, c, err := g.Search(budget)
+	if err != nil {
+		return Inf
+	}
+	return c
+}
+
+// MinMemory returns the smallest budget at which the blocked
+// scheduler meets the algorithmic lower bound: one pass over the
+// whole transform (t = K). Unlike the DWT's logarithmic minimum,
+// the butterfly dataflow needs linear fast memory for
+// compulsory-only I/O — the structural contrast the package exists
+// to exhibit.
+func (g *Graph) MinMemory() cdag.Weight {
+	return g.PredictPeak(g.K)
+}

@@ -1,0 +1,248 @@
+package fft
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/exact"
+	"wrbpg/internal/wcfg"
+)
+
+func buildOrFatal(t *testing.T, n int, cfg wcfg.Config) *Graph {
+	t.Helper()
+	g, err := Build(n, cfg)
+	if err != nil {
+		t.Fatalf("Build(%d): %v", n, err)
+	}
+	return g
+}
+
+func TestBuildRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 12, -8} {
+		if _, err := Build(n, wcfg.Equal(16)); err == nil {
+			t.Errorf("Build(%d) should fail", n)
+		}
+	}
+}
+
+func TestStructure(t *testing.T) {
+	g := buildOrFatal(t, 8, wcfg.Equal(16))
+	if g.K != 3 {
+		t.Fatalf("K = %d", g.K)
+	}
+	if g.G.Len() != 8+3*8 {
+		t.Errorf("nodes = %d, want 32", g.G.Len())
+	}
+	if g.G.EdgeCount() != 2*3*8 {
+		t.Errorf("edges = %d, want 48", g.G.EdgeCount())
+	}
+	// Stage 1 pairs at distance 1, stage 2 at distance 2, stage 3 at 4.
+	for s := 1; s <= 3; s++ {
+		bit := 1 << uint(s-1)
+		for j := 0; j < 8; j++ {
+			ps := g.G.Parents(g.Stages[s][j])
+			if ps[0] != g.Stages[s-1][j] || ps[1] != g.Stages[s-1][j^bit] {
+				t.Fatalf("stage %d node %d parents wrong", s, j)
+			}
+		}
+	}
+	// Every non-final node has out-degree 2; outputs are the final
+	// stage.
+	for s := 0; s < 3; s++ {
+		for _, v := range g.Stages[s] {
+			if g.G.OutDegree(v) != 2 {
+				t.Errorf("stage %d node out-degree %d", s, g.G.OutDegree(v))
+			}
+		}
+	}
+	if len(g.G.Sinks()) != 8 {
+		t.Errorf("sinks = %d", len(g.G.Sinks()))
+	}
+	if g.G.IsTree() {
+		t.Error("butterfly graph must not be a tree")
+	}
+}
+
+// TestBlockedScheduleValidAndPredicted: across sizes, block exponents
+// and weightings, schedules validate and match both closed forms.
+func TestBlockedScheduleValidAndPredicted(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, n := range []int{2, 4, 8, 16, 32} {
+			g := buildOrFatal(t, n, cfg)
+			for tt := 1; tt <= g.K; tt++ {
+				sched, err := g.BlockedSchedule(tt)
+				if err != nil {
+					t.Fatalf("%s FFT(%d) t=%d: %v", cfg.Name, n, tt, err)
+				}
+				peak := g.PredictPeak(tt)
+				stats, err := core.Simulate(g.G, peak, sched)
+				if err != nil {
+					t.Fatalf("%s FFT(%d) t=%d: %v", cfg.Name, n, tt, err)
+				}
+				if stats.PeakRedWeight != peak {
+					t.Errorf("%s FFT(%d) t=%d: peak %d != predicted %d", cfg.Name, n, tt, stats.PeakRedWeight, peak)
+				}
+				if want := g.PredictCost(tt); stats.Cost != want {
+					t.Errorf("%s FFT(%d) t=%d: cost %d != predicted %d", cfg.Name, n, tt, stats.Cost, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCostDecreasesWithBlockSize(t *testing.T) {
+	g := buildOrFatal(t, 64, wcfg.Equal(16))
+	prev := Inf
+	for tt := 1; tt <= g.K; tt++ {
+		c := g.PredictCost(tt)
+		if c > prev {
+			t.Fatalf("cost increased at t=%d", tt)
+		}
+		prev = c
+	}
+	if got := g.PredictCost(g.K); got != core.LowerBound(g.G) {
+		t.Errorf("single-pass cost %d != LB %d", got, core.LowerBound(g.G))
+	}
+}
+
+// TestHongKungShape: halving log-memory roughly doubles the extra
+// I/O — the n log n / log S law.
+func TestHongKungShape(t *testing.T) {
+	g := buildOrFatal(t, 256, wcfg.Equal(16)) // K = 8
+	lb := core.LowerBound(g.G)
+	extra := func(tt int) cdag.Weight { return g.PredictCost(tt) - lb }
+	// t=8 → 1 pass (0 extra); t=4 → 2 passes; t=2 → 4; t=1 → 8.
+	if extra(8) != 0 {
+		t.Errorf("extra at t=8 = %d", extra(8))
+	}
+	e4, e2, e1 := extra(4), extra(2), extra(1)
+	if !(e1 > e2 && e2 > e4 && e4 > 0) {
+		t.Fatalf("extras not ordered: %d %d %d", e4, e2, e1)
+	}
+	if e2 != 3*e4 || e1 != 7*e4 {
+		t.Errorf("pass scaling wrong: e4=%d e2=%d e1=%d", e4, e2, e1)
+	}
+}
+
+func TestSearchAndMinMemory(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		g := buildOrFatal(t, 16, cfg)
+		b := g.MinMemory()
+		tt, cost, err := g.Search(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tt != g.K || cost != core.LowerBound(g.G) {
+			t.Errorf("%s: at MinMemory t=%d cost=%d", cfg.Name, tt, cost)
+		}
+		if g.MinCost(b-1) == core.LowerBound(g.G) {
+			t.Errorf("%s: LB met below MinMemory", cfg.Name)
+		}
+		if _, _, err := g.Search(g.PredictPeak(1) - 1); err == nil {
+			t.Error("budget below minimum should fail")
+		}
+	}
+}
+
+// TestLinearMemoryContrast: the butterfly's minimum memory for
+// compulsory-only I/O grows linearly in n, whereas the DWT's grows
+// logarithmically — the structural point of this package.
+func TestLinearMemoryContrast(t *testing.T) {
+	m16 := buildOrFatal(t, 16, wcfg.Equal(16)).MinMemory()
+	m64 := buildOrFatal(t, 64, wcfg.Equal(16)).MinMemory()
+	if m64 < 3*m16 {
+		t.Errorf("min memory should scale ~linearly: %d vs %d", m16, m64)
+	}
+}
+
+// TestOptimalityGapAgainstExact: on FFT(4) the blocked schedule is
+// exactly optimal at full memory and within the window overhead at
+// t=1.
+func TestOptimalityGapAgainstExact(t *testing.T) {
+	g := buildOrFatal(t, 4, wcfg.Equal(1))
+	full := g.MinMemory()
+	res, err := exact.Solve(g.G, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MinCost(full); got != res.Cost {
+		t.Errorf("blocked at full memory = %d, exact = %d", got, res.Cost)
+	}
+	small := g.PredictPeak(1)
+	resS, err := exact.Solve(g.G, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MinCost(small); got < resS.Cost {
+		t.Errorf("blocked beat exact: %d < %d", got, resS.Cost)
+	}
+}
+
+func TestBlockedScheduleBadT(t *testing.T) {
+	g := buildOrFatal(t, 8, wcfg.Equal(16))
+	for _, tt := range []int{0, -1, 4} {
+		if _, err := g.BlockedSchedule(tt); err == nil {
+			t.Errorf("t=%d should fail", tt)
+		}
+	}
+}
+
+func TestPassCounts(t *testing.T) {
+	g := buildOrFatal(t, 256, wcfg.Equal(16))
+	cases := map[int]int{1: 8, 2: 4, 3: 3, 4: 2, 8: 1, 9: 1}
+	for tt, want := range cases {
+		if got := g.Passes(tt); got != want {
+			t.Errorf("Passes(%d) = %d, want %d", tt, got, want)
+		}
+	}
+	if g.Passes(0) != 0 {
+		t.Error("Passes(0) should be 0")
+	}
+}
+
+// TestEveryNodeComputedOnce: the blocked schedule computes each
+// non-input node exactly once (no recomputation, ever).
+func TestEveryNodeComputedOnce(t *testing.T) {
+	g := buildOrFatal(t, 16, wcfg.Equal(16))
+	sched, err := g.BlockedSchedule(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[cdag.NodeID]int{}
+	for _, m := range sched {
+		if m.Kind == core.M3 {
+			count[m.Node]++
+		}
+	}
+	for s := 1; s <= g.K; s++ {
+		for _, v := range g.Stages[s] {
+			if count[v] != 1 {
+				t.Fatalf("stage %d node computed %d times", s, count[v])
+			}
+		}
+	}
+}
+
+func TestPeakMonotoneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 1 << uint(2+int(seed&3)) // 4..32
+		g, err := Build(n, wcfg.DoubleAccumulator(16))
+		if err != nil {
+			return false
+		}
+		prev := cdag.Weight(0)
+		for tt := 1; tt <= g.K; tt++ {
+			p := g.PredictPeak(tt)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

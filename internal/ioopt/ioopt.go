@@ -1,0 +1,139 @@
+// Package ioopt reproduces the IOOpt lower and upper bounds the paper
+// compares against for MVM(m, n) (Section 5.2), including the
+// weighted adjustments the authors apply for the Double Accumulator
+// configuration.
+//
+// IOOpt itself (Olivry et al., PLDI'20/'21) is a polyhedral tool; the
+// paper consumes only the bound *values* it produces for the MVM loop
+// nest. This package implements those bounds in closed form with the
+// modelling assumptions the paper states:
+//
+//   - The upper bound splits fast memory in a fixed ratio, giving
+//     just under half — ⌊(S−1)/2⌋ words — to outputs; with h resident
+//     output accumulators the vector is reloaded ⌈m/h⌉ times, and
+//     every one of the m outputs is both read and written (unlike the
+//     tiling scheduler, which writes each output exactly once).
+//   - For Double Accumulator, the lower bound doubles the output
+//     term; the upper bound double-weights all non-input/output
+//     (accumulator) movements; and the memory budget is grown by one
+//     extra accumulator allocation (m words), doubling the allocation
+//     of the original split. These are exactly the adjustments of
+//     Section 5.2, and they pin the Table 1 anchors: the upper bound
+//     reaches its floor at 2m+1 = 193 words (Equal) and
+//     3m+1 = 289 words (DA) for m = 96.
+//   - The lower bound keeps the memory-independent mn + n + m term
+//     and adds a capacity-driven vector-reload term that vanishes
+//     once a row block fits, giving the decreasing-in-S shape of
+//     Figure 5.
+package ioopt
+
+import (
+	"math"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/wcfg"
+)
+
+// Inf marks budgets below the model's feasibility threshold.
+const Inf cdag.Weight = math.MaxInt64 / 4
+
+// Model evaluates IOOpt-style bounds for an MVM(m, n) workload under
+// a weight configuration.
+type Model struct {
+	M, N int
+	Cfg  wcfg.Config
+}
+
+// New returns a bound model for MVM(m, n).
+func New(m, n int, cfg wcfg.Config) *Model {
+	return &Model{M: m, N: n, Cfg: cfg}
+}
+
+// doubleAcc reports whether the configuration needs the paper's
+// Double Accumulator adjustments.
+func (md *Model) doubleAcc() bool { return md.Cfg.NodeWords > md.Cfg.InputWords }
+
+// accHoldWords returns how many memory words one resident accumulator
+// occupies under the model (1 for Equal; the DA case is handled by
+// the extra-allocation budget shift instead, per Section 5.2).
+func (md *Model) outHalfWords(sWords int) int {
+	s := sWords
+	if md.doubleAcc() {
+		// The DA budget is grown by one extra accumulator allocation
+		// of m words; equivalently, m words of the stated budget are
+		// consumed by the doubled accumulator precision before the
+		// original fixed split applies.
+		s -= md.M
+	}
+	return (s - 1) / 2
+}
+
+// UpperBound returns IOOpt's achievable I/O (bits) at a fast memory
+// of sWords words, or Inf when the model cannot place even one
+// accumulator.
+func (md *Model) UpperBound(sWords int) cdag.Weight {
+	h := md.outHalfWords(sWords)
+	if h < 1 {
+		return Inf
+	}
+	if h > md.M {
+		h = md.M
+	}
+	wi := md.Cfg.Input()
+	wout := md.Cfg.Node()
+	q := (md.M + h - 1) / h
+	inputs := wi * cdag.Weight(md.M*md.N+md.N*q)
+	// Every output is read once and written once.
+	outputs := 2 * wout * cdag.Weight(md.M)
+	return inputs + outputs
+}
+
+// UpperBoundFloor returns the asymptotic (large-memory) upper bound.
+func (md *Model) UpperBoundFloor() cdag.Weight {
+	wi := md.Cfg.Input()
+	wout := md.Cfg.Node()
+	return wi*cdag.Weight(md.M*md.N+md.N) + 2*wout*cdag.Weight(md.M)
+}
+
+// LowerBound returns IOOpt's I/O lower bound (bits) at sWords words:
+// the compulsory traffic plus a vector-reload term for row blocks
+// that do not fit.
+func (md *Model) LowerBound(sWords int) cdag.Weight {
+	if sWords < 1 {
+		return Inf
+	}
+	wi := md.Cfg.Input()
+	wout := md.Cfg.Node()
+	base := wi*cdag.Weight(md.M*md.N+md.N) + wout*cdag.Weight(md.M)
+	q := (md.M + sWords - 1) / sWords
+	reloads := wi * cdag.Weight(md.N) * cdag.Weight(q-1)
+	return base + reloads
+}
+
+// MinMemoryWords returns the smallest fast memory (in words) at which
+// the upper bound reaches its floor — the quantity Table 1 reports
+// for "IOOpt UB". For m = 96 this is 193 words (Equal) and 289 words
+// (Double Accumulator).
+func (md *Model) MinMemoryWords() int {
+	floor := md.UpperBoundFloor()
+	// UpperBound is non-increasing in sWords; the floor is reached as
+	// soon as the output half holds all m accumulators.
+	lo, hi := 3, 4*md.M+3
+	for md.UpperBound(hi) != floor {
+		hi *= 2
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if md.UpperBound(mid) == floor {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}
+
+// MinMemoryBits returns MinMemoryWords in bits.
+func (md *Model) MinMemoryBits() cdag.Weight {
+	return cdag.Weight(md.MinMemoryWords()) * cdag.Weight(md.Cfg.WordBits)
+}

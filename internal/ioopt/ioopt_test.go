@@ -1,0 +1,130 @@
+package ioopt
+
+import (
+	"testing"
+
+	"wrbpg/internal/wcfg"
+)
+
+func TestTable1Anchors(t *testing.T) {
+	eq := New(96, 120, wcfg.Equal(16))
+	if got := eq.MinMemoryWords(); got != 193 {
+		t.Errorf("Equal IOOpt UB min memory = %d words, want 193", got)
+	}
+	if got := eq.MinMemoryBits(); got != 3088 {
+		t.Errorf("Equal IOOpt UB min memory = %d bits, want 3088", got)
+	}
+	da := New(96, 120, wcfg.DoubleAccumulator(16))
+	if got := da.MinMemoryWords(); got != 289 {
+		t.Errorf("DA IOOpt UB min memory = %d words, want 289", got)
+	}
+	if got := da.MinMemoryBits(); got != 4624 {
+		t.Errorf("DA IOOpt UB min memory = %d bits, want 4624", got)
+	}
+}
+
+func TestUpperBoundFloor(t *testing.T) {
+	eq := New(96, 120, wcfg.Equal(16))
+	// (mn + n)·16 + 2m·16
+	if got, want := eq.UpperBoundFloor(), int64((96*120+120)*16+2*96*16); int64(got) != want {
+		t.Errorf("Equal UB floor = %d, want %d", got, want)
+	}
+	if got := eq.UpperBound(10 * 96); got != eq.UpperBoundFloor() {
+		t.Errorf("UB at large memory %d != floor %d", got, eq.UpperBoundFloor())
+	}
+}
+
+func TestUpperBoundMonotone(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		m := New(96, 120, cfg)
+		prev := Inf
+		for s := 3; s <= 600; s++ {
+			cur := m.UpperBound(s)
+			if cur > prev {
+				t.Fatalf("%s: UB increased at %d words", cfg.Name, s)
+			}
+			if cur < Inf {
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestUpperBoundInfeasibleSmall(t *testing.T) {
+	eq := New(96, 120, wcfg.Equal(16))
+	if eq.UpperBound(2) < Inf {
+		t.Error("2 words should be infeasible (no room for one accumulator)")
+	}
+	da := New(96, 120, wcfg.DoubleAccumulator(16))
+	if da.UpperBound(96) < Inf {
+		t.Error("DA: budgets below the extra allocation should be infeasible")
+	}
+}
+
+func TestLowerBoundShape(t *testing.T) {
+	eq := New(96, 120, wcfg.Equal(16))
+	// Non-increasing in memory, converging to the compulsory traffic.
+	prev := Inf
+	for s := 1; s <= 200; s++ {
+		cur := eq.LowerBound(s)
+		if cur > prev {
+			t.Fatalf("LB increased at %d words", s)
+		}
+		prev = cur
+	}
+	want := int64((96*120+120)*16 + 96*16)
+	if got := eq.LowerBound(96); int64(got) != want {
+		t.Errorf("LB at 96 words = %d, want compulsory %d", got, want)
+	}
+	if eq.LowerBound(0) < Inf {
+		t.Error("LB at 0 words should be Inf")
+	}
+}
+
+func TestDALowerBoundDoublesOutputs(t *testing.T) {
+	eq := New(96, 120, wcfg.Equal(16))
+	da := New(96, 120, wcfg.DoubleAccumulator(16))
+	diff := da.LowerBound(500) - eq.LowerBound(500)
+	if diff != 96*16 {
+		t.Errorf("DA−Equal LB difference = %d, want one extra 16-bit word per output (%d)", diff, 96*16)
+	}
+}
+
+// TestUBAboveLB: the model's upper bound dominates its lower bound at
+// every feasible memory size.
+func TestUBAboveLB(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		m := New(96, 120, cfg)
+		for s := 3; s <= 600; s++ {
+			ub := m.UpperBound(s)
+			if ub >= Inf {
+				continue
+			}
+			if lb := m.LowerBound(s); ub < lb {
+				t.Fatalf("%s: UB %d < LB %d at %d words", cfg.Name, ub, lb, s)
+			}
+		}
+	}
+}
+
+// TestTilingBeatsIOOptUB: the paper's headline MVM comparison — the
+// tiling minimum memory undercuts IOOpt's by 48.7% (Equal) and 56.4%
+// (DA) for MVM(96,120).
+func TestTilingBeatsIOOptUB(t *testing.T) {
+	cases := []struct {
+		cfg          wcfg.Config
+		tilingWords  int
+		reductionPct float64
+	}{
+		{wcfg.Equal(16), 99, 48.7},
+		{wcfg.DoubleAccumulator(16), 126, 56.4},
+	}
+	for _, c := range cases {
+		m := New(96, 120, c.cfg)
+		io := m.MinMemoryWords()
+		red := 100 * float64(io-c.tilingWords) / float64(io)
+		if red < c.reductionPct-0.5 || red > c.reductionPct+0.5 {
+			t.Errorf("%s: reduction = %.1f%%, want ≈%.1f%%", c.cfg.Name, red, c.reductionPct)
+		}
+	}
+}

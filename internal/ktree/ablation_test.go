@@ -1,0 +1,98 @@
+package ktree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+)
+
+// TestFullStrategySetMatchesPruned: Eq. 3's full 2^k·k! enumeration
+// and Eq. 4's pruned set agree everywhere — the dominance argument of
+// Lemma 3.3 in executable form.
+func TestFullStrategySetMatchesPruned(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := Random(rng, 2+rng.Intn(4), 1+rng.Intn(3), 3)
+		if err != nil {
+			return false
+		}
+		minB := core.MinExistenceBudget(tr.G)
+		for b := minB; b <= minB+4; b++ {
+			s := NewScheduler(tr)
+			if s.MinCost(b) != MinCostFullStrategySet(tr, b) {
+				t.Logf("seed %d b=%d: pruned %d != full %d", seed, b, s.MinCost(b), MinCostFullStrategySet(tr, b))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullStrategySetInfeasible(t *testing.T) {
+	tr, err := Star(2, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MinCostFullStrategySet(tr, 10) < Inf {
+		t.Error("budget below existence should be Inf")
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := FullTree(0, 1, unitW); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := FullTree(2, 0, unitW); err == nil {
+		t.Error("height 0 accepted")
+	}
+	if _, err := Chain(1, func(i int) cdag.Weight { return 1 }); err == nil {
+		t.Error("chain length 1 accepted")
+	}
+	if _, err := Star(0, 1, 1); err == nil {
+		t.Error("star k=0 accepted")
+	}
+	if _, err := Star(MaxK+1, 1, 1); err == nil {
+		t.Error("star k too large accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Random(rng, 0, 2, 3); err == nil {
+		t.Error("zero internal nodes accepted")
+	}
+}
+
+func TestScheduleBelowExistenceFails(t *testing.T) {
+	tr, err := FullTree(2, 2, unitW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(tr)
+	if _, err := s.Schedule(core.MinExistenceBudget(tr.G) - 1); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+}
+
+// TestMinMemoryStepAlignment: non-unit steps round the answer up.
+func TestMinMemoryStepAlignment(t *testing.T) {
+	tr, err := FullTree(2, 3, func(d, i int) cdag.Weight { return 16 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(tr)
+	fine, err := s.MinMemory(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := s.MinMemory(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse < fine || coarse%16 != 0 {
+		t.Errorf("coarse %d vs fine %d", coarse, fine)
+	}
+}

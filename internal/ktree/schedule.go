@@ -1,0 +1,236 @@
+package ktree
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+)
+
+type entry struct {
+	cost cdag.Weight
+	// perm is the chosen parent order (indices into Parents(v));
+	// delta bit i set means perm[i] keeps its red pebble while later
+	// parents are computed (δ_i = 1 in Eq. 6).
+	perm  []uint8
+	delta uint16
+}
+
+// Scheduler computes Pt(v, b) (Eq. 6) with memoization and generates
+// optimal schedules for k-ary trees.
+type Scheduler struct {
+	t    *Tree
+	memo map[cdag.NodeID]map[cdag.Weight]entry
+}
+
+// NewScheduler returns a scheduler for the tree.
+func NewScheduler(t *Tree) *Scheduler {
+	return &Scheduler{t: t, memo: map[cdag.NodeID]map[cdag.Weight]entry{}}
+}
+
+// pt computes Pt(v, b) of Eq. 6, minimizing over parent permutations
+// σ and keep/spill vectors δ. Configurations that spill a source
+// parent are skipped: re-ordering the source to the end of the
+// permutation with δ=1 is always at least 2·w cheaper (sources
+// already hold blue pebbles), so the minimum is unchanged and the
+// generator never writes a blue pebble onto a node that has one.
+func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
+	if m, ok := s.memo[v]; ok {
+		if e, ok := m[b]; ok {
+			return e
+		}
+	} else {
+		s.memo[v] = map[cdag.Weight]entry{}
+	}
+	g := s.t.G
+	var best entry
+	if g.IsSource(v) {
+		if g.Weight(v) <= b {
+			best = entry{cost: g.Weight(v)}
+		} else {
+			best = entry{cost: Inf}
+		}
+		s.memo[v][b] = best
+		return best
+	}
+	parents := g.Parents(v)
+	k := len(parents)
+	var parentSum cdag.Weight
+	for _, p := range parents {
+		parentSum += g.Weight(p)
+	}
+	if g.Weight(v)+parentSum > b {
+		best = entry{cost: Inf}
+		s.memo[v][b] = best
+		return best
+	}
+	best = entry{cost: Inf}
+	perm := make([]uint8, k)
+	for i := range perm {
+		perm[i] = uint8(i)
+	}
+	s.forEachPermutation(perm, func(order []uint8) {
+		for delta := uint16(0); delta < 1<<uint(k); delta++ {
+			skip := false
+			var cost, held cdag.Weight
+			for i := 0; i < k && !skip; i++ {
+				p := parents[order[i]]
+				keep := delta&(1<<uint(i)) != 0
+				if !keep && g.IsSource(p) {
+					skip = true // dominated; see doc comment
+					break
+				}
+				sub := s.pt(p, b-held)
+				if sub.cost >= Inf {
+					skip = true
+					break
+				}
+				cost += sub.cost
+				if keep {
+					held += g.Weight(p)
+				} else {
+					cost += 2 * g.Weight(p)
+				}
+			}
+			if skip || cost >= best.cost {
+				continue
+			}
+			best = entry{cost: cost, perm: append([]uint8(nil), order...), delta: delta}
+		}
+	})
+	s.memo[v][b] = best
+	return best
+}
+
+// forEachPermutation invokes f with every permutation of p (Heap's
+// algorithm, in place; f must not retain the slice).
+func (s *Scheduler) forEachPermutation(p []uint8, f func([]uint8)) {
+	var rec func(n int)
+	rec = func(n int) {
+		if n == 1 {
+			f(p)
+			return
+		}
+		for i := 0; i < n; i++ {
+			rec(n - 1)
+			if n%2 == 0 {
+				p[i], p[n-1] = p[n-1], p[i]
+			} else {
+				p[0], p[n-1] = p[n-1], p[0]
+			}
+		}
+	}
+	rec(len(p))
+}
+
+// MinCost returns the minimum weighted schedule cost for the whole
+// tree under budget b: w_root + Pt(root, b) (Eq. 7), or Inf when no
+// valid schedule exists.
+func (s *Scheduler) MinCost(b cdag.Weight) cdag.Weight {
+	e := s.pt(s.t.Root, b)
+	if e.cost >= Inf {
+		return Inf
+	}
+	return e.cost + s.t.G.Weight(s.t.Root)
+}
+
+// Schedule generates an optimal schedule under budget b; it always
+// passes core.Simulate with cost MinCost(b).
+func (s *Scheduler) Schedule(b cdag.Weight) (core.Schedule, error) {
+	if s.MinCost(b) >= Inf {
+		return nil, fmt.Errorf("ktree: no valid schedule under budget %d (existence bound %d)", b, core.MinExistenceBudget(s.t.G))
+	}
+	var sched core.Schedule
+	if err := s.gen(s.t.Root, b, &sched); err != nil {
+		return nil, err
+	}
+	sched = sched.Append(
+		core.Move{Kind: core.M2, Node: s.t.Root},
+		core.Move{Kind: core.M4, Node: s.t.Root},
+	)
+	return sched, nil
+}
+
+// gen emits the moves realizing Pt(v, b): red pebble on v at the end,
+// no other red pebbles in v's subtree.
+func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, sched *core.Schedule) error {
+	g := s.t.G
+	e := s.pt(v, b)
+	if e.cost >= Inf {
+		return fmt.Errorf("ktree: internal error: infeasible subproblem node %d budget %d", v, b)
+	}
+	if g.IsSource(v) {
+		*sched = sched.Append(core.Move{Kind: core.M1, Node: v})
+		return nil
+	}
+	parents := g.Parents(v)
+	var held cdag.Weight
+	var spilled []cdag.NodeID
+	for i, oi := range e.perm {
+		p := parents[oi]
+		if err := s.gen(p, b-held, sched); err != nil {
+			return err
+		}
+		if e.delta&(1<<uint(i)) != 0 {
+			held += g.Weight(p)
+		} else {
+			*sched = sched.Append(
+				core.Move{Kind: core.M2, Node: p},
+				core.Move{Kind: core.M4, Node: p},
+			)
+			spilled = append(spilled, p)
+		}
+	}
+	for _, p := range spilled {
+		*sched = sched.Append(core.Move{Kind: core.M1, Node: p})
+	}
+	*sched = sched.Append(core.Move{Kind: core.M3, Node: v})
+	for _, p := range parents {
+		*sched = sched.Append(core.Move{Kind: core.M4, Node: p})
+	}
+	return nil
+}
+
+// MinMemory returns the smallest budget (on multiples of step) whose
+// optimal cost equals the algorithmic lower bound (Definition 2.6).
+func (s *Scheduler) MinMemory(step cdag.Weight) (cdag.Weight, error) {
+	if step <= 0 {
+		step = 1
+	}
+	g := s.t.G
+	lb := core.LowerBound(g)
+	lo := core.MinExistenceBudget(g)
+	if r := lo % step; r != 0 {
+		lo += step - r
+	}
+	hi := g.TotalWeight()
+	if r := hi % step; r != 0 {
+		hi += step - r
+	}
+	if s.MinCost(hi) != lb {
+		return 0, fmt.Errorf("ktree: lower bound %d not attained even at budget %d", lb, hi)
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		mid -= mid % step
+		if mid < lo {
+			mid = lo
+		}
+		if s.MinCost(mid) == lb {
+			hi = mid
+		} else {
+			lo = mid + step
+		}
+	}
+	return hi, nil
+}
+
+// StrategyCount returns 2^k·k!, the number of per-node strategies the
+// DP enumerates for in-degree k — the quantity bounding Theorem 3.8.
+func StrategyCount(k int) int {
+	n := 1
+	for i := 2; i <= k; i++ {
+		n *= i
+	}
+	return n << uint(k)
+}

@@ -1,0 +1,85 @@
+// Package linalg provides small dense linear-algebra references used
+// to cross-check the MVM dataflow graphs and machine execution:
+// matrices in row-major order, matrix-vector products, and simple
+// vector utilities.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major m×n matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zero m×n matrix.
+func NewMatrix(m, n int) *Matrix {
+	if m <= 0 || n <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", m, n))
+	}
+	return &Matrix{Rows: m, Cols: n, Data: make([]float64, m*n)}
+}
+
+// At returns A[i,j] (zero-based).
+func (a *Matrix) At(i, j int) float64 { return a.Data[i*a.Cols+j] }
+
+// Set assigns A[i,j] = v.
+func (a *Matrix) Set(i, j int, v float64) { a.Data[i*a.Cols+j] = v }
+
+// MulVec computes y = A·x. len(x) must equal Cols.
+func (a *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != a.Cols {
+		return nil, fmt.Errorf("linalg: dimension mismatch: %dx%d matrix with vector of length %d", a.Rows, a.Cols, len(x))
+	}
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		var s float64
+		for k, v := range row {
+			s += v * x[k]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("linalg: dot of different lengths")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max_i |a[i]-b[i]|; used by tests to compare
+// machine-executed schedules against this reference.
+func MaxAbsDiff(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("linalg: compare of different lengths")
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,122 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad dims")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestAtSet(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.Data[5] != 7 {
+		t.Error("row-major indexing broken")
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	y, err := m.MulVec([]float64{1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("y = %v, want [-2 -2]", y)
+	}
+}
+
+func TestMulVecDimensionError(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if _, err := m.MulVec([]float64{1, 2}); err == nil {
+		t.Error("dimension mismatch not caught")
+	}
+}
+
+func TestDot(t *testing.T) {
+	d, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil || d != 32 {
+		t.Errorf("Dot = %f err %v", d, err)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not caught")
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm2 = %f", got)
+	}
+	if Norm2(nil) != 0 {
+		t.Error("empty norm should be 0")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	d, err := MaxAbsDiff([]float64{1, 2}, []float64{1.5, 1})
+	if err != nil || d != 1 {
+		t.Errorf("MaxAbsDiff = %f err %v", d, err)
+	}
+	if _, err := MaxAbsDiff([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not caught")
+	}
+}
+
+// TestMulVecLinearity: A(x+y) == Ax + Ay.
+func TestMulVecLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(6)+1, 1+rng.Intn(6)
+		A := NewMatrix(m, n)
+		for i := range A.Data {
+			A.Data[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		s := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+			s[i] = x[i] + y[i]
+		}
+		ax, _ := A.MulVec(x)
+		ay, _ := A.MulVec(y)
+		as, _ := A.MulVec(s)
+		for i := range as {
+			if math.Abs(as[i]-(ax[i]+ay[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIdentity: I·x == x.
+func TestIdentity(t *testing.T) {
+	n := 5
+	I := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		I.Set(i, i, 1)
+	}
+	x := []float64{1, -2, 3, -4, 5}
+	y, err := I.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := MaxAbsDiff(x, y)
+	if d > 1e-12 {
+		t.Errorf("identity product differs by %g", d)
+	}
+}

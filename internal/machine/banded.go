@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"fmt"
+
+	"wrbpg/internal/banded"
+	"wrbpg/internal/cdag"
+)
+
+// FromBanded builds an executable banded matrix-vector product. The
+// matrix is supplied in per-row band order: entries[i-1] holds
+// a_{i,lo(i)} … a_{i,hi(i)}.
+func FromBanded(g *banded.Graph, entries [][]float64, x []float64) (*Program, error) {
+	if len(x) != g.N {
+		return nil, fmt.Errorf("machine: vector length %d != n=%d", len(x), g.N)
+	}
+	if len(entries) != g.N {
+		return nil, fmt.Errorf("machine: %d rows of entries, want %d", len(entries), g.N)
+	}
+	p := NewProgram(g.G)
+	for j := 1; j <= g.N; j++ {
+		p.Inputs[g.X[j-1]] = x[j-1]
+	}
+	mul := func(a []float64) float64 { return a[0] * a[1] }
+	add := func(a []float64) float64 { return a[0] + a[1] }
+	for i := 1; i <= g.N; i++ {
+		lo, hi := g.Band(i)
+		if len(entries[i-1]) != hi-lo+1 {
+			return nil, fmt.Errorf("machine: row %d has %d entries, want %d", i, len(entries[i-1]), hi-lo+1)
+		}
+		for j := lo; j <= hi; j++ {
+			p.Inputs[g.A[i-1][j-lo]] = entries[i-1][j-lo]
+			p.Ops[g.Prod[i-1][j-lo]] = mul
+		}
+		for c := range g.Acc[i-1] {
+			p.Ops[g.Acc[i-1][c]] = add
+		}
+	}
+	return p, nil
+}
+
+// BandedOutputs extracts y in row order.
+func BandedOutputs(g *banded.Graph, values map[cdag.NodeID]float64) []float64 {
+	out := make([]float64, g.N)
+	for i := 1; i <= g.N; i++ {
+		out[i-1] = values[g.Output(i)]
+	}
+	return out
+}
+
+// BandedReference computes the banded product directly.
+func BandedReference(g *banded.Graph, entries [][]float64, x []float64) []float64 {
+	out := make([]float64, g.N)
+	for i := 1; i <= g.N; i++ {
+		lo, hi := g.Band(i)
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += entries[i-1][j-lo] * x[j-1]
+		}
+		out[i-1] = s
+	}
+	return out
+}

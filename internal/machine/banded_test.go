@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrbpg/internal/banded"
+	"wrbpg/internal/linalg"
+	"wrbpg/internal/wcfg"
+)
+
+func TestBandedExecutionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, d := range [][2]int{{4, 0}, {6, 1}, {8, 3}, {12, 11}} {
+			g, err := banded.Build(d[0], d[1], cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := randSignal(rng, g.N)
+			entries := make([][]float64, g.N)
+			for i := 1; i <= g.N; i++ {
+				lo, hi := g.Band(i)
+				entries[i-1] = randSignal(rng, hi-lo+1)
+			}
+			prog, err := FromBanded(g, entries, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, peak := g.Metrics()
+			values, stats, err := Run(prog, peak, g.Schedule())
+			if err != nil {
+				t.Fatalf("%s Banded%v: %v", cfg.Name, d, err)
+			}
+			got := BandedOutputs(g, values)
+			want := BandedReference(g, entries, x)
+			diff, err := linalg.MaxAbsDiff(got, want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff > 1e-9 {
+				t.Fatalf("%s Banded%v: max diff %g", cfg.Name, d, diff)
+			}
+			cost, _ := g.Metrics()
+			if stats.TrafficBits != cost {
+				t.Errorf("traffic %d != metrics cost %d", stats.TrafficBits, cost)
+			}
+		}
+	}
+}
+
+func TestFromBandedRejectsBadShapes(t *testing.T) {
+	g, err := banded.Build(4, 1, wcfg.Equal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromBanded(g, make([][]float64, 4), make([]float64, 3)); err == nil {
+		t.Error("bad vector length accepted")
+	}
+	if _, err := FromBanded(g, make([][]float64, 3), make([]float64, 4)); err == nil {
+		t.Error("bad row count accepted")
+	}
+	rows := make([][]float64, 4)
+	for i := range rows {
+		rows[i] = make([]float64, 1) // wrong band widths
+	}
+	if _, err := FromBanded(g, rows, make([]float64, 4)); err == nil {
+		t.Error("bad band width accepted")
+	}
+}

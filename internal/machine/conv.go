@@ -1,0 +1,58 @@
+package machine
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/conv"
+)
+
+// FromConv builds an executable FIR filter over a conv.Graph with the
+// given tap coefficients (len(h) must equal the graph's tap count).
+func FromConv(g *conv.Graph, x, h []float64) (*Program, error) {
+	if len(x) != g.N {
+		return nil, fmt.Errorf("machine: signal length %d != n=%d", len(x), g.N)
+	}
+	if len(h) != g.Taps {
+		return nil, fmt.Errorf("machine: %d coefficients for %d taps", len(h), g.Taps)
+	}
+	p := NewProgram(g.G)
+	for i, v := range g.X {
+		p.Inputs[v] = x[i]
+	}
+	for o := 0; o < g.Outputs(); o++ {
+		h0, h1 := h[0], h[1]
+		p.Ops[g.Mac[o][0]] = func(a []float64) float64 { return h0*a[0] + h1*a[1] }
+		for t := 2; t < g.Taps; t++ {
+			ht := h[t]
+			p.Ops[g.Mac[o][t-1]] = func(a []float64) float64 { return a[0] + ht*a[1] }
+		}
+	}
+	return p, nil
+}
+
+// ConvOutputs extracts y in output order.
+func ConvOutputs(g *conv.Graph, values map[cdag.NodeID]float64) []float64 {
+	out := make([]float64, g.Outputs())
+	for o := range out {
+		out[o] = values[g.Output(o)]
+	}
+	return out
+}
+
+// ConvReference computes the valid downsampled convolution directly.
+func ConvReference(x, h []float64, down int) []float64 {
+	if len(x) < len(h) || down < 1 {
+		return nil
+	}
+	numOut := (len(x)-len(h))/down + 1
+	out := make([]float64, numOut)
+	for o := 0; o < numOut; o++ {
+		var s float64
+		for t := range h {
+			s += h[t] * x[o*down+t]
+		}
+		out[o] = s
+	}
+	return out
+}

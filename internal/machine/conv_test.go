@@ -1,0 +1,103 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wrbpg/internal/conv"
+	"wrbpg/internal/linalg"
+	"wrbpg/internal/wavelet"
+	"wrbpg/internal/wcfg"
+)
+
+// db4 holds the Daubechies-4 low-pass taps — the concrete wavelet the
+// paper's future-work sentence points at.
+var db4 = []float64{0.48296291314453414, 0.8365163037378079, 0.2241438680420134, -0.12940952255126037}
+
+// TestConvExecutionMatchesReference across filters, buffers and
+// weightings.
+func TestConvExecutionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []struct {
+		n, down int
+		h       []float64
+	}{
+		{12, 2, []float64{1 / wavelet.Sqrt2, 1 / wavelet.Sqrt2}}, // Haar low-pass
+		{12, 2, db4},
+		{10, 1, []float64{0.25, 0.5, 0.25}}, // smoothing FIR
+	}
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, c := range cases {
+			g, err := conv.Build(c.n, len(c.h), c.down, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := randSignal(rng, c.n)
+			want := ConvReference(x, c.h, c.down)
+			for buf := 0; buf <= g.Taps; buf += 2 {
+				sched, err := g.Schedule(buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, err := FromConv(g, x, c.h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				budget := g.PredictPeak(buf)
+				values, _, err := Run(prog, budget, sched)
+				if err != nil {
+					t.Fatalf("%s taps=%d buf=%d: %v", cfg.Name, len(c.h), buf, err)
+				}
+				got := ConvOutputs(g, values)
+				diff, err := linalg.MaxAbsDiff(got, want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if diff > 1e-9 {
+					t.Fatalf("%s taps=%d buf=%d: max diff %g", cfg.Name, len(c.h), buf, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestConvHaarMatchesWaveletAverages: the T=D=2 filter with Haar taps
+// reproduces the wavelet package's level-1 averages.
+func TestConvHaarMatchesWaveletAverages(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	x := randSignal(rng, 16)
+	h := []float64{1 / wavelet.Sqrt2, 1 / wavelet.Sqrt2}
+	got := ConvReference(x, h, 2)
+	avg, _, err := wavelet.Step(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range avg {
+		if math.Abs(got[i]-avg[i]) > 1e-12 {
+			t.Fatalf("avg[%d]: %g vs %g", i, got[i], avg[i])
+		}
+	}
+}
+
+func TestFromConvRejectsBadShapes(t *testing.T) {
+	g, err := conv.Build(10, 4, 2, wcfg.Equal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromConv(g, make([]float64, 9), db4); err == nil {
+		t.Error("bad signal length accepted")
+	}
+	if _, err := FromConv(g, make([]float64, 10), db4[:3]); err == nil {
+		t.Error("bad tap count accepted")
+	}
+}
+
+func TestConvReferenceDegenerate(t *testing.T) {
+	if ConvReference([]float64{1}, []float64{1, 2}, 1) != nil {
+		t.Error("short signal should return nil")
+	}
+	if ConvReference([]float64{1, 2}, []float64{1}, 0) != nil {
+		t.Error("zero downsample should return nil")
+	}
+}

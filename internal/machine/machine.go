@@ -1,0 +1,225 @@
+// Package machine executes WRBPG schedules with real arithmetic on a
+// simulated two-level memory hierarchy — the end-to-end proof that a
+// schedule computes the right numbers inside the fast-memory budget.
+//
+// A Program attaches an operation to every non-source node of a CDAG
+// and initial values to the sources (which live in slow memory, per
+// the game's starting condition). Run replays a schedule move by
+// move: M1 copies slow → fast, M2 fast → slow, M3 applies the node's
+// operation to its parents' fast-memory values, M4 evicts. The
+// weighted fast-memory occupancy is enforced on every move, so a
+// schedule that cheats the budget fails here exactly as it fails
+// core.Simulate.
+package machine
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/mvm"
+	"wrbpg/internal/wavelet"
+)
+
+// Op computes a node's value from its parents' values (in parent
+// order).
+type Op func(args []float64) float64
+
+// Program couples a CDAG with per-node operations and source values.
+type Program struct {
+	G *cdag.Graph
+	// Ops[v] is nil for source nodes.
+	Ops []Op
+	// Inputs[v] holds the initial slow-memory value of each source.
+	Inputs map[cdag.NodeID]float64
+}
+
+// NewProgram allocates an empty program for a graph.
+func NewProgram(g *cdag.Graph) *Program {
+	return &Program{G: g, Ops: make([]Op, g.Len()), Inputs: map[cdag.NodeID]float64{}}
+}
+
+// Stats summarises an execution.
+type Stats struct {
+	// TrafficBits is the weighted data moved between memories — it
+	// always equals the schedule's weighted cost.
+	TrafficBits cdag.Weight
+	// PeakFastBits is the high-water mark of fast-memory occupancy.
+	PeakFastBits cdag.Weight
+	// Computes counts M3 moves executed.
+	Computes int
+}
+
+// CoreStats converts execution counters to the simulator's stats
+// shape, for downstream consumers (e.g. the energy model) that accept
+// either source.
+func (s Stats) CoreStats() core.Stats {
+	return core.Stats{Cost: s.TrafficBits, PeakRedWeight: s.PeakFastBits, Computations: s.Computes}
+}
+
+// Run executes a schedule under the budget and returns the
+// slow-memory values of all sink nodes plus execution stats.
+func Run(p *Program, budget cdag.Weight, sched core.Schedule) (map[cdag.NodeID]float64, Stats, error) {
+	g := p.G
+	fast := map[cdag.NodeID]float64{}
+	slow := map[cdag.NodeID]float64{}
+	for _, v := range g.Sources() {
+		val, ok := p.Inputs[v]
+		if !ok {
+			return nil, Stats{}, fmt.Errorf("machine: source %d (%s) has no input value", v, g.Name(v))
+		}
+		slow[v] = val
+	}
+	var st Stats
+	var fastBits cdag.Weight
+	for i, m := range sched {
+		v := m.Node
+		w := g.Weight(v)
+		switch m.Kind {
+		case core.M1:
+			val, ok := slow[v]
+			if !ok {
+				return nil, st, fmt.Errorf("machine: step %d: M1(%d) but node not in slow memory", i, v)
+			}
+			if _, dup := fast[v]; dup {
+				return nil, st, fmt.Errorf("machine: step %d: M1(%d) but node already in fast memory", i, v)
+			}
+			if fastBits+w > budget {
+				return nil, st, fmt.Errorf("machine: step %d: M1(%d) overflows fast memory (%d+%d > %d)", i, v, fastBits, w, budget)
+			}
+			fast[v] = val
+			fastBits += w
+			st.TrafficBits += w
+		case core.M2:
+			val, ok := fast[v]
+			if !ok {
+				return nil, st, fmt.Errorf("machine: step %d: M2(%d) but node not in fast memory", i, v)
+			}
+			slow[v] = val
+			st.TrafficBits += w
+		case core.M3:
+			if p.Ops[v] == nil {
+				return nil, st, fmt.Errorf("machine: step %d: M3(%d) but node has no operation", i, v)
+			}
+			if _, dup := fast[v]; dup {
+				return nil, st, fmt.Errorf("machine: step %d: M3(%d) but node already in fast memory", i, v)
+			}
+			args := make([]float64, 0, g.InDegree(v))
+			for _, par := range g.Parents(v) {
+				pv, ok := fast[par]
+				if !ok {
+					return nil, st, fmt.Errorf("machine: step %d: M3(%d) but parent %d not in fast memory", i, v, par)
+				}
+				args = append(args, pv)
+			}
+			if fastBits+w > budget {
+				return nil, st, fmt.Errorf("machine: step %d: M3(%d) overflows fast memory", i, v)
+			}
+			fast[v] = p.Ops[v](args)
+			fastBits += w
+			st.Computes++
+		case core.M4:
+			if _, ok := fast[v]; !ok {
+				return nil, st, fmt.Errorf("machine: step %d: M4(%d) but node not in fast memory", i, v)
+			}
+			delete(fast, v)
+			fastBits -= w
+		default:
+			return nil, st, fmt.Errorf("machine: step %d: unknown move kind %v", i, m.Kind)
+		}
+		if fastBits > st.PeakFastBits {
+			st.PeakFastBits = fastBits
+		}
+	}
+	out := map[cdag.NodeID]float64{}
+	for _, v := range g.Sinks() {
+		val, ok := slow[v]
+		if !ok {
+			return nil, st, fmt.Errorf("machine: sink %d (%s) not in slow memory at the end", v, g.Name(v))
+		}
+		out[v] = val
+	}
+	return out, st, nil
+}
+
+// FromDWT builds the executable program of a DWT graph over a signal:
+// odd-index nodes average, even-index nodes difference, both with the
+// Haar 1/√2 normalisation.
+func FromDWT(dg *dwt.Graph, signal []float64) (*Program, error) {
+	if len(signal) != dg.N {
+		return nil, fmt.Errorf("machine: signal length %d != n=%d", len(signal), dg.N)
+	}
+	p := NewProgram(dg.G)
+	for j, v := range dg.Layers[0] {
+		p.Inputs[v] = signal[j]
+	}
+	avg := func(a []float64) float64 { return (a[0] + a[1]) / wavelet.Sqrt2 }
+	diff := func(a []float64) float64 { return (a[0] - a[1]) / wavelet.Sqrt2 }
+	for layer := 2; layer <= dg.D+1; layer++ {
+		for j, v := range dg.Layers[layer-1] {
+			if (j+1)%2 == 1 {
+				p.Ops[v] = avg
+			} else {
+				p.Ops[v] = diff
+			}
+		}
+	}
+	return p, nil
+}
+
+// FromMVM builds the executable program of an MVM graph over a
+// row-major m×n matrix and a length-n vector.
+func FromMVM(g *mvm.Graph, mat []float64, vec []float64) (*Program, error) {
+	if len(mat) != g.M*g.N {
+		return nil, fmt.Errorf("machine: matrix has %d entries, want %d", len(mat), g.M*g.N)
+	}
+	if len(vec) != g.N {
+		return nil, fmt.Errorf("machine: vector has %d entries, want %d", len(vec), g.N)
+	}
+	p := NewProgram(g.G)
+	for c := 1; c <= g.N; c++ {
+		p.Inputs[g.X[c-1]] = vec[c-1]
+		for r := 1; r <= g.M; r++ {
+			p.Inputs[g.A[r-1][c-1]] = mat[(r-1)*g.N+(c-1)]
+		}
+	}
+	mul := func(a []float64) float64 { return a[0] * a[1] }
+	add := func(a []float64) float64 { return a[0] + a[1] }
+	for r := 1; r <= g.M; r++ {
+		for c := 1; c <= g.N; c++ {
+			p.Ops[g.Prod[r-1][c-1]] = mul
+			if c >= 2 {
+				p.Ops[g.Acc[r-1][c-2]] = add
+			}
+		}
+	}
+	return p, nil
+}
+
+// DWTOutputs reorganises a Run result into per-level coefficient
+// slices plus the final averages, matching wavelet.Outputs.
+func DWTOutputs(dg *dwt.Graph, values map[cdag.NodeID]float64) (coeffs [][]float64, finalAvg []float64) {
+	for layer := 2; layer <= dg.D+1; layer++ {
+		l := dg.Layers[layer-1]
+		cs := make([]float64, 0, len(l)/2)
+		for j := 2; j <= len(l); j += 2 {
+			cs = append(cs, values[l[j-1]])
+		}
+		coeffs = append(coeffs, cs)
+	}
+	last := dg.Layers[dg.D]
+	for j := 1; j <= len(last); j += 2 {
+		finalAvg = append(finalAvg, values[last[j-1]])
+	}
+	return coeffs, finalAvg
+}
+
+// MVMOutputs extracts y = A·x from a Run result in row order.
+func MVMOutputs(g *mvm.Graph, values map[cdag.NodeID]float64) []float64 {
+	out := make([]float64, g.M)
+	for r := 1; r <= g.M; r++ {
+		out[r-1] = values[g.Output(r)]
+	}
+	return out
+}

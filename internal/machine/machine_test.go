@@ -1,0 +1,303 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wrbpg/internal/baseline"
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/linalg"
+	"wrbpg/internal/mvm"
+	"wrbpg/internal/wavelet"
+	"wrbpg/internal/wcfg"
+)
+
+const tol = 1e-9
+
+func randSignal(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+// TestDWTExecutionMatchesReference: the optimum schedule at minimum
+// memory computes exactly the Haar transform.
+func TestDWTExecutionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, nd := range []struct{ n, d int }{{4, 1}, {4, 2}, {16, 4}, {64, 6}, {256, 8}} {
+			g, err := dwt.Build(nd.n, nd.d, dwt.ConfigWeights(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := dwt.NewScheduler(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.MinMemory(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := s.Schedule(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			signal := randSignal(rng, nd.n)
+			prog, err := FromDWT(g, signal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			values, stats, err := Run(prog, b, sched)
+			if err != nil {
+				t.Fatalf("%s DWT(%d,%d): %v", cfg.Name, nd.n, nd.d, err)
+			}
+			if stats.PeakFastBits > b {
+				t.Fatalf("peak fast %d > budget %d", stats.PeakFastBits, b)
+			}
+			levels, err := wavelet.Transform(signal, nd.d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantC, wantA := wavelet.Outputs(levels)
+			gotC, gotA := DWTOutputs(g, values)
+			for l := range wantC {
+				for j := range wantC[l] {
+					if math.Abs(gotC[l][j]-wantC[l][j]) > tol {
+						t.Fatalf("%s DWT(%d,%d) level %d coeff %d: got %g want %g", cfg.Name, nd.n, nd.d, l+1, j, gotC[l][j], wantC[l][j])
+					}
+				}
+			}
+			for j := range wantA {
+				if math.Abs(gotA[j]-wantA[j]) > tol {
+					t.Fatalf("final avg %d: got %g want %g", j, gotA[j], wantA[j])
+				}
+			}
+		}
+	}
+}
+
+// TestMVMExecutionMatchesReference: tiling schedules compute A·x.
+func TestMVMExecutionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, d := range []struct{ m, n int }{{2, 1}, {3, 2}, {2, 3}, {8, 6}, {16, 12}} {
+			g, err := mvm.Build(d.m, d.n, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := g.MinMemory()
+			tc, _, err := g.Search(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := g.TileSchedule(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mat := randSignal(rng, d.m*d.n)
+			vec := randSignal(rng, d.n)
+			prog, err := FromMVM(g, mat, vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			values, stats, err := Run(prog, b, sched)
+			if err != nil {
+				t.Fatalf("%s MVM(%d,%d): %v", cfg.Name, d.m, d.n, err)
+			}
+			got := MVMOutputs(g, values)
+			A := &linalg.Matrix{Rows: d.m, Cols: d.n, Data: mat}
+			want, err := A.MulVec(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff, err := linalg.MaxAbsDiff(got, want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff > tol {
+				t.Fatalf("%s MVM(%d,%d): max diff %g", cfg.Name, d.m, d.n, diff)
+			}
+			if stats.TrafficBits != g.PredictCost(tc) {
+				t.Errorf("traffic %d != predicted cost %d", stats.TrafficBits, g.PredictCost(tc))
+			}
+		}
+	}
+}
+
+// TestBaselineExecutionMatchesReference: the layer-by-layer schedule
+// also computes correct results (validity ≠ optimality).
+func TestBaselineExecutionMatchesReference(t *testing.T) {
+	g, err := dwt.Build(16, 4, dwt.ConfigWeights(wcfg.Equal(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.MinExistenceBudget(g.G) + 64
+	sched, err := baseline.LayerByLayer(g.G, g.Layers, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := randSignal(rand.New(rand.NewSource(3)), 16)
+	prog, err := FromDWT(g, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, _, err := Run(prog, b, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, _ := wavelet.Transform(signal, 4)
+	wantC, _ := wavelet.Outputs(levels)
+	gotC, _ := DWTOutputs(g, values)
+	for l := range wantC {
+		for j := range wantC[l] {
+			if math.Abs(gotC[l][j]-wantC[l][j]) > tol {
+				t.Fatalf("level %d coeff %d: got %g want %g", l+1, j, gotC[l][j], wantC[l][j])
+			}
+		}
+	}
+}
+
+// TestTrafficEqualsScheduleCost: machine traffic always equals the
+// simulator's weighted cost.
+func TestTrafficEqualsScheduleCost(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := dwt.Build(8, 3, dwt.ConfigWeights(wcfg.Equal(16)))
+		if err != nil {
+			return false
+		}
+		s, err := dwt.NewScheduler(g)
+		if err != nil {
+			return false
+		}
+		b := core.MinExistenceBudget(g.G) + cdag.Weight(rng.Intn(10))*16
+		sched, err := s.Schedule(b)
+		if err != nil {
+			return false
+		}
+		stats, err := core.Simulate(g.G, b, sched)
+		if err != nil {
+			return false
+		}
+		prog, err := FromDWT(g, randSignal(rng, 8))
+		if err != nil {
+			return false
+		}
+		_, ms, err := Run(prog, b, sched)
+		return err == nil && ms.TrafficBits == stats.Cost && ms.PeakFastBits == stats.PeakRedWeight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBudgetEnforced: shrinking the budget below the schedule's peak
+// fails execution.
+func TestBudgetEnforced(t *testing.T) {
+	g, err := dwt.Build(8, 3, dwt.ConfigWeights(wcfg.Equal(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dwt.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.MinMemory(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := s.Schedule(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := FromDWT(g, randSignal(rand.New(rand.NewSource(4)), 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(prog, b-16, sched); err == nil {
+		t.Error("running above budget should fail")
+	}
+}
+
+// TestRunErrors: malformed schedules are rejected with specific
+// errors.
+func TestRunErrors(t *testing.T) {
+	g := &cdag.Graph{}
+	a := g.AddNode(1, "a")
+	b := g.AddNode(1, "b")
+	c := g.AddNode(1, "c", a, b)
+	prog := NewProgram(g)
+	prog.Inputs[a] = 1
+	prog.Inputs[b] = 2
+	prog.Ops[c] = func(x []float64) float64 { return x[0] + x[1] }
+
+	cases := []struct {
+		name  string
+		moves core.Schedule
+	}{
+		{"M1 of non-slow node", core.Schedule{{Kind: core.M1, Node: c}}},
+		{"M3 without parents", core.Schedule{{Kind: core.M3, Node: c}}},
+		{"M2 of non-fast node", core.Schedule{{Kind: core.M2, Node: a}}},
+		{"M4 of non-fast node", core.Schedule{{Kind: core.M4, Node: a}}},
+		{"missing sink store", core.Schedule{
+			{Kind: core.M1, Node: a}, {Kind: core.M1, Node: b}, {Kind: core.M3, Node: c},
+		}},
+	}
+	for _, tc := range cases {
+		if _, _, err := Run(prog, 100, tc.moves); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	// A correct schedule succeeds and computes 3.
+	ok := core.Schedule{
+		{Kind: core.M1, Node: a}, {Kind: core.M1, Node: b}, {Kind: core.M3, Node: c},
+		{Kind: core.M2, Node: c}, {Kind: core.M4, Node: a}, {Kind: core.M4, Node: b}, {Kind: core.M4, Node: c},
+	}
+	vals, _, err := Run(prog, 100, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[c] != 3 {
+		t.Errorf("c = %f, want 3", vals[c])
+	}
+}
+
+// TestMissingInput: a source without a value is caught up front.
+func TestMissingInput(t *testing.T) {
+	g := &cdag.Graph{}
+	a := g.AddNode(1, "a")
+	g.AddNode(1, "b", a)
+	prog := NewProgram(g)
+	if _, _, err := Run(prog, 10, nil); err == nil {
+		t.Error("expected missing-input error")
+	}
+}
+
+func TestFromDWTRejectsWrongLength(t *testing.T) {
+	g, err := dwt.Build(8, 3, dwt.ConfigWeights(wcfg.Equal(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromDWT(g, make([]float64, 7)); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestFromMVMRejectsWrongShapes(t *testing.T) {
+	g, err := mvm.Build(3, 2, wcfg.Equal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromMVM(g, make([]float64, 5), make([]float64, 2)); err == nil {
+		t.Error("expected matrix size error")
+	}
+	if _, err := FromMVM(g, make([]float64, 6), make([]float64, 3)); err == nil {
+		t.Error("expected vector size error")
+	}
+}

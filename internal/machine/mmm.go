@@ -1,0 +1,55 @@
+package machine
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+
+	"wrbpg/internal/mmm"
+)
+
+// FromMMM builds an executable matrix-matrix product over an
+// mmm.Graph: A is row-major m×k, B row-major k×n.
+func FromMMM(g *mmm.Graph, a, b []float64) (*Program, error) {
+	if len(a) != g.M*g.K {
+		return nil, fmt.Errorf("machine: A has %d entries, want %d", len(a), g.M*g.K)
+	}
+	if len(b) != g.K*g.N {
+		return nil, fmt.Errorf("machine: B has %d entries, want %d", len(b), g.K*g.N)
+	}
+	p := NewProgram(g.G)
+	for i := 1; i <= g.M; i++ {
+		for l := 1; l <= g.K; l++ {
+			p.Inputs[g.A[i-1][l-1]] = a[(i-1)*g.K+(l-1)]
+		}
+	}
+	for l := 1; l <= g.K; l++ {
+		for j := 1; j <= g.N; j++ {
+			p.Inputs[g.B[l-1][j-1]] = b[(l-1)*g.N+(j-1)]
+		}
+	}
+	mul := func(x []float64) float64 { return x[0] * x[1] }
+	add := func(x []float64) float64 { return x[0] + x[1] }
+	for i := 1; i <= g.M; i++ {
+		for j := 1; j <= g.N; j++ {
+			for l := 1; l <= g.K; l++ {
+				p.Ops[g.Prod[i-1][j-1][l-1]] = mul
+				if l >= 2 {
+					p.Ops[g.Acc[i-1][j-1][l-2]] = add
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// MMMOutputs extracts C = A·B in row-major order from a Run result.
+func MMMOutputs(g *mmm.Graph, values map[cdag.NodeID]float64) []float64 {
+	out := make([]float64, g.M*g.N)
+	for i := 1; i <= g.M; i++ {
+		for j := 1; j <= g.N; j++ {
+			out[(i-1)*g.N+(j-1)] = values[g.Output(i, j)]
+		}
+	}
+	return out
+}

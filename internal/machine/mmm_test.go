@@ -1,0 +1,87 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrbpg/internal/linalg"
+	"wrbpg/internal/mmm"
+	"wrbpg/internal/wcfg"
+)
+
+// TestMMMExecutionMatchesReference: every strategy computes C = A·B
+// exactly at its predicted peak.
+func TestMMMExecutionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, d := range [][3]int{{2, 2, 2}, {3, 4, 2}, {4, 2, 5}, {2, 1, 3}} {
+			m, k, n := d[0], d[1], d[2]
+			g, err := mmm.Build(m, k, n, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := randSignal(rng, m*k)
+			bm := randSignal(rng, k*n)
+			// Reference: column-by-column MVM.
+			A := &linalg.Matrix{Rows: m, Cols: k, Data: a}
+			want := make([]float64, m*n)
+			for j := 0; j < n; j++ {
+				col := make([]float64, k)
+				for l := 0; l < k; l++ {
+					col[l] = bm[l*n+j]
+				}
+				y, err := A.MulVec(col)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < m; i++ {
+					want[i*n+j] = y[i]
+				}
+			}
+			for _, c := range []mmm.Config{
+				{Strategy: mmm.CTile, TileRows: 1, TileCols: 1},
+				{Strategy: mmm.CTile, TileRows: m, TileCols: n},
+				{Strategy: mmm.BResident},
+				{Strategy: mmm.AResident},
+			} {
+				sched, err := g.Schedule(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, err := FromMMM(g, a, bm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				budget := g.PredictPeak(c)
+				values, stats, err := Run(prog, budget, sched)
+				if err != nil {
+					t.Fatalf("%s MMM%v %v: %v", cfg.Name, d, c, err)
+				}
+				got := MMMOutputs(g, values)
+				diff, err := linalg.MaxAbsDiff(got, want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if diff > 1e-9 {
+					t.Fatalf("%s MMM%v %v: max diff %g", cfg.Name, d, c, diff)
+				}
+				if stats.TrafficBits != g.PredictCost(c) {
+					t.Errorf("%s MMM%v %v: traffic %d != predicted %d", cfg.Name, d, c, stats.TrafficBits, g.PredictCost(c))
+				}
+			}
+		}
+	}
+}
+
+func TestFromMMMRejectsWrongShapes(t *testing.T) {
+	g, err := mmm.Build(2, 3, 2, wcfg.Equal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromMMM(g, make([]float64, 5), make([]float64, 6)); err == nil {
+		t.Error("bad A accepted")
+	}
+	if _, err := FromMMM(g, make([]float64, 6), make([]float64, 5)); err == nil {
+		t.Error("bad B accepted")
+	}
+}

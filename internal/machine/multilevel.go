@@ -1,0 +1,68 @@
+package machine
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/conv"
+)
+
+// FromMultiLevel builds an executable multi-resolution wavelet
+// transform over a conv.MultiLevel graph with the given low-pass and
+// high-pass filter taps.
+func FromMultiLevel(m *conv.MultiLevel, x, hLow, hHigh []float64) (*Program, error) {
+	if len(x) != m.N {
+		return nil, fmt.Errorf("machine: signal length %d != n=%d", len(x), m.N)
+	}
+	if len(hLow) != m.Taps || len(hHigh) != m.Taps {
+		return nil, fmt.Errorf("machine: filters must have %d taps", m.Taps)
+	}
+	p := NewProgram(m.G)
+	for i, v := range m.Inputs {
+		p.Inputs[v] = x[i]
+	}
+	bind := func(chain []cdag.NodeID, h []float64) {
+		h0, h1 := h[0], h[1]
+		p.Ops[chain[0]] = func(a []float64) float64 { return h0*a[0] + h1*a[1] }
+		for t := 2; t < m.Taps; t++ {
+			ht := h[t]
+			p.Ops[chain[t-1]] = func(a []float64) float64 { return a[0] + ht*a[1] }
+		}
+	}
+	for l := 0; l < m.Levels; l++ {
+		for o := range m.LowChain[l] {
+			bind(m.LowChain[l][o], hLow)
+			bind(m.HighChain[l][o], hHigh)
+		}
+	}
+	return p, nil
+}
+
+// MultiLevelOutputs extracts the per-level high-pass coefficients and
+// the final low-pass values from a Run result.
+func MultiLevelOutputs(m *conv.MultiLevel, values map[cdag.NodeID]float64) (highs [][]float64, finalLow []float64) {
+	counts := m.LevelOutputs()
+	for l := 1; l <= m.Levels; l++ {
+		hs := make([]float64, counts[l-1])
+		for o := range hs {
+			hs[o] = values[m.High(l, o)]
+		}
+		highs = append(highs, hs)
+	}
+	finalLow = make([]float64, counts[m.Levels-1])
+	for o := range finalLow {
+		finalLow[o] = values[m.Low(m.Levels, o)]
+	}
+	return highs, finalLow
+}
+
+// MultiLevelReference computes the transform directly via repeated
+// downsampled convolutions.
+func MultiLevelReference(x, hLow, hHigh []float64, down, levels int) (highs [][]float64, finalLow []float64) {
+	cur := x
+	for l := 0; l < levels; l++ {
+		highs = append(highs, ConvReference(cur, hHigh, down))
+		cur = ConvReference(cur, hLow, down)
+	}
+	return highs, cur
+}

@@ -1,0 +1,105 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wrbpg/internal/conv"
+	"wrbpg/internal/wavelet"
+	"wrbpg/internal/wcfg"
+)
+
+// db4High is the Daubechies-4 high-pass filter paired with db4 (the
+// quadrature mirror: reversed taps with alternating signs).
+var db4High = []float64{db4[3], -db4[2], db4[1], -db4[0]}
+
+// TestMultiLevelExecutionMatchesReference across Haar and DB4.
+func TestMultiLevelExecutionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	haarLow := []float64{1 / wavelet.Sqrt2, 1 / wavelet.Sqrt2}
+	haarHigh := []float64{1 / wavelet.Sqrt2, -1 / wavelet.Sqrt2}
+	cases := []struct {
+		n, levels   int
+		hLow, hHigh []float64
+	}{
+		{32, 5, haarLow, haarHigh},
+		{22, 3, db4, db4High},
+	}
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, c := range cases {
+			m, err := conv.BuildMultiLevel(c.n, len(c.hLow), 2, c.levels, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := randSignal(rng, c.n)
+			prog, err := FromMultiLevel(m, x, c.hLow, c.hHigh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, peak := m.Metrics()
+			values, stats, err := Run(prog, peak, m.Schedule())
+			if err != nil {
+				t.Fatalf("%s taps=%d: %v", cfg.Name, len(c.hLow), err)
+			}
+			cost, _ := m.Metrics()
+			if stats.TrafficBits != cost {
+				t.Errorf("traffic %d != metrics %d", stats.TrafficBits, cost)
+			}
+			gotH, gotL := MultiLevelOutputs(m, values)
+			wantH, wantL := MultiLevelReference(x, c.hLow, c.hHigh, 2, c.levels)
+			for l := range wantH {
+				for o := range wantH[l] {
+					if math.Abs(gotH[l][o]-wantH[l][o]) > 1e-9 {
+						t.Fatalf("%s level %d coeff %d: %g vs %g", cfg.Name, l+1, o, gotH[l][o], wantH[l][o])
+					}
+				}
+			}
+			for o := range wantL {
+				if math.Abs(gotL[o]-wantL[o]) > 1e-9 {
+					t.Fatalf("%s final low %d: %g vs %g", cfg.Name, o, gotL[o], wantL[o])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiLevelHaarMatchesWaveletPackage: the general machinery at
+// T = 2 reproduces the dedicated Haar implementation.
+func TestMultiLevelHaarMatchesWaveletPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	x := randSignal(rng, 32)
+	haarLow := []float64{1 / wavelet.Sqrt2, 1 / wavelet.Sqrt2}
+	haarHigh := []float64{1 / wavelet.Sqrt2, -1 / wavelet.Sqrt2}
+	gotH, gotL := MultiLevelReference(x, haarLow, haarHigh, 2, 5)
+	levels, err := wavelet.Transform(x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantH, wantL := wavelet.Outputs(levels)
+	for l := range wantH {
+		for o := range wantH[l] {
+			if math.Abs(gotH[l][o]-wantH[l][o]) > 1e-9 {
+				t.Fatalf("level %d coeff %d: %g vs %g", l+1, o, gotH[l][o], wantH[l][o])
+			}
+		}
+	}
+	for o := range wantL {
+		if math.Abs(gotL[o]-wantL[o]) > 1e-9 {
+			t.Fatalf("final avg %d: %g vs %g", o, gotL[o], wantL[o])
+		}
+	}
+}
+
+func TestFromMultiLevelRejectsBadShapes(t *testing.T) {
+	m, err := conv.BuildMultiLevel(16, 2, 2, 2, wcfg.Equal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromMultiLevel(m, make([]float64, 15), []float64{1, 1}, []float64{1, -1}); err == nil {
+		t.Error("bad signal length accepted")
+	}
+	if _, err := FromMultiLevel(m, make([]float64, 16), []float64{1}, []float64{1, -1}); err == nil {
+		t.Error("bad filter length accepted")
+	}
+}

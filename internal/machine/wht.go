@@ -1,0 +1,76 @@
+package machine
+
+import (
+	"fmt"
+	"wrbpg/internal/cdag"
+
+	"wrbpg/internal/fft"
+)
+
+// FromWHT builds an executable Walsh–Hadamard transform over the
+// radix-2 butterfly graph of package fft: each butterfly maps its
+// parent pair (a, b) to (a+b, a−b). The WHT shares the FFT's exact
+// dataflow with ±1 twiddles, which keeps execution real-valued.
+func FromWHT(g *fft.Graph, x []float64) (*Program, error) {
+	if len(x) != g.N {
+		return nil, fmt.Errorf("machine: signal length %d != n=%d", len(x), g.N)
+	}
+	p := NewProgram(g.G)
+	for j, v := range g.Stages[0] {
+		p.Inputs[v] = x[j]
+	}
+	// Parents are ordered (self, partner): the low member of a pair
+	// adds, the high member subtracts (partner − is the low value).
+	add := func(a []float64) float64 { return a[0] + a[1] }
+	subRev := func(a []float64) float64 { return a[1] - a[0] }
+	for s := 1; s <= g.K; s++ {
+		bit := 1 << uint(s-1)
+		for j, v := range g.Stages[s] {
+			if j&bit == 0 {
+				p.Ops[v] = add
+			} else {
+				p.Ops[v] = subRev
+			}
+		}
+	}
+	return p, nil
+}
+
+// WHTOutputs extracts the transform result in index order.
+func WHTOutputs(g *fft.Graph, values map[cdag.NodeID]float64) []float64 {
+	out := make([]float64, g.N)
+	for j, v := range g.Stages[g.K] {
+		out[j] = values[v]
+	}
+	return out
+}
+
+// WHTReference computes the Walsh–Hadamard transform directly from
+// the Kronecker recursion H_{2n} = [[H, H], [H, −H]] — an independent
+// O(n²) check for the machine-executed butterflies.
+func WHTReference(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for r := 0; r < n; r++ {
+		var s float64
+		for c := 0; c < n; c++ {
+			// H[r][c] = (−1)^{popcount(r & c)}
+			if popcount(r&c)%2 == 0 {
+				s += x[c]
+			} else {
+				s -= x[c]
+			}
+		}
+		out[r] = s
+	}
+	return out
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		n += x & 1
+		x >>= 1
+	}
+	return n
+}

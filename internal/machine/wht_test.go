@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wrbpg/internal/fft"
+	"wrbpg/internal/wcfg"
+)
+
+// TestWHTExecutionMatchesReference: blocked butterfly schedules
+// compute the Walsh–Hadamard transform exactly, at every block size.
+func TestWHTExecutionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, n := range []int{2, 4, 16, 64} {
+			g, err := fft.Build(n, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := randSignal(rng, n)
+			want := WHTReference(x)
+			for tt := 1; tt <= g.K; tt++ {
+				sched, err := g.BlockedSchedule(tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, err := FromWHT(g, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				budget := g.PredictPeak(tt)
+				values, stats, err := Run(prog, budget, sched)
+				if err != nil {
+					t.Fatalf("%s WHT(%d) t=%d: %v", cfg.Name, n, tt, err)
+				}
+				got := WHTOutputs(g, values)
+				for j := range want {
+					if math.Abs(got[j]-want[j]) > 1e-9 {
+						t.Fatalf("%s WHT(%d) t=%d: y[%d] = %g, want %g", cfg.Name, n, tt, j, got[j], want[j])
+					}
+				}
+				if stats.PeakFastBits > budget {
+					t.Fatalf("peak %d > budget %d", stats.PeakFastBits, budget)
+				}
+			}
+		}
+	}
+}
+
+// TestWHTReferenceInvolution: H·H·x = n·x — a self-check of the
+// reference itself.
+func TestWHTReferenceInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := randSignal(rng, 16)
+	twice := WHTReference(WHTReference(x))
+	for i := range x {
+		if math.Abs(twice[i]-16*x[i]) > 1e-9 {
+			t.Fatalf("involution broken at %d: %g vs %g", i, twice[i], 16*x[i])
+		}
+	}
+}
+
+// TestWHTParseval: energy scales by n under the unnormalised WHT.
+func TestWHTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := randSignal(rng, 32)
+	y := WHTReference(x)
+	var ex, ey float64
+	for i := range x {
+		ex += x[i] * x[i]
+		ey += y[i] * y[i]
+	}
+	if math.Abs(ey-32*ex) > 1e-6 {
+		t.Errorf("Parseval broken: %g vs %g", ey, 32*ex)
+	}
+}
+
+func TestFromWHTRejectsWrongLength(t *testing.T) {
+	g, err := fft.Build(8, wcfg.Equal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromWHT(g, make([]float64, 7)); err == nil {
+		t.Error("expected length error")
+	}
+}

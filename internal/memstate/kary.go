@@ -1,0 +1,153 @@
+package memstate
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+)
+
+// KScheduler generalizes the Pm recursion of Eq. 8 from the paper's
+// "for simplicity, we will take the case where k = 2" to arbitrary
+// in-degrees up to ktree.MaxK: for every parent permutation σ and
+// keep/spill vector δ, the parent computed at position i sees the
+// budget reduced by the still-resident initial states of the parents
+// computed after it and by the reuse states (plus kept red pebbles)
+// of the parents computed before it — the direct product of Eq. 6's
+// strategy enumeration with Eq. 8's state threading.
+type KScheduler struct {
+	g    *cdag.Graph
+	memo map[string]cdag.Weight
+}
+
+// maxK mirrors ktree.MaxK without importing it (memstate must stay
+// import-light); 2^k·k! growth makes anything larger impractical
+// anyway.
+const maxK = 8
+
+// NewKScheduler wraps an in-tree with in-degree at most maxK.
+func NewKScheduler(g *cdag.Graph) (*KScheduler, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.IsTree() {
+		return nil, fmt.Errorf("memstate: graph is not an in-tree")
+	}
+	if k := g.MaxInDegree(); k > maxK {
+		return nil, fmt.Errorf("memstate: in-degree %d exceeds %d", k, maxK)
+	}
+	return &KScheduler{g: g, memo: map[string]cdag.Weight{}}, nil
+}
+
+// Cost returns the k-ary Pm(v, b, I_v, R_v).
+func (s *KScheduler) Cost(v cdag.NodeID, b cdag.Weight, initial, reuse NodeSet) cdag.Weight {
+	return s.pmk(v, b, restrict(s.g, initial, v), restrict(s.g, reuse, v))
+}
+
+// PlainCost is Cost with empty states; it coincides with the k-ary
+// tree DP Pt.
+func (s *KScheduler) PlainCost(v cdag.NodeID, b cdag.Weight) cdag.Weight {
+	return s.Cost(v, b, nil, nil)
+}
+
+func (s *KScheduler) pmk(v cdag.NodeID, b cdag.Weight, ini, reuse NodeSet) cdag.Weight {
+	key := fmt.Sprintf("%d|%d|%s|%s", v, b, ini.key(), reuse.key())
+	if c, ok := s.memo[key]; ok {
+		return c
+	}
+	g := s.g
+	// Guard: v, its parents and its reuse set must co-reside.
+	guardSet := NodeSet{v: true}
+	for r := range reuse {
+		guardSet[r] = true
+	}
+	for _, p := range g.Parents(v) {
+		guardSet[p] = true
+	}
+	var cost cdag.Weight
+	switch {
+	case guardSet.Weight(g) > b:
+		cost = Inf
+	case ini[v]:
+		cost = 0
+		for r := range reuse {
+			if !ini[r] {
+				cost += g.Weight(r)
+			}
+		}
+	case g.InDegree(v) == 0:
+		cost = g.Weight(v)
+	default:
+		parents := g.Parents(v)
+		k := len(parents)
+		// Per-parent restricted states and their weights.
+		iniP := make([]NodeSet, k)
+		reuseP := make([]NodeSet, k)
+		iniW := make([]cdag.Weight, k)
+		reuseW := make([]cdag.Weight, k)
+		for i, p := range parents {
+			iniP[i] = restrict(g, ini, p)
+			reuseP[i] = restrict(g, reuse, p)
+			iniW[i] = iniP[i].Weight(g)
+			reuseW[i] = reuseP[i].Weight(g)
+		}
+		best := Inf
+		perm := make([]int, k)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(n int)
+		eval := func(order []int) {
+			for delta := 0; delta < 1<<uint(k); delta++ {
+				var total, heldBefore cdag.Weight
+				// Initial states of parents not yet computed occupy
+				// memory during earlier parents' phases.
+				var pendingIni cdag.Weight
+				for _, oi := range order {
+					pendingIni += iniW[oi]
+				}
+				bad := false
+				for i := 0; i < k; i++ {
+					oi := order[i]
+					pendingIni -= iniW[oi] // its own subtree is being computed now
+					sub := s.pmk(parents[oi], b-pendingIni-heldBefore, iniP[oi], reuseP[oi])
+					if sub >= Inf {
+						bad = true
+						break
+					}
+					total += sub
+					heldBefore += reuseW[oi]
+					if delta&(1<<uint(i)) != 0 {
+						// Eq. 8 holds R_p ∪ {p}: no double count when
+						// the parent is itself a reuse node.
+						if !reuseP[oi][parents[oi]] {
+							heldBefore += g.Weight(parents[oi])
+						}
+					} else {
+						total += 2 * g.Weight(parents[oi])
+					}
+				}
+				if !bad && total < best {
+					best = total
+				}
+			}
+		}
+		rec = func(n int) {
+			if n == 1 {
+				eval(perm)
+				return
+			}
+			for i := 0; i < n; i++ {
+				rec(n - 1)
+				if n%2 == 0 {
+					perm[i], perm[n-1] = perm[n-1], perm[i]
+				} else {
+					perm[0], perm[n-1] = perm[n-1], perm[0]
+				}
+			}
+		}
+		rec(k)
+		cost = best
+	}
+	s.memo[key] = cost
+	return cost
+}

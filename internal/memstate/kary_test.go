@@ -1,0 +1,156 @@
+package memstate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/ktree"
+)
+
+func TestKSchedulerRejectsBadGraphs(t *testing.T) {
+	g := &cdag.Graph{}
+	a := g.AddNode(1, "a")
+	b := g.AddNode(1, "b", a)
+	c := g.AddNode(1, "c", a)
+	g.AddNode(1, "d", b, c)
+	if _, err := NewKScheduler(g); err == nil {
+		t.Error("diamond accepted")
+	}
+}
+
+// TestKaryMatchesBinaryPm: on binary trees the k-ary generalization
+// reproduces the Eq. 8 implementation exactly, states included.
+func TestKaryMatchesBinaryPm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		wf := func(depth, index int) cdag.Weight { return 1 + cdag.Weight(rng.Intn(3)) }
+		tr, err := ktree.FullTree(2, 1+rng.Intn(3), wf)
+		if err != nil {
+			return false
+		}
+		bin, err := NewScheduler(tr.G)
+		if err != nil {
+			return false
+		}
+		kar, err := NewKScheduler(tr.G)
+		if err != nil {
+			return false
+		}
+		all := tr.G.TopoOrder()
+		ini := NodeSet{}
+		reuse := NodeSet{}
+		if rng.Intn(2) == 0 {
+			ini[all[rng.Intn(len(all))]] = true
+		}
+		if rng.Intn(2) == 0 {
+			reuse[all[rng.Intn(len(all))]] = true
+		}
+		b := core.MinExistenceBudget(tr.G) + cdag.Weight(rng.Intn(8))
+		pb := bin.Cost(tr.Root, b, ini, reuse)
+		pk := kar.Cost(tr.Root, b, ini, reuse)
+		if pb != pk {
+			t.Logf("seed %d b=%d: binary %d vs k-ary %d (I=%s R=%s)",
+				seed, b, pb, pk, Describe(tr.G, ini), Describe(tr.G, reuse))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKaryPlainMatchesKtree: with empty states the k-ary Pm equals Pt
+// for ternary and quaternary trees too.
+func TestKaryPlainMatchesKtree(t *testing.T) {
+	for _, k := range []int{3, 4} {
+		tr, err := ktree.FullTree(k, 1, func(d, i int) cdag.Weight { return 1 + cdag.Weight(i%2) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks := ktree.NewScheduler(tr)
+		ms, err := NewKScheduler(tr.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minB := core.MinExistenceBudget(tr.G)
+		for b := minB; b <= minB+5; b++ {
+			want := ks.MinCost(b) - tr.G.Weight(tr.Root)
+			if got := ms.PlainCost(tr.Root, b); got != want {
+				t.Errorf("k=%d b=%d: Pm %d != Pt %d", k, b, got, want)
+			}
+		}
+	}
+}
+
+// TestKaryInitialParents: a ternary root with all parents resident
+// costs nothing.
+func TestKaryInitialParents(t *testing.T) {
+	tr, err := ktree.FullTree(3, 1, func(d, i int) cdag.Weight { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewKScheduler(tr.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := tr.G.Parents(tr.Root)
+	ini := NewNodeSet(ps...)
+	if got := ms.Cost(tr.Root, 10, ini, nil); got != 0 {
+		t.Errorf("cost = %d, want 0", got)
+	}
+	// Two of three resident: one leaf load.
+	ini2 := NewNodeSet(ps[0], ps[1])
+	if got := ms.Cost(tr.Root, 10, ini2, nil); got != 1 {
+		t.Errorf("cost = %d, want 1", got)
+	}
+}
+
+// TestKaryReuseGuard: demanding co-residency of a distant node
+// tightens feasibility, as in the binary case.
+func TestKaryReuseGuard(t *testing.T) {
+	tr, err := ktree.FullTree(3, 2, func(d, i int) cdag.Weight { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewKScheduler(tr.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := tr.G.Sources()[0]
+	minB := core.MinExistenceBudget(tr.G) // root + 3 parents = 4
+	if got := ms.Cost(tr.Root, minB, nil, nil); got >= Inf {
+		t.Fatalf("plain cost should be feasible at %d", minB)
+	}
+	if got := ms.Cost(tr.Root, minB, nil, NewNodeSet(leaf)); got < Inf {
+		t.Error("distant reuse at the existence bound should be infeasible")
+	}
+	if got := ms.Cost(tr.Root, minB+1, nil, NewNodeSet(leaf)); got >= Inf {
+		t.Error("one extra unit should restore feasibility")
+	}
+}
+
+// TestKaryMonotone: k-ary Pm never increases with budget.
+func TestKaryMonotone(t *testing.T) {
+	tr, err := ktree.FullTree(3, 2, func(d, i int) cdag.Weight { return 1 + cdag.Weight(d%2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewKScheduler(tr.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := tr.G.Sources()[1]
+	minB := core.MinExistenceBudget(tr.G)
+	prev := ms.Cost(tr.Root, minB, nil, NewNodeSet(leaf))
+	for b := minB + 1; b <= minB+12; b++ {
+		cur := ms.Cost(tr.Root, b, nil, NewNodeSet(leaf))
+		if cur > prev {
+			t.Fatalf("not monotone at %d: %d > %d", b, cur, prev)
+		}
+		prev = cur
+	}
+}

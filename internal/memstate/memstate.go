@@ -1,0 +1,217 @@
+// Package memstate extends the k-ary tree pebbling procedure with
+// user-defined fast memory states (Section 4.1 of the paper, Eq. 8,
+// for k = 2).
+//
+// The user supplies an initial state I ⊆ V — nodes already resident
+// in fast memory before the target node v is computed — and a reuse
+// state R ⊆ V — nodes that must be resident after v has been
+// computed. Pm(v, b, I, R) is the minimum weighted cost of computing
+// v under budget b while honouring those states. For a node u,
+// X_u ≜ X ∩ (pred(u) ∪ {u}) restricts a state to u's subtree; budget
+// adjustments thread the states through the two parents according to
+// their computation order exactly as in Eq. 8.
+//
+// This machinery is what turns the tree scheduler into a tiling
+// scheduler: tiles of the MVM graph are scheduled as binary-tree
+// chains whose accumulators and resident vector entries appear in I
+// and R (package mvm).
+package memstate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"wrbpg/internal/cdag"
+)
+
+// Inf is the sentinel cost of an infeasible subproblem.
+const Inf cdag.Weight = math.MaxInt64 / 4
+
+// NodeSet is a set of node IDs.
+type NodeSet map[cdag.NodeID]bool
+
+// NewNodeSet builds a set from IDs.
+func NewNodeSet(ids ...cdag.NodeID) NodeSet {
+	s := NodeSet{}
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Sorted returns the members in ascending order.
+func (s NodeSet) Sorted() []cdag.NodeID { return cdag.SortedIDs(map[cdag.NodeID]bool(s)) }
+
+// key returns a canonical string for memoization.
+func (s NodeSet) key() string {
+	ids := s.Sorted()
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}
+
+// Weight sums the weights of the members.
+func (s NodeSet) Weight(g *cdag.Graph) cdag.Weight {
+	var w cdag.Weight
+	for v := range s {
+		w += g.Weight(v)
+	}
+	return w
+}
+
+// restrict returns X_u = X ∩ (pred(u) ∪ {u}).
+func restrict(g *cdag.Graph, x NodeSet, u cdag.NodeID) NodeSet {
+	if len(x) == 0 {
+		return NodeSet{}
+	}
+	anc := g.Ancestors(u)
+	out := NodeSet{}
+	for v := range x {
+		if v == u || anc[v] {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// Scheduler evaluates Pm on a binary in-tree.
+type Scheduler struct {
+	g    *cdag.Graph
+	memo map[string]cdag.Weight
+}
+
+// NewScheduler wraps a binary in-tree (every in-degree 0 or 2, unique
+// sink); Eq. 8 is stated for k = 2.
+func NewScheduler(g *cdag.Graph) (*Scheduler, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.IsTree() {
+		return nil, fmt.Errorf("memstate: graph is not an in-tree")
+	}
+	for v := 0; v < g.Len(); v++ {
+		if d := g.InDegree(cdag.NodeID(v)); d != 0 && d != 2 {
+			return nil, fmt.Errorf("memstate: node %d has in-degree %d; Eq. 8 requires a binary tree", v, d)
+		}
+	}
+	return &Scheduler{g: g, memo: map[string]cdag.Weight{}}, nil
+}
+
+// Cost returns Pm(v, b, I_v, R_v) per Eq. 8. The caller's I and R are
+// restricted to v's subtree internally, so passing global states is
+// safe.
+func (s *Scheduler) Cost(v cdag.NodeID, b cdag.Weight, initial, reuse NodeSet) cdag.Weight {
+	return s.pm(v, b, restrict(s.g, initial, v), restrict(s.g, reuse, v))
+}
+
+func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse NodeSet) cdag.Weight {
+	key := fmt.Sprintf("%d|%d|%s|%s", v, b, ini.key(), reuse.key())
+	if c, ok := s.memo[key]; ok {
+		return c
+	}
+	g := s.g
+	// Budget guard: v, its parents and its reuse set must co-reside.
+	var guard cdag.Weight
+	seen := NodeSet{}
+	for r := range reuse {
+		seen[r] = true
+	}
+	seen[v] = true
+	for _, p := range g.Parents(v) {
+		seen[p] = true
+	}
+	for r := range seen {
+		guard += g.Weight(r)
+	}
+	var cost cdag.Weight
+	switch {
+	case guard > b:
+		cost = Inf
+	case ini[v]:
+		// v already resident: only bring in reuse nodes not yet in
+		// fast memory (they hold blue pebbles).
+		cost = 0
+		for r := range reuse {
+			if !ini[r] {
+				cost += g.Weight(r)
+			}
+		}
+	case g.InDegree(v) == 0:
+		cost = g.Weight(v)
+	default:
+		ps := g.Parents(v)
+		p1, p2 := ps[0], ps[1]
+		i1, i2 := restrict(g, ini, p1), restrict(g, ini, p2)
+		r1, r2 := restrict(g, reuse, p1), restrict(g, reuse, p2)
+		w1, w2 := g.Weight(p1), g.Weight(p2)
+
+		add := func(xs ...cdag.Weight) cdag.Weight {
+			var t cdag.Weight
+			for _, x := range xs {
+				if x >= Inf {
+					return Inf
+				}
+				t += x
+			}
+			return t
+		}
+		// W(R_p ∪ {p}): the kept parent's weight, not double-counted
+		// when the parent is itself in its reuse set.
+		unionW := func(x NodeSet, p cdag.NodeID) cdag.Weight {
+			w := x.Weight(g)
+			if !x[p] {
+				w += g.Weight(p)
+			}
+			return w
+		}
+
+		// Strategy: p1 first. Its budget excludes p2's initially
+		// resident nodes; p2's budget then excludes p1's reuse nodes
+		// (plus p1 itself if kept red).
+		spill1 := add(s.pm(p1, b-i2.Weight(g), i1, r1), s.pm(p2, b-r1.Weight(g), i2, r2), 2*w1)
+		keep1 := add(s.pm(p1, b-i2.Weight(g), i1, r1), s.pm(p2, b-unionW(r1, p1), i2, r2))
+		spill2 := add(s.pm(p2, b-i1.Weight(g), i2, r2), s.pm(p1, b-r2.Weight(g), i1, r1), 2*w2)
+		keep2 := add(s.pm(p2, b-i1.Weight(g), i2, r2), s.pm(p1, b-unionW(r2, p2), i1, r1))
+
+		cost = keep1
+		for _, c := range []cdag.Weight{keep2, spill1, spill2} {
+			if c < cost {
+				cost = c
+			}
+		}
+		if cost >= Inf {
+			cost = Inf
+		}
+	}
+	s.memo[key] = cost
+	return cost
+}
+
+// PlainCost returns Pm with empty states, which coincides with the
+// k-ary tree DP Pt for binary trees — the consistency property tested
+// in this package.
+func (s *Scheduler) PlainCost(v cdag.NodeID, b cdag.Weight) cdag.Weight {
+	return s.Cost(v, b, nil, nil)
+}
+
+// Root returns the unique sink of the tree.
+func (s *Scheduler) Root() cdag.NodeID { return s.g.Sinks()[0] }
+
+// Describe renders the states compactly for error messages and logs.
+func Describe(g *cdag.Graph, set NodeSet) string {
+	ids := set.Sorted()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		name := g.Name(id)
+		if name == "" {
+			name = fmt.Sprintf("v%d", id)
+		}
+		parts[i] = name
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, " ") + "}"
+}

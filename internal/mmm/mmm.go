@@ -1,0 +1,122 @@
+// Package mmm extends the MVM tiling scheduler to dense matrix-matrix
+// multiplication — the direction Section 4.3 closes with: "this
+// tiling approach ... is extensible to more complicated tensor
+// computations and their graph representations".
+//
+// MMM(m, k, n) is the CDAG of C = A·B with A ∈ R^{m×k}, B ∈ R^{k×n}:
+// mk + kn inputs, mnk products a_{il}·b_{lj}, and mn·(k−1)
+// accumulation nodes chaining each output cell across l. Three
+// schedule families generalize the MVM strategies:
+//
+//   - CTile(th, tw): a th×tw tile of output accumulators stays
+//     resident while both operands stream; every A entry is read once
+//     per column-tile and every B entry once per row-tile — the
+//     classic blocked GEMM shape with its 2mnk/√S-style traffic.
+//   - BResident: all of B pinned, outputs produced row by row; every
+//     input is read exactly once (compulsory-only I/O).
+//   - AResident: the transpose-symmetric strategy pinning A.
+//
+// The weighted model decides between them exactly as it does for MVM:
+// which operand (or output tile) deserves residency depends on the
+// weight configuration and the matrix shape.
+package mmm
+
+import (
+	"fmt"
+	"math"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/wcfg"
+)
+
+// Inf is the sentinel cost of an infeasible configuration.
+const Inf cdag.Weight = math.MaxInt64 / 4
+
+// Graph is an MMM(m, k, n) CDAG with its layout.
+type Graph struct {
+	// G is the underlying node-weighted CDAG.
+	G *cdag.Graph
+	// M×K is A's shape, K×N is B's.
+	M, K, N int
+	// Cfg records the weight configuration.
+	Cfg wcfg.Config
+	// A[i-1][l-1], B[l-1][j-1] are the operand inputs.
+	A, B [][]cdag.NodeID
+	// Prod[i-1][j-1][l-1] is a_{il}·b_{lj}.
+	Prod [][][]cdag.NodeID
+	// Acc[i-1][j-1][l-2] is the partial sum of cell (i,j) after
+	// column l ≥ 2.
+	Acc [][][]cdag.NodeID
+}
+
+// Build constructs MMM(m, k, n); all dimensions ≥ 1, and m·n ≥ 2 so
+// that sources and sinks stay disjoint.
+func Build(m, k, n int, cfg wcfg.Config) (*Graph, error) {
+	if m < 1 || k < 1 || n < 1 || m*n < 2 {
+		return nil, fmt.Errorf("mmm: invalid dimensions (%d,%d,%d)", m, k, n)
+	}
+	g := &cdag.Graph{}
+	out := &Graph{G: g, M: m, K: k, N: n, Cfg: cfg}
+	wi, wn := cfg.Input(), cfg.Node()
+
+	out.A = make([][]cdag.NodeID, m)
+	for i := 1; i <= m; i++ {
+		out.A[i-1] = make([]cdag.NodeID, k)
+		for l := 1; l <= k; l++ {
+			out.A[i-1][l-1] = g.AddNode(wi, fmt.Sprintf("a[%d,%d]", i, l))
+		}
+	}
+	out.B = make([][]cdag.NodeID, k)
+	for l := 1; l <= k; l++ {
+		out.B[l-1] = make([]cdag.NodeID, n)
+		for j := 1; j <= n; j++ {
+			out.B[l-1][j-1] = g.AddNode(wi, fmt.Sprintf("b[%d,%d]", l, j))
+		}
+	}
+	out.Prod = make([][][]cdag.NodeID, m)
+	out.Acc = make([][][]cdag.NodeID, m)
+	for i := 1; i <= m; i++ {
+		out.Prod[i-1] = make([][]cdag.NodeID, n)
+		out.Acc[i-1] = make([][]cdag.NodeID, n)
+		for j := 1; j <= n; j++ {
+			out.Prod[i-1][j-1] = make([]cdag.NodeID, k)
+			if k > 1 {
+				out.Acc[i-1][j-1] = make([]cdag.NodeID, k-1)
+			}
+		}
+	}
+	// Products and accumulators in l-major order so accumulation
+	// chains point forward.
+	for l := 1; l <= k; l++ {
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= n; j++ {
+				out.Prod[i-1][j-1][l-1] = g.AddNode(wn, fmt.Sprintf("p[%d,%d,%d]", i, j, l),
+					out.A[i-1][l-1], out.B[l-1][j-1])
+			}
+		}
+		if l >= 2 {
+			for i := 1; i <= m; i++ {
+				for j := 1; j <= n; j++ {
+					out.Acc[i-1][j-1][l-2] = g.AddNode(wn, fmt.Sprintf("s[%d,%d,%d]", i, j, l),
+						out.Head(i, j, l-1), out.Prod[i-1][j-1][l-1])
+				}
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("mmm: internal construction error: %w", err)
+	}
+	return out, nil
+}
+
+// Head returns the node holding cell (i,j)'s partial sum after column
+// l (all 1-based).
+func (g *Graph) Head(i, j, l int) cdag.NodeID {
+	if l == 1 {
+		return g.Prod[i-1][j-1][0]
+	}
+	return g.Acc[i-1][j-1][l-2]
+}
+
+// Output returns the sink node of cell (i, j).
+func (g *Graph) Output(i, j int) cdag.NodeID { return g.Head(i, j, g.K) }

@@ -1,0 +1,255 @@
+package mmm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/exact"
+	"wrbpg/internal/wcfg"
+)
+
+func buildOrFatal(t *testing.T, m, k, n int, cfg wcfg.Config) *Graph {
+	t.Helper()
+	g, err := Build(m, k, n, cfg)
+	if err != nil {
+		t.Fatalf("Build(%d,%d,%d): %v", m, k, n, err)
+	}
+	return g
+}
+
+func TestBuildRejectsBadDims(t *testing.T) {
+	eq := wcfg.Equal(16)
+	for _, d := range [][3]int{{0, 1, 1}, {1, 0, 2}, {2, 2, 0}, {1, 3, 1}} {
+		if _, err := Build(d[0], d[1], d[2], eq); err == nil {
+			t.Errorf("Build(%v) should fail", d)
+		}
+	}
+}
+
+func TestStructure(t *testing.T) {
+	g := buildOrFatal(t, 2, 3, 4, wcfg.Equal(16))
+	// 2·3 + 3·4 inputs, 2·4·3 products, 2·4·2 accumulators.
+	want := 6 + 12 + 24 + 16
+	if g.G.Len() != want {
+		t.Fatalf("nodes = %d, want %d", g.G.Len(), want)
+	}
+	// Product parents.
+	ps := g.G.Parents(g.Prod[1][2][1]) // p[2,3,2]
+	if ps[0] != g.A[1][1] || ps[1] != g.B[1][2] {
+		t.Error("product parents wrong")
+	}
+	// Accumulator chain.
+	ps = g.G.Parents(g.Acc[0][0][0]) // s[1,1,2]
+	if ps[0] != g.Prod[0][0][0] || ps[1] != g.Prod[0][0][1] {
+		t.Error("first accumulator parents wrong")
+	}
+	// Outputs are the last accumulators.
+	if len(g.G.Sinks()) != 8 {
+		t.Errorf("sinks = %d, want 8", len(g.G.Sinks()))
+	}
+	if g.Output(2, 4) != g.Acc[1][3][1] {
+		t.Error("Output wrong")
+	}
+}
+
+func TestK1ProductsAreOutputs(t *testing.T) {
+	g := buildOrFatal(t, 2, 1, 3, wcfg.Equal(16))
+	if len(g.G.Sinks()) != 6 {
+		t.Fatalf("sinks = %d", len(g.G.Sinks()))
+	}
+	if g.Output(1, 2) != g.Prod[0][1][0] {
+		t.Error("k=1 output should be the product")
+	}
+}
+
+// TestScheduleValidAndPredicted: every strategy and tile shape
+// simulates cleanly with exactly the predicted cost and peak.
+func TestScheduleValidAndPredicted(t *testing.T) {
+	for _, cfg := range []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)} {
+		for _, d := range [][3]int{{2, 1, 2}, {2, 2, 2}, {3, 2, 4}, {4, 3, 2}, {2, 5, 3}} {
+			g := buildOrFatal(t, d[0], d[1], d[2], cfg)
+			var configs []Config
+			for th := 1; th <= g.M; th++ {
+				for tw := 1; tw <= g.N; tw++ {
+					configs = append(configs, Config{Strategy: CTile, TileRows: th, TileCols: tw})
+				}
+			}
+			configs = append(configs, Config{Strategy: BResident}, Config{Strategy: AResident})
+			for _, c := range configs {
+				sched, err := g.Schedule(c)
+				if err != nil {
+					t.Fatalf("%s MMM%v %v: %v", cfg.Name, d, c, err)
+				}
+				peak := g.PredictPeak(c)
+				stats, err := core.Simulate(g.G, peak, sched)
+				if err != nil {
+					t.Fatalf("%s MMM%v %v: %v", cfg.Name, d, c, err)
+				}
+				if stats.PeakRedWeight != peak {
+					t.Errorf("%s MMM%v %v: peak %d != predicted %d", cfg.Name, d, c, stats.PeakRedWeight, peak)
+				}
+				if want := g.PredictCost(c); stats.Cost != want {
+					t.Errorf("%s MMM%v %v: cost %d != predicted %d", cfg.Name, d, c, stats.Cost, want)
+				}
+			}
+		}
+	}
+}
+
+// TestResidentStrategiesMeetLB: pinning either operand yields
+// compulsory-only I/O.
+func TestResidentStrategiesMeetLB(t *testing.T) {
+	g := buildOrFatal(t, 4, 3, 5, wcfg.DoubleAccumulator(16))
+	lb := core.LowerBound(g.G)
+	for _, s := range []Strategy{BResident, AResident} {
+		if got := g.PredictCost(Config{Strategy: s}); got != lb {
+			t.Errorf("%v cost = %d, want LB %d", s, got, lb)
+		}
+	}
+	if got := g.PredictCost(Config{Strategy: CTile, TileRows: 4, TileCols: 5}); got != lb {
+		t.Errorf("full tile cost = %d, want LB %d", got, lb)
+	}
+}
+
+// TestShapeDecidesResidency: a wide B favours A-residency and vice
+// versa, mirroring the MVM accumulator/vector flip.
+func TestShapeDecidesResidency(t *testing.T) {
+	eq := wcfg.Equal(16)
+	wide := buildOrFatal(t, 4, 3, 40, eq) // B is 3×40: pin A (12 entries)
+	tall := buildOrFatal(t, 40, 3, 4, eq) // A is 40×3: pin B (12 entries)
+	wideCfg, _, err := wide.Search(wide.MinMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tallCfg, _, err := tall.Search(tall.MinMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wideCfg.Strategy != AResident {
+		t.Errorf("wide B: strategy = %v, want a-resident", wideCfg)
+	}
+	if tallCfg.Strategy != BResident {
+		t.Errorf("tall A: strategy = %v, want b-resident", tallCfg)
+	}
+}
+
+// TestSearchMonotone and budget respect.
+func TestSearchMonotone(t *testing.T) {
+	g := buildOrFatal(t, 6, 4, 8, wcfg.Equal(16))
+	prev := Inf
+	for b := cdag.Weight(64); b <= g.MinMemory()+64; b += 16 {
+		cur := g.MinCost(b)
+		if cur > prev {
+			t.Fatalf("cost not monotone at %d: %d > %d", b, cur, prev)
+		}
+		if cur < Inf {
+			prev = cur
+		}
+	}
+	if got := g.MinCost(g.MinMemory()); got != core.LowerBound(g.G) {
+		t.Errorf("cost at MinMemory = %d, want LB", got)
+	}
+	if got := g.MinCost(g.MinMemory() - 16); got == core.LowerBound(g.G) {
+		t.Error("LB met below MinMemory")
+	}
+}
+
+// TestGEMMTrafficLaw: with square matrices and a th×th tile, operand
+// traffic scales like 2·n³/th — the classic blocked-GEMM law.
+func TestGEMMTrafficLaw(t *testing.T) {
+	g := buildOrFatal(t, 8, 8, 8, wcfg.Equal(16))
+	lb := core.LowerBound(g.G)
+	extra := func(th int) cdag.Weight {
+		return g.PredictCost(Config{Strategy: CTile, TileRows: th, TileCols: th}) - lb
+	}
+	// extra(th) = 2·64·(8/th − 1)·16 bits.
+	if extra(8) != 0 {
+		t.Errorf("extra(8) = %d", extra(8))
+	}
+	if got, want := extra(4), cdag.Weight(2*64*1*16); got != want {
+		t.Errorf("extra(4) = %d, want %d", got, want)
+	}
+	if got, want := extra(2), cdag.Weight(2*64*3*16); got != want {
+		t.Errorf("extra(2) = %d, want %d", got, want)
+	}
+	if got, want := extra(1), cdag.Weight(2*64*7*16); got != want {
+		t.Errorf("extra(1) = %d, want %d", got, want)
+	}
+}
+
+// TestAgainstExactTiny: MMM(2,1,2) (8 nodes) against the exhaustive
+// optimum at generous memory.
+func TestAgainstExactTiny(t *testing.T) {
+	g := buildOrFatal(t, 2, 1, 2, wcfg.Equal(1))
+	b := g.G.TotalWeight()
+	res, err := exact.Solve(g.G, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MinCost(b); got != res.Cost {
+		t.Errorf("search at full memory = %d, exact = %d", got, res.Cost)
+	}
+}
+
+// TestSearchRespectsBudgetQuick.
+func TestSearchRespectsBudgetQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		if m*n < 2 {
+			return true
+		}
+		cfgs := []wcfg.Config{wcfg.Equal(16), wcfg.DoubleAccumulator(16)}
+		g, err := Build(m, k, n, cfgs[rng.Intn(2)])
+		if err != nil {
+			return false
+		}
+		b := cdag.Weight(48) + cdag.Weight(rng.Intn(50))*16
+		c, cost, err := g.Search(b)
+		if err != nil {
+			return true // budget too small for any strategy
+		}
+		return g.PredictPeak(c) <= b && cost == g.PredictCost(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := buildOrFatal(t, 3, 2, 3, wcfg.Equal(16))
+	for _, c := range []Config{
+		{Strategy: CTile, TileRows: 0, TileCols: 1},
+		{Strategy: CTile, TileRows: 4, TileCols: 1},
+		{Strategy: CTile, TileRows: 1, TileCols: 9},
+		{Strategy: Strategy(9)},
+	} {
+		if _, err := g.Schedule(c); err == nil {
+			t.Errorf("Schedule(%v) should fail", c)
+		}
+		if g.PredictCost(c) < Inf || g.PredictPeak(c) < Inf {
+			t.Errorf("predictions for bad config %v should be Inf", c)
+		}
+	}
+	if (Config{Strategy: CTile, TileRows: 2, TileCols: 3}).String() == "" {
+		t.Error("empty config string")
+	}
+	if BResident.String() == "" || Strategy(9).String() == "" {
+		t.Error("strategy strings")
+	}
+}
+
+func BenchmarkScheduleMMM16(b *testing.B) {
+	g, err := Build(16, 16, 16, wcfg.Equal(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Schedule(Config{Strategy: CTile, TileRows: 4, TileCols: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package mmm
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+)
+
+// Strategy selects one of the three schedule families.
+type Strategy uint8
+
+const (
+	// CTile keeps a TileRows×TileCols block of output accumulators
+	// resident while both operands stream.
+	CTile Strategy = iota
+	// BResident pins all of B and produces outputs row by row; every
+	// input is read exactly once.
+	BResident
+	// AResident pins all of A and produces outputs column by column.
+	AResident
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case CTile:
+		return "c-tile"
+	case BResident:
+		return "b-resident"
+	case AResident:
+		return "a-resident"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Config parameterizes a schedule. TileRows/TileCols apply to CTile
+// only.
+type Config struct {
+	Strategy           Strategy
+	TileRows, TileCols int
+}
+
+func (c Config) String() string {
+	if c.Strategy == CTile {
+		return fmt.Sprintf("c-tile{%d×%d}", c.TileRows, c.TileCols)
+	}
+	return c.Strategy.String()
+}
+
+func (g *Graph) validate(c Config) error {
+	switch c.Strategy {
+	case CTile:
+		if c.TileRows < 1 || c.TileRows > g.M || c.TileCols < 1 || c.TileCols > g.N {
+			return fmt.Errorf("mmm: tile %dx%d out of range [1,%d]x[1,%d]", c.TileRows, c.TileCols, g.M, g.N)
+		}
+	case BResident, AResident:
+	default:
+		return fmt.Errorf("mmm: unknown strategy %v", c.Strategy)
+	}
+	return nil
+}
+
+// Schedule emits the full WRBPG move sequence for the configuration.
+// Its simulated cost and peak always equal PredictCost/PredictPeak
+// (asserted by the package tests).
+func (g *Graph) Schedule(c Config) (core.Schedule, error) {
+	if err := g.validate(c); err != nil {
+		return nil, err
+	}
+	var s core.Schedule
+	mv := func(k core.MoveKind, v cdag.NodeID) {
+		s = append(s, core.Move{Kind: k, Node: v})
+	}
+	// cellPass runs column l of cell (i,j): product, accumulation,
+	// transient releases. Operand nodes are managed by the caller.
+	cellPass := func(i, j, l int) {
+		mv(core.M3, g.Prod[i-1][j-1][l-1])
+		if l >= 2 {
+			mv(core.M3, g.Acc[i-1][j-1][l-2])
+			mv(core.M4, g.Prod[i-1][j-1][l-1])
+			mv(core.M4, g.Head(i, j, l-1))
+		} else if g.K == 1 {
+			mv(core.M2, g.Prod[i-1][j-1][0])
+			mv(core.M4, g.Prod[i-1][j-1][0])
+		}
+	}
+	store := func(i, j int) {
+		if g.K == 1 {
+			return // stored inside cellPass
+		}
+		out := g.Output(i, j)
+		mv(core.M2, out)
+		mv(core.M4, out)
+	}
+	switch c.Strategy {
+	case CTile:
+		for ri := 1; ri <= g.M; ri += c.TileRows {
+			rhi := min(ri+c.TileRows-1, g.M)
+			for cj := 1; cj <= g.N; cj += c.TileCols {
+				chi := min(cj+c.TileCols-1, g.N)
+				for l := 1; l <= g.K; l++ {
+					for j := cj; j <= chi; j++ {
+						mv(core.M1, g.B[l-1][j-1])
+					}
+					for i := ri; i <= rhi; i++ {
+						mv(core.M1, g.A[i-1][l-1])
+						for j := cj; j <= chi; j++ {
+							cellPass(i, j, l)
+						}
+						mv(core.M4, g.A[i-1][l-1])
+					}
+					for j := cj; j <= chi; j++ {
+						mv(core.M4, g.B[l-1][j-1])
+					}
+				}
+				for i := ri; i <= rhi; i++ {
+					for j := cj; j <= chi; j++ {
+						store(i, j)
+					}
+				}
+			}
+		}
+	case BResident:
+		for l := 1; l <= g.K; l++ {
+			for j := 1; j <= g.N; j++ {
+				mv(core.M1, g.B[l-1][j-1])
+			}
+		}
+		for i := 1; i <= g.M; i++ {
+			for l := 1; l <= g.K; l++ {
+				mv(core.M1, g.A[i-1][l-1])
+				for j := 1; j <= g.N; j++ {
+					cellPass(i, j, l)
+				}
+				mv(core.M4, g.A[i-1][l-1])
+			}
+			for j := 1; j <= g.N; j++ {
+				store(i, j)
+			}
+		}
+		for l := 1; l <= g.K; l++ {
+			for j := 1; j <= g.N; j++ {
+				mv(core.M4, g.B[l-1][j-1])
+			}
+		}
+	case AResident:
+		for i := 1; i <= g.M; i++ {
+			for l := 1; l <= g.K; l++ {
+				mv(core.M1, g.A[i-1][l-1])
+			}
+		}
+		for j := 1; j <= g.N; j++ {
+			for l := 1; l <= g.K; l++ {
+				mv(core.M1, g.B[l-1][j-1])
+				for i := 1; i <= g.M; i++ {
+					cellPass(i, j, l)
+				}
+				mv(core.M4, g.B[l-1][j-1])
+			}
+			for i := 1; i <= g.M; i++ {
+				store(i, j)
+			}
+		}
+		for i := 1; i <= g.M; i++ {
+			for l := 1; l <= g.K; l++ {
+				mv(core.M4, g.A[i-1][l-1])
+			}
+		}
+	}
+	return s, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// PredictCost returns the weighted I/O of Schedule(c) in closed form.
+func (g *Graph) PredictCost(c Config) cdag.Weight {
+	if err := g.validate(c); err != nil {
+		return Inf
+	}
+	wi, wn := g.Cfg.Input(), g.Cfg.Node()
+	lb := cdag.Weight(g.M*g.K+g.K*g.N)*wi + cdag.Weight(g.M*g.N)*wn
+	if c.Strategy != CTile {
+		return lb
+	}
+	rowTiles := ceilDiv(g.M, c.TileRows)
+	colTiles := ceilDiv(g.N, c.TileCols)
+	extra := cdag.Weight(g.M*g.K)*cdag.Weight(colTiles-1) + cdag.Weight(g.K*g.N)*cdag.Weight(rowTiles-1)
+	return lb + extra*wi
+}
+
+// PredictPeak returns the peak red weight of Schedule(c) in closed
+// form (bits).
+func (g *Graph) PredictPeak(c Config) cdag.Weight {
+	if err := g.validate(c); err != nil {
+		return Inf
+	}
+	wi, wn := g.Cfg.Input(), g.Cfg.Node()
+	// Working set beyond the resident block: one a (or b) entry, the
+	// in-flight product, and (for k ≥ 2) the new accumulator.
+	work := func(strip cdag.Weight) cdag.Weight {
+		p := strip + wi + wn // operand strip + streamed entry + product
+		if g.K >= 2 {
+			if q := strip + wi + 2*wn; q > p { // during the accumulation
+				p = q
+			}
+		}
+		return p
+	}
+	switch c.Strategy {
+	case CTile:
+		tile := cdag.Weight(c.TileRows*c.TileCols) * wn
+		if g.K == 1 {
+			// Products are stored immediately; no tile accumulates.
+			tile = 0
+		}
+		strip := cdag.Weight(c.TileCols) * wi // the B row segment
+		return tile + work(strip)
+	case BResident:
+		res := cdag.Weight(g.K*g.N) * wi
+		heads := cdag.Weight(g.N) * wn
+		if g.K == 1 {
+			heads = 0
+		}
+		return res + heads + work(0)
+	default: // AResident
+		res := cdag.Weight(g.M*g.K) * wi
+		heads := cdag.Weight(g.M) * wn
+		if g.K == 1 {
+			heads = 0
+		}
+		return res + heads + work(0)
+	}
+}
+
+// Candidates enumerates the configurations worth searching: tile
+// shapes covering every distinct (row-tiles, col-tiles) pair plus the
+// two resident-operand strategies.
+func (g *Graph) Candidates() []Config {
+	var out []Config
+	seenR := map[int]bool{}
+	for q := 1; q <= g.M; q++ {
+		th := ceilDiv(g.M, q)
+		if seenR[th] {
+			continue
+		}
+		seenR[th] = true
+		seenC := map[int]bool{}
+		for r := 1; r <= g.N; r++ {
+			tw := ceilDiv(g.N, r)
+			if seenC[tw] {
+				continue
+			}
+			seenC[tw] = true
+			out = append(out, Config{Strategy: CTile, TileRows: th, TileCols: tw})
+		}
+	}
+	out = append(out, Config{Strategy: BResident}, Config{Strategy: AResident})
+	return out
+}
+
+// Search returns the minimum-cost configuration fitting the budget.
+func (g *Graph) Search(budget cdag.Weight) (Config, cdag.Weight, error) {
+	best := Config{}
+	bestCost, bestPeak := Inf, Inf
+	for _, c := range g.Candidates() {
+		peak := g.PredictPeak(c)
+		if peak > budget {
+			continue
+		}
+		cost := g.PredictCost(c)
+		if cost < bestCost || (cost == bestCost && peak < bestPeak) {
+			best, bestCost, bestPeak = c, cost, peak
+		}
+	}
+	if bestCost >= Inf {
+		return Config{}, Inf, fmt.Errorf("mmm: no configuration fits budget %d", budget)
+	}
+	return best, bestCost, nil
+}
+
+// MinCost returns the best cost under the budget, Inf if none fits.
+func (g *Graph) MinCost(budget cdag.Weight) cdag.Weight {
+	_, c, err := g.Search(budget)
+	if err != nil {
+		return Inf
+	}
+	return c
+}
+
+// MinMemory returns the smallest budget achieving the algorithmic
+// lower bound: the cheapest of the full C tile, B-resident and
+// A-resident peaks.
+func (g *Graph) MinMemory() cdag.Weight {
+	best := g.PredictPeak(Config{Strategy: CTile, TileRows: g.M, TileCols: g.N})
+	for _, c := range []Config{{Strategy: BResident}, {Strategy: AResident}} {
+		if p := g.PredictPeak(c); p < best {
+			best = p
+		}
+	}
+	return best
+}

@@ -1,0 +1,127 @@
+// Package mvm builds the MVM(m, n) matrix-vector multiplication
+// dataflow graphs of Definition 4.1 and implements the paper's tiling
+// scheduler (Section 4.3), which composes minimal tile schedules under
+// initial/reuse memory-state semantics into a schedule for the whole
+// graph.
+//
+// Layer S_1 interleaves the inputs column by column — x_c followed by
+// a_{1,c} … a_{m,c} — exactly as the definition's indexing demands.
+// Layer S_2 holds the mn products a_{r,c}·x_c; layers S_3 … S_{n+1}
+// hold the m running accumulators after each additional column. The
+// outputs are the final accumulators (the products themselves when
+// n = 1).
+package mvm
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/wcfg"
+)
+
+// Graph is an MVM(m, n) CDAG plus its layout and weight classes.
+type Graph struct {
+	// G is the underlying node-weighted CDAG.
+	G *cdag.Graph
+	// M is the number of matrix rows (outputs), N the number of
+	// columns (vector length).
+	M, N int
+	// Cfg records the weight configuration the graph was built with.
+	Cfg wcfg.Config
+	// X[c-1] is the vector input x_c.
+	X []cdag.NodeID
+	// A[r-1][c-1] is the matrix input a_{r,c}.
+	A [][]cdag.NodeID
+	// Prod[r-1][c-1] is the product a_{r,c}·x_c (layer S_2).
+	Prod [][]cdag.NodeID
+	// Acc[r-1][c-2] is the accumulator of row r after column c ≥ 2
+	// (layer S_{c+1}).
+	Acc [][]cdag.NodeID
+}
+
+// Build constructs MVM(m, n) with class weights from cfg. m ≥ 2 and
+// n ≥ 1 per Definition 4.1.
+func Build(m, n int, cfg wcfg.Config) (*Graph, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("mvm: m=%d must be ≥ 2", m)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("mvm: n=%d must be ≥ 1", n)
+	}
+	g := &cdag.Graph{}
+	out := &Graph{G: g, M: m, N: n, Cfg: cfg}
+	wi, wn := cfg.Input(), cfg.Node()
+
+	out.X = make([]cdag.NodeID, n)
+	out.A = make([][]cdag.NodeID, m)
+	out.Prod = make([][]cdag.NodeID, m)
+	for r := 0; r < m; r++ {
+		out.A[r] = make([]cdag.NodeID, n)
+		out.Prod[r] = make([]cdag.NodeID, n)
+	}
+	if n > 1 {
+		out.Acc = make([][]cdag.NodeID, m)
+		for r := 0; r < m; r++ {
+			out.Acc[r] = make([]cdag.NodeID, n-1)
+		}
+	}
+
+	// S_1: for each column c, x_c then a_{1,c} … a_{m,c} — this is
+	// exactly the j = (c−1)(m+1)+1 … c(m+1) indexing of rule (1).
+	for c := 1; c <= n; c++ {
+		out.X[c-1] = g.AddNode(wi, fmt.Sprintf("x[%d]", c))
+		for r := 1; r <= m; r++ {
+			out.A[r-1][c-1] = g.AddNode(wi, fmt.Sprintf("a[%d,%d]", r, c))
+		}
+	}
+	// S_2: products v²_{(c−1)m+r} with parents {x_c, a_{r,c}}.
+	for c := 1; c <= n; c++ {
+		for r := 1; r <= m; r++ {
+			out.Prod[r-1][c-1] = g.AddNode(wn, fmt.Sprintf("p[%d,%d]", r, c),
+				out.X[c-1], out.A[r-1][c-1])
+		}
+	}
+	// S_3 … S_{n+1}: accumulators. Rule (2) supplies the edge from the
+	// previous partial sum, rule (3) the edge from the column product.
+	for c := 2; c <= n; c++ {
+		for r := 1; r <= m; r++ {
+			out.Acc[r-1][c-2] = g.AddNode(wn, fmt.Sprintf("s[%d,%d]", r, c),
+				out.Head(r, c-1), out.Prod[r-1][c-1])
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("mvm: internal construction error: %w", err)
+	}
+	return out, nil
+}
+
+// Head returns the node holding row r's partial sum after column c
+// (both 1-based): the product for c = 1, the accumulator otherwise.
+func (g *Graph) Head(r, c int) cdag.NodeID {
+	if c == 1 {
+		return g.Prod[r-1][0]
+	}
+	return g.Acc[r-1][c-2]
+}
+
+// Output returns the sink node of row r: y_r = Head(r, n).
+func (g *Graph) Output(r int) cdag.NodeID { return g.Head(r, g.N) }
+
+// Outputs returns all m sink nodes in row order.
+func (g *Graph) Outputs() []cdag.NodeID {
+	out := make([]cdag.NodeID, g.M)
+	for r := 1; r <= g.M; r++ {
+		out[r-1] = g.Output(r)
+	}
+	return out
+}
+
+// LayerSizes returns |S_1| … |S_{n+1}| for cross-checking against
+// Definition 4.1.
+func (g *Graph) LayerSizes() []int {
+	sizes := []int{g.M*g.N + g.N, g.M * g.N}
+	for c := 2; c <= g.N; c++ {
+		sizes = append(sizes, g.M)
+	}
+	return sizes
+}

@@ -1,0 +1,253 @@
+package mvm
+
+import (
+	"fmt"
+	"math"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+)
+
+// Inf is the sentinel cost of an infeasible configuration.
+const Inf cdag.Weight = math.MaxInt64 / 4
+
+// TileConfig parameterizes the tiling scheduler of Section 4.3.
+//
+// Height is the tile height h: the number of output rows whose
+// partial sums stay resident in fast memory while the tile streams
+// across the matrix columns (the "accumulators simultaneously in fast
+// memory"). ResidentVector is the number of leading vector entries
+// kept resident across all tiles; the remaining n−ResidentVector
+// entries are reloaded once per tile. The tile width is one column,
+// the shape the paper finds best in most cases.
+type TileConfig struct {
+	Height         int
+	ResidentVector int
+}
+
+func (tc TileConfig) String() string {
+	return fmt.Sprintf("tile{h=%d, residentVec=%d}", tc.Height, tc.ResidentVector)
+}
+
+// validate clamps and checks a configuration against the graph.
+func (g *Graph) validate(tc TileConfig) (TileConfig, error) {
+	if tc.Height < 1 || tc.Height > g.M {
+		return tc, fmt.Errorf("mvm: tile height %d out of range [1,%d]", tc.Height, g.M)
+	}
+	if tc.ResidentVector < 0 || tc.ResidentVector > g.N {
+		return tc, fmt.Errorf("mvm: resident vector %d out of range [0,%d]", tc.ResidentVector, g.N)
+	}
+	return tc, nil
+}
+
+// TileSchedule generates the full WRBPG schedule for the
+// configuration. The schedule is budget-independent; its peak red
+// weight is PredictPeak(tc) and its cost PredictCost(tc), both
+// verified against core.Simulate in the package tests.
+//
+// Per tile (block of Height rows), the schedule streams columns
+// left to right. A transient column's x is loaded at the top of the
+// column and dropped right after its last product in the tile, so it
+// never overlaps the final row's accumulation. Each matrix entry is
+// loaded exactly once overall; each output is stored exactly once —
+// the property that separates the tiling scheduler from IOOpt's
+// read-and-write-every-output strategy (Section 5.2).
+func (g *Graph) TileSchedule(tc TileConfig) (core.Schedule, error) {
+	tc, err := g.validate(tc)
+	if err != nil {
+		return nil, err
+	}
+	var s core.Schedule
+	mv := func(k core.MoveKind, v cdag.NodeID) {
+		s = append(s, core.Move{Kind: k, Node: v})
+	}
+	// Resident vector prefix, loaded once.
+	for c := 1; c <= tc.ResidentVector; c++ {
+		mv(core.M1, g.X[c-1])
+	}
+	for lo := 1; lo <= g.M; lo += tc.Height {
+		hi := lo + tc.Height - 1
+		if hi > g.M {
+			hi = g.M
+		}
+		for c := 1; c <= g.N; c++ {
+			transient := c > tc.ResidentVector
+			if transient {
+				mv(core.M1, g.X[c-1])
+			}
+			for r := lo; r <= hi; r++ {
+				mv(core.M1, g.A[r-1][c-1])
+				mv(core.M3, g.Prod[r-1][c-1])
+				mv(core.M4, g.A[r-1][c-1])
+				if transient && r == hi {
+					// Last use of x_c within this tile.
+					mv(core.M4, g.X[c-1])
+				}
+				if c >= 2 {
+					mv(core.M3, g.Acc[r-1][c-2])
+					mv(core.M4, g.Prod[r-1][c-1])
+					mv(core.M4, g.Head(r, c-1))
+				} else if g.N == 1 {
+					// Products are the outputs; store immediately so
+					// no head accumulates.
+					mv(core.M2, g.Prod[r-1][0])
+					mv(core.M4, g.Prod[r-1][0])
+				}
+			}
+		}
+		if g.N >= 2 {
+			for r := lo; r <= hi; r++ {
+				out := g.Output(r)
+				mv(core.M2, out)
+				mv(core.M4, out)
+			}
+		}
+	}
+	for c := 1; c <= tc.ResidentVector; c++ {
+		mv(core.M4, g.X[c-1])
+	}
+	return s, nil
+}
+
+// Tiles returns ⌈m/h⌉, the number of tiles (row blocks).
+func (g *Graph) Tiles(tc TileConfig) int {
+	return (g.M + tc.Height - 1) / tc.Height
+}
+
+// PredictCost returns the weighted I/O of TileSchedule(tc) in closed
+// form: the algorithmic lower bound plus one reload of every
+// non-resident vector entry per additional tile.
+func (g *Graph) PredictCost(tc TileConfig) cdag.Weight {
+	wi := g.Cfg.Input()
+	lb := core.LowerBound(g.G)
+	extra := cdag.Weight(g.Tiles(tc)-1) * cdag.Weight(g.N-tc.ResidentVector) * wi
+	return lb + extra
+}
+
+// PredictPeak returns the peak red weight of TileSchedule(tc) in
+// closed form (bits). The three candidate peaks are: a product
+// computation with the tile's heads, the matrix entry and the column
+// x resident; an accumulation of a non-final row with the transient x
+// still resident; and an accumulation of the final row after the
+// transient x has been dropped.
+func (g *Graph) PredictPeak(tc TileConfig) cdag.Weight {
+	wi, wn := g.Cfg.Input(), g.Cfg.Node()
+	resident := cdag.Weight(tc.ResidentVector) * wi
+	if g.N == 1 {
+		// x + a + product; resident x (vc=1) replaces the transient x.
+		if tc.ResidentVector == 1 {
+			return wi + wi + wn
+		}
+		return 2*wi + wn
+	}
+	h := cdag.Weight(tc.Height)
+	if int(h) > g.M {
+		h = cdag.Weight(g.M)
+	}
+	var xExtra cdag.Weight
+	if tc.ResidentVector < g.N {
+		xExtra = wi
+	}
+	p1 := (h+1)*wn + wi + xExtra
+	p3 := (h + 2) * wn
+	peak := p1
+	if tc.Height >= 2 {
+		if p2 := (h+2)*wn + xExtra; p2 > peak {
+			peak = p2
+		}
+	}
+	if p3 > peak {
+		peak = p3
+	}
+	return resident + peak
+}
+
+// Candidates returns the tile heights worth searching: for each
+// distinct tile count q = ⌈m/h⌉ the smallest h achieving it, since
+// cost depends on h only through q while peak grows with h.
+func (g *Graph) Candidates() []int {
+	seen := map[int]bool{}
+	var out []int
+	for q := 1; q <= g.M; q++ {
+		h := (g.M + q - 1) / q
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Search returns the minimum-cost tile configuration whose peak fits
+// the budget, or an error when no configuration fits. For each
+// candidate height it gives any leftover budget to the resident
+// vector, which strictly reduces cost.
+func (g *Graph) Search(budget cdag.Weight) (TileConfig, cdag.Weight, error) {
+	wi := g.Cfg.Input()
+	best := TileConfig{}
+	bestCost := Inf
+	bestPeak := Inf
+	for _, h := range g.Candidates() {
+		for _, full := range []bool{true, false} {
+			tc := TileConfig{Height: h}
+			if full {
+				tc.ResidentVector = g.N
+			} else {
+				// Largest vc < n fitting the budget, found by the
+				// monotonicity of PredictPeak in vc.
+				base := g.PredictPeak(TileConfig{Height: h})
+				if base > budget {
+					continue
+				}
+				vc := int((budget - base) / wi)
+				if vc > g.N-1 {
+					vc = g.N - 1
+				}
+				tc.ResidentVector = vc
+			}
+			if g.PredictPeak(tc) > budget {
+				continue
+			}
+			cost := g.PredictCost(tc)
+			peak := g.PredictPeak(tc)
+			if cost < bestCost || (cost == bestCost && peak < bestPeak) {
+				best, bestCost, bestPeak = tc, cost, peak
+			}
+		}
+	}
+	if bestCost >= Inf {
+		return TileConfig{}, Inf, fmt.Errorf("mvm: no tile configuration fits budget %d (tiling minimum %d)", budget, g.TilingMinBudget())
+	}
+	return best, bestCost, nil
+}
+
+// MinCost returns the best tiling cost under the budget, or Inf when
+// no configuration fits.
+func (g *Graph) MinCost(budget cdag.Weight) cdag.Weight {
+	_, cost, err := g.Search(budget)
+	if err != nil {
+		return Inf
+	}
+	return cost
+}
+
+// TilingMinBudget returns the smallest budget any tile configuration
+// fits in: a single row with no resident vector.
+func (g *Graph) TilingMinBudget() cdag.Weight {
+	return g.PredictPeak(TileConfig{Height: 1})
+}
+
+// MinMemory returns the minimum fast memory size of Definition 2.6
+// under the tiling scheduler: the smallest budget whose best tiling
+// cost equals the algorithmic lower bound. The lower bound is reached
+// exactly when a configuration with one tile (h = m) or a fully
+// resident vector (vc = n) fits, so the answer is the smaller of
+// those two peaks.
+func (g *Graph) MinMemory() cdag.Weight {
+	a := g.PredictPeak(TileConfig{Height: g.M})
+	b := g.PredictPeak(TileConfig{Height: 1, ResidentVector: g.N})
+	if b < a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,176 @@
+// Package pipeline implements the paper's modular composition story:
+// "the designer can therefore express computational tasks in parts,
+// where each part is associated with an efficient pebbling algorithm
+// that produces minimum-cost schedules. These schedules can then be
+// stitched together and reordered to obtain an efficient schedule for
+// the overall computational task" (Section 1).
+//
+// A Stage couples a CDAG with a schedule computed for it in
+// isolation; Compose splices the stages into one CDAG — binding each
+// stage's designated input sources to the previous stage's outputs —
+// and rewrites the per-stage schedules into one schedule for the
+// whole graph. Stage boundaries round-trip through slow memory (the
+// producing stage stores its sinks, the consuming stage loads them),
+// which is exactly the modularity cost the model makes explicit: the
+// composed schedule is valid by construction and its weighted cost is
+// the sum of the stage costs.
+package pipeline
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+)
+
+// Stage is one module of a pipeline.
+type Stage struct {
+	// Name labels the stage in errors and reports.
+	Name string
+	// G is the stage's CDAG.
+	G *cdag.Graph
+	// Schedule is a valid WRBPG schedule for G in isolation (it must
+	// fit the composed budget).
+	Schedule core.Schedule
+	// Inputs lists the sources of G that consume the previous stage's
+	// outputs, in output order. Empty for the first stage. Sources
+	// not listed remain fresh inputs of the composed graph (e.g. a
+	// decoder's weight matrix).
+	Inputs []cdag.NodeID
+	// Outputs lists the sinks of G exposed to the next stage, in the
+	// order its Inputs expects. The final stage's outputs are the
+	// pipeline's outputs (any unlisted sinks are also pipeline
+	// outputs).
+	Outputs []cdag.NodeID
+}
+
+// Composed is a stitched pipeline.
+type Composed struct {
+	// G is the spliced CDAG.
+	G *cdag.Graph
+	// Schedule is the stitched schedule, already validated.
+	Schedule core.Schedule
+	// Stats is the simulation result of Schedule at the composition
+	// budget.
+	Stats core.Stats
+	// NodeMaps[k][v] is the composed node ID of stage k's node v.
+	NodeMaps [][]cdag.NodeID
+	// Budget is the fast-memory budget the composition was validated
+	// under.
+	Budget cdag.Weight
+}
+
+// Compose splices the stages and validates the stitched schedule
+// under the budget.
+func Compose(budget cdag.Weight, stages ...Stage) (*Composed, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("pipeline: no stages")
+	}
+	g := &cdag.Graph{}
+	maps := make([][]cdag.NodeID, len(stages))
+	var prevOutputs []cdag.NodeID // composed IDs of the previous stage's exposed outputs
+
+	for k, st := range stages {
+		if st.G == nil {
+			return nil, fmt.Errorf("pipeline: stage %d (%s) has no graph", k, st.Name)
+		}
+		if err := st.G.Validate(); err != nil {
+			return nil, fmt.Errorf("pipeline: stage %d (%s): %w", k, st.Name, err)
+		}
+		if k == 0 && len(st.Inputs) != 0 {
+			return nil, fmt.Errorf("pipeline: first stage (%s) cannot bind inputs", st.Name)
+		}
+		if k > 0 && len(st.Inputs) != len(prevOutputs) {
+			return nil, fmt.Errorf("pipeline: stage %d (%s) binds %d inputs but stage %d exposes %d outputs",
+				k, st.Name, len(st.Inputs), k-1, len(prevOutputs))
+		}
+		bound := map[cdag.NodeID]cdag.NodeID{}
+		for i, in := range st.Inputs {
+			if !st.G.IsSource(in) {
+				return nil, fmt.Errorf("pipeline: stage %d (%s): bound input %d is not a source", k, st.Name, in)
+			}
+			if st.G.Weight(in) != g.Weight(prevOutputs[i]) {
+				return nil, fmt.Errorf("pipeline: stage %d (%s): input %d weight %d != producer weight %d",
+					k, st.Name, in, st.G.Weight(in), g.Weight(prevOutputs[i]))
+			}
+			bound[in] = prevOutputs[i]
+		}
+		m := make([]cdag.NodeID, st.G.Len())
+		for v := 0; v < st.G.Len(); v++ {
+			id := cdag.NodeID(v)
+			if b, ok := bound[id]; ok {
+				m[v] = b
+				continue
+			}
+			ps := st.G.Parents(id)
+			mapped := make([]cdag.NodeID, len(ps))
+			for i, p := range ps {
+				mapped[i] = m[p]
+			}
+			name := st.G.Name(id)
+			if st.Name != "" {
+				name = st.Name + "/" + name
+			}
+			m[v] = g.AddNode(st.G.Weight(id), name, mapped...)
+		}
+		maps[k] = m
+		for _, out := range st.Outputs {
+			if !st.G.IsSink(out) {
+				return nil, fmt.Errorf("pipeline: stage %d (%s): exposed output %d is not a sink", k, st.Name, out)
+			}
+		}
+		prevOutputs = prevOutputs[:0]
+		for _, out := range st.Outputs {
+			prevOutputs = append(prevOutputs, m[out])
+		}
+	}
+
+	// Stitch the schedules with remapped node IDs.
+	var sched core.Schedule
+	for k, st := range stages {
+		for _, mv := range st.Schedule {
+			if int(mv.Node) < 0 || int(mv.Node) >= len(maps[k]) {
+				return nil, fmt.Errorf("pipeline: stage %d (%s): schedule references node %d outside its graph", k, st.Name, mv.Node)
+			}
+			sched = append(sched, core.Move{Kind: mv.Kind, Node: maps[k][mv.Node]})
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: composed graph invalid: %w", err)
+	}
+	stats, err := core.Simulate(g, budget, sched)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stitched schedule invalid: %w", err)
+	}
+	return &Composed{G: g, Schedule: sched, Stats: stats, NodeMaps: maps, Budget: budget}, nil
+}
+
+// BoundaryCost returns the weighted traffic the stage boundaries add
+// over a hypothetical fused kernel: each exposed intermediate output
+// is written by its producer and re-read by its consumer.
+func BoundaryCost(stages ...Stage) cdag.Weight {
+	var w cdag.Weight
+	for k := 0; k+1 < len(stages); k++ {
+		for _, out := range stages[k].Outputs {
+			w += 2 * stages[k].G.Weight(out)
+		}
+	}
+	return w
+}
+
+// MinBudget returns the smallest budget the composed schedule needs:
+// the maximum of the per-stage peak red weights, which Compose
+// preserves because stages run strictly one after another.
+func MinBudget(stages ...Stage) (cdag.Weight, error) {
+	var max cdag.Weight
+	for k, st := range stages {
+		stats, err := core.Simulate(st.G, st.G.TotalWeight(), st.Schedule)
+		if err != nil {
+			return 0, fmt.Errorf("pipeline: stage %d (%s): %w", k, st.Name, err)
+		}
+		if stats.PeakRedWeight > max {
+			max = stats.PeakRedWeight
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,326 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/linalg"
+	"wrbpg/internal/machine"
+	"wrbpg/internal/mvm"
+	"wrbpg/internal/wavelet"
+	"wrbpg/internal/wcfg"
+)
+
+// dwtStage builds a DWT stage with its optimal schedule at minimum
+// memory, exposing all sinks (coefficients then final averages, in
+// sink order).
+func dwtStage(t *testing.T, n, d int, cfg wcfg.Config) (Stage, *dwt.Graph) {
+	t.Helper()
+	g, err := dwt.Build(n, d, dwt.ConfigWeights(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dwt.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.MinMemory(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := s.Schedule(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Stage{Name: "dwt", G: g.G, Schedule: sched, Outputs: g.G.Sinks()}, g
+}
+
+// mvmStage builds an MVM stage whose vector inputs bind upstream,
+// scheduled by tiling at its minimum memory.
+func mvmStage(t *testing.T, m, n int, cfg wcfg.Config) (Stage, *mvm.Graph) {
+	t.Helper()
+	g, err := mvm.Build(m, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.MinMemory()
+	tc, _, err := g.Search(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := g.TileSchedule(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Stage{Name: "decode", G: g.G, Schedule: sched, Inputs: g.X, Outputs: g.Outputs()}, g
+}
+
+// TestComposeDWTIntoMVM: the paper's BCI pipeline in miniature — a
+// DWT front end feeding a linear decoder — stitched and validated.
+func TestComposeDWTIntoMVM(t *testing.T) {
+	cfg := wcfg.Equal(16)
+	dst, dg := dwtStage(t, 16, 4, cfg)
+	// DWT(16,4) has 16 sinks; decode 4 outputs from those 16 features.
+	mst, mg := mvmStage(t, 4, 16, cfg)
+	budget, err := MinBudget(dst, mst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compose(budget, dst, mst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure: composed size = sum minus the bound sources.
+	want := dg.G.Len() + mg.G.Len() - 16
+	if c.G.Len() != want {
+		t.Errorf("composed nodes = %d, want %d", c.G.Len(), want)
+	}
+	// Cost = sum of stage costs.
+	dStats, err := core.Simulate(dg.G, budget, dst.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mStats, err := core.Simulate(mg.G, budget, mst.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.Cost != dStats.Cost+mStats.Cost {
+		t.Errorf("composed cost %d != %d + %d", c.Stats.Cost, dStats.Cost, mStats.Cost)
+	}
+	// Peak = max of stage peaks.
+	wantPeak := dStats.PeakRedWeight
+	if mStats.PeakRedWeight > wantPeak {
+		wantPeak = mStats.PeakRedWeight
+	}
+	if c.Stats.PeakRedWeight != wantPeak {
+		t.Errorf("composed peak %d != max(%d, %d)", c.Stats.PeakRedWeight, dStats.PeakRedWeight, mStats.PeakRedWeight)
+	}
+	// Sinks of the composition are exactly the decoder outputs.
+	if got := len(c.G.Sinks()); got != 4 {
+		t.Errorf("composed sinks = %d, want 4", got)
+	}
+}
+
+// TestComposedExecutionMatchesReferences: the stitched program
+// computes DWT-then-decode exactly.
+func TestComposedExecutionMatchesReferences(t *testing.T) {
+	cfg := wcfg.Equal(16)
+	rng := rand.New(rand.NewSource(41))
+	dst, dg := dwtStage(t, 16, 4, cfg)
+	mst, mg := mvmStage(t, 4, 16, cfg)
+	budget, err := MinBudget(dst, mst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compose(budget, dst, mst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	signal := make([]float64, 16)
+	for i := range signal {
+		signal[i] = rng.NormFloat64()
+	}
+	dProg, err := machine.FromDWT(dg, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W := linalg.NewMatrix(4, 16)
+	for i := range W.Data {
+		W.Data[i] = rng.NormFloat64()
+	}
+	// The MVM program needs placeholder vector values for its bound
+	// sources; they are ignored by ComposePrograms.
+	mProg, err := machine.FromMVM(mg, W.Data, make([]float64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ComposePrograms(c, []Stage{dst, mst}, []*machine.Program{dProg, mProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, stats, err := machine.Run(prog, budget, c.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TrafficBits != c.Stats.Cost {
+		t.Errorf("machine traffic %d != schedule cost %d", stats.TrafficBits, c.Stats.Cost)
+	}
+
+	// Reference: wavelet features in DWT sink order, then W·features.
+	levels, err := wavelet.Transform(signal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := make([]float64, 0, 16)
+	// Sink order is creation order: per layer, coefficients first
+	// appear interleaved — recover values via a reference machine run
+	// of the DWT stage alone instead of re-deriving the order.
+	dVals, _, err := machine.Run(dProg, dg.G.TotalWeight(), mustSched(t, dg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range dg.G.Sinks() {
+		feat = append(feat, dVals[s])
+	}
+	_ = levels
+	want, err := W.MulVec(feat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 4; r++ {
+		got := values[c.NodeMaps[1][mg.Output(r)]]
+		if math.Abs(got-want[r-1]) > 1e-9 {
+			t.Errorf("output %d: %g, want %g", r, got, want[r-1])
+		}
+	}
+}
+
+func mustSched(t *testing.T, dg *dwt.Graph) core.Schedule {
+	t.Helper()
+	s, err := dwt.NewScheduler(dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := s.Schedule(dg.G.TotalWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+// TestThreeStagePipeline: DWT → DWT (on the averages) is rejected
+// because the second DWT consumes only part of the first's outputs…
+// so instead chain two tiny hand-built stages plus a decoder to cover
+// >2 stages.
+func TestThreeStagePipeline(t *testing.T) {
+	mk := func(name string, nIn int) (Stage, *cdag.Graph) {
+		g := &cdag.Graph{}
+		var ins []cdag.NodeID
+		for i := 0; i < nIn; i++ {
+			ins = append(ins, g.AddNode(16, "in"))
+		}
+		var outs []cdag.NodeID
+		for i := 0; i+1 < nIn; i += 2 {
+			outs = append(outs, g.AddNode(16, "out", ins[i], ins[i+1]))
+		}
+		var sched core.Schedule
+		for i, o := range outs {
+			sched = append(sched,
+				core.Move{Kind: core.M1, Node: ins[2*i]},
+				core.Move{Kind: core.M1, Node: ins[2*i+1]},
+				core.Move{Kind: core.M3, Node: o},
+				core.Move{Kind: core.M2, Node: o},
+				core.Move{Kind: core.M4, Node: ins[2*i]},
+				core.Move{Kind: core.M4, Node: ins[2*i+1]},
+				core.Move{Kind: core.M4, Node: o},
+			)
+		}
+		return Stage{Name: name, G: g, Schedule: sched, Inputs: ins, Outputs: outs}, g
+	}
+	s1, _ := mk("a", 8)
+	s1.Inputs = nil // first stage has free inputs
+	s2, _ := mk("b", 4)
+	s3, _ := mk("c", 2)
+	c, err := Compose(48, s1, s2, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.G.Sinks()) != 1 {
+		t.Errorf("sinks = %d, want 1", len(c.G.Sinks()))
+	}
+	if c.Stats.Cost != (8+4+4+2+2+1)*16 {
+		t.Errorf("cost = %d", c.Stats.Cost)
+	}
+	// Boundary cost: stage-1 outputs (4) + stage-2 outputs (2), ×2.
+	if got := BoundaryCost(s1, s2, s3); got != (4+2)*2*16 {
+		t.Errorf("boundary cost = %d", got)
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	cfg := wcfg.Equal(16)
+	dst, _ := dwtStage(t, 16, 4, cfg)
+	// Mismatched arity.
+	bad, _ := mvmStage(t, 4, 8, cfg)
+	if _, err := Compose(4096, dst, bad); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Mismatched weights.
+	dstDA, _ := dwtStage(t, 16, 4, wcfg.DoubleAccumulator(16))
+	mst, _ := mvmStage(t, 4, 16, cfg)
+	if _, err := Compose(4096, dstDA, mst); err == nil {
+		t.Error("weight mismatch accepted (DA outputs are 32-bit, Equal inputs 16)")
+	}
+	// First stage with bound inputs.
+	withInputs := dst
+	withInputs.Inputs = dst.G.Sources()[:1]
+	if _, err := Compose(4096, withInputs); err == nil {
+		t.Error("first stage with bindings accepted")
+	}
+	// Empty pipeline.
+	if _, err := Compose(100); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	// Budget too small for the stitched schedule.
+	mst2, _ := mvmStage(t, 4, 16, cfg)
+	if _, err := Compose(64, dst, mst2); err == nil {
+		t.Error("tiny budget accepted")
+	}
+}
+
+// TestModularityGap: composition pays the boundary round-trip over a
+// fused exact optimum on a tiny two-stage pipeline.
+func TestModularityGap(t *testing.T) {
+	// Stage 1: two inputs → one sum. Stage 2: that sum + fresh input
+	// → output.
+	g1 := &cdag.Graph{}
+	a := g1.AddNode(1, "a")
+	b := g1.AddNode(1, "b")
+	s := g1.AddNode(1, "s", a, b)
+	sched1 := core.Schedule{{Kind: core.M1, Node: a}, {Kind: core.M1, Node: b}, {Kind: core.M3, Node: s},
+		{Kind: core.M2, Node: s}, {Kind: core.M4, Node: a}, {Kind: core.M4, Node: b}, {Kind: core.M4, Node: s}}
+	st1 := Stage{Name: "sum", G: g1, Schedule: sched1, Outputs: []cdag.NodeID{s}}
+
+	g2 := &cdag.Graph{}
+	in := g2.AddNode(1, "in")
+	c2 := g2.AddNode(1, "c")
+	o := g2.AddNode(1, "o", in, c2)
+	sched2 := core.Schedule{{Kind: core.M1, Node: in}, {Kind: core.M1, Node: c2}, {Kind: core.M3, Node: o},
+		{Kind: core.M2, Node: o}, {Kind: core.M4, Node: in}, {Kind: core.M4, Node: c2}, {Kind: core.M4, Node: o}}
+	st2 := Stage{Name: "fuse", G: g2, Schedule: sched2, Inputs: []cdag.NodeID{in}, Outputs: []cdag.NodeID{o}}
+
+	comp, err := Compose(3, st1, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Composed cost: 3 loads + 2 stores + 1 boundary re-read = 6.
+	if comp.Stats.Cost != 6 {
+		t.Errorf("composed cost = %d, want 6", comp.Stats.Cost)
+	}
+	// A fused schedule can keep the boundary value red: cost 4.
+	fused := core.Schedule{
+		{Kind: core.M1, Node: comp.NodeMaps[0][a]}, {Kind: core.M1, Node: comp.NodeMaps[0][b]},
+		{Kind: core.M3, Node: comp.NodeMaps[0][s]},
+		{Kind: core.M4, Node: comp.NodeMaps[0][a]}, {Kind: core.M4, Node: comp.NodeMaps[0][b]},
+		{Kind: core.M1, Node: comp.NodeMaps[1][c2]},
+		{Kind: core.M3, Node: comp.NodeMaps[1][o]},
+		{Kind: core.M2, Node: comp.NodeMaps[1][o]},
+		{Kind: core.M4, Node: comp.NodeMaps[1][c2]}, {Kind: core.M4, Node: comp.NodeMaps[1][o]},
+		{Kind: core.M4, Node: comp.NodeMaps[0][s]},
+	}
+	fStats, err := core.Simulate(comp.G, 3, fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fStats.Cost != 4 {
+		t.Errorf("fused cost = %d, want 4", fStats.Cost)
+	}
+	if got := BoundaryCost(st1, st2); got != comp.Stats.Cost-fStats.Cost {
+		t.Errorf("BoundaryCost = %d, want %d", got, comp.Stats.Cost-fStats.Cost)
+	}
+}

@@ -1,0 +1,51 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/machine"
+)
+
+// ComposePrograms splices per-stage executable programs (package
+// machine) into one program for the composed graph: operations are
+// remapped node for node, input values are taken from each stage's
+// program for every source that was not bound to an upstream output.
+// The result runs the whole pipeline end to end on the two-level
+// memory machine.
+func ComposePrograms(c *Composed, stages []Stage, progs []*machine.Program) (*machine.Program, error) {
+	if len(stages) != len(c.NodeMaps) || len(progs) != len(stages) {
+		return nil, fmt.Errorf("pipeline: %d stages, %d maps, %d programs", len(stages), len(c.NodeMaps), len(progs))
+	}
+	out := machine.NewProgram(c.G)
+	for k, st := range stages {
+		p := progs[k]
+		if p == nil || p.G != st.G {
+			return nil, fmt.Errorf("pipeline: program %d does not belong to stage %q", k, st.Name)
+		}
+		bound := map[cdag.NodeID]bool{}
+		for _, in := range st.Inputs {
+			bound[in] = true
+		}
+		for v := 0; v < st.G.Len(); v++ {
+			id := cdag.NodeID(v)
+			cid := c.NodeMaps[k][v]
+			if st.G.IsSource(id) {
+				if bound[id] {
+					continue // value produced upstream
+				}
+				val, ok := p.Inputs[id]
+				if !ok {
+					return nil, fmt.Errorf("pipeline: stage %q source %d has no input value", st.Name, id)
+				}
+				out.Inputs[cid] = val
+				continue
+			}
+			if p.Ops[id] == nil {
+				return nil, fmt.Errorf("pipeline: stage %q node %d has no operation", st.Name, id)
+			}
+			out.Ops[cid] = p.Ops[id]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+// Package stream is the deployment loop the schedules are compiled
+// for: a BCI processes an unbounded sample stream in fixed windows,
+// executing one precompiled WRBPG schedule per window inside the
+// synthesized fast memory. The schedule is compiled once (at the
+// workload's minimum memory by default), then re-executed with fresh
+// input bindings every hop — the firmware pattern core.Manifest
+// serializes.
+package stream
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/machine"
+	"wrbpg/internal/wcfg"
+)
+
+// Stats accumulates execution counters across windows.
+type Stats struct {
+	// Windows is the number of windows processed.
+	Windows int
+	// TrafficBits is the total data moved between memories.
+	TrafficBits cdag.Weight
+	// Computes is the total number of M3 executions.
+	Computes int
+}
+
+// DWT is a compiled streaming wavelet front end.
+type DWT struct {
+	// Graph is the per-window dataflow; Budget the fast memory the
+	// schedule was compiled for; Schedule the compiled moves.
+	Graph  *dwt.Graph
+	Budget cdag.Weight
+	// Schedule is replayed once per window.
+	Schedule core.Schedule
+}
+
+// NewDWT compiles an n-sample, d-level window at the optimum
+// scheduler's minimum fast memory.
+func NewDWT(n, d int, cfg wcfg.Config) (*DWT, error) {
+	g, err := dwt.Build(n, d, dwt.ConfigWeights(cfg))
+	if err != nil {
+		return nil, err
+	}
+	s, err := dwt.NewScheduler(g)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.MinMemory(cdag.Weight(cfg.WordBits))
+	if err != nil {
+		return nil, err
+	}
+	sched, err := s.Schedule(b)
+	if err != nil {
+		return nil, err
+	}
+	return &DWT{Graph: g, Budget: b, Schedule: sched}, nil
+}
+
+// Window is one processed hop.
+type Window struct {
+	// Start is the window's first sample index in the stream.
+	Start int
+	// Coeffs[l] holds level l+1's wavelet coefficients; FinalAvg the
+	// last level's scaling outputs.
+	Coeffs   [][]float64
+	FinalAvg []float64
+}
+
+// Process runs the compiled schedule over every hop-aligned window
+// that fits in the signal. hop must be positive; hop < n yields
+// overlapping windows.
+func (r *DWT) Process(signal []float64, hop int) ([]Window, Stats, error) {
+	if hop <= 0 {
+		return nil, Stats{}, fmt.Errorf("stream: hop must be positive, got %d", hop)
+	}
+	n := r.Graph.N
+	if len(signal) < n {
+		return nil, Stats{}, fmt.Errorf("stream: signal length %d shorter than window %d", len(signal), n)
+	}
+	var out []Window
+	var st Stats
+	for start := 0; start+n <= len(signal); start += hop {
+		prog, err := machine.FromDWT(r.Graph, signal[start:start+n])
+		if err != nil {
+			return nil, st, err
+		}
+		values, ms, err := machine.Run(prog, r.Budget, r.Schedule)
+		if err != nil {
+			return nil, st, fmt.Errorf("stream: window at %d: %w", start, err)
+		}
+		coeffs, finalAvg := machine.DWTOutputs(r.Graph, values)
+		out = append(out, Window{Start: start, Coeffs: coeffs, FinalAvg: finalAvg})
+		st.Windows++
+		st.TrafficBits += ms.TrafficBits
+		st.Computes += ms.Computes
+	}
+	return out, st, nil
+}
+
+// BandEnergy returns the summed squared coefficients of one level
+// across a window — the feature seizure detectors threshold.
+func BandEnergy(w Window, level int) (float64, error) {
+	if level < 1 || level > len(w.Coeffs) {
+		return 0, fmt.Errorf("stream: level %d out of range [1,%d]", level, len(w.Coeffs))
+	}
+	var e float64
+	for _, c := range w.Coeffs[level-1] {
+		e += c * c
+	}
+	return e, nil
+}

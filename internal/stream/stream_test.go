@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wrbpg/internal/wavelet"
+	"wrbpg/internal/wcfg"
+)
+
+func randSignal(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func TestProcessMatchesPerWindowTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	r, err := NewDWT(16, 4, wcfg.Equal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := randSignal(rng, 64)
+	for _, hop := range []int{16, 8, 4} { // disjoint and overlapping
+		windows, stats, err := r.Process(signal, hop)
+		if err != nil {
+			t.Fatalf("hop=%d: %v", hop, err)
+		}
+		wantCount := (64-16)/hop + 1
+		if len(windows) != wantCount || stats.Windows != wantCount {
+			t.Fatalf("hop=%d: windows = %d, want %d", hop, len(windows), wantCount)
+		}
+		for _, w := range windows {
+			levels, err := wavelet.Transform(signal[w.Start:w.Start+16], 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantC, wantA := wavelet.Outputs(levels)
+			for l := range wantC {
+				for j := range wantC[l] {
+					if math.Abs(w.Coeffs[l][j]-wantC[l][j]) > 1e-9 {
+						t.Fatalf("hop=%d window@%d level %d: %g vs %g",
+							hop, w.Start, l+1, w.Coeffs[l][j], wantC[l][j])
+					}
+				}
+			}
+			for j := range wantA {
+				if math.Abs(w.FinalAvg[j]-wantA[j]) > 1e-9 {
+					t.Fatalf("final avg mismatch at window %d", w.Start)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	r, err := NewDWT(16, 4, wcfg.Equal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := randSignal(rand.New(rand.NewSource(72)), 48)
+	_, stats, err := r.Process(signal, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Windows != 3 {
+		t.Fatalf("windows = %d", stats.Windows)
+	}
+	// Per-window traffic is the compulsory 2·16 words; three windows.
+	if stats.TrafficBits != 3*32*16 {
+		t.Errorf("traffic = %d, want %d", stats.TrafficBits, 3*32*16)
+	}
+	if stats.Computes != 3*30 {
+		t.Errorf("computes = %d, want %d", stats.Computes, 3*30)
+	}
+}
+
+func TestProcessErrors(t *testing.T) {
+	r, err := NewDWT(16, 4, wcfg.Equal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Process(make([]float64, 8), 4); err == nil {
+		t.Error("short signal accepted")
+	}
+	if _, _, err := r.Process(make([]float64, 32), 0); err == nil {
+		t.Error("zero hop accepted")
+	}
+}
+
+func TestNewDWTRejectsBadShape(t *testing.T) {
+	if _, err := NewDWT(12, 4, wcfg.Equal(16)); err == nil {
+		t.Error("incompatible (n,d) accepted")
+	}
+}
+
+func TestBandEnergy(t *testing.T) {
+	r, err := NewDWT(16, 4, wcfg.DoubleAccumulator(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pure alternating signal concentrates in level 1.
+	signal := make([]float64, 16)
+	for i := range signal {
+		if i%2 == 0 {
+			signal[i] = 1
+		} else {
+			signal[i] = -1
+		}
+	}
+	windows, _, err := r.Process(signal, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := BandEnergy(windows[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for l := 1; l <= 4; l++ {
+		e, err := BandEnergy(windows[0], l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += e
+	}
+	if e1 < 0.99*total {
+		t.Errorf("level-1 share = %f of %f", e1, total)
+	}
+	if _, err := BandEnergy(windows[0], 0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := BandEnergy(windows[0], 9); err == nil {
+		t.Error("level 9 accepted")
+	}
+}

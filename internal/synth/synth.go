@@ -1,0 +1,208 @@
+// Package synth models the physical synthesis step of Section 5.3:
+// turning a power-of-two fast-memory capacity into an SRAM macro with
+// area, leakage, read/write power, peak bandwidth and a rectangular
+// layout.
+//
+// The paper synthesizes its memories with AMC, an open-source
+// asynchronous memory compiler, on the TSMC 65 nm node. Neither the
+// compiler flow nor the PDK is available here, so this package
+// substitutes an analytical compiler model with the canonical SRAM
+// structure: a 6T bitcell array organised as rows × columns with a
+// column mux chosen for squareness, plus row periphery (wordline
+// drivers, decoder) and column periphery (sense amplifiers, write
+// drivers, precharge). Area scales with the bitcell count plus
+// per-row/per-column periphery; leakage scales with device count;
+// dynamic power with switched bitline/wordline capacitance; and
+// bandwidth is nearly flat because AMC's fixed gate sizing keeps
+// cycle time roughly constant across these capacities (Section 5.3).
+//
+// The process constants are calibrated so the eight Table 1
+// capacities land on the magnitudes of Figure 7 — what matters for
+// the reproduction is the *relative* area/power between capacities,
+// which any monotone array-plus-periphery model preserves.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"wrbpg/internal/cdag"
+)
+
+// Process holds the technology constants of the model.
+type Process struct {
+	// Name labels the node, e.g. "TSMC65-AMC-model".
+	Name string
+	// CellArea is the effective per-bit area (λ², bitcell plus its
+	// share of array overhead).
+	CellArea float64
+	// RowPeriphArea and ColPeriphArea are per-row / per-column
+	// periphery areas (λ²).
+	RowPeriphArea, ColPeriphArea float64
+	// FixedArea covers control logic independent of capacity (λ²).
+	FixedArea float64
+	// CellWidth and CellHeight give the bitcell footprint (λ) for
+	// layout rectangles; RowPeriphWidth / ColPeriphHeight extend the
+	// array on two sides.
+	CellWidth, CellHeight           float64
+	RowPeriphWidth, ColPeriphHeight float64
+	// LeakPerBit is bitcell leakage (mW); LeakPeriph per row+column
+	// unit (mW); LeakFixed constant (mW).
+	LeakPerBit, LeakPeriph, LeakFixed float64
+	// ReadCoeff scales read power with √bits (bitline+wordline
+	// capacitance of a square array); WordCoeff with the word width
+	// (sense amps firing per access); DynFixed is constant (mW).
+	ReadCoeff, WordCoeff, DynFixed float64
+	// WriteFactor is the write/read power ratio (> 1: full-swing
+	// bitline drive).
+	WriteFactor float64
+	// BaseGHz is the access rate of the smallest macro (10⁹
+	// accesses/s); FreqSlope is the per-doubling slowdown.
+	BaseGHz, FreqSlope float64
+	// MaxMux bounds the column mux factor.
+	MaxMux int
+}
+
+// TSMC65 returns the calibrated default process.
+func TSMC65() Process {
+	return Process{
+		Name:            "TSMC65-AMC-model",
+		CellArea:        2.2,
+		RowPeriphArea:   8,
+		ColPeriphArea:   12,
+		FixedArea:       500,
+		CellWidth:       1.6,
+		CellHeight:      1.4,
+		RowPeriphWidth:  24,
+		ColPeriphHeight: 32,
+		LeakPerBit:      1.35e-3,
+		LeakPeriph:      4.0e-3,
+		LeakFixed:       0.4,
+		ReadCoeff:       0.25,
+		WordCoeff:       0.30,
+		DynFixed:        2.0,
+		WriteFactor:     1.06,
+		BaseGHz:         25.0,
+		FreqSlope:       0.45,
+		MaxMux:          16,
+	}
+}
+
+// Macro is a synthesized SRAM instance.
+type Macro struct {
+	CapacityBits cdag.Weight
+	WordBits     int
+	// Rows × Cols is the bitcell array organisation; Mux is the
+	// column multiplex factor (Cols = WordBits × Mux).
+	Rows, Cols, Mux int
+	// AreaLambda2 is the macro area in λ².
+	AreaLambda2 float64
+	// WidthLambda × HeightLambda is the layout rectangle.
+	WidthLambda, HeightLambda float64
+	// LeakageMW is static power; ReadPowerMW / WritePowerMW dynamic
+	// power at peak rate.
+	LeakageMW, ReadPowerMW, WritePowerMW float64
+	// ReadGBs / WriteGBs are peak bandwidths.
+	ReadGBs, WriteGBs float64
+}
+
+// Synthesize compiles a capacity (bits, must be a positive multiple
+// of the word size) into a Macro under the process model.
+func Synthesize(capacityBits cdag.Weight, wordBits int, p Process) (Macro, error) {
+	if wordBits <= 0 {
+		return Macro{}, fmt.Errorf("synth: word size must be positive, got %d", wordBits)
+	}
+	if capacityBits <= 0 || capacityBits%cdag.Weight(wordBits) != 0 {
+		return Macro{}, fmt.Errorf("synth: capacity %d is not a positive multiple of the %d-bit word", capacityBits, wordBits)
+	}
+	bits := float64(capacityBits)
+
+	// Pick the column mux (power of two) giving the squarest array
+	// with at least one row.
+	bestMux, bestRows, bestCols := 1, 0, 0
+	bestRatio := math.Inf(1)
+	for mux := 1; mux <= p.MaxMux; mux *= 2 {
+		cols := wordBits * mux
+		if cols > int(capacityBits) {
+			break
+		}
+		if int(capacityBits)%cols != 0 {
+			continue
+		}
+		rows := int(capacityBits) / cols
+		ratio := float64(rows) / float64(cols)
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio < bestRatio {
+			bestRatio, bestMux, bestRows, bestCols = ratio, mux, rows, cols
+		}
+	}
+	if bestRows == 0 {
+		return Macro{}, fmt.Errorf("synth: capacity %d too small to organise with %d-bit words", capacityBits, wordBits)
+	}
+
+	area := p.CellArea*bits + p.RowPeriphArea*float64(bestRows) + p.ColPeriphArea*float64(bestCols) + p.FixedArea
+	width := p.CellWidth*float64(bestCols) + p.RowPeriphWidth
+	height := p.CellHeight*float64(bestRows) + p.ColPeriphHeight
+	leak := p.LeakPerBit*bits + p.LeakPeriph*float64(bestRows+bestCols) + p.LeakFixed
+	read := p.ReadCoeff*math.Sqrt(bits) + p.WordCoeff*float64(wordBits) + p.DynFixed
+	write := read * p.WriteFactor
+	doublings := math.Log2(bits / 256)
+	if doublings < 0 {
+		doublings = 0
+	}
+	ghz := p.BaseGHz - p.FreqSlope*doublings
+	if ghz < 1 {
+		ghz = 1
+	}
+	bw := ghz * float64(wordBits) / 8 // GB/s at one access per cycle
+
+	return Macro{
+		CapacityBits: capacityBits,
+		WordBits:     wordBits,
+		Rows:         bestRows,
+		Cols:         bestCols,
+		Mux:          bestMux,
+		AreaLambda2:  area,
+		WidthLambda:  width,
+		HeightLambda: height,
+		LeakageMW:    leak,
+		ReadPowerMW:  read,
+		WritePowerMW: write,
+		// Writes are marginally slower: full bitline swing.
+		ReadGBs:  bw,
+		WriteGBs: bw * 0.98,
+	}, nil
+}
+
+func (m Macro) String() string {
+	return fmt.Sprintf("SRAM %d bits (%d×%d, mux %d): %.0f λ², %.2f mW leak, %.1f/%.1f mW r/w, %.1f GB/s",
+		m.CapacityBits, m.Rows, m.Cols, m.Mux, m.AreaLambda2, m.LeakageMW, m.ReadPowerMW, m.WritePowerMW, m.ReadGBs)
+}
+
+// Layout renders the macro as an ASCII rectangle at the given scale
+// (λ per character column; rows count double to match terminal cell
+// aspect). Using one scale across macros makes the Figure 8 footprint
+// comparison visual.
+func (m Macro) Layout(lambdaPerChar float64) string {
+	if lambdaPerChar <= 0 {
+		lambdaPerChar = 16
+	}
+	w := int(m.WidthLambda / lambdaPerChar)
+	h := int(m.HeightLambda / (2 * lambdaPerChar))
+	if w < 2 {
+		w = 2
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := ""
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			out += "█"
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"wrbpg/internal/cdag"
+)
+
+// table1Capacities are the power-of-two sizes synthesized in
+// Section 5.3 (Table 1, last column).
+var table1Capacities = []cdag.Weight{256, 512, 2048, 2048, 4096, 8192, 8192, 16384}
+
+func TestSynthesizeTable1Capacities(t *testing.T) {
+	p := TSMC65()
+	for _, c := range table1Capacities {
+		m, err := Synthesize(c, 16, p)
+		if err != nil {
+			t.Fatalf("Synthesize(%d): %v", c, err)
+		}
+		if cdag.Weight(m.Rows*m.Cols) != c {
+			t.Errorf("%d bits: %d×%d does not cover capacity", c, m.Rows, m.Cols)
+		}
+		if m.Cols != 16*m.Mux {
+			t.Errorf("%d bits: cols %d != word × mux %d", c, m.Cols, 16*m.Mux)
+		}
+		if m.AreaLambda2 <= 0 || m.LeakageMW <= 0 || m.ReadPowerMW <= 0 || m.WritePowerMW <= m.ReadPowerMW*0.99 {
+			t.Errorf("%d bits: implausible metrics %+v", c, m)
+		}
+	}
+}
+
+func TestMonotoneInCapacity(t *testing.T) {
+	p := TSMC65()
+	var prev Macro
+	for i, c := range []cdag.Weight{256, 512, 1024, 2048, 4096, 8192, 16384, 32768} {
+		m, err := Synthesize(c, 16, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if m.AreaLambda2 <= prev.AreaLambda2 {
+				t.Errorf("area not increasing at %d bits", c)
+			}
+			if m.LeakageMW <= prev.LeakageMW {
+				t.Errorf("leakage not increasing at %d bits", c)
+			}
+			if m.ReadPowerMW <= prev.ReadPowerMW {
+				t.Errorf("read power not increasing at %d bits", c)
+			}
+			if m.ReadGBs > prev.ReadGBs {
+				t.Errorf("bandwidth should not increase at %d bits", c)
+			}
+		}
+		prev = m
+	}
+}
+
+// TestNearlyConstantBandwidth mirrors Figures 7e/7f: across the
+// Table 1 capacities peak bandwidth varies by well under 20%.
+func TestNearlyConstantBandwidth(t *testing.T) {
+	p := TSMC65()
+	min, max := 1e18, 0.0
+	for _, c := range table1Capacities {
+		m, err := Synthesize(c, 16, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.ReadGBs < min {
+			min = m.ReadGBs
+		}
+		if m.ReadGBs > max {
+			max = m.ReadGBs
+		}
+	}
+	if (max-min)/max > 0.2 {
+		t.Errorf("bandwidth varies too much: [%f, %f]", min, max)
+	}
+}
+
+// TestHeadlineRatios checks the Section 5.3 comparisons our model
+// must preserve: a 32× capacity gap (256 vs 8192) yields a large area
+// and leakage reduction.
+func TestHeadlineRatios(t *testing.T) {
+	p := TSMC65()
+	small, err := Synthesize(256, 16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Synthesize(8192, 16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	areaRed := 100 * (big.AreaLambda2 - small.AreaLambda2) / big.AreaLambda2
+	if areaRed < 80 {
+		t.Errorf("area reduction 256 vs 8192 = %.1f%%, want > 80%% (paper: 85.7%%)", areaRed)
+	}
+	leakRed := 100 * (big.LeakageMW - small.LeakageMW) / big.LeakageMW
+	if leakRed < 70 {
+		t.Errorf("leakage reduction = %.1f%%, want > 70%%", leakRed)
+	}
+}
+
+func TestSquareishArrays(t *testing.T) {
+	p := TSMC65()
+	for _, c := range []cdag.Weight{1024, 4096, 16384} {
+		m, err := Synthesize(c, 16, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(m.Rows) / float64(m.Cols)
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > 2.01 {
+			t.Errorf("%d bits: aspect %d×%d too skewed", c, m.Rows, m.Cols)
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	p := TSMC65()
+	if _, err := Synthesize(0, 16, p); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := Synthesize(100, 16, p); err == nil {
+		t.Error("non-word-multiple capacity should fail")
+	}
+	if _, err := Synthesize(256, 0, p); err == nil {
+		t.Error("zero word size should fail")
+	}
+	if _, err := Synthesize(-256, 16, p); err == nil {
+		t.Error("negative capacity should fail")
+	}
+}
+
+func TestTinyCapacity(t *testing.T) {
+	p := TSMC65()
+	m, err := Synthesize(16, 16, p)
+	if err != nil {
+		t.Fatalf("single word should synthesize: %v", err)
+	}
+	if m.Rows != 1 || m.Cols != 16 {
+		t.Errorf("16 bits: %d×%d, want 1×16", m.Rows, m.Cols)
+	}
+}
+
+func TestLayoutRendering(t *testing.T) {
+	p := TSMC65()
+	small, _ := Synthesize(256, 16, p)
+	big, _ := Synthesize(16384, 16, p)
+	ls := small.Layout(8)
+	lb := big.Layout(8)
+	if !strings.Contains(ls, "█") || !strings.Contains(lb, "█") {
+		t.Fatal("layouts should render blocks")
+	}
+	if len(lb) <= len(ls) {
+		t.Error("bigger macro should render a bigger footprint at equal scale")
+	}
+	if small.Layout(0) == "" {
+		t.Error("zero scale should fall back to a default")
+	}
+}
+
+func TestString(t *testing.T) {
+	p := TSMC65()
+	m, _ := Synthesize(2048, 16, p)
+	s := m.String()
+	if !strings.Contains(s, "2048") || !strings.Contains(s, "mW") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestCalibrationMagnitudes keeps the model in the paper's Figure 7
+// ballpark: 16 Kb lands near 40 kλ² area and ~24 mW leakage.
+func TestCalibrationMagnitudes(t *testing.T) {
+	p := TSMC65()
+	m, err := Synthesize(16384, 16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AreaLambda2 < 30000 || m.AreaLambda2 > 50000 {
+		t.Errorf("16Kb area = %.0f, want ≈ 40000", m.AreaLambda2)
+	}
+	if m.LeakageMW < 18 || m.LeakageMW > 30 {
+		t.Errorf("16Kb leakage = %.1f mW, want ≈ 24", m.LeakageMW)
+	}
+	if m.ReadPowerMW < 30 || m.ReadPowerMW > 45 {
+		t.Errorf("16Kb read power = %.1f mW, want ≈ 38", m.ReadPowerMW)
+	}
+	if m.ReadGBs < 40 || m.ReadGBs > 55 {
+		t.Errorf("16Kb read bandwidth = %.1f GB/s, want ≈ 45", m.ReadGBs)
+	}
+}

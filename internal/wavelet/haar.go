@@ -1,0 +1,131 @@
+// Package wavelet provides a reference implementation of the Haar
+// discrete wavelet transform used to cross-check the DWT dataflow
+// graphs and the schedules executed on the machine simulator.
+//
+// The transform follows Section 3.1 of the paper: at each level d the
+// averages a[j] = (x[2j] + x[2j+1])/√2 and coefficients
+// c[j] = (x[2j] − x[2j+1])/√2 are produced, and the recursion
+// continues on the averages.
+package wavelet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sqrt2 is the Haar normalisation factor.
+var Sqrt2 = math.Sqrt2
+
+// Level holds the outputs of one decomposition level.
+type Level struct {
+	Averages     []float64 // scaling function ā_d
+	Coefficients []float64 // wavelet function c̄_d
+}
+
+// MaxLevel returns the largest admissible level for a signal of
+// length n under Definition 3.1: the largest d with 2^d dividing n.
+// It returns 0 for odd or non-positive n.
+func MaxLevel(n int) int {
+	d := 0
+	for n > 0 && n%2 == 0 {
+		n /= 2
+		d++
+	}
+	return d
+}
+
+// Step performs one Haar level on x, which must have even length.
+func Step(x []float64) (avg, coeff []float64, err error) {
+	if len(x) == 0 || len(x)%2 != 0 {
+		return nil, nil, fmt.Errorf("wavelet: signal length %d is not positive and even", len(x))
+	}
+	h := len(x) / 2
+	avg = make([]float64, h)
+	coeff = make([]float64, h)
+	for j := 0; j < h; j++ {
+		avg[j] = (x[2*j] + x[2*j+1]) / Sqrt2
+		coeff[j] = (x[2*j] - x[2*j+1]) / Sqrt2
+	}
+	return avg, coeff, nil
+}
+
+// Transform runs d levels of the Haar DWT on x (len(x) must be a
+// multiple of 2^d) and returns one Level per decomposition step,
+// level 1 first.
+func Transform(x []float64, d int) ([]Level, error) {
+	if d < 1 {
+		return nil, errors.New("wavelet: level must be at least 1")
+	}
+	if MaxLevel(len(x)) < d {
+		return nil, fmt.Errorf("wavelet: signal length %d does not admit %d levels", len(x), d)
+	}
+	out := make([]Level, 0, d)
+	cur := append([]float64(nil), x...)
+	for i := 0; i < d; i++ {
+		avg, coeff, err := Step(cur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Level{Averages: avg, Coefficients: coeff})
+		cur = avg
+	}
+	return out, nil
+}
+
+// Outputs flattens a transform into the values the DWT CDAG exposes as
+// sinks: the coefficients of every level plus the final averages.
+func Outputs(levels []Level) (coeffs [][]float64, finalAvg []float64) {
+	for _, l := range levels {
+		coeffs = append(coeffs, l.Coefficients)
+	}
+	if len(levels) > 0 {
+		finalAvg = levels[len(levels)-1].Averages
+	}
+	return coeffs, finalAvg
+}
+
+// Inverse reconstructs the original signal from a full decomposition.
+func Inverse(levels []Level) ([]float64, error) {
+	if len(levels) == 0 {
+		return nil, errors.New("wavelet: no levels to invert")
+	}
+	cur := append([]float64(nil), levels[len(levels)-1].Averages...)
+	for i := len(levels) - 1; i >= 0; i-- {
+		c := levels[i].Coefficients
+		if len(c) != len(cur) {
+			return nil, fmt.Errorf("wavelet: level %d size mismatch: %d averages vs %d coefficients", i+1, len(cur), len(c))
+		}
+		next := make([]float64, 2*len(cur))
+		for j := range cur {
+			next[2*j] = (cur[j] + c[j]) / Sqrt2
+			next[2*j+1] = (cur[j] - c[j]) / Sqrt2
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Energy returns the squared L2 norm of a signal; the orthonormal Haar
+// transform preserves it across levels (Parseval), which tests use as
+// an invariant.
+func Energy(x []float64) float64 {
+	var e float64
+	for _, v := range x {
+		e += v * v
+	}
+	return e
+}
+
+// TransformEnergy sums the energy of all transform outputs
+// (coefficients of each level plus final averages).
+func TransformEnergy(levels []Level) float64 {
+	var e float64
+	for _, l := range levels {
+		e += Energy(l.Coefficients)
+	}
+	if len(levels) > 0 {
+		e += Energy(levels[len(levels)-1].Averages)
+	}
+	return e
+}

@@ -1,0 +1,180 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func TestMaxLevel(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 4: 2, 6: 1, 8: 3, 12: 2, 256: 8, -4: 0}
+	for n, want := range cases {
+		if got := MaxLevel(n); got != want {
+			t.Errorf("MaxLevel(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestStepKnownValues(t *testing.T) {
+	avg, coeff, err := Step([]float64{1, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := math.Sqrt2
+	wantAvg := []float64{2 / s2, 6 / s2}
+	wantCoeff := []float64{0, -2 / s2}
+	for i := range wantAvg {
+		if math.Abs(avg[i]-wantAvg[i]) > tol || math.Abs(coeff[i]-wantCoeff[i]) > tol {
+			t.Errorf("step[%d] = (%g,%g), want (%g,%g)", i, avg[i], coeff[i], wantAvg[i], wantCoeff[i])
+		}
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	if _, _, err := Step(nil); err == nil {
+		t.Error("empty signal should fail")
+	}
+	if _, _, err := Step([]float64{1, 2, 3}); err == nil {
+		t.Error("odd-length signal should fail")
+	}
+}
+
+func TestTransformShapes(t *testing.T) {
+	x := make([]float64, 16)
+	levels, err := Transform(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 4 {
+		t.Fatalf("levels = %d", len(levels))
+	}
+	for i, l := range levels {
+		want := 16 >> uint(i+1)
+		if len(l.Averages) != want || len(l.Coefficients) != want {
+			t.Errorf("level %d sizes %d/%d, want %d", i+1, len(l.Averages), len(l.Coefficients), want)
+		}
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	if _, err := Transform(make([]float64, 16), 0); err == nil {
+		t.Error("level 0 should fail")
+	}
+	if _, err := Transform(make([]float64, 12), 3); err == nil {
+		t.Error("12 samples cannot do 3 levels")
+	}
+}
+
+func TestInverseReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{2, 8, 64, 256} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		d := MaxLevel(n)
+		levels, err := Transform(x, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Inverse(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d: reconstruction error at %d: %g vs %g", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestInverseErrors(t *testing.T) {
+	if _, err := Inverse(nil); err == nil {
+		t.Error("empty levels should fail")
+	}
+	bad := []Level{{Averages: []float64{1}, Coefficients: []float64{1, 2}}}
+	if _, err := Inverse(bad); err == nil {
+		t.Error("mismatched sizes should fail")
+	}
+}
+
+// TestParseval: the orthonormal Haar transform preserves energy.
+func TestParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << uint(1+rng.Intn(7))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		levels, err := Transform(x, MaxLevel(n))
+		if err != nil {
+			return false
+		}
+		return math.Abs(Energy(x)-TransformEnergy(levels)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLinearity: transform of a+b equals transform(a)+transform(b).
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 32
+	a := make([]float64, n)
+	b := make([]float64, n)
+	sum := make([]float64, n)
+	for i := range a {
+		a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		sum[i] = a[i] + b[i]
+	}
+	la, _ := Transform(a, 5)
+	lb, _ := Transform(b, 5)
+	ls, _ := Transform(sum, 5)
+	for l := range ls {
+		for j := range ls[l].Coefficients {
+			if math.Abs(ls[l].Coefficients[j]-(la[l].Coefficients[j]+lb[l].Coefficients[j])) > 1e-9 {
+				t.Fatalf("linearity violated at level %d", l+1)
+			}
+		}
+	}
+}
+
+// TestConstantSignal: a constant signal has zero coefficients at
+// every level and a scaled final average.
+func TestConstantSignal(t *testing.T) {
+	n, d := 64, 6
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 3
+	}
+	levels, err := Transform(x, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeffs, finalAvg := Outputs(levels)
+	for l, cs := range coeffs {
+		for _, c := range cs {
+			if math.Abs(c) > tol {
+				t.Fatalf("level %d has nonzero coefficient %g", l+1, c)
+			}
+		}
+	}
+	// After d levels each average is 3·(√2)^d.
+	want := 3 * math.Pow(math.Sqrt2, float64(d))
+	if math.Abs(finalAvg[0]-want) > 1e-9 {
+		t.Errorf("final average = %g, want %g", finalAvg[0], want)
+	}
+}
+
+func TestOutputsEmpty(t *testing.T) {
+	c, a := Outputs(nil)
+	if c != nil || a != nil {
+		t.Error("Outputs(nil) should be empty")
+	}
+}

@@ -1,0 +1,53 @@
+// Package wcfg defines the node-weight configurations used throughout
+// the paper's evaluation (Section 5.1): Equal, where every node costs
+// one memory word, and Double Accumulator, where non-input nodes
+// (partial or accumulated results) cost two words — the
+// mixed-precision scenario in which accumulated values need higher
+// numerical precision than raw inputs.
+package wcfg
+
+import "wrbpg/internal/cdag"
+
+// DefaultWordBits is the paper's word size: 16 bits, a common sample
+// size for BCI sensor data.
+const DefaultWordBits = 16
+
+// Config fixes the word size and the per-class node weights in words.
+type Config struct {
+	// Name labels the configuration in reports ("Equal", "Double Accumulator").
+	Name string
+	// WordBits is the memory word size in bits.
+	WordBits int
+	// InputWords is the weight of input (source) nodes, in words.
+	InputWords int
+	// NodeWords is the weight of non-input nodes, in words.
+	NodeWords int
+}
+
+// Equal returns the configuration where all nodes weigh one word.
+func Equal(wordBits int) Config {
+	return Config{Name: "Equal", WordBits: wordBits, InputWords: 1, NodeWords: 1}
+}
+
+// DoubleAccumulator returns the configuration where non-input nodes
+// weigh two words.
+func DoubleAccumulator(wordBits int) Config {
+	return Config{Name: "Double Accumulator", WordBits: wordBits, InputWords: 1, NodeWords: 2}
+}
+
+// Input returns the input-node weight in bits.
+func (c Config) Input() cdag.Weight { return cdag.Weight(c.InputWords * c.WordBits) }
+
+// Node returns the non-input node weight in bits.
+func (c Config) Node() cdag.Weight { return cdag.Weight(c.NodeWords * c.WordBits) }
+
+// Words converts a weight in bits to whole words, rounding up.
+func (c Config) Words(bits cdag.Weight) int {
+	wb := cdag.Weight(c.WordBits)
+	return int((bits + wb - 1) / wb)
+}
+
+// Bits converts a word count to bits.
+func (c Config) Bits(words int) cdag.Weight {
+	return cdag.Weight(words) * cdag.Weight(c.WordBits)
+}

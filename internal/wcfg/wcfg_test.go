@@ -1,0 +1,37 @@
+package wcfg
+
+import "testing"
+
+func TestEqual(t *testing.T) {
+	c := Equal(16)
+	if c.Name != "Equal" || c.Input() != 16 || c.Node() != 16 {
+		t.Errorf("Equal(16) = %+v", c)
+	}
+}
+
+func TestDoubleAccumulator(t *testing.T) {
+	c := DoubleAccumulator(16)
+	if c.Input() != 16 || c.Node() != 32 {
+		t.Errorf("DA(16) = %+v", c)
+	}
+	if c.Name == "" {
+		t.Error("missing name")
+	}
+}
+
+func TestWordsBits(t *testing.T) {
+	c := Equal(16)
+	if c.Words(160) != 10 || c.Words(161) != 11 || c.Words(1) != 1 {
+		t.Error("Words rounding wrong")
+	}
+	if c.Bits(10) != 160 {
+		t.Error("Bits wrong")
+	}
+}
+
+func TestOtherWordSizes(t *testing.T) {
+	c := DoubleAccumulator(8)
+	if c.Input() != 8 || c.Node() != 16 {
+		t.Errorf("DA(8) = %+v", c)
+	}
+}
