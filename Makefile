@@ -1,0 +1,30 @@
+# Development entry points. `make check` is the full pre-commit gate:
+# build, vet, race-enabled tests, and a one-iteration benchmark smoke
+# pass (-short skips the heavy figure sweeps; see bench_test.go).
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench-json check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -short -bench=. -benchtime=1x -run '^$$' ./...
+
+# Writes the perf-regression report (see docs/PERFORMANCE.md).
+bench-json:
+	$(GO) run ./cmd/experiments -bench-json BENCH_1.json
+
+check: build vet race bench-smoke

@@ -33,6 +33,9 @@ import (
 
 func benchFig5DWT(b *testing.B, cfg wcfg.Config) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("full Figure 5 DWT sweep; skipped in -short mode")
+	}
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Fig5DWT(cfg, bench.DWTInputs, bench.DWTLevels, nil)
 		if err != nil {
@@ -49,6 +52,9 @@ func BenchmarkFig5bDWTDoubleAcc(b *testing.B) { benchFig5DWT(b, wcfg.DoubleAccum
 
 func benchFig5MVM(b *testing.B, cfg wcfg.Config) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("full Figure 5 MVM sweep; skipped in -short mode")
+	}
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Fig5MVM(cfg, bench.MVMRows, bench.MVMCols, nil)
 		if err != nil {
@@ -67,6 +73,9 @@ func BenchmarkFig5dMVMDoubleAcc(b *testing.B) { benchFig5MVM(b, wcfg.DoubleAccum
 
 func benchFig6DWT(b *testing.B, cfg wcfg.Config) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("full Figure 6 DWT sweep; skipped in -short mode")
+	}
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Fig6DWT(cfg, bench.DWTInputs)
 		if err != nil {
@@ -83,6 +92,9 @@ func BenchmarkFig6bDWTDoubleAcc(b *testing.B) { benchFig6DWT(b, wcfg.DoubleAccum
 
 func benchFig6MVM(b *testing.B, cfg wcfg.Config) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("full Figure 6 MVM sweep; skipped in -short mode")
+	}
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Fig6MVM(cfg, bench.MVMRows, bench.MVMCols)
 		if err != nil {
@@ -100,6 +112,9 @@ func BenchmarkFig6dMVMDoubleAcc(b *testing.B) { benchFig6MVM(b, wcfg.DoubleAccum
 // --- Table 1: minimum fast memory sizes ---------------------------
 
 func BenchmarkTable1(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full Table 1 computation; skipped in -short mode")
+	}
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Table1()
 		if err != nil {
@@ -114,6 +129,9 @@ func BenchmarkTable1(b *testing.B) {
 // --- Figure 7: synthesis metrics of the Table 1 capacities --------
 
 func BenchmarkFig7Synthesis(b *testing.B) {
+	if testing.Short() {
+		b.Skip("Table 1 plus synthesis; skipped in -short mode")
+	}
 	p := synth.TSMC65()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Fig7(p)
@@ -129,6 +147,9 @@ func BenchmarkFig7Synthesis(b *testing.B) {
 // --- Figure 8: layout comparison -----------------------------------
 
 func BenchmarkFig8Layouts(b *testing.B) {
+	if testing.Short() {
+		b.Skip("Table 1 plus layout rendering; skipped in -short mode")
+	}
 	p := synth.TSMC65()
 	for i := 0; i < b.N; i++ {
 		pairs, err := bench.Fig8(p)
@@ -162,6 +183,9 @@ func BenchmarkAblationDWTMemoOn(b *testing.B) {
 }
 
 func BenchmarkAblationDWTMemoOff(b *testing.B) {
+	if testing.Short() {
+		b.Skip("exponential no-memo recursion; skipped in -short mode")
+	}
 	g, err := dwt.Build(64, 6, dwt.ConfigWeights(wcfg.Equal(16)))
 	if err != nil {
 		b.Fatal(err)

@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-table1] [-fig5] [-fig6] [-fig7] [-fig8] [-dse] [-all] [-short]
+//	experiments [-table1] [-fig5] [-fig6] [-fig7] [-fig8] [-dse] [-all] [-short] [-bench-json FILE]
 //
 // With no flags, -all is assumed. -short reduces the Figure 5/6
-// sweep sizes for quick runs.
+// sweep sizes for quick runs. -bench-json runs the hot-path
+// perf-regression suite and writes a BENCH_*.json report; alone it
+// skips the figures.
 package main
 
 import (
@@ -32,12 +34,19 @@ var (
 	flagDSE    = flag.Bool("dse", false, "print the mixed-precision design-space exploration")
 	flagAll    = flag.Bool("all", false, "print everything")
 	flagShort  = flag.Bool("short", false, "reduced sweeps for quick runs")
+	flagBench  = flag.String("bench-json", "", "run the perf-regression suite and write BENCH JSON to `file` ('-' for stdout)")
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	flag.Parse()
+	if *flagBench != "" {
+		benchJSON(*flagBench)
+		if !*flagTable1 && !*flagFig5 && !*flagFig6 && !*flagFig7 && !*flagFig8 && !*flagDSE && !*flagAll {
+			return
+		}
+	}
 	if !*flagTable1 && !*flagFig5 && !*flagFig6 && !*flagFig7 && !*flagFig8 && !*flagDSE {
 		*flagAll = true
 	}
@@ -97,6 +106,31 @@ func dse2() {
 	fmt.Println("\n  * = on the precision-vs-energy Pareto frontier")
 }
 
+// benchJSON runs the hot-path perf suite and writes the report; the
+// output feeds the BENCH_*.json regression history (see
+// docs/PERFORMANCE.md).
+func benchJSON(path string) {
+	rep, err := bench.RunPerfSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		log.Fatal(err)
+	}
+	if path != "-" {
+		log.Printf("wrote perf report to %s", path)
+	}
+}
+
 func header(s string) {
 	fmt.Printf("\n================ %s ================\n\n", s)
 }
@@ -110,7 +144,7 @@ func fig5() {
 	}
 	for _, cfg := range bench.Configs() {
 		header(fmt.Sprintf("Figure 5: %s DWT(%d,%d) — bits transferred vs fast memory", cfg.Name, dwtN, dwtD))
-		rows, err := bench.Fig5DWT(cfg, dwtN, dwtD, nil)
+		rows, err := bench.Fig5DWTParallel(cfg, dwtN, dwtD, nil, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -128,7 +162,7 @@ func fig5() {
 	}
 	for _, cfg := range bench.Configs() {
 		header(fmt.Sprintf("Figure 5: %s MVM(%d,%d) — bits transferred vs fast memory", cfg.Name, mvmM, mvmN))
-		rows, err := bench.Fig5MVM(cfg, mvmM, mvmN, nil)
+		rows, err := bench.Fig5MVMParallel(cfg, mvmM, mvmN, nil, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/ktree"
+	"wrbpg/internal/memstate"
+	"wrbpg/internal/mvm"
+)
+
+// PerfResult is one kernel's measurement, comparable across commits:
+// ns/op plus the allocator counters that the DP hot paths are
+// expected to keep at zero on memo hits.
+type PerfResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// PerfReport is the BENCH_*.json document emitted by
+// cmd/experiments -bench-json: environment metadata plus one
+// PerfResult per hot-path kernel.
+type PerfReport struct {
+	GoOS       string       `json:"goos"`
+	GoArch     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Results    []PerfResult `json:"results"`
+}
+
+// perfKernel is one entry of the regression suite. setup runs outside
+// the timed region and returns the per-iteration body.
+type perfKernel struct {
+	name  string
+	setup func() (func(), error)
+}
+
+// perfKernels returns the hot-path suite: DP cost evaluation with
+// warm memos (the packed-key lookups that must not allocate), cold
+// full sweeps, the tile search, and graph construction.
+func perfKernels() []perfKernel {
+	return []perfKernel{
+		{"MemstateSchedulerCostWarm", func() (func(), error) {
+			tr, err := ktree.FullTree(2, 6, func(d, i int) cdag.Weight { return 1 + cdag.Weight((d+i)%3) })
+			if err != nil {
+				return nil, err
+			}
+			s, err := memstate.NewScheduler(tr.G)
+			if err != nil {
+				return nil, err
+			}
+			leaf := tr.G.Sources()[0]
+			reuse := memstate.NewBitset(leaf)
+			b := core.MinExistenceBudget(tr.G) + 4
+			s.Cost(tr.Root, b, memstate.Bitset{}, reuse)
+			return func() { s.Cost(tr.Root, b, memstate.Bitset{}, reuse) }, nil
+		}},
+		{"MemstateKSchedulerCostWarm", func() (func(), error) {
+			tr, err := ktree.FullTree(3, 3, func(d, i int) cdag.Weight { return 1 + cdag.Weight(i%2) })
+			if err != nil {
+				return nil, err
+			}
+			s, err := memstate.NewKScheduler(tr.G)
+			if err != nil {
+				return nil, err
+			}
+			leaf := tr.G.Sources()[0]
+			reuse := memstate.NewBitset(leaf)
+			b := core.MinExistenceBudget(tr.G) + 4
+			s.Cost(tr.Root, b, memstate.Bitset{}, reuse)
+			return func() { s.Cost(tr.Root, b, memstate.Bitset{}, reuse) }, nil
+		}},
+		{"MemstateKSchedulerCostCold", func() (func(), error) {
+			tr, err := ktree.FullTree(3, 3, func(d, i int) cdag.Weight { return 1 + cdag.Weight(i%2) })
+			if err != nil {
+				return nil, err
+			}
+			b := core.MinExistenceBudget(tr.G) + 4
+			return func() {
+				s, err := memstate.NewKScheduler(tr.G)
+				if err != nil {
+					panic(err)
+				}
+				s.PlainCost(tr.Root, b)
+			}, nil
+		}},
+		{"KtreeMinCostWarm", func() (func(), error) {
+			tr, err := ktree.FullTree(4, 3, func(d, i int) cdag.Weight { return 1 + cdag.Weight((d+i)%2) })
+			if err != nil {
+				return nil, err
+			}
+			s := ktree.NewScheduler(tr)
+			b := core.MinExistenceBudget(tr.G) + 3
+			s.MinCost(b)
+			return func() { s.MinCost(b) }, nil
+		}},
+		{"KtreeMinCostCold", func() (func(), error) {
+			tr, err := ktree.FullTree(4, 3, func(d, i int) cdag.Weight { return 1 + cdag.Weight((d+i)%2) })
+			if err != nil {
+				return nil, err
+			}
+			b := core.MinExistenceBudget(tr.G) + 3
+			return func() { ktree.NewScheduler(tr).MinCost(b) }, nil
+		}},
+		{"DWTMinCostCold", func() (func(), error) {
+			cfg := Configs()[0]
+			g, err := dwt.Build(64, 6, dwt.ConfigWeights(cfg))
+			if err != nil {
+				return nil, err
+			}
+			b := core.MinExistenceBudget(g.G) + 4*cdag.Weight(cfg.WordBits)
+			return func() {
+				s, err := dwt.NewScheduler(g)
+				if err != nil {
+					panic(err)
+				}
+				s.MinCost(b)
+			}, nil
+		}},
+		{"MVMSearch", func() (func(), error) {
+			cfg := Configs()[0]
+			g, err := mvm.Build(MVMRows, MVMCols, cfg)
+			if err != nil {
+				return nil, err
+			}
+			b := g.TilingMinBudget() + 20*cdag.Weight(cfg.WordBits)
+			return func() {
+				if _, _, err := g.Search(b); err != nil {
+					panic(err)
+				}
+			}, nil
+		}},
+		{"MVMMinMemory", func() (func(), error) {
+			cfg := Configs()[0]
+			g, err := mvm.Build(MVMRows, MVMCols, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return func() { g.MinMemory() }, nil
+		}},
+		{"KtreeFullTreeBuild", func() (func(), error) {
+			return func() {
+				if _, err := ktree.FullTree(2, 7, func(d, i int) cdag.Weight { return 1 }); err != nil {
+					panic(err)
+				}
+			}, nil
+		}},
+	}
+}
+
+// RunPerfSuite measures every kernel with testing.Benchmark and
+// returns the report. It is callable from a plain binary — the
+// standard benchmark machinery does not require a test context.
+func RunPerfSuite() (PerfReport, error) {
+	rep := PerfReport{
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, k := range perfKernels() {
+		body, err := k.setup()
+		if err != nil {
+			return rep, fmt.Errorf("bench: perf kernel %s: %w", k.name, err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				body()
+			}
+		})
+		rep.Results = append(rep.Results, PerfResult{
+			Name:        k.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return rep, nil
+}
+
+// WriteJSON emits the report as indented JSON (the BENCH_*.json
+// format; see docs/PERFORMANCE.md for the benchstat workflow).
+func (r PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

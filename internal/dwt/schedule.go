@@ -31,6 +31,7 @@ const (
 type entry struct {
 	cost   cdag.Weight
 	choice strategy
+	valid  bool
 }
 
 // Scheduler computes minimum weighted WRBPG schedules for a DWT graph
@@ -38,9 +39,15 @@ type entry struct {
 // the corresponding move sequences (Algorithm 1). A Scheduler caches
 // subproblem solutions across budgets, so sweeping budgets on one
 // graph reuses work.
+//
+// The memo is a per-node slice indexed by a dense budget index:
+// distinct budgets get consecutive indices as they are first seen, so
+// a P(v, b) cache hit is one small map probe and a slice load instead
+// of two map lookups, with zero allocations.
 type Scheduler struct {
-	dg   *Graph
-	memo map[cdag.NodeID]map[cdag.Weight]entry
+	dg        *Graph
+	budgetIdx map[cdag.Weight]int
+	memo      [][]entry
 }
 
 // NewScheduler validates the weight assumption of Lemma 3.2 and
@@ -49,7 +56,29 @@ func NewScheduler(dg *Graph) (*Scheduler, error) {
 	if err := dg.CheckWeightAssumption(); err != nil {
 		return nil, err
 	}
-	return &Scheduler{dg: dg, memo: map[cdag.NodeID]map[cdag.Weight]entry{}}, nil
+	return &Scheduler{
+		dg:        dg,
+		budgetIdx: map[cdag.Weight]int{},
+		memo:      make([][]entry, dg.G.Len()),
+	}, nil
+}
+
+// cell returns a pointer to the memo slot for (v, b), growing the
+// node's row on first touch of a new budget index.
+func (s *Scheduler) cell(v cdag.NodeID, b cdag.Weight) *entry {
+	bi, ok := s.budgetIdx[b]
+	if !ok {
+		bi = len(s.budgetIdx)
+		s.budgetIdx[b] = bi
+	}
+	row := s.memo[v]
+	if bi >= len(row) {
+		grown := make([]entry, bi+1)
+		copy(grown, row)
+		s.memo[v] = grown
+		row = grown
+	}
+	return &row[bi]
 }
 
 // p computes P(v, b): the minimum weighted cost to place a red pebble
@@ -57,30 +86,26 @@ func NewScheduler(dg *Graph) (*Scheduler, error) {
 // most b red weight inside the subtree, and leaving no other red
 // pebbles behind. Results are memoized per (v, b).
 func (s *Scheduler) p(v cdag.NodeID, b cdag.Weight) entry {
-	if m, ok := s.memo[v]; ok {
-		if e, ok := m[b]; ok {
-			return e
-		}
-	} else {
-		s.memo[v] = map[cdag.Weight]entry{}
+	if c := s.cell(v, b); c.valid {
+		return *c
 	}
 	g := s.dg.G
 	var e entry
 	if g.IsSource(v) {
 		if g.Weight(v) <= b {
-			e = entry{cost: g.Weight(v), choice: stratLeaf}
+			e = entry{cost: g.Weight(v), choice: stratLeaf, valid: true}
 		} else {
-			e = entry{cost: Inf, choice: stratLeaf}
+			e = entry{cost: Inf, choice: stratLeaf, valid: true}
 		}
-		s.memo[v][b] = e
+		*s.cell(v, b) = e
 		return e
 	}
 	ps := g.Parents(v)
 	p1, p2 := ps[0], ps[1]
 	w1, w2 := g.Weight(p1), g.Weight(p2)
 	if g.Weight(v)+w1+w2 > b {
-		e = entry{cost: Inf, choice: stratKeepP1}
-		s.memo[v][b] = e
+		e = entry{cost: Inf, choice: stratKeepP1, valid: true}
+		*s.cell(v, b) = e
 		return e
 	}
 	// Keep strategies are evaluated first so that ties resolve to
@@ -103,7 +128,8 @@ func (s *Scheduler) p(v cdag.NodeID, b cdag.Weight) entry {
 	consider(add(s.p(p2, b).cost, s.p(p1, b-w2).cost), stratKeepP2)
 	consider(add(add(s.p(p1, b).cost, s.p(p2, b).cost), 2*w1), stratSpillP1)
 	consider(add(add(s.p(p2, b).cost, s.p(p1, b).cost), 2*w2), stratSpillP2)
-	s.memo[v][b] = best
+	best.valid = true
+	*s.cell(v, b) = best
 	return best
 }
 

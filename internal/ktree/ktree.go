@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"wrbpg/internal/cdag"
 )
@@ -76,13 +77,13 @@ func FullTree(k, height int, wf func(depth, index int) cdag.Weight) (*Tree, erro
 		leaves *= k
 	}
 	for i := 0; i < leaves; i++ {
-		prev = append(prev, g.AddNode(wf(height, i), fmt.Sprintf("leaf%d", i)))
+		prev = append(prev, g.AddNode(wf(height, i), "leaf"+strconv.Itoa(i)))
 	}
 	for depth := height - 1; depth >= 0; depth-- {
 		var cur []cdag.NodeID
 		for i := 0; i < len(prev)/k; i++ {
 			parents := prev[i*k : (i+1)*k]
-			cur = append(cur, g.AddNode(wf(depth, i), fmt.Sprintf("n%d_%d", depth, i), parents...))
+			cur = append(cur, g.AddNode(wf(depth, i), "n"+strconv.Itoa(depth)+"_"+strconv.Itoa(i), parents...))
 		}
 		prev = cur
 	}
@@ -111,10 +112,10 @@ func Random(rng *rand.Rand, internal, k int, maxW cdag.Weight) (*Tree, error) {
 				parents = append(parents, frontier[j])
 				frontier = append(frontier[:j], frontier[j+1:]...)
 			} else {
-				parents = append(parents, g.AddNode(w(), fmt.Sprintf("l%d_%d", i, d)))
+				parents = append(parents, g.AddNode(w(), "l"+strconv.Itoa(i)+"_"+strconv.Itoa(d)))
 			}
 		}
-		frontier = append(frontier, g.AddNode(w(), fmt.Sprintf("i%d", i), parents...))
+		frontier = append(frontier, g.AddNode(w(), "i"+strconv.Itoa(i), parents...))
 	}
 	// Chain any remaining frontier roots into a single root.
 	for len(frontier) > 1 {
@@ -137,7 +138,7 @@ func Chain(length int, wf func(i int) cdag.Weight) (*Tree, error) {
 	g := &cdag.Graph{}
 	prev := g.AddNode(wf(0), "leaf")
 	for i := 1; i < length; i++ {
-		prev = g.AddNode(wf(i), fmt.Sprintf("n%d", i), prev)
+		prev = g.AddNode(wf(i), "n"+strconv.Itoa(i), prev)
 	}
 	return New(g)
 }
@@ -153,7 +154,7 @@ func Star(k int, leafW, rootW cdag.Weight) (*Tree, error) {
 	g := &cdag.Graph{}
 	var parents []cdag.NodeID
 	for i := 0; i < k; i++ {
-		parents = append(parents, g.AddNode(leafW, fmt.Sprintf("leaf%d", i)))
+		parents = append(parents, g.AddNode(leafW, "leaf"+strconv.Itoa(i)))
 	}
 	g.AddNode(rootW, "root", parents...)
 	return New(g)

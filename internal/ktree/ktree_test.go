@@ -181,7 +181,15 @@ func TestOptimalityAgainstExactTernary(t *testing.T) {
 }
 
 // TestOptimalityRandomTreesQuick cross-checks random small weighted
-// trees against the exact solver.
+// trees against the exact solver. Pt enumerates subtree-contiguous
+// strategies (child permutation × spill subset), so its cost is
+// always achievable — never below the exact optimum — and matches it
+// exactly once the budget is generous enough to hold the whole tree.
+// Under tight budgets the exact solver can be strictly cheaper by
+// interleaving sibling subtrees (e.g. a 10-node binary tree at
+// b = minB where pausing one subtree to hold a grandchild red beats
+// every contiguous order, DP 16 vs exact 12), so exact equality at
+// arbitrary budgets is NOT a property of Pt.
 func TestOptimalityRandomTreesQuick(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -195,16 +203,24 @@ func TestOptimalityRandomTreesQuick(t *testing.T) {
 		if err != nil {
 			return true
 		}
-		if s.MinCost(b) != res.Cost {
-			t.Logf("seed=%d b=%d DP=%d exact=%d nodes=%d", seed, b, s.MinCost(b), res.Cost, tr.G.Len())
+		dp := s.MinCost(b)
+		if dp < res.Cost {
+			t.Logf("seed=%d b=%d DP=%d below exact=%d nodes=%d", seed, b, dp, res.Cost, tr.G.Len())
 			return false
 		}
+		if generous := tr.G.TotalWeight(); b >= generous {
+			if dp != res.Cost {
+				t.Logf("seed=%d b=%d ≥ total %d but DP=%d != exact=%d", seed, b, generous, dp, res.Cost)
+				return false
+			}
+		}
+		// The emitted schedule must realize exactly the DP cost.
 		sched, err := s.Schedule(b)
 		if err != nil {
 			return false
 		}
 		stats, err := core.Simulate(tr.G, b, sched)
-		return err == nil && stats.Cost == res.Cost
+		return err == nil && stats.Cost == dp
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)

@@ -5,27 +5,67 @@ import (
 
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
+	"wrbpg/internal/perm"
 )
 
+// entry is one memoized Pt(v, b) cell. The chosen parent order is
+// stored as a row index into the shared permutation table of the
+// node's arity (perm.Table), so cells hold no per-cell slices; delta
+// bit i set means the parent at position i of that row keeps its red
+// pebble while later parents are computed (δ_i = 1 in Eq. 6).
 type entry struct {
-	cost cdag.Weight
-	// perm is the chosen parent order (indices into Parents(v));
-	// delta bit i set means perm[i] keeps its red pebble while later
-	// parents are computed (δ_i = 1 in Eq. 6).
-	perm  []uint8
-	delta uint16
+	cost    cdag.Weight
+	permIdx int32
+	delta   uint16
+	valid   bool
 }
 
 // Scheduler computes Pt(v, b) (Eq. 6) with memoization and generates
 // optimal schedules for k-ary trees.
+//
+// The memo is a per-node slice indexed by a dense budget index (the
+// map below assigns consecutive indices to distinct budgets as they
+// are first seen), replacing the former map-of-maps: a cache hit is
+// one small map probe plus a slice load, with zero allocations.
 type Scheduler struct {
-	t    *Tree
-	memo map[cdag.NodeID]map[cdag.Weight]entry
+	t         *Tree
+	budgetIdx map[cdag.Weight]int
+	memo      [][]entry
 }
 
-// NewScheduler returns a scheduler for the tree.
+// NewScheduler returns a scheduler for the tree. The k! permutation
+// tables for every arity in the tree are built (or fetched from the
+// process-wide cache) here, once, instead of being re-enumerated with
+// Heap's algorithm on every DP cell.
 func NewScheduler(t *Tree) *Scheduler {
-	return &Scheduler{t: t, memo: map[cdag.NodeID]map[cdag.Weight]entry{}}
+	for v := 0; v < t.G.Len(); v++ {
+		if k := t.G.InDegree(cdag.NodeID(v)); k > 0 {
+			perm.Table(k)
+		}
+	}
+	return &Scheduler{
+		t:         t,
+		budgetIdx: map[cdag.Weight]int{},
+		memo:      make([][]entry, t.G.Len()),
+	}
+}
+
+// cell returns a pointer to the memo slot for (v, b), growing the
+// node's row on first touch of a new budget index.
+func (s *Scheduler) cell(v cdag.NodeID, b cdag.Weight) *entry {
+	bi, ok := s.budgetIdx[b]
+	if !ok {
+		bi = len(s.budgetIdx)
+		s.budgetIdx[b] = bi
+	}
+	row := s.memo[v]
+	if bi >= len(row) {
+		grown := make([]entry, bi+1)
+		copy(grown, row)
+		s.memo[v] = grown
+		row = grown
+	}
+	return &row[bi]
 }
 
 // pt computes Pt(v, b) of Eq. 6, minimizing over parent permutations
@@ -35,12 +75,8 @@ func NewScheduler(t *Tree) *Scheduler {
 // already hold blue pebbles), so the minimum is unchanged and the
 // generator never writes a blue pebble onto a node that has one.
 func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
-	if m, ok := s.memo[v]; ok {
-		if e, ok := m[b]; ok {
-			return e
-		}
-	} else {
-		s.memo[v] = map[cdag.Weight]entry{}
+	if c := s.cell(v, b); c.valid {
+		return *c
 	}
 	g := s.t.G
 	var best entry
@@ -50,7 +86,8 @@ func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
 		} else {
 			best = entry{cost: Inf}
 		}
-		s.memo[v][b] = best
+		best.valid = true
+		*s.cell(v, b) = best
 		return best
 	}
 	parents := g.Parents(v)
@@ -60,16 +97,12 @@ func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
 		parentSum += g.Weight(p)
 	}
 	if g.Weight(v)+parentSum > b {
-		best = entry{cost: Inf}
-		s.memo[v][b] = best
+		best = entry{cost: Inf, valid: true}
+		*s.cell(v, b) = best
 		return best
 	}
 	best = entry{cost: Inf}
-	perm := make([]uint8, k)
-	for i := range perm {
-		perm[i] = uint8(i)
-	}
-	s.forEachPermutation(perm, func(order []uint8) {
+	for pi, order := range perm.Table(k) {
 		for delta := uint16(0); delta < 1<<uint(k); delta++ {
 			skip := false
 			var cost, held cdag.Weight
@@ -95,32 +128,12 @@ func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
 			if skip || cost >= best.cost {
 				continue
 			}
-			best = entry{cost: cost, perm: append([]uint8(nil), order...), delta: delta}
-		}
-	})
-	s.memo[v][b] = best
-	return best
-}
-
-// forEachPermutation invokes f with every permutation of p (Heap's
-// algorithm, in place; f must not retain the slice).
-func (s *Scheduler) forEachPermutation(p []uint8, f func([]uint8)) {
-	var rec func(n int)
-	rec = func(n int) {
-		if n == 1 {
-			f(p)
-			return
-		}
-		for i := 0; i < n; i++ {
-			rec(n - 1)
-			if n%2 == 0 {
-				p[i], p[n-1] = p[n-1], p[i]
-			} else {
-				p[0], p[n-1] = p[n-1], p[0]
-			}
+			best = entry{cost: cost, permIdx: int32(pi), delta: delta}
 		}
 	}
-	rec(len(p))
+	best.valid = true
+	*s.cell(v, b) = best
+	return best
 }
 
 // MinCost returns the minimum weighted schedule cost for the whole
@@ -164,9 +177,10 @@ func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, sched *core.Schedule) erro
 		return nil
 	}
 	parents := g.Parents(v)
+	order := perm.Table(len(parents))[e.permIdx]
 	var held cdag.Weight
 	var spilled []cdag.NodeID
-	for i, oi := range e.perm {
+	for i, oi := range order {
 		p := parents[oi]
 		if err := s.gen(p, b-held, sched); err != nil {
 			return err
@@ -228,9 +242,5 @@ func (s *Scheduler) MinMemory(step cdag.Weight) (cdag.Weight, error) {
 // StrategyCount returns 2^k·k!, the number of per-node strategies the
 // DP enumerates for in-degree k — the quantity bounding Theorem 3.8.
 func StrategyCount(k int) int {
-	n := 1
-	for i := 2; i <= k; i++ {
-		n *= i
-	}
-	return n << uint(k)
+	return perm.Count(k) << uint(k)
 }

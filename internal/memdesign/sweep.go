@@ -1,0 +1,59 @@
+package memdesign
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/par"
+)
+
+// SweepCosts evaluates fn at every budget on a bounded worker pool
+// and returns the costs in budget order. fn must be safe for
+// concurrent use (the closed-form mvm predictors are; a memoizing
+// scheduler is not — wrap each worker's share in its own scheduler,
+// or pass workers = 1).
+func SweepCosts(fn CostFn, budgets []cdag.Weight, workers int) []cdag.Weight {
+	out, _ := par.Map(workers, budgets, func(b cdag.Weight) (cdag.Weight, error) {
+		return fn(b), nil
+	})
+	return out
+}
+
+// SearchLinearParallel is SearchLinear with the budget axis split
+// into contiguous chunks evaluated concurrently; each chunk stops at
+// its first local hit and the smallest hitting budget wins, so the
+// result is identical to the serial scan. fn must be safe for
+// concurrent use. Use it for non-monotone cost functions over wide
+// budget ranges; SearchMonotone's binary search is cheaper whenever
+// monotonicity holds.
+func SearchLinearParallel(fn CostFn, target cdag.Weight, lo, hi, step cdag.Weight, workers int) (cdag.Weight, error) {
+	if step <= 0 {
+		step = 1
+	}
+	if r := lo % step; r != 0 {
+		lo += step - r
+	}
+	if lo > hi {
+		return 0, fmt.Errorf("memdesign: target cost %d not reached up to budget %d", target, hi)
+	}
+	n := int((hi-lo)/step) + 1
+	chunks := par.Chunks(n, workers)
+	hits, err := par.Map(workers, chunks, func(c [2]int) (cdag.Weight, error) {
+		for i := c[0]; i < c[1]; i++ {
+			b := lo + cdag.Weight(i)*step
+			if fn(b) == target {
+				return b, nil
+			}
+		}
+		return -1, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, b := range hits {
+		if b >= 0 {
+			return b, nil // chunks are in budget order; first hit is smallest
+		}
+	}
+	return 0, fmt.Errorf("memdesign: target cost %d not reached up to budget %d", target, hi)
+}

@@ -1,0 +1,76 @@
+package memdesign
+
+import (
+	"testing"
+
+	"wrbpg/internal/cdag"
+)
+
+// stepFn is non-increasing: 100 above b=40, 10 from 40.
+func stepFn(b cdag.Weight) cdag.Weight {
+	if b >= 40 {
+		return 10
+	}
+	return 100
+}
+
+// combFn is non-monotone: hits target only at exactly b = 28 and 52.
+func combFn(b cdag.Weight) cdag.Weight {
+	if b == 28 || b == 52 {
+		return 7
+	}
+	return 99
+}
+
+func TestSweepCosts(t *testing.T) {
+	budgets := []cdag.Weight{8, 16, 40, 48}
+	for _, w := range []int{1, 4} {
+		got := SweepCosts(stepFn, budgets, w)
+		want := []cdag.Weight{100, 100, 10, 10}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: SweepCosts[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+	if got := SweepCosts(stepFn, nil, 4); len(got) != 0 {
+		t.Fatalf("empty sweep returned %v", got)
+	}
+}
+
+func TestSearchLinearParallelMatchesSerial(t *testing.T) {
+	want, err := SearchLinear(combFn, 7, 0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 3, 16} {
+		got, err := SearchLinearParallel(combFn, 7, 0, 100, 4, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: parallel found %d, serial %d", w, got, want)
+		}
+	}
+}
+
+func TestSearchLinearParallelMiss(t *testing.T) {
+	if _, err := SearchLinearParallel(combFn, 7, 0, 20, 4, 3); err == nil {
+		t.Error("target beyond range should error")
+	}
+	if _, err := SearchLinearParallel(combFn, 7, 60, 20, 4, 3); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+// TestSearchLinearParallelSmallestWins: with hits in two different
+// chunks, the smaller budget is returned.
+func TestSearchLinearParallelSmallestWins(t *testing.T) {
+	got, err := SearchLinearParallel(combFn, 7, 0, 100, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 28 {
+		t.Fatalf("found %d, want 28", got)
+	}
+}

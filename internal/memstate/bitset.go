@@ -1,0 +1,213 @@
+package memstate
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"wrbpg/internal/cdag"
+)
+
+// Bitset is a packed set of node IDs: bit j of word i holds node
+// 64·i + j. The zero value is the empty set. Sets over graphs with at
+// most 64 nodes — every tree the paper's experiments schedule — live
+// entirely in the inline first word, so copying, intersecting and
+// hashing them never allocates; wider sets spill into ext.
+//
+// Bitsets are immutable values: With and and return new sets and the
+// ext slice, once created, is never written through.
+type Bitset struct {
+	w0  uint64
+	ext []uint64 // words 1+; normalized: never ends in a zero word
+}
+
+// NewBitset builds a set from IDs.
+func NewBitset(ids ...cdag.NodeID) Bitset {
+	var s Bitset
+	for _, id := range ids {
+		s = s.With(id)
+	}
+	return s
+}
+
+// Has reports whether v is a member.
+func (s Bitset) Has(v cdag.NodeID) bool {
+	w, b := int(v)>>6, uint(v)&63
+	if w == 0 {
+		return s.w0&(1<<b) != 0
+	}
+	if w-1 >= len(s.ext) {
+		return false
+	}
+	return s.ext[w-1]&(1<<b) != 0
+}
+
+// With returns s ∪ {v}.
+func (s Bitset) With(v cdag.NodeID) Bitset {
+	w, b := int(v)>>6, uint(v)&63
+	if w == 0 {
+		return Bitset{w0: s.w0 | 1<<b, ext: s.ext}
+	}
+	n := len(s.ext)
+	if w > n {
+		n = w
+	}
+	ext := make([]uint64, n)
+	copy(ext, s.ext)
+	ext[w-1] |= 1 << b
+	return Bitset{w0: s.w0, ext: ext}
+}
+
+// Empty reports whether the set has no members.
+func (s Bitset) Empty() bool { return s.w0 == 0 && len(s.ext) == 0 }
+
+// Count returns the number of members.
+func (s Bitset) Count() int {
+	n := bits.OnesCount64(s.w0)
+	for _, w := range s.ext {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// and returns s ∩ o without allocating when both sets fit the inline
+// word — the restrict operation of Eq. 8 on the hot path.
+func (s Bitset) and(o Bitset) Bitset {
+	out := Bitset{w0: s.w0 & o.w0}
+	n := len(s.ext)
+	if len(o.ext) < n {
+		n = len(o.ext)
+	}
+	// Trim trailing zero words up front so equal sets always share one
+	// packed representation.
+	for n > 0 && s.ext[n-1]&o.ext[n-1] == 0 {
+		n--
+	}
+	if n > 0 {
+		ext := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			ext[i] = s.ext[i] & o.ext[i]
+		}
+		out.ext = ext
+	}
+	return out
+}
+
+// or returns s ∪ o; used when precomputing ancestor masks.
+func (s Bitset) or(o Bitset) Bitset {
+	out := Bitset{w0: s.w0 | o.w0}
+	n := len(s.ext)
+	if len(o.ext) > n {
+		n = len(o.ext)
+	}
+	if n > 0 {
+		ext := make([]uint64, n)
+		copy(ext, s.ext)
+		for i, w := range o.ext {
+			ext[i] |= w
+		}
+		out.ext = ext
+	}
+	return out
+}
+
+// ForEach calls f with every member in ascending order.
+func (s Bitset) ForEach(f func(cdag.NodeID)) {
+	for w := s.w0; w != 0; w &= w - 1 {
+		f(cdag.NodeID(bits.TrailingZeros64(w)))
+	}
+	for i, word := range s.ext {
+		base := (i + 1) << 6
+		for w := word; w != 0; w &= w - 1 {
+			f(cdag.NodeID(base + bits.TrailingZeros64(w)))
+		}
+	}
+}
+
+// Sorted returns the members in ascending order.
+func (s Bitset) Sorted() []cdag.NodeID {
+	out := make([]cdag.NodeID, 0, s.Count())
+	s.ForEach(func(v cdag.NodeID) { out = append(out, v) })
+	return out
+}
+
+// Weight sums the weights of the members. It iterates set bits
+// directly and never allocates.
+func (s Bitset) Weight(g *cdag.Graph) cdag.Weight {
+	var total cdag.Weight
+	for w := s.w0; w != 0; w &= w - 1 {
+		total += g.Weight(cdag.NodeID(bits.TrailingZeros64(w)))
+	}
+	for i, word := range s.ext {
+		base := (i + 1) << 6
+		for w := word; w != 0; w &= w - 1 {
+			total += g.Weight(cdag.NodeID(base + bits.TrailingZeros64(w)))
+		}
+	}
+	return total
+}
+
+// setIndex maps bitsets to the uint64 handles used inside comparable
+// memo keys. Graphs with at most 64 nodes need no table at all: the
+// inline word is the handle. Wider graphs intern each distinct set
+// once and hand out its dense index, so memo lookups stay
+// allocation-free in both modes.
+type setIndex struct {
+	wide    bool
+	ids     map[string]uint64
+	scratch []byte
+}
+
+func newSetIndex(n int) *setIndex {
+	ix := &setIndex{wide: n > 64}
+	if ix.wide {
+		ix.ids = make(map[string]uint64)
+	}
+	return ix
+}
+
+// handle returns the memo handle of s: the packed word for narrow
+// graphs, the interned index for wide ones. Only the first occurrence
+// of a distinct wide set allocates (its intern entry).
+func (ix *setIndex) handle(s Bitset) uint64 {
+	if !ix.wide {
+		return s.w0
+	}
+	buf := ix.scratch[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, s.w0)
+	for _, w := range s.ext {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	ix.scratch = buf
+	if h, ok := ix.ids[string(buf)]; ok {
+		return h
+	}
+	h := uint64(len(ix.ids))
+	ix.ids[string(buf)] = h
+	return h
+}
+
+// ancestorMasks precomputes, for every node u, the mask
+// pred(u) ∪ {u}; restricting a state to u's subtree (X_u of Eq. 8) is
+// then a single intersection. Insertion order is topological by
+// construction, so one forward pass suffices.
+func ancestorMasks(g *cdag.Graph) []Bitset {
+	masks := make([]Bitset, g.Len())
+	for v := 0; v < g.Len(); v++ {
+		m := NewBitset(cdag.NodeID(v))
+		for _, p := range g.Parents(cdag.NodeID(v)) {
+			m = m.or(masks[p])
+		}
+		masks[v] = m
+	}
+	return masks
+}
+
+// pmKey is the packed DP state of Eq. 8: target node, budget, and the
+// handles of the initial and reuse sets. It is a comparable struct,
+// so memo lookups build no strings and perform zero allocations —
+// previously each lookup sorted both sets and Sprintf'd a key.
+type pmKey struct {
+	v          cdag.NodeID
+	b          cdag.Weight
+	ini, reuse uint64
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wrbpg/internal/cdag"
+	"wrbpg/internal/perm"
 )
 
 // KScheduler generalizes the Pm recursion of Eq. 8 from the paper's
@@ -14,15 +15,20 @@ import (
 // computed after it and by the reuse states (plus kept red pebbles)
 // of the parents computed before it — the direct product of Eq. 6's
 // strategy enumeration with Eq. 8's state threading.
+//
+// The permutation tables are shared process-wide (package perm) and
+// the memo is keyed by packed comparable structs, so evaluating a
+// cached cell performs zero allocations.
 type KScheduler struct {
 	g    *cdag.Graph
-	memo map[string]cdag.Weight
+	memo map[pmKey]cdag.Weight
+	ix   *setIndex
+	anc  []Bitset
 }
 
-// maxK mirrors ktree.MaxK without importing it (memstate must stay
-// import-light); 2^k·k! growth makes anything larger impractical
-// anyway.
-const maxK = 8
+// maxK mirrors ktree.MaxK (= perm.MaxK); 2^k·k! growth makes anything
+// larger impractical anyway.
+const maxK = perm.MaxK
 
 // NewKScheduler wraps an in-tree with in-degree at most maxK.
 func NewKScheduler(g *cdag.Graph) (*KScheduler, error) {
@@ -35,76 +41,92 @@ func NewKScheduler(g *cdag.Graph) (*KScheduler, error) {
 	if k := g.MaxInDegree(); k > maxK {
 		return nil, fmt.Errorf("memstate: in-degree %d exceeds %d", k, maxK)
 	}
-	return &KScheduler{g: g, memo: map[string]cdag.Weight{}}, nil
+	// Warm the shared permutation tables for every arity the tree
+	// uses, so DP cells never pay the sync.Once fence on first touch.
+	for v := 0; v < g.Len(); v++ {
+		if k := g.InDegree(cdag.NodeID(v)); k > 0 {
+			perm.Table(k)
+		}
+	}
+	return &KScheduler{
+		g:    g,
+		memo: map[pmKey]cdag.Weight{},
+		ix:   newSetIndex(g.Len()),
+		anc:  ancestorMasks(g),
+	}, nil
+}
+
+// Restrict returns X_u = X ∩ (pred(u) ∪ {u}).
+func (s *KScheduler) Restrict(x Bitset, u cdag.NodeID) Bitset {
+	return x.and(s.anc[u])
 }
 
 // Cost returns the k-ary Pm(v, b, I_v, R_v).
-func (s *KScheduler) Cost(v cdag.NodeID, b cdag.Weight, initial, reuse NodeSet) cdag.Weight {
-	return s.pmk(v, b, restrict(s.g, initial, v), restrict(s.g, reuse, v))
+func (s *KScheduler) Cost(v cdag.NodeID, b cdag.Weight, initial, reuse Bitset) cdag.Weight {
+	return s.pmk(v, b, s.Restrict(initial, v), s.Restrict(reuse, v))
 }
 
 // PlainCost is Cost with empty states; it coincides with the k-ary
 // tree DP Pt.
 func (s *KScheduler) PlainCost(v cdag.NodeID, b cdag.Weight) cdag.Weight {
-	return s.Cost(v, b, nil, nil)
+	return s.Cost(v, b, Bitset{}, Bitset{})
 }
 
-func (s *KScheduler) pmk(v cdag.NodeID, b cdag.Weight, ini, reuse NodeSet) cdag.Weight {
-	key := fmt.Sprintf("%d|%d|%s|%s", v, b, ini.key(), reuse.key())
+func (s *KScheduler) pmk(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Weight {
+	key := pmKey{v: v, b: b, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
 	if c, ok := s.memo[key]; ok {
 		return c
 	}
 	g := s.g
 	// Guard: v, its parents and its reuse set must co-reside.
-	guardSet := NodeSet{v: true}
-	for r := range reuse {
-		guardSet[r] = true
+	guard := reuse.Weight(g)
+	cover := reuse
+	if !cover.Has(v) {
+		guard += g.Weight(v)
+		cover = cover.With(v)
 	}
 	for _, p := range g.Parents(v) {
-		guardSet[p] = true
+		if !cover.Has(p) {
+			guard += g.Weight(p)
+			cover = cover.With(p)
+		}
 	}
 	var cost cdag.Weight
 	switch {
-	case guardSet.Weight(g) > b:
+	case guard > b:
 		cost = Inf
-	case ini[v]:
+	case ini.Has(v):
 		cost = 0
-		for r := range reuse {
-			if !ini[r] {
+		reuse.ForEach(func(r cdag.NodeID) {
+			if !ini.Has(r) {
 				cost += g.Weight(r)
 			}
-		}
+		})
 	case g.InDegree(v) == 0:
 		cost = g.Weight(v)
 	default:
 		parents := g.Parents(v)
 		k := len(parents)
-		// Per-parent restricted states and their weights.
-		iniP := make([]NodeSet, k)
-		reuseP := make([]NodeSet, k)
-		iniW := make([]cdag.Weight, k)
-		reuseW := make([]cdag.Weight, k)
+		// Per-parent restricted states and their weights, in fixed
+		// stack arrays so the enumeration allocates nothing beyond the
+		// recursive subproblems themselves.
+		var iniP, reuseP [maxK]Bitset
+		var iniW, reuseW [maxK]cdag.Weight
+		var allIniW cdag.Weight
 		for i, p := range parents {
-			iniP[i] = restrict(g, ini, p)
-			reuseP[i] = restrict(g, reuse, p)
+			iniP[i] = s.Restrict(ini, p)
+			reuseP[i] = s.Restrict(reuse, p)
 			iniW[i] = iniP[i].Weight(g)
 			reuseW[i] = reuseP[i].Weight(g)
+			allIniW += iniW[i]
 		}
 		best := Inf
-		perm := make([]int, k)
-		for i := range perm {
-			perm[i] = i
-		}
-		var rec func(n int)
-		eval := func(order []int) {
+		for _, order := range perm.Table(k) {
 			for delta := 0; delta < 1<<uint(k); delta++ {
 				var total, heldBefore cdag.Weight
 				// Initial states of parents not yet computed occupy
 				// memory during earlier parents' phases.
-				var pendingIni cdag.Weight
-				for _, oi := range order {
-					pendingIni += iniW[oi]
-				}
+				pendingIni := allIniW
 				bad := false
 				for i := 0; i < k; i++ {
 					oi := order[i]
@@ -119,7 +141,7 @@ func (s *KScheduler) pmk(v cdag.NodeID, b cdag.Weight, ini, reuse NodeSet) cdag.
 					if delta&(1<<uint(i)) != 0 {
 						// Eq. 8 holds R_p ∪ {p}: no double count when
 						// the parent is itself a reuse node.
-						if !reuseP[oi][parents[oi]] {
+						if !reuseP[oi].Has(parents[oi]) {
 							heldBefore += g.Weight(parents[oi])
 						}
 					} else {
@@ -131,21 +153,6 @@ func (s *KScheduler) pmk(v cdag.NodeID, b cdag.Weight, ini, reuse NodeSet) cdag.
 				}
 			}
 		}
-		rec = func(n int) {
-			if n == 1 {
-				eval(perm)
-				return
-			}
-			for i := 0; i < n; i++ {
-				rec(n - 1)
-				if n%2 == 0 {
-					perm[i], perm[n-1] = perm[n-1], perm[i]
-				} else {
-					perm[0], perm[n-1] = perm[n-1], perm[0]
-				}
-			}
-		}
-		rec(k)
 		cost = best
 	}
 	s.memo[key] = cost

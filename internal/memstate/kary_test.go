@@ -40,13 +40,13 @@ func TestKaryMatchesBinaryPm(t *testing.T) {
 			return false
 		}
 		all := tr.G.TopoOrder()
-		ini := NodeSet{}
-		reuse := NodeSet{}
+		ini := Bitset{}
+		reuse := Bitset{}
 		if rng.Intn(2) == 0 {
-			ini[all[rng.Intn(len(all))]] = true
+			ini = ini.With(all[rng.Intn(len(all))])
 		}
 		if rng.Intn(2) == 0 {
-			reuse[all[rng.Intn(len(all))]] = true
+			reuse = reuse.With(all[rng.Intn(len(all))])
 		}
 		b := core.MinExistenceBudget(tr.G) + cdag.Weight(rng.Intn(8))
 		pb := bin.Cost(tr.Root, b, ini, reuse)
@@ -98,13 +98,13 @@ func TestKaryInitialParents(t *testing.T) {
 		t.Fatal(err)
 	}
 	ps := tr.G.Parents(tr.Root)
-	ini := NewNodeSet(ps...)
-	if got := ms.Cost(tr.Root, 10, ini, nil); got != 0 {
+	ini := NewBitset(ps...)
+	if got := ms.Cost(tr.Root, 10, ini, Bitset{}); got != 0 {
 		t.Errorf("cost = %d, want 0", got)
 	}
 	// Two of three resident: one leaf load.
-	ini2 := NewNodeSet(ps[0], ps[1])
-	if got := ms.Cost(tr.Root, 10, ini2, nil); got != 1 {
+	ini2 := NewBitset(ps[0], ps[1])
+	if got := ms.Cost(tr.Root, 10, ini2, Bitset{}); got != 1 {
 		t.Errorf("cost = %d, want 1", got)
 	}
 }
@@ -122,13 +122,13 @@ func TestKaryReuseGuard(t *testing.T) {
 	}
 	leaf := tr.G.Sources()[0]
 	minB := core.MinExistenceBudget(tr.G) // root + 3 parents = 4
-	if got := ms.Cost(tr.Root, minB, nil, nil); got >= Inf {
+	if got := ms.Cost(tr.Root, minB, Bitset{}, Bitset{}); got >= Inf {
 		t.Fatalf("plain cost should be feasible at %d", minB)
 	}
-	if got := ms.Cost(tr.Root, minB, nil, NewNodeSet(leaf)); got < Inf {
+	if got := ms.Cost(tr.Root, minB, Bitset{}, NewBitset(leaf)); got < Inf {
 		t.Error("distant reuse at the existence bound should be infeasible")
 	}
-	if got := ms.Cost(tr.Root, minB+1, nil, NewNodeSet(leaf)); got >= Inf {
+	if got := ms.Cost(tr.Root, minB+1, Bitset{}, NewBitset(leaf)); got >= Inf {
 		t.Error("one extra unit should restore feasibility")
 	}
 }
@@ -145,9 +145,9 @@ func TestKaryMonotone(t *testing.T) {
 	}
 	leaf := tr.G.Sources()[1]
 	minB := core.MinExistenceBudget(tr.G)
-	prev := ms.Cost(tr.Root, minB, nil, NewNodeSet(leaf))
+	prev := ms.Cost(tr.Root, minB, Bitset{}, NewBitset(leaf))
 	for b := minB + 1; b <= minB+12; b++ {
-		cur := ms.Cost(tr.Root, b, nil, NewNodeSet(leaf))
+		cur := ms.Cost(tr.Root, b, Bitset{}, NewBitset(leaf))
 		if cur > prev {
 			t.Fatalf("not monotone at %d: %d > %d", b, cur, prev)
 		}

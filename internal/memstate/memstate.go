@@ -15,6 +15,11 @@
 // scheduler: tiles of the MVM graph are scheduled as binary-tree
 // chains whose accumulators and resident vector entries appear in I
 // and R (package mvm).
+//
+// States are packed Bitsets and memo keys are comparable structs
+// (see bitset.go), so a memoized Pm lookup performs zero allocations;
+// subtree restriction is a single mask intersection against
+// precomputed ancestor masks.
 package memstate
 
 import (
@@ -29,59 +34,12 @@ import (
 // Inf is the sentinel cost of an infeasible subproblem.
 const Inf cdag.Weight = math.MaxInt64 / 4
 
-// NodeSet is a set of node IDs.
-type NodeSet map[cdag.NodeID]bool
-
-// NewNodeSet builds a set from IDs.
-func NewNodeSet(ids ...cdag.NodeID) NodeSet {
-	s := NodeSet{}
-	for _, id := range ids {
-		s[id] = true
-	}
-	return s
-}
-
-// Sorted returns the members in ascending order.
-func (s NodeSet) Sorted() []cdag.NodeID { return cdag.SortedIDs(map[cdag.NodeID]bool(s)) }
-
-// key returns a canonical string for memoization.
-func (s NodeSet) key() string {
-	ids := s.Sorted()
-	var b strings.Builder
-	for _, id := range ids {
-		fmt.Fprintf(&b, "%d,", id)
-	}
-	return b.String()
-}
-
-// Weight sums the weights of the members.
-func (s NodeSet) Weight(g *cdag.Graph) cdag.Weight {
-	var w cdag.Weight
-	for v := range s {
-		w += g.Weight(v)
-	}
-	return w
-}
-
-// restrict returns X_u = X ∩ (pred(u) ∪ {u}).
-func restrict(g *cdag.Graph, x NodeSet, u cdag.NodeID) NodeSet {
-	if len(x) == 0 {
-		return NodeSet{}
-	}
-	anc := g.Ancestors(u)
-	out := NodeSet{}
-	for v := range x {
-		if v == u || anc[v] {
-			out[v] = true
-		}
-	}
-	return out
-}
-
 // Scheduler evaluates Pm on a binary in-tree.
 type Scheduler struct {
 	g    *cdag.Graph
-	memo map[string]cdag.Weight
+	memo map[pmKey]cdag.Weight
+	ix   *setIndex
+	anc  []Bitset
 }
 
 // NewScheduler wraps a binary in-tree (every in-degree 0 or 2, unique
@@ -98,55 +56,65 @@ func NewScheduler(g *cdag.Graph) (*Scheduler, error) {
 			return nil, fmt.Errorf("memstate: node %d has in-degree %d; Eq. 8 requires a binary tree", v, d)
 		}
 	}
-	return &Scheduler{g: g, memo: map[string]cdag.Weight{}}, nil
+	return &Scheduler{
+		g:    g,
+		memo: map[pmKey]cdag.Weight{},
+		ix:   newSetIndex(g.Len()),
+		anc:  ancestorMasks(g),
+	}, nil
+}
+
+// Restrict returns X_u = X ∩ (pred(u) ∪ {u}) — one mask intersection.
+func (s *Scheduler) Restrict(x Bitset, u cdag.NodeID) Bitset {
+	return x.and(s.anc[u])
 }
 
 // Cost returns Pm(v, b, I_v, R_v) per Eq. 8. The caller's I and R are
 // restricted to v's subtree internally, so passing global states is
 // safe.
-func (s *Scheduler) Cost(v cdag.NodeID, b cdag.Weight, initial, reuse NodeSet) cdag.Weight {
-	return s.pm(v, b, restrict(s.g, initial, v), restrict(s.g, reuse, v))
+func (s *Scheduler) Cost(v cdag.NodeID, b cdag.Weight, initial, reuse Bitset) cdag.Weight {
+	return s.pm(v, b, s.Restrict(initial, v), s.Restrict(reuse, v))
 }
 
-func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse NodeSet) cdag.Weight {
-	key := fmt.Sprintf("%d|%d|%s|%s", v, b, ini.key(), reuse.key())
+func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Weight {
+	key := pmKey{v: v, b: b, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
 	if c, ok := s.memo[key]; ok {
 		return c
 	}
 	g := s.g
 	// Budget guard: v, its parents and its reuse set must co-reside.
-	var guard cdag.Weight
-	seen := NodeSet{}
-	for r := range reuse {
-		seen[r] = true
+	guard := reuse.Weight(g)
+	cover := reuse
+	if !cover.Has(v) {
+		guard += g.Weight(v)
+		cover = cover.With(v)
 	}
-	seen[v] = true
 	for _, p := range g.Parents(v) {
-		seen[p] = true
-	}
-	for r := range seen {
-		guard += g.Weight(r)
+		if !cover.Has(p) {
+			guard += g.Weight(p)
+			cover = cover.With(p)
+		}
 	}
 	var cost cdag.Weight
 	switch {
 	case guard > b:
 		cost = Inf
-	case ini[v]:
+	case ini.Has(v):
 		// v already resident: only bring in reuse nodes not yet in
 		// fast memory (they hold blue pebbles).
 		cost = 0
-		for r := range reuse {
-			if !ini[r] {
+		reuse.ForEach(func(r cdag.NodeID) {
+			if !ini.Has(r) {
 				cost += g.Weight(r)
 			}
-		}
+		})
 	case g.InDegree(v) == 0:
 		cost = g.Weight(v)
 	default:
 		ps := g.Parents(v)
 		p1, p2 := ps[0], ps[1]
-		i1, i2 := restrict(g, ini, p1), restrict(g, ini, p2)
-		r1, r2 := restrict(g, reuse, p1), restrict(g, reuse, p2)
+		i1, i2 := s.Restrict(ini, p1), s.Restrict(ini, p2)
+		r1, r2 := s.Restrict(reuse, p1), s.Restrict(reuse, p2)
 		w1, w2 := g.Weight(p1), g.Weight(p2)
 
 		add := func(xs ...cdag.Weight) cdag.Weight {
@@ -161,9 +129,9 @@ func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse NodeSet) cdag.We
 		}
 		// W(R_p ∪ {p}): the kept parent's weight, not double-counted
 		// when the parent is itself in its reuse set.
-		unionW := func(x NodeSet, p cdag.NodeID) cdag.Weight {
+		unionW := func(x Bitset, p cdag.NodeID) cdag.Weight {
 			w := x.Weight(g)
-			if !x[p] {
+			if !x.Has(p) {
 				w += g.Weight(p)
 			}
 			return w
@@ -195,14 +163,14 @@ func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse NodeSet) cdag.We
 // k-ary tree DP Pt for binary trees — the consistency property tested
 // in this package.
 func (s *Scheduler) PlainCost(v cdag.NodeID, b cdag.Weight) cdag.Weight {
-	return s.Cost(v, b, nil, nil)
+	return s.Cost(v, b, Bitset{}, Bitset{})
 }
 
 // Root returns the unique sink of the tree.
 func (s *Scheduler) Root() cdag.NodeID { return s.g.Sinks()[0] }
 
-// Describe renders the states compactly for error messages and logs.
-func Describe(g *cdag.Graph, set NodeSet) string {
+// Describe renders a state compactly for error messages and logs.
+func Describe(g *cdag.Graph, set Bitset) string {
 	ids := set.Sorted()
 	parts := make([]string, len(ids))
 	for i, id := range ids {

@@ -86,7 +86,7 @@ func TestEmptyStatesMatchKtreeQuick(t *testing.T) {
 func TestInitialStateSkipsComputation(t *testing.T) {
 	tr, s := buildBinary(t, 2, func(d, i int) cdag.Weight { return 2 })
 	root := tr.Root
-	got := s.Cost(root, 100, NewNodeSet(root), nil)
+	got := s.Cost(root, 100, NewBitset(root), Bitset{})
 	if got != 0 {
 		t.Errorf("Pm(v∈I, R=∅) = %d, want 0", got)
 	}
@@ -98,12 +98,12 @@ func TestInitialStateWithReuse(t *testing.T) {
 	tr, s := buildBinary(t, 2, func(d, i int) cdag.Weight { return 2 })
 	root := tr.Root
 	leaf := tr.G.Sources()[0]
-	got := s.Cost(root, 100, NewNodeSet(root), NewNodeSet(leaf))
+	got := s.Cost(root, 100, NewBitset(root), NewBitset(leaf))
 	if got != 2 {
 		t.Errorf("Pm = %d, want 2 (one leaf brought in)", got)
 	}
 	// If the reuse node is already in I, it costs nothing.
-	got = s.Cost(root, 100, NewNodeSet(root, leaf), NewNodeSet(leaf))
+	got = s.Cost(root, 100, NewBitset(root, leaf), NewBitset(leaf))
 	if got != 0 {
 		t.Errorf("Pm = %d, want 0 (reuse node already resident)", got)
 	}
@@ -116,12 +116,12 @@ func TestReuseTightensBudget(t *testing.T) {
 	root := tr.Root
 	leaf := tr.G.Sources()[0]
 	// Computing the root alone needs budget 3 (root + 2 leaves).
-	if got := s.Cost(root, 3, nil, nil); got >= Inf {
+	if got := s.Cost(root, 3, Bitset{}, Bitset{}); got >= Inf {
 		t.Fatalf("plain cost should be feasible at 3, got Inf")
 	}
 	// Keeping one leaf around afterwards does not change the guard
 	// (it is already a parent)...
-	if got := s.Cost(root, 3, nil, NewNodeSet(leaf)); got >= Inf {
+	if got := s.Cost(root, 3, Bitset{}, NewBitset(leaf)); got >= Inf {
 		t.Errorf("reuse of a parent should still fit in budget 3")
 	}
 }
@@ -133,14 +133,14 @@ func TestReuseOfDistantNodeRaisesGuard(t *testing.T) {
 	root := tr.Root
 	leaf := tr.G.Sources()[0] // a grandparent-level input, not a parent of root
 	// Plain: root + 2 mid nodes = 3.
-	if got := s.Cost(root, 3, nil, nil); got >= Inf {
+	if got := s.Cost(root, 3, Bitset{}, Bitset{}); got >= Inf {
 		t.Fatalf("plain cost should be feasible at 3")
 	}
 	// With leaf reuse the guard becomes 4.
-	if got := s.Cost(root, 3, nil, NewNodeSet(leaf)); got < Inf {
+	if got := s.Cost(root, 3, Bitset{}, NewBitset(leaf)); got < Inf {
 		t.Errorf("budget 3 with distant reuse should be infeasible, got %d", got)
 	}
-	if got := s.Cost(root, 4, nil, NewNodeSet(leaf)); got >= Inf {
+	if got := s.Cost(root, 4, Bitset{}, NewBitset(leaf)); got >= Inf {
 		t.Errorf("budget 4 with distant reuse should be feasible")
 	}
 }
@@ -151,15 +151,15 @@ func TestInitialStateReducesCost(t *testing.T) {
 	tr, s := buildBinary(t, 1, func(d, i int) cdag.Weight { return 1 })
 	root := tr.Root
 	ps := tr.G.Parents(root)
-	plain := s.Cost(root, 10, nil, nil)
+	plain := s.Cost(root, 10, Bitset{}, Bitset{})
 	if plain != 2 {
 		t.Fatalf("plain cost = %d, want 2 (two leaf loads)", plain)
 	}
-	withI := s.Cost(root, 10, NewNodeSet(ps[0], ps[1]), nil)
+	withI := s.Cost(root, 10, NewBitset(ps[0], ps[1]), Bitset{})
 	if withI != 0 {
 		t.Errorf("cost with resident parents = %d, want 0", withI)
 	}
-	half := s.Cost(root, 10, NewNodeSet(ps[0]), nil)
+	half := s.Cost(root, 10, NewBitset(ps[0]), Bitset{})
 	if half != 1 {
 		t.Errorf("cost with one resident parent = %d, want 1", half)
 	}
@@ -171,9 +171,9 @@ func TestMonotoneInBudget(t *testing.T) {
 	root := tr.Root
 	leaf := tr.G.Sources()[2]
 	minB := core.MinExistenceBudget(tr.G)
-	prev := s.Cost(root, minB, nil, NewNodeSet(leaf))
+	prev := s.Cost(root, minB, Bitset{}, NewBitset(leaf))
 	for b := minB + 1; b <= minB+15; b++ {
-		cur := s.Cost(root, b, nil, NewNodeSet(leaf))
+		cur := s.Cost(root, b, Bitset{}, NewBitset(leaf))
 		if cur > prev {
 			t.Fatalf("not monotone at b=%d: %d > %d", b, cur, prev)
 		}
@@ -181,9 +181,16 @@ func TestMonotoneInBudget(t *testing.T) {
 	}
 }
 
-// TestReuseCostAtMostExtraLoad: requiring a leaf to stay resident
-// costs at most one extra load of it relative to the plain schedule.
-func TestReuseCostAtMostExtraLoad(t *testing.T) {
+// TestReuseCostBounds: requiring a leaf to stay resident can only
+// raise the cost (more constraints), and never beyond the plain cost
+// at the budget reduced by the leaf's weight — take the optimal plain
+// schedule under b − w(leaf) and keep the leaf red from its first
+// load onward; the peak grows by at most w(leaf) and no move gets
+// more expensive. (The naive bound plain(b) + w(leaf) does NOT hold:
+// Eq. 8 keeps reuse nodes co-resident from the moment they are
+// computed, and under tight budgets that forces spill strategies
+// elsewhere that cost more than one extra load of the leaf.)
+func TestReuseCostBounds(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		wf := func(depth, index int) cdag.Weight { return 1 + cdag.Weight(rng.Intn(2)) }
@@ -199,11 +206,20 @@ func TestReuseCostAtMostExtraLoad(t *testing.T) {
 		leaf := leaves[rng.Intn(len(leaves))]
 		b := core.MinExistenceBudget(tr.G) + tr.G.Weight(leaf) + cdag.Weight(rng.Intn(4))
 		plain := s.PlainCost(tr.Root, b)
-		withR := s.Cost(tr.Root, b, nil, NewNodeSet(leaf))
+		withR := s.Cost(tr.Root, b, Bitset{}, NewBitset(leaf))
 		if plain >= Inf || withR >= Inf {
 			return true
 		}
-		return withR <= plain+tr.G.Weight(leaf) && withR >= plain
+		if withR < plain {
+			t.Logf("seed %d: withR %d < plain %d", seed, withR, plain)
+			return false
+		}
+		reduced := s.PlainCost(tr.Root, b-tr.G.Weight(leaf))
+		if reduced < Inf && withR > reduced {
+			t.Logf("seed %d: withR %d > plain(b-w) %d", seed, withR, reduced)
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
@@ -212,20 +228,17 @@ func TestReuseCostAtMostExtraLoad(t *testing.T) {
 
 func TestDescribe(t *testing.T) {
 	tr, _ := buildBinary(t, 1, func(d, i int) cdag.Weight { return 1 })
-	set := NewNodeSet(tr.G.Sources()[0], tr.Root)
+	set := NewBitset(tr.G.Sources()[0], tr.Root)
 	s := Describe(tr.G, set)
 	if s == "" || s == "{}" {
 		t.Errorf("Describe = %q", s)
 	}
 }
 
-func TestNodeSetHelpers(t *testing.T) {
-	s := NewNodeSet(3, 1, 2)
+func TestBitsetHelpers(t *testing.T) {
+	s := NewBitset(3, 1, 2)
 	ids := s.Sorted()
 	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
 		t.Errorf("Sorted = %v", ids)
-	}
-	if s.key() != "1,2,3," {
-		t.Errorf("key = %q", s.key())
 	}
 }

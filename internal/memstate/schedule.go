@@ -31,15 +31,15 @@ const (
 )
 
 // choices mirrors the memo of pm; it is filled lazily by pmChoice.
-func (s *Scheduler) pmChoice(v cdag.NodeID, b cdag.Weight, ini, reuse NodeSet) choice {
+func (s *Scheduler) pmChoice(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) choice {
 	g := s.g
-	if ini[v] || g.InDegree(v) == 0 {
+	if ini.Has(v) || g.InDegree(v) == 0 {
 		return choiceNone
 	}
 	ps := g.Parents(v)
 	p1, p2 := ps[0], ps[1]
-	i1, i2 := restrict(g, ini, p1), restrict(g, ini, p2)
-	r1, r2 := restrict(g, reuse, p1), restrict(g, reuse, p2)
+	i1, i2 := s.Restrict(ini, p1), s.Restrict(ini, p2)
+	r1, r2 := s.Restrict(reuse, p1), s.Restrict(reuse, p2)
 	w1, w2 := g.Weight(p1), g.Weight(p2)
 	add := func(xs ...cdag.Weight) cdag.Weight {
 		var t cdag.Weight
@@ -51,9 +51,9 @@ func (s *Scheduler) pmChoice(v cdag.NodeID, b cdag.Weight, ini, reuse NodeSet) c
 		}
 		return t
 	}
-	unionW := func(x NodeSet, p cdag.NodeID) cdag.Weight {
+	unionW := func(x Bitset, p cdag.NodeID) cdag.Weight {
 		w := x.Weight(g)
-		if !x[p] {
+		if !x.Has(p) {
 			w += g.Weight(p)
 		}
 		return w
@@ -83,19 +83,19 @@ func (s *Scheduler) pmChoice(v cdag.NodeID, b cdag.Weight, ini, reuse NodeSet) c
 // initial state blue as well — Section 4.1's assumption that reuse
 // values "have blue pebbles on them and do not need to be
 // recomputed".
-func (s *Scheduler) StartLabels(ini, reuse NodeSet) []core.Label {
+func (s *Scheduler) StartLabels(ini, reuse Bitset) []core.Label {
 	labels := make([]core.Label, s.g.Len())
 	for _, v := range s.g.Sources() {
 		labels[v] = core.LabelBlue
 	}
-	for v := range reuse {
-		if !ini[v] {
+	reuse.ForEach(func(v cdag.NodeID) {
+		if !ini.Has(v) {
 			labels[v] = core.LabelBlue
 		}
-	}
-	for v := range ini {
+	})
+	ini.ForEach(func(v cdag.NodeID) {
 		labels[v] = core.LabelRed
-	}
+	})
 	return labels
 }
 
@@ -103,9 +103,9 @@ func (s *Scheduler) StartLabels(ini, reuse NodeSet) []core.Label {
 // computes v (unless v ∈ I) while honouring the initial and reuse
 // memory states. Replay it with core.SimulateFrom from a state built
 // with StartLabels.
-func (s *Scheduler) Schedule(v cdag.NodeID, b cdag.Weight, initial, reuse NodeSet) (core.Schedule, error) {
-	ini := restrict(s.g, initial, v)
-	r := restrict(s.g, reuse, v)
+func (s *Scheduler) Schedule(v cdag.NodeID, b cdag.Weight, initial, reuse Bitset) (core.Schedule, error) {
+	ini := s.Restrict(initial, v)
+	r := s.Restrict(reuse, v)
 	if c := s.pm(v, b, ini, r); c >= Inf {
 		return nil, fmt.Errorf("memstate: Pm(%d, %d, %s, %s) is infeasible",
 			v, b, Describe(s.g, ini), Describe(s.g, r))
@@ -117,14 +117,14 @@ func (s *Scheduler) Schedule(v cdag.NodeID, b cdag.Weight, initial, reuse NodeSe
 	// so the fragment frees them first (they are not part of the
 	// post-state contract unless they are reuse nodes).
 	for _, m := range ini.Sorted() {
-		if reuse[m] {
+		if r.Has(m) {
 			continue
 		}
 		if s.shadowed(m, v, ini) {
 			out = append(out, core.Move{Kind: core.M4, Node: m})
 		}
 	}
-	if err := s.gen(v, b, ini, r, ini, reuse, &out); err != nil {
+	if err := s.gen(v, b, ini, r, ini, r, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -133,7 +133,7 @@ func (s *Scheduler) Schedule(v cdag.NodeID, b cdag.Weight, initial, reuse NodeSe
 // shadowed reports whether another initial-state node lies on the
 // path from m (exclusive) to v (inclusive) — in an in-tree the path
 // is the unique child chain.
-func (s *Scheduler) shadowed(m, v cdag.NodeID, ini NodeSet) bool {
+func (s *Scheduler) shadowed(m, v cdag.NodeID, ini Bitset) bool {
 	cur := m
 	for cur != v {
 		cs := s.g.Children(cur)
@@ -141,7 +141,7 @@ func (s *Scheduler) shadowed(m, v cdag.NodeID, ini NodeSet) bool {
 			return false
 		}
 		cur = cs[0]
-		if ini[cur] {
+		if ini.Has(cur) {
 			return true
 		}
 	}
@@ -153,13 +153,13 @@ func (s *Scheduler) shadowed(m, v cdag.NodeID, ini NodeSet) bool {
 // whether a node already holds a blue pebble (sources and reuse nodes
 // outside the initial state start blue) and parent releases can tell
 // whether a parent must stay resident.
-func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, ini, reuse, globalIni, globalReuse NodeSet, out *core.Schedule) error {
+func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, ini, reuse, globalIni, globalReuse Bitset, out *core.Schedule) error {
 	g := s.g
-	if ini[v] {
+	if ini.Has(v) {
 		// v already resident: only fetch missing reuse nodes, which
 		// hold blue pebbles by assumption (Section 4.1).
 		for _, r := range reuse.Sorted() {
-			if !ini[r] {
+			if !ini.Has(r) {
 				*out = append(*out, core.Move{Kind: core.M1, Node: r})
 			}
 		}
@@ -177,8 +177,8 @@ func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, ini, reuse, globalIni, glo
 		first, second = p2, p1
 	}
 	spill := c == choiceSpill1 || c == choiceSpill2
-	iF, iS := restrict(g, ini, first), restrict(g, ini, second)
-	rF, rS := restrict(g, reuse, first), restrict(g, reuse, second)
+	iF, iS := s.Restrict(ini, first), s.Restrict(ini, second)
+	rF, rS := s.Restrict(reuse, first), s.Restrict(reuse, second)
 
 	if err := s.gen(first, b-iS.Weight(g), iF, rF, globalIni, globalReuse, out); err != nil {
 		return err
@@ -186,7 +186,7 @@ func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, ini, reuse, globalIni, glo
 	if spill {
 		// Nodes that started with blue pebbles — sources and reuse
 		// nodes outside the initial state — need no write-back.
-		startBlue := !globalIni[first] && (g.IsSource(first) || globalReuse[first])
+		startBlue := !globalIni.Has(first) && (g.IsSource(first) || globalReuse.Has(first))
 		if !startBlue {
 			*out = append(*out, core.Move{Kind: core.M2, Node: first})
 		}
@@ -197,7 +197,7 @@ func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, ini, reuse, globalIni, glo
 		*out = append(*out, core.Move{Kind: core.M1, Node: first})
 	} else {
 		heldFirst := rF.Weight(g)
-		if !rF[first] {
+		if !rF.Has(first) {
 			heldFirst += g.Weight(first)
 		}
 		if err := s.gen(second, b-heldFirst, iS, rS, globalIni, globalReuse, out); err != nil {
@@ -211,7 +211,7 @@ func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, ini, reuse, globalIni, glo
 	// so initial residents not in R must leave after their single use
 	// (each tree node has exactly one child).
 	for _, p := range ps {
-		if !globalReuse[p] {
+		if !globalReuse.Has(p) {
 			*out = append(*out, core.Move{Kind: core.M4, Node: p})
 		}
 	}

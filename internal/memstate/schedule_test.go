@@ -12,7 +12,7 @@ import (
 
 // replay builds the starting state and runs the fragment, returning
 // the final state and stats.
-func replay(t *testing.T, s *Scheduler, b cdag.Weight, ini, reuse NodeSet, frag core.Schedule) (*core.State, core.Stats) {
+func replay(t *testing.T, s *Scheduler, b cdag.Weight, ini, reuse Bitset, frag core.Schedule) (*core.State, core.Stats) {
 	t.Helper()
 	st, err := core.NewStateWithLabels(s.g, b, s.StartLabels(ini, reuse))
 	if err != nil {
@@ -42,21 +42,21 @@ func TestFragmentContract(t *testing.T) {
 		}
 		root := tr.Root
 		// Random initial state: maybe the root, maybe a mid node.
-		ini := NodeSet{}
+		ini := Bitset{}
 		if rng.Intn(3) == 0 {
-			ini[root] = true
+			ini = ini.With(root)
 		}
 		all := tr.G.TopoOrder()
 		if rng.Intn(2) == 0 {
-			ini[all[rng.Intn(len(all))]] = true
+			ini = ini.With(all[rng.Intn(len(all))])
 		}
 		// Random reuse: a couple of nodes.
-		reuse := NodeSet{}
+		reuse := Bitset{}
 		for i := 0; i < rng.Intn(3); i++ {
-			reuse[all[rng.Intn(len(all))]] = true
+			reuse = reuse.With(all[rng.Intn(len(all))])
 		}
-		reuse = restrict(tr.G, reuse, root)
-		ini = restrict(tr.G, ini, root)
+		reuse = s.Restrict(reuse, root)
+		ini = s.Restrict(ini, root)
 
 		b := core.MinExistenceBudget(tr.G) + ini.Weight(tr.G) + reuse.Weight(tr.G) + cdag.Weight(rng.Intn(6))
 		cost := s.Cost(root, b, ini, reuse)
@@ -81,7 +81,7 @@ func TestFragmentContract(t *testing.T) {
 			t.Logf("seed %d: root not red at end", seed)
 			return false
 		}
-		for r := range reuse {
+		for _, r := range reuse.Sorted() {
 			if !st.Label(r).HasRed() {
 				t.Logf("seed %d: reuse node %d not red at end", seed, r)
 				return false
@@ -111,11 +111,11 @@ func TestFragmentPlainGenerousBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := tr.G.TotalWeight()
-	frag, err := s.Schedule(tr.Root, b, nil, nil)
+	frag, err := s.Schedule(tr.Root, b, Bitset{}, Bitset{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, stats := replay(t, s, b, nil, nil, frag)
+	_, stats := replay(t, s, b, Bitset{}, Bitset{}, frag)
 	if want := s.PlainCost(tr.Root, b); stats.Cost != want {
 		t.Errorf("fragment cost %d != Pm %d", stats.Cost, want)
 	}
@@ -136,8 +136,8 @@ func TestFragmentRootInInitial(t *testing.T) {
 		t.Fatal(err)
 	}
 	leaf := tr.G.Sources()[1]
-	ini := NewNodeSet(tr.Root)
-	reuse := NewNodeSet(leaf)
+	ini := NewBitset(tr.Root)
+	reuse := NewBitset(leaf)
 	frag, err := s.Schedule(tr.Root, 10, ini, reuse)
 	if err != nil {
 		t.Fatal(err)
@@ -163,12 +163,12 @@ func TestFragmentResidentParents(t *testing.T) {
 		t.Fatal(err)
 	}
 	ps := tr.G.Parents(tr.Root)
-	ini := NewNodeSet(ps[0], ps[1])
-	frag, err := s.Schedule(tr.Root, 10, ini, nil)
+	ini := NewBitset(ps[0], ps[1])
+	frag, err := s.Schedule(tr.Root, 10, ini, Bitset{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, stats := replay(t, s, 10, ini, nil, frag)
+	st, stats := replay(t, s, 10, ini, Bitset{}, frag)
 	if stats.Cost != 0 {
 		t.Errorf("cost = %d, want 0", stats.Cost)
 	}
@@ -189,17 +189,17 @@ func TestFragmentReuseStaysThroughTightBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	leaf := tr.G.Sources()[0]
-	reuse := NewNodeSet(leaf)
+	reuse := NewBitset(leaf)
 	b := core.MinExistenceBudget(tr.G) + 1 // 4: tight but feasible with reuse
-	cost := s.Cost(tr.Root, b, nil, reuse)
+	cost := s.Cost(tr.Root, b, Bitset{}, reuse)
 	if cost >= Inf {
 		t.Skip("combination infeasible at this budget")
 	}
-	frag, err := s.Schedule(tr.Root, b, nil, reuse)
+	frag, err := s.Schedule(tr.Root, b, Bitset{}, reuse)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, stats := replay(t, s, b, nil, reuse, frag)
+	st, stats := replay(t, s, b, Bitset{}, reuse, frag)
 	if !st.Label(leaf).HasRed() {
 		t.Error("reuse leaf evicted")
 	}
@@ -218,7 +218,7 @@ func TestScheduleInfeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Schedule(tr.Root, 10, nil, nil); err == nil {
+	if _, err := s.Schedule(tr.Root, 10, Bitset{}, Bitset{}); err == nil {
 		t.Error("budget 10 < 15 should fail")
 	}
 }

@@ -14,8 +14,10 @@ package mvm
 
 import (
 	"fmt"
+	"strconv"
 
 	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
 	"wrbpg/internal/wcfg"
 )
 
@@ -37,6 +39,10 @@ type Graph struct {
 	// Acc[r-1][c-2] is the accumulator of row r after column c ≥ 2
 	// (layer S_{c+1}).
 	Acc [][]cdag.NodeID
+	// lb caches core.LowerBound(G), which is a full-graph scan; the
+	// graph is immutable after Build and Search's candidate loop hits
+	// PredictCost once or twice per height.
+	lb cdag.Weight
 }
 
 // Build constructs MVM(m, n) with class weights from cfg. m ≥ 2 and
@@ -69,15 +75,15 @@ func Build(m, n int, cfg wcfg.Config) (*Graph, error) {
 	// S_1: for each column c, x_c then a_{1,c} … a_{m,c} — this is
 	// exactly the j = (c−1)(m+1)+1 … c(m+1) indexing of rule (1).
 	for c := 1; c <= n; c++ {
-		out.X[c-1] = g.AddNode(wi, fmt.Sprintf("x[%d]", c))
+		out.X[c-1] = g.AddNode(wi, "x["+strconv.Itoa(c)+"]")
 		for r := 1; r <= m; r++ {
-			out.A[r-1][c-1] = g.AddNode(wi, fmt.Sprintf("a[%d,%d]", r, c))
+			out.A[r-1][c-1] = g.AddNode(wi, "a["+strconv.Itoa(r)+","+strconv.Itoa(c)+"]")
 		}
 	}
 	// S_2: products v²_{(c−1)m+r} with parents {x_c, a_{r,c}}.
 	for c := 1; c <= n; c++ {
 		for r := 1; r <= m; r++ {
-			out.Prod[r-1][c-1] = g.AddNode(wn, fmt.Sprintf("p[%d,%d]", r, c),
+			out.Prod[r-1][c-1] = g.AddNode(wn, "p["+strconv.Itoa(r)+","+strconv.Itoa(c)+"]",
 				out.X[c-1], out.A[r-1][c-1])
 		}
 	}
@@ -85,13 +91,14 @@ func Build(m, n int, cfg wcfg.Config) (*Graph, error) {
 	// previous partial sum, rule (3) the edge from the column product.
 	for c := 2; c <= n; c++ {
 		for r := 1; r <= m; r++ {
-			out.Acc[r-1][c-2] = g.AddNode(wn, fmt.Sprintf("s[%d,%d]", r, c),
+			out.Acc[r-1][c-2] = g.AddNode(wn, "s["+strconv.Itoa(r)+","+strconv.Itoa(c)+"]",
 				out.Head(r, c-1), out.Prod[r-1][c-1])
 		}
 	}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("mvm: internal construction error: %w", err)
 	}
+	out.lb = core.LowerBound(g)
 	return out, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
+	"wrbpg/internal/par"
 )
 
 // Inf is the sentinel cost of an infeasible configuration.
@@ -119,9 +120,8 @@ func (g *Graph) Tiles(tc TileConfig) int {
 // non-resident vector entry per additional tile.
 func (g *Graph) PredictCost(tc TileConfig) cdag.Weight {
 	wi := g.Cfg.Input()
-	lb := core.LowerBound(g.G)
 	extra := cdag.Weight(g.Tiles(tc)-1) * cdag.Weight(g.N-tc.ResidentVector) * wi
-	return lb + extra
+	return g.lb + extra
 }
 
 // PredictPeak returns the peak red weight of TileSchedule(tc) in
@@ -164,61 +164,122 @@ func (g *Graph) PredictPeak(tc TileConfig) cdag.Weight {
 
 // Candidates returns the tile heights worth searching: for each
 // distinct tile count q = ⌈m/h⌉ the smallest h achieving it, since
-// cost depends on h only through q while peak grows with h.
+// cost depends on h only through q while peak grows with h. As q
+// grows the height ⌈m/q⌉ is non-increasing, so duplicates are always
+// adjacent and a single previous-value check replaces the former
+// seen-map — no allocations beyond the result slice.
 func (g *Graph) Candidates() []int {
-	seen := map[int]bool{}
-	var out []int
+	out := make([]int, 0, 2*isqrt(g.M))
+	prev := -1
 	for q := 1; q <= g.M; q++ {
 		h := (g.M + q - 1) / q
-		if !seen[h] {
-			seen[h] = true
+		if h != prev {
 			out = append(out, h)
+			prev = h
 		}
 	}
 	return out
 }
 
+// isqrt returns ⌊√n⌋; Candidates yields at most ~2√m distinct heights.
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	r := int(math.Sqrt(float64(n)))
+	for r*r > n {
+		r--
+	}
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// searchParallelThreshold is the candidate count above which Search
+// fans the height axis out across the par worker pool. Package tests
+// lower it to force the parallel path on small graphs.
+var searchParallelThreshold = 64
+
+// searchResult is one candidate height's best configuration.
+type searchResult struct {
+	tc   TileConfig
+	cost cdag.Weight
+	peak cdag.Weight
+}
+
+// searchHeight evaluates the two interesting resident-vector choices
+// for one candidate height: a fully resident vector, and the largest
+// vc < n the leftover budget allows (peak is monotone in vc, cost
+// strictly decreases with vc, so intermediate values never win).
+// PredictPeak is evaluated exactly once per configuration.
+func (g *Graph) searchHeight(h int, budget cdag.Weight) searchResult {
+	wi := g.Cfg.Input()
+	best := searchResult{cost: Inf, peak: Inf}
+	for _, full := range []bool{true, false} {
+		tc := TileConfig{Height: h}
+		if full {
+			tc.ResidentVector = g.N
+		} else {
+			base := g.PredictPeak(TileConfig{Height: h})
+			if base > budget {
+				continue
+			}
+			vc := int((budget - base) / wi)
+			if vc > g.N-1 {
+				vc = g.N - 1
+			}
+			tc.ResidentVector = vc
+		}
+		peak := g.PredictPeak(tc)
+		if peak > budget {
+			continue
+		}
+		cost := g.PredictCost(tc)
+		if cost < best.cost || (cost == best.cost && peak < best.peak) {
+			best = searchResult{tc: tc, cost: cost, peak: peak}
+		}
+	}
+	return best
+}
+
 // Search returns the minimum-cost tile configuration whose peak fits
 // the budget, or an error when no configuration fits. For each
 // candidate height it gives any leftover budget to the resident
-// vector, which strictly reduces cost.
+// vector, which strictly reduces cost. Large candidate sets are
+// fanned out across the par worker pool; ties between heights resolve
+// to the earlier (larger-height) candidate in both paths, so the
+// parallel search returns exactly the serial configuration.
 func (g *Graph) Search(budget cdag.Weight) (TileConfig, cdag.Weight, error) {
-	wi := g.Cfg.Input()
-	best := TileConfig{}
-	bestCost := Inf
-	bestPeak := Inf
-	for _, h := range g.Candidates() {
-		for _, full := range []bool{true, false} {
-			tc := TileConfig{Height: h}
-			if full {
-				tc.ResidentVector = g.N
-			} else {
-				// Largest vc < n fitting the budget, found by the
-				// monotonicity of PredictPeak in vc.
-				base := g.PredictPeak(TileConfig{Height: h})
-				if base > budget {
-					continue
+	heights := g.Candidates()
+	best := searchResult{cost: Inf, peak: Inf}
+	if len(heights) >= searchParallelThreshold {
+		chunks := par.Chunks(len(heights), 0)
+		parts, _ := par.Map(0, chunks, func(c [2]int) (searchResult, error) {
+			b := searchResult{cost: Inf, peak: Inf}
+			for _, h := range heights[c[0]:c[1]] {
+				if r := g.searchHeight(h, budget); r.cost < b.cost || (r.cost == b.cost && r.peak < b.peak) {
+					b = r
 				}
-				vc := int((budget - base) / wi)
-				if vc > g.N-1 {
-					vc = g.N - 1
-				}
-				tc.ResidentVector = vc
 			}
-			if g.PredictPeak(tc) > budget {
-				continue
+			return b, nil
+		})
+		for _, r := range parts {
+			if r.cost < best.cost || (r.cost == best.cost && r.peak < best.peak) {
+				best = r
 			}
-			cost := g.PredictCost(tc)
-			peak := g.PredictPeak(tc)
-			if cost < bestCost || (cost == bestCost && peak < bestPeak) {
-				best, bestCost, bestPeak = tc, cost, peak
+		}
+	} else {
+		for _, h := range heights {
+			if r := g.searchHeight(h, budget); r.cost < best.cost || (r.cost == best.cost && r.peak < best.peak) {
+				best = r
 			}
 		}
 	}
-	if bestCost >= Inf {
+	if best.cost >= Inf {
 		return TileConfig{}, Inf, fmt.Errorf("mvm: no tile configuration fits budget %d (tiling minimum %d)", budget, g.TilingMinBudget())
 	}
-	return best, bestCost, nil
+	return best.tc, best.cost, nil
 }
 
 // MinCost returns the best tiling cost under the budget, or Inf when

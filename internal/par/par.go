@@ -1,0 +1,105 @@
+// Package par provides the bounded worker pool shared by the
+// experiment sweeps (internal/bench), the mvm tile search, and the
+// memdesign budget sweeps. It lives below all of them so that packages
+// bench depends on can use it without an import cycle.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map evaluates f over every input on a bounded worker pool and
+// returns the outputs in input order. workers ≤ 0 selects
+// GOMAXPROCS. The first error wins: once any job fails, the producer
+// stops submitting new work, the remaining workers drain, and Map
+// returns that error — jobs not yet started are never evaluated.
+func Map[I, O any](workers int, in []I, f func(I) (O, error)) ([]O, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(in) {
+		workers = len(in)
+	}
+	out := make([]O, len(in))
+	if len(in) == 0 {
+		return out, nil
+	}
+	if workers <= 1 {
+		for i, x := range in {
+			y, err := f(x)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = y
+		}
+		return out, nil
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if stop.Load() {
+					continue // drain without evaluating
+				}
+				y, err := f(in[i])
+				if err != nil {
+					stop.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = y
+			}
+		}()
+	}
+	for i := range in {
+		if stop.Load() {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Chunks splits the half-open index range [0, n) into at most parts
+// contiguous chunks of near-equal length, returned as [lo, hi) pairs.
+// Useful for handing each worker a contiguous slice when per-item
+// dispatch is too fine-grained (e.g. one stateful scheduler per chunk).
+func Chunks(n, parts int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if parts <= 0 {
+		parts = runtime.GOMAXPROCS(0)
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	lo := 0
+	for i := 0; i < parts; i++ {
+		size := n / parts
+		if i < n%parts {
+			size++
+		}
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out
+}

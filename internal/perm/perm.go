@@ -1,0 +1,78 @@
+// Package perm provides shared, immutable permutation tables for the
+// strategy enumerations of Eq. 3/Eq. 6/Eq. 8: every scheduler that
+// minimizes over parent orders σ iterates the same k! rows instead of
+// regenerating them with Heap's algorithm on every DP cell. Tables are
+// built once per arity and cached for the life of the process.
+package perm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MaxK bounds the supported arity. 2^k·k! growth makes anything
+// larger impractical for the tree schedulers (Theorem 3.8), and the
+// cached tables stay tiny: Σ_{k≤8} k!·k ≈ 0.4 MB of uint8s.
+const MaxK = 8
+
+var (
+	tables [MaxK + 1][][]uint8
+	once   [MaxK + 1]sync.Once
+)
+
+// Table returns all k! permutations of {0, …, k-1} as rows of a
+// shared table. Rows are aliased, not copied: callers must not mutate
+// them. Row 0 is always the identity permutation.
+func Table(k int) [][]uint8 {
+	if k < 0 || k > MaxK {
+		panic(fmt.Sprintf("perm: arity %d out of range [0,%d]", k, MaxK))
+	}
+	once[k].Do(func() { tables[k] = build(k) })
+	return tables[k]
+}
+
+// Count returns k!.
+func Count(k int) int {
+	n := 1
+	for i := 2; i <= k; i++ {
+		n *= i
+	}
+	return n
+}
+
+// build enumerates the permutations with Heap's algorithm, emitting
+// the identity first, and freezes them into the table.
+func build(k int) [][]uint8 {
+	p := make([]uint8, k)
+	for i := range p {
+		p[i] = uint8(i)
+	}
+	// One backing array for all rows keeps the table cache-friendly.
+	backing := make([]uint8, 0, Count(k)*k)
+	out := make([][]uint8, 0, Count(k))
+	emit := func() {
+		backing = append(backing, p...)
+		out = append(out, backing[len(backing)-k:])
+	}
+	if k == 0 {
+		out = append(out, []uint8{})
+		return out
+	}
+	var rec func(n int)
+	rec = func(n int) {
+		if n == 1 {
+			emit()
+			return
+		}
+		for i := 0; i < n; i++ {
+			rec(n - 1)
+			if n%2 == 0 {
+				p[i], p[n-1] = p[n-1], p[i]
+			} else {
+				p[0], p[n-1] = p[n-1], p[0]
+			}
+		}
+	}
+	rec(k)
+	return out
+}

@@ -1,0 +1,67 @@
+package perm
+
+import "testing"
+
+func TestCount(t *testing.T) {
+	want := []int{1, 1, 2, 6, 24, 120, 720, 5040, 40320}
+	for k, w := range want {
+		if got := Count(k); got != w {
+			t.Errorf("Count(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestTableComplete(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		rows := Table(k)
+		if len(rows) != Count(k) {
+			t.Fatalf("k=%d: %d rows, want %d", k, len(rows), Count(k))
+		}
+		seen := map[string]bool{}
+		for _, r := range rows {
+			if len(r) != k {
+				t.Fatalf("k=%d: row length %d", k, len(r))
+			}
+			var used [MaxK]bool
+			for _, x := range r {
+				if int(x) >= k || used[x] {
+					t.Fatalf("k=%d: invalid row %v", k, r)
+				}
+				used[x] = true
+			}
+			seen[string(r)] = true
+		}
+		if len(seen) != Count(k) {
+			t.Fatalf("k=%d: %d distinct rows, want %d", k, len(seen), Count(k))
+		}
+	}
+}
+
+func TestIdentityFirst(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		r := Table(k)[0]
+		for i, x := range r {
+			if int(x) != i {
+				t.Fatalf("k=%d: row 0 = %v, want identity", k, r)
+			}
+		}
+	}
+}
+
+func TestTableStable(t *testing.T) {
+	a, b := Table(4), Table(4)
+	for i := range a {
+		if &a[i][0] != &b[i][0] {
+			t.Fatal("Table should return the cached instance")
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Table(9) should panic")
+		}
+	}()
+	Table(MaxK + 1)
+}
