@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-json check
+.PHONY: all build vet test race race-fault bench-smoke bench-json staticcheck check
 
 all: check
 
@@ -20,6 +20,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race-enabled fault-injection and degradation tests: worker panics,
+# injected faults, cancellation, and fallback paths (docs/ROBUSTNESS.md).
+race-fault:
+	$(GO) test -race -run 'Fault|Panic|Ctx|Cancel|Deadline|Degrad|Hung|Budget' ./internal/par/ ./internal/solve/ ./internal/guard/
+
 bench-smoke:
 	$(GO) test -short -bench=. -benchtime=1x -run '^$$' ./...
 
@@ -27,4 +32,13 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/experiments -bench-json BENCH_1.json
 
-check: build vet race bench-smoke
+# Runs staticcheck when it is installed; skips (successfully) when not,
+# so the gate works in minimal containers. CI installs it explicitly.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+check: build vet race race-fault bench-smoke staticcheck

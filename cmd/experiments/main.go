@@ -12,15 +12,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"wrbpg/internal/bench"
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/dse"
 	"wrbpg/internal/energy"
+	"wrbpg/internal/guard"
 	"wrbpg/internal/memdesign"
 	"wrbpg/internal/synth"
 )
@@ -35,12 +39,37 @@ var (
 	flagAll    = flag.Bool("all", false, "print everything")
 	flagShort  = flag.Bool("short", false, "reduced sweeps for quick runs")
 	flagBench  = flag.String("bench-json", "", "run the perf-regression suite and write BENCH JSON to `file` ('-' for stdout)")
+	flagTime   = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 = none)")
 )
+
+// runCtx carries cancellation (Ctrl-C, -timeout) into the parallel
+// figure sweeps.
+var runCtx = context.Background()
+
+// fatalIfSweepFailed distinguishes a cancelled sweep from a real
+// failure in its error message.
+func fatalIfSweepFailed(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrDeadline) {
+		log.Fatalf("sweep aborted: %v", err)
+	}
+	log.Fatal(err)
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *flagTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *flagTime)
+		defer cancel()
+	}
+	runCtx = ctx
 	if *flagBench != "" {
 		benchJSON(*flagBench)
 		if !*flagTable1 && !*flagFig5 && !*flagFig6 && !*flagFig7 && !*flagFig8 && !*flagDSE && !*flagAll {
@@ -144,10 +173,8 @@ func fig5() {
 	}
 	for _, cfg := range bench.Configs() {
 		header(fmt.Sprintf("Figure 5: %s DWT(%d,%d) — bits transferred vs fast memory", cfg.Name, dwtN, dwtD))
-		rows, err := bench.Fig5DWTParallel(cfg, dwtN, dwtD, nil, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
+		rows, err := bench.Fig5DWTParallelCtx(runCtx, cfg, dwtN, dwtD, nil, 0)
+		fatalIfSweepFailed(err)
 		var out [][]string
 		for _, r := range rows {
 			out = append(out, []string{
@@ -162,10 +189,8 @@ func fig5() {
 	}
 	for _, cfg := range bench.Configs() {
 		header(fmt.Sprintf("Figure 5: %s MVM(%d,%d) — bits transferred vs fast memory", cfg.Name, mvmM, mvmN))
-		rows, err := bench.Fig5MVMParallel(cfg, mvmM, mvmN, nil, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
+		rows, err := bench.Fig5MVMParallelCtx(runCtx, cfg, mvmM, mvmN, nil, 0)
+		fatalIfSweepFailed(err)
 		var out [][]string
 		for _, r := range rows {
 			out = append(out, []string{
@@ -195,10 +220,8 @@ func fig6() {
 	}
 	for _, cfg := range bench.Configs() {
 		header(fmt.Sprintf("Figure 6: %s DWT(n, d*) — minimum fast memory (bits) vs n", cfg.Name))
-		rows, err := bench.Fig6DWTParallel(cfg, maxN, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
+		rows, err := bench.Fig6DWTParallelCtx(runCtx, cfg, maxN, 0)
+		fatalIfSweepFailed(err)
 		var out [][]string
 		for _, r := range rows {
 			out = append(out, []string{
@@ -210,10 +233,8 @@ func fig6() {
 	}
 	for _, cfg := range bench.Configs() {
 		header(fmt.Sprintf("Figure 6: %s MVM(%d, n) — minimum fast memory (bits) vs n", cfg.Name, bench.MVMRows))
-		rows, err := bench.Fig6MVMParallel(cfg, bench.MVMRows, mvmN, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
+		rows, err := bench.Fig6MVMParallelCtx(runCtx, cfg, bench.MVMRows, mvmN, 0)
+		fatalIfSweepFailed(err)
 		var out [][]string
 		for _, r := range rows {
 			out = append(out, []string{fmt.Sprint(r.N), fmt.Sprint(r.IOOptUB), fmt.Sprint(r.Tiling)})

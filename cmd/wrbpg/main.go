@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"wrbpg/internal/baseline"
 	"wrbpg/internal/cdag"
@@ -24,10 +26,12 @@ import (
 	"wrbpg/internal/core"
 	"wrbpg/internal/dwt"
 	"wrbpg/internal/fft"
+	"wrbpg/internal/guard"
 	"wrbpg/internal/ioopt"
 	"wrbpg/internal/memdesign"
 	"wrbpg/internal/mmm"
 	"wrbpg/internal/mvm"
+	"wrbpg/internal/solve"
 	"wrbpg/internal/synth"
 	"wrbpg/internal/wcfg"
 )
@@ -118,6 +122,13 @@ func (wf *workloadFlags) build() built {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wrbpg: ")
+	// Library invariant violations surface as panics; report them as
+	// ordinary fatal errors instead of a stack-trace crash.
+	defer func() {
+		if r := recover(); r != nil {
+			log.Fatalf("internal error: %v", r)
+		}
+	}()
 	if len(os.Args) < 2 {
 		usage()
 	}
@@ -290,18 +301,98 @@ func cmdInfo(args []string) {
 	fmt.Printf("  existence bound:  %d bits (Proposition 2.3)\n", core.MinExistenceBudget(g))
 }
 
+// defaultBudget resolves the budget-0 convention ("use the workload's
+// minimum memory") without running the full scheduler.
+func defaultBudget(w built) (cdag.Weight, error) {
+	switch {
+	case w.dwt != nil:
+		s, err := dwt.NewScheduler(w.dwt)
+		if err != nil {
+			return 0, err
+		}
+		return s.MinMemory(16)
+	case w.mvm != nil:
+		return w.mvm.MinMemory(), nil
+	case w.fft != nil:
+		return w.fft.MinMemory(), nil
+	case w.mmm != nil:
+		return w.mmm.MinMemory(), nil
+	case w.conv != nil:
+		return w.conv.MinMemory(), nil
+	}
+	return 0, fmt.Errorf("no workload built")
+}
+
+// problemFor adapts the built workload to the solve facade. The dwt
+// and mvm solvers cancel cooperatively; the others rely on the
+// facade's goroutine isolation to honour the deadline.
+func problemFor(w built) solve.Problem {
+	switch {
+	case w.dwt != nil:
+		return solve.DWT(w.dwt)
+	case w.mvm != nil:
+		return solve.MVM(w.mvm)
+	case w.fft != nil:
+		return solve.Problem{Name: "fft", G: w.g,
+			Optimal: func(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
+				t, _, err := w.fft.Search(b)
+				if err != nil {
+					return nil, err
+				}
+				return w.fft.BlockedSchedule(t)
+			}}
+	case w.mmm != nil:
+		return solve.Problem{Name: "mmm", G: w.g,
+			Optimal: func(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
+				c, _, err := w.mmm.Search(b)
+				if err != nil {
+					return nil, err
+				}
+				return w.mmm.Schedule(c)
+			}}
+	default:
+		return solve.Problem{Name: "conv", G: w.g,
+			Optimal: func(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
+				c, _, err := w.conv.Search(b)
+				if err != nil {
+					return nil, err
+				}
+				return w.conv.Schedule(c)
+			}}
+	}
+}
+
 func cmdSchedule(args []string) {
 	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
 	wf := addWorkloadFlags(fs)
 	budget := fs.Int64("budget", 0, "fast memory budget in bits (0 = minimum memory)")
 	moves := fs.Bool("moves", false, "print the full move sequence")
 	trace := fs.Bool("trace", false, "print the fast-memory occupancy sparkline")
+	timeout := fs.Duration("timeout", 0,
+		"wall-clock limit for the solve; on expiry degrade to the baseline scheduler (0 = no limit)")
 	fs.Parse(args)
 	w := wf.build()
 
 	var sched core.Schedule
 	var err error
 	b := cdag.Weight(*budget)
+	if *timeout > 0 {
+		if b == 0 {
+			if b, err = defaultBudget(w); err != nil {
+				log.Fatal(err)
+			}
+		}
+		out, rerr := solve.Run(context.Background(), problemFor(w), b, guard.Limits{Deadline: *timeout})
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		if out.Source == solve.SourceFallback {
+			log.Printf("degraded: optimal solve abandoned (%v); using baseline schedule", out.Err)
+		}
+		fmt.Printf("path: %s (%s)\n", out.Source, out.Elapsed.Round(time.Microsecond))
+		printScheduleReport(w, b, out.Schedule, *moves, *trace)
+		return
+	}
 	switch {
 	case w.dwt != nil:
 		s, serr := dwt.NewScheduler(w.dwt)
@@ -358,6 +449,12 @@ func cmdSchedule(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	printScheduleReport(w, b, sched, *moves, *trace)
+}
+
+// printScheduleReport validates the schedule and prints the shared
+// summary block of the schedule subcommand.
+func printScheduleReport(w built, b cdag.Weight, sched core.Schedule, moves, trace bool) {
 	stats, err := core.Simulate(w.g, b, sched)
 	if err != nil {
 		log.Fatalf("schedule failed validation: %v", err)
@@ -367,14 +464,14 @@ func cmdSchedule(args []string) {
 		len(sched), stats.Moves[core.M1], stats.Moves[core.M2], stats.Moves[core.M3], stats.Moves[core.M4])
 	fmt.Printf("  weighted I/O: %d bits (LB %d)\n", stats.Cost, core.LowerBound(w.g))
 	fmt.Printf("  peak red:     %d bits\n", stats.PeakRedWeight)
-	if *trace {
+	if trace {
 		tr, err := core.OccupancyTrace(w.g, b, sched)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  occupancy:    %s\n", core.Sparkline(tr, b, 72))
 	}
-	if *moves {
+	if moves {
 		fmt.Println(sched)
 	}
 }

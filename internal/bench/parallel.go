@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"wrbpg/internal/baseline"
@@ -27,22 +28,34 @@ func ParMap[I, O any](workers int, in []I, f func(I) (O, error)) ([]O, error) {
 // Fig6DWTParallel is Fig6DWT fanned out across cores; results are
 // identical (the computation is deterministic per problem size).
 func Fig6DWTParallel(cfg wcfg.Config, maxN, workers int) ([]Fig6DWTRow, error) {
+	return Fig6DWTParallelCtx(context.Background(), cfg, maxN, workers)
+}
+
+// Fig6DWTParallelCtx is Fig6DWTParallel under a cancellation context:
+// once ctx dies no further problem size is dispatched and the typed
+// reason (guard.ErrCanceled / guard.ErrDeadline) is returned.
+func Fig6DWTParallelCtx(ctx context.Context, cfg wcfg.Config, maxN, workers int) ([]Fig6DWTRow, error) {
 	var sizes []int
 	for n := 2; n <= maxN; n += 2 {
 		sizes = append(sizes, n)
 	}
-	return ParMap(workers, sizes, func(n int) (Fig6DWTRow, error) {
+	return par.MapCtx(ctx, workers, sizes, func(n int) (Fig6DWTRow, error) {
 		return fig6DWTPoint(cfg, n)
 	})
 }
 
 // Fig6MVMParallel is Fig6MVM fanned out across cores.
 func Fig6MVMParallel(cfg wcfg.Config, m, maxN, workers int) ([]Fig6MVMRow, error) {
+	return Fig6MVMParallelCtx(context.Background(), cfg, m, maxN, workers)
+}
+
+// Fig6MVMParallelCtx is Fig6MVMParallel under a cancellation context.
+func Fig6MVMParallelCtx(ctx context.Context, cfg wcfg.Config, m, maxN, workers int) ([]Fig6MVMRow, error) {
 	var sizes []int
 	for n := 1; n <= maxN; n++ {
 		sizes = append(sizes, n)
 	}
-	return ParMap(workers, sizes, func(n int) (Fig6MVMRow, error) {
+	return par.MapCtx(ctx, workers, sizes, func(n int) (Fig6MVMRow, error) {
 		return fig6MVMPoint(cfg, m, n)
 	})
 }
@@ -54,6 +67,13 @@ func Fig6MVMParallel(cfg wcfg.Config, m, maxN, workers int) ([]Fig6MVMRow, error
 // budgets solve overlapping subproblems) while still fanning out.
 // Results are identical to Fig5DWT.
 func Fig5DWTParallel(cfg wcfg.Config, n, d int, budgets []cdag.Weight, workers int) ([]Fig5DWTRow, error) {
+	return Fig5DWTParallelCtx(context.Background(), cfg, n, d, budgets, workers)
+}
+
+// Fig5DWTParallelCtx is Fig5DWTParallel under a cancellation context:
+// once ctx dies no further budget chunk is dispatched and the typed
+// reason (guard.ErrCanceled / guard.ErrDeadline) is returned.
+func Fig5DWTParallelCtx(ctx context.Context, cfg wcfg.Config, n, d int, budgets []cdag.Weight, workers int) ([]Fig5DWTRow, error) {
 	g, err := dwt.Build(n, d, dwt.ConfigWeights(cfg))
 	if err != nil {
 		return nil, err
@@ -67,7 +87,7 @@ func Fig5DWTParallel(cfg wcfg.Config, n, d int, budgets []cdag.Weight, workers i
 		budgets = LogBudgets(core.MinExistenceBudget(g.G), 2*lblMem, 1.3, cfg.WordBits)
 	}
 	chunks := par.Chunks(len(budgets), workers)
-	parts, err := par.Map(workers, chunks, func(c [2]int) ([]Fig5DWTRow, error) {
+	parts, err := par.MapCtx(ctx, workers, chunks, func(c [2]int) ([]Fig5DWTRow, error) {
 		sched, err := dwt.NewScheduler(g)
 		if err != nil {
 			return nil, err
@@ -100,6 +120,11 @@ func Fig5DWTParallel(cfg wcfg.Config, n, d int, budgets []cdag.Weight, workers i
 // point; mvm cost prediction is closed-form and stateless, so budgets
 // share the graph safely. Results are identical to Fig5MVM.
 func Fig5MVMParallel(cfg wcfg.Config, m, n int, budgets []cdag.Weight, workers int) ([]Fig5MVMRow, error) {
+	return Fig5MVMParallelCtx(context.Background(), cfg, m, n, budgets, workers)
+}
+
+// Fig5MVMParallelCtx is Fig5MVMParallel under a cancellation context.
+func Fig5MVMParallelCtx(ctx context.Context, cfg wcfg.Config, m, n int, budgets []cdag.Weight, workers int) ([]Fig5MVMRow, error) {
 	g, err := mvm.Build(m, n, cfg)
 	if err != nil {
 		return nil, err
@@ -109,7 +134,7 @@ func Fig5MVMParallel(cfg wcfg.Config, m, n int, budgets []cdag.Weight, workers i
 		hi := 2 * model.MinMemoryBits()
 		budgets = LogBudgets(g.TilingMinBudget(), hi, 1.3, cfg.WordBits)
 	}
-	pts, err := par.Map(workers, budgets, func(b cdag.Weight) (Fig5MVMRow, error) {
+	pts, err := par.MapCtx(ctx, workers, budgets, func(b cdag.Weight) (Fig5MVMRow, error) {
 		words := int(b) / cfg.WordBits
 		tiling := g.MinCost(b)
 		if tiling >= mvm.Inf {

@@ -41,7 +41,7 @@ type PerfReport struct {
 // the timed region and returns the per-iteration body.
 type perfKernel struct {
 	name  string
-	setup func() (func(), error)
+	setup func() (func() error, error)
 }
 
 // perfKernels returns the hot-path suite: DP cost evaluation with
@@ -49,7 +49,7 @@ type perfKernel struct {
 // full sweeps, the tile search, and graph construction.
 func perfKernels() []perfKernel {
 	return []perfKernel{
-		{"MemstateSchedulerCostWarm", func() (func(), error) {
+		{"MemstateSchedulerCostWarm", func() (func() error, error) {
 			tr, err := ktree.FullTree(2, 6, func(d, i int) cdag.Weight { return 1 + cdag.Weight((d+i)%3) })
 			if err != nil {
 				return nil, err
@@ -62,9 +62,9 @@ func perfKernels() []perfKernel {
 			reuse := memstate.NewBitset(leaf)
 			b := core.MinExistenceBudget(tr.G) + 4
 			s.Cost(tr.Root, b, memstate.Bitset{}, reuse)
-			return func() { s.Cost(tr.Root, b, memstate.Bitset{}, reuse) }, nil
+			return func() error { s.Cost(tr.Root, b, memstate.Bitset{}, reuse); return nil }, nil
 		}},
-		{"MemstateKSchedulerCostWarm", func() (func(), error) {
+		{"MemstateKSchedulerCostWarm", func() (func() error, error) {
 			tr, err := ktree.FullTree(3, 3, func(d, i int) cdag.Weight { return 1 + cdag.Weight(i%2) })
 			if err != nil {
 				return nil, err
@@ -77,23 +77,24 @@ func perfKernels() []perfKernel {
 			reuse := memstate.NewBitset(leaf)
 			b := core.MinExistenceBudget(tr.G) + 4
 			s.Cost(tr.Root, b, memstate.Bitset{}, reuse)
-			return func() { s.Cost(tr.Root, b, memstate.Bitset{}, reuse) }, nil
+			return func() error { s.Cost(tr.Root, b, memstate.Bitset{}, reuse); return nil }, nil
 		}},
-		{"MemstateKSchedulerCostCold", func() (func(), error) {
+		{"MemstateKSchedulerCostCold", func() (func() error, error) {
 			tr, err := ktree.FullTree(3, 3, func(d, i int) cdag.Weight { return 1 + cdag.Weight(i%2) })
 			if err != nil {
 				return nil, err
 			}
 			b := core.MinExistenceBudget(tr.G) + 4
-			return func() {
+			return func() error {
 				s, err := memstate.NewKScheduler(tr.G)
 				if err != nil {
-					panic(err)
+					return err
 				}
 				s.PlainCost(tr.Root, b)
+				return nil
 			}, nil
 		}},
-		{"KtreeMinCostWarm", func() (func(), error) {
+		{"KtreeMinCostWarm", func() (func() error, error) {
 			tr, err := ktree.FullTree(4, 3, func(d, i int) cdag.Weight { return 1 + cdag.Weight((d+i)%2) })
 			if err != nil {
 				return nil, err
@@ -101,57 +102,56 @@ func perfKernels() []perfKernel {
 			s := ktree.NewScheduler(tr)
 			b := core.MinExistenceBudget(tr.G) + 3
 			s.MinCost(b)
-			return func() { s.MinCost(b) }, nil
+			return func() error { s.MinCost(b); return nil }, nil
 		}},
-		{"KtreeMinCostCold", func() (func(), error) {
+		{"KtreeMinCostCold", func() (func() error, error) {
 			tr, err := ktree.FullTree(4, 3, func(d, i int) cdag.Weight { return 1 + cdag.Weight((d+i)%2) })
 			if err != nil {
 				return nil, err
 			}
 			b := core.MinExistenceBudget(tr.G) + 3
-			return func() { ktree.NewScheduler(tr).MinCost(b) }, nil
+			return func() error { ktree.NewScheduler(tr).MinCost(b); return nil }, nil
 		}},
-		{"DWTMinCostCold", func() (func(), error) {
+		{"DWTMinCostCold", func() (func() error, error) {
 			cfg := Configs()[0]
 			g, err := dwt.Build(64, 6, dwt.ConfigWeights(cfg))
 			if err != nil {
 				return nil, err
 			}
 			b := core.MinExistenceBudget(g.G) + 4*cdag.Weight(cfg.WordBits)
-			return func() {
+			return func() error {
 				s, err := dwt.NewScheduler(g)
 				if err != nil {
-					panic(err)
+					return err
 				}
 				s.MinCost(b)
+				return nil
 			}, nil
 		}},
-		{"MVMSearch", func() (func(), error) {
+		{"MVMSearch", func() (func() error, error) {
 			cfg := Configs()[0]
 			g, err := mvm.Build(MVMRows, MVMCols, cfg)
 			if err != nil {
 				return nil, err
 			}
 			b := g.TilingMinBudget() + 20*cdag.Weight(cfg.WordBits)
-			return func() {
-				if _, _, err := g.Search(b); err != nil {
-					panic(err)
-				}
+			return func() error {
+				_, _, err := g.Search(b)
+				return err
 			}, nil
 		}},
-		{"MVMMinMemory", func() (func(), error) {
+		{"MVMMinMemory", func() (func() error, error) {
 			cfg := Configs()[0]
 			g, err := mvm.Build(MVMRows, MVMCols, cfg)
 			if err != nil {
 				return nil, err
 			}
-			return func() { g.MinMemory() }, nil
+			return func() error { g.MinMemory(); return nil }, nil
 		}},
-		{"KtreeFullTreeBuild", func() (func(), error) {
-			return func() {
-				if _, err := ktree.FullTree(2, 7, func(d, i int) cdag.Weight { return 1 }); err != nil {
-					panic(err)
-				}
+		{"KtreeFullTreeBuild", func() (func() error, error) {
+			return func() error {
+				_, err := ktree.FullTree(2, 7, func(d, i int) cdag.Weight { return 1 })
+				return err
 			}, nil
 		}},
 	}
@@ -172,12 +172,19 @@ func RunPerfSuite() (PerfReport, error) {
 		if err != nil {
 			return rep, fmt.Errorf("bench: perf kernel %s: %w", k.name, err)
 		}
+		var runErr error
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				body()
+				if err := body(); err != nil {
+					runErr = err
+					b.Fatalf("bench: perf kernel %s: %v", k.name, err)
+				}
 			}
 		})
+		if runErr != nil {
+			return rep, fmt.Errorf("bench: perf kernel %s: %w", k.name, runErr)
+		}
 		rep.Results = append(rep.Results, PerfResult{
 			Name:        k.name,
 			Iterations:  r.N,

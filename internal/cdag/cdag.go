@@ -41,15 +41,28 @@ var ErrCycle = errors.New("cdag: graph contains a cycle")
 
 // AddNode appends a node with the given weight, display name and
 // parent set, returning its ID. Parents must already exist; this keeps
-// insertion order a valid topological order by construction.
+// insertion order a valid topological order by construction. It panics
+// on invalid input; use TryAddNode when weights or parent IDs come
+// from untrusted input (flags, files).
 func (g *Graph) AddNode(w Weight, name string, parents ...NodeID) NodeID {
+	id, err := g.TryAddNode(w, name, parents...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return id
+}
+
+// TryAddNode is AddNode returning an error instead of panicking on a
+// non-positive weight or a parent that does not exist. On error the
+// graph is unchanged.
+func (g *Graph) TryAddNode(w Weight, name string, parents ...NodeID) (NodeID, error) {
 	if w <= 0 {
-		panic(fmt.Sprintf("cdag: node weight must be positive, got %d", w))
+		return None, fmt.Errorf("cdag: node weight must be positive, got %d", w)
 	}
 	id := NodeID(len(g.weights))
 	for _, p := range parents {
 		if p < 0 || p >= id {
-			panic(fmt.Sprintf("cdag: parent %d of node %d does not exist", p, id))
+			return None, fmt.Errorf("cdag: parent %d of node %d does not exist", p, id)
 		}
 	}
 	g.weights = append(g.weights, w)
@@ -61,7 +74,7 @@ func (g *Graph) AddNode(w Weight, name string, parents ...NodeID) NodeID {
 	for _, p := range parents {
 		g.children[p] = append(g.children[p], id)
 	}
-	return id
+	return id, nil
 }
 
 // Len returns the number of nodes.
@@ -70,12 +83,26 @@ func (g *Graph) Len() int { return len(g.weights) }
 // Weight returns the weight of node v.
 func (g *Graph) Weight(v NodeID) Weight { return g.weights[v] }
 
-// SetWeight overwrites the weight of node v. Weights must stay positive.
+// SetWeight overwrites the weight of node v. Weights must stay
+// positive; it panics otherwise — use TrySetWeight for untrusted
+// input.
 func (g *Graph) SetWeight(v NodeID, w Weight) {
+	if err := g.TrySetWeight(v, w); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TrySetWeight is SetWeight returning an error instead of panicking on
+// a non-positive weight or an out-of-range node.
+func (g *Graph) TrySetWeight(v NodeID, w Weight) error {
 	if w <= 0 {
-		panic(fmt.Sprintf("cdag: node weight must be positive, got %d", w))
+		return fmt.Errorf("cdag: node weight must be positive, got %d", w)
+	}
+	if v < 0 || int(v) >= len(g.weights) {
+		return fmt.Errorf("cdag: node %d does not exist", v)
 	}
 	g.weights[v] = w
+	return nil
 }
 
 // Name returns the display name of node v (may be empty).

@@ -1,0 +1,70 @@
+package cdag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTryAddNodeErrors(t *testing.T) {
+	var g Graph
+	if _, err := g.TryAddNode(0, "bad"); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := g.TryAddNode(-3, "bad"); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := g.TryAddNode(1, "bad", 0); err == nil {
+		t.Fatal("nonexistent parent accepted")
+	}
+	if g.Len() != 0 {
+		t.Fatalf("failed TryAddNode mutated the graph: %d nodes", g.Len())
+	}
+	a, err := g.TryAddNode(2, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TryAddNode(1, "bad", a+1); err == nil {
+		t.Fatal("forward parent reference accepted")
+	}
+	b, err := g.TryAddNode(3, "b", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 || g.Weight(b) != 3 || len(g.Parents(b)) != 1 {
+		t.Fatal("valid TryAddNode misbuilt the graph")
+	}
+}
+
+func TestAddNodePanicsMatchTryErrors(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AddNode(0) did not panic")
+		}
+		if !strings.Contains(r.(string), "weight must be positive") {
+			t.Fatalf("panic message %q", r)
+		}
+	}()
+	var g Graph
+	g.AddNode(0, "bad")
+}
+
+func TestTrySetWeight(t *testing.T) {
+	var g Graph
+	v := g.AddNode(2, "a")
+	if err := g.TrySetWeight(v, 0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if err := g.TrySetWeight(v+1, 4); err == nil {
+		t.Fatal("nonexistent node accepted")
+	}
+	if g.Weight(v) != 2 {
+		t.Fatal("failed TrySetWeight mutated the weight")
+	}
+	if err := g.TrySetWeight(v, 7); err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(v) != 7 {
+		t.Fatal("TrySetWeight did not apply")
+	}
+}

@@ -1,11 +1,13 @@
 package dwt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
+	"wrbpg/internal/guard"
 )
 
 // Inf is the sentinel cost of an infeasible subproblem (the ∞ entries
@@ -48,6 +50,11 @@ type Scheduler struct {
 	dg        *Graph
 	budgetIdx map[cdag.Weight]int
 	memo      [][]entry
+	// ck, when non-nil, is the active cancellation/budget guard of a
+	// *Ctx call. The DP checks it per cell and never memoizes results
+	// computed after it trips, so an aborted solve cannot poison later
+	// ones. nil (the default) costs one pointer test per cell.
+	ck *guard.Checker
 }
 
 // NewScheduler validates the weight assumption of Lemma 3.2 and
@@ -81,6 +88,16 @@ func (s *Scheduler) cell(v cdag.NodeID, b cdag.Weight) *entry {
 	return &row[bi]
 }
 
+// store memoizes a freshly computed cell unless the guard has tripped
+// (poisoned partial results must never persist) or the memo budget is
+// exhausted (which trips the guard for the rest of the solve).
+func (s *Scheduler) store(v cdag.NodeID, b cdag.Weight, e entry) {
+	if s.ck != nil && (s.ck.Err() != nil || s.ck.AddMemo(1) != nil) {
+		return
+	}
+	*s.cell(v, b) = e
+}
+
 // p computes P(v, b): the minimum weighted cost to place a red pebble
 // on v, starting from blue pebbles on the subtree's inputs, using at
 // most b red weight inside the subtree, and leaving no other red
@@ -88,6 +105,11 @@ func (s *Scheduler) cell(v cdag.NodeID, b cdag.Weight) *entry {
 func (s *Scheduler) p(v cdag.NodeID, b cdag.Weight) entry {
 	if c := s.cell(v, b); c.valid {
 		return *c
+	}
+	// Cancellation checkpoint on the cold path only: warm hits return
+	// above untouched, and an all-warm solve finishes in microseconds.
+	if s.ck != nil && s.ck.Tick() != nil {
+		return entry{cost: Inf}
 	}
 	g := s.dg.G
 	var e entry
@@ -97,7 +119,7 @@ func (s *Scheduler) p(v cdag.NodeID, b cdag.Weight) entry {
 		} else {
 			e = entry{cost: Inf, choice: stratLeaf, valid: true}
 		}
-		*s.cell(v, b) = e
+		s.store(v, b, e)
 		return e
 	}
 	ps := g.Parents(v)
@@ -105,7 +127,7 @@ func (s *Scheduler) p(v cdag.NodeID, b cdag.Weight) entry {
 	w1, w2 := g.Weight(p1), g.Weight(p2)
 	if g.Weight(v)+w1+w2 > b {
 		e = entry{cost: Inf, choice: stratKeepP1, valid: true}
-		*s.cell(v, b) = e
+		s.store(v, b, e)
 		return e
 	}
 	// Keep strategies are evaluated first so that ties resolve to
@@ -129,7 +151,7 @@ func (s *Scheduler) p(v cdag.NodeID, b cdag.Weight) entry {
 	consider(add(add(s.p(p1, b).cost, s.p(p2, b).cost), 2*w1), stratSpillP1)
 	consider(add(add(s.p(p2, b).cost, s.p(p1, b).cost), 2*w2), stratSpillP2)
 	best.valid = true
-	*s.cell(v, b) = best
+	s.store(v, b, best)
 	return best
 }
 
@@ -155,6 +177,37 @@ func (s *Scheduler) MinCost(b cdag.Weight) cdag.Weight {
 		total += g.Weight(v) // each pruned coefficient is written once
 	}
 	return total
+}
+
+// MinCostCtx is MinCost under a cancellation context and resource
+// limits. It returns guard.ErrCanceled / guard.ErrDeadline /
+// guard.ErrBudgetExceeded (wrapped) when the solve was aborted; the
+// scheduler remains usable afterwards — partial results computed after
+// the abort are never memoized.
+func (s *Scheduler) MinCostCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error) {
+	ck := guard.New(ctx, lim)
+	defer ck.Release()
+	s.ck = ck
+	defer func() { s.ck = nil }()
+	c := s.MinCost(b)
+	if err := ck.Err(); err != nil {
+		return 0, fmt.Errorf("dwt: %w", err)
+	}
+	return c, nil
+}
+
+// ScheduleCtx is Schedule under a cancellation context and resource
+// limits, with the same abort semantics as MinCostCtx.
+func (s *Scheduler) ScheduleCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
+	ck := guard.New(ctx, lim)
+	defer ck.Release()
+	s.ck = ck
+	defer func() { s.ck = nil }()
+	sched, err := s.Schedule(b)
+	if cerr := ck.Err(); cerr != nil {
+		return nil, fmt.Errorf("dwt: %w", cerr)
+	}
+	return sched, err
 }
 
 // Schedule generates a minimum weighted WRBPG schedule for budget b

@@ -16,11 +16,14 @@ package exact
 
 import (
 	"container/heap"
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
+	"wrbpg/internal/guard"
 )
 
 // ErrTooLarge is returned when the graph exceeds MaxNodes.
@@ -86,6 +89,18 @@ type Result struct {
 // Solve finds a minimum weighted-cost WRBPG schedule for g under the
 // budget, or an error if the graph is too large or infeasible.
 func Solve(g *cdag.Graph, budget cdag.Weight) (*Result, error) {
+	return SolveCtx(context.Background(), g, budget, guard.Limits{})
+}
+
+// SolveCtx is Solve under a cancellation context and resource limits:
+// the search checks for cancellation at every settled state and charges
+// each newly tracked state against lim.MaxStates, returning
+// guard.ErrCanceled / guard.ErrDeadline / guard.ErrBudgetExceeded
+// (wrapped) when aborted. Since the state space is exponential, callers
+// running exact search outside tests should always bound it this way.
+func SolveCtx(ctx context.Context, g *cdag.Graph, budget cdag.Weight, lim guard.Limits) (*Result, error) {
+	ck := guard.New(ctx, lim)
+	defer ck.Release()
 	if g.Len() > MaxNodes {
 		return nil, ErrTooLarge
 	}
@@ -140,6 +155,9 @@ func Solve(g *cdag.Graph, budget cdag.Weight) (*Result, error) {
 	found := false
 
 	for open.Len() > 0 {
+		if ck.Tick() != nil {
+			break
+		}
 		cur := heap.Pop(open).(*item)
 		if settled[cur.key] {
 			continue
@@ -164,6 +182,11 @@ func Solve(g *cdag.Graph, budget cdag.Weight) (*Result, error) {
 				labels[v] = old
 				nd := cur.cost + cost
 				if d, ok := dist[k]; !ok || nd < d {
+					// Charge only newly tracked states against the limit;
+					// relaxations revisit states already paid for.
+					if !ok && ck.AddStates(1) != nil {
+						return
+					}
 					dist[k] = nd
 					prev[k] = nodeInfo{prevKey: cur.key, prevMove: m, hasPrev: true}
 					heap.Push(open, &item{key: k, cost: nd})
@@ -201,6 +224,9 @@ func Solve(g *cdag.Graph, budget cdag.Weight) (*Result, error) {
 		}
 	}
 
+	if err := ck.Err(); err != nil {
+		return nil, fmt.Errorf("exact: %w", err)
+	}
 	if !found {
 		return nil, ErrInfeasible
 	}

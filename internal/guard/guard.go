@@ -1,0 +1,211 @@
+// Package guard provides the shared runtime-protection vocabulary for
+// the solver packages: typed abort errors, resource limits, and a
+// cheap cancellation/budget checker threaded through the DP loops.
+//
+// The hardness results for red-blue pebbling (Papp et al.) mean the
+// exponential solvers (exact search, memory-state DPs) cannot be given
+// unbounded time or memory in a serving system. Every long-running
+// solver therefore accepts a context plus a Limits value and checks a
+// *Checker at its iteration points; a tripped checker makes the solver
+// unwind promptly with one of the typed errors below, without
+// poisoning its memo tables (partial results computed after the trip
+// are never stored).
+//
+// The zero Checker pointer (nil) is valid and free: every method is
+// nil-safe, so solvers pay a single pointer test on their hot paths
+// when no guard is installed.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed abort reasons. Callers classify with errors.Is; the solve
+// facade degrades to the baseline scheduler on ErrDeadline and
+// ErrBudgetExceeded, and propagates ErrCanceled (the caller went away,
+// so no answer is wanted at all).
+var (
+	// ErrCanceled reports that the caller's context was canceled.
+	ErrCanceled = errors.New("guard: solve canceled")
+	// ErrDeadline reports that the context deadline (or Limits.Deadline)
+	// expired before the solver finished.
+	ErrDeadline = errors.New("guard: solve deadline exceeded")
+	// ErrBudgetExceeded reports that a resource ceiling of Limits was
+	// hit (memo entries or explored states).
+	ErrBudgetExceeded = errors.New("guard: resource budget exceeded")
+)
+
+// Limits bounds a single solve. The zero value imposes no bounds.
+type Limits struct {
+	// MaxMemoEntries caps the number of memoized DP cells a scheduler
+	// may create (dwt, ktree, memstate). 0 = unlimited.
+	MaxMemoEntries int
+	// MaxStates caps the number of distinct game states the exact
+	// Dijkstra search may track. 0 = unlimited.
+	MaxStates int
+	// Deadline, when positive, bounds the wall-clock time of the solve;
+	// it composes with (tightens, never loosens) any deadline already
+	// carried by the caller's context.
+	Deadline time.Duration
+}
+
+// Unlimited reports whether the limits impose no resource ceilings.
+func (l Limits) Unlimited() bool {
+	return l.MaxMemoEntries == 0 && l.MaxStates == 0 && l.Deadline == 0
+}
+
+// tickMask throttles context polling: the Done channel is consulted
+// once every tickMask+1 Tick calls, keeping checkpoints to a counter
+// increment in the common case.
+const tickMask = 255
+
+// Checker is the per-solve cancellation and budget monitor. It is not
+// safe for concurrent use — each goroutine (or worker-pool chunk)
+// installs its own. A nil *Checker is valid and disables all checks.
+type Checker struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	lim    Limits
+	ticks  uint
+	memo   int
+	states int
+	err    error
+}
+
+// New builds a checker for one solve. When lim.Deadline is positive a
+// timeout context is derived; Release must be called (defer it) to
+// free the timer.
+func New(ctx context.Context, lim Limits) *Checker {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := &Checker{ctx: ctx, lim: lim}
+	if lim.Deadline > 0 {
+		c.ctx, c.cancel = context.WithTimeout(ctx, lim.Deadline)
+	}
+	return c
+}
+
+// Release frees the deadline timer, if any. Safe on nil.
+func (c *Checker) Release() {
+	if c != nil && c.cancel != nil {
+		c.cancel()
+	}
+}
+
+// Context returns the (possibly deadline-narrowed) context the checker
+// polls, for handing to worker pools. Background for a nil checker.
+func (c *Checker) Context() context.Context {
+	if c == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// Err returns the tripped error, or nil while the solve may continue.
+func (c *Checker) Err() error {
+	if c == nil {
+		return nil
+	}
+	return c.err
+}
+
+// trip latches the first abort reason.
+func (c *Checker) trip(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// Tick is the periodic cancellation checkpoint: call it once per DP
+// cell / search iteration. It returns non-nil once the solve must
+// abort. The context is polled once every 256 calls, so a checkpoint
+// normally costs a counter increment.
+func (c *Checker) Tick() error {
+	if c == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	c.ticks++
+	if c.ticks&tickMask != 0 {
+		return nil
+	}
+	return c.poll()
+}
+
+// poll consults the context immediately (no throttling).
+func (c *Checker) poll() error {
+	select {
+	case <-c.ctx.Done():
+		return c.trip(Wrap(c.ctx.Err()))
+	default:
+		return nil
+	}
+}
+
+// AddMemo charges n new memo entries against Limits.MaxMemoEntries and
+// returns non-nil once the ceiling is exceeded (or the checker already
+// tripped). Call it before storing a fresh DP cell and skip the store
+// on error.
+func (c *Checker) AddMemo(n int) error {
+	if c == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	c.memo += n
+	if c.lim.MaxMemoEntries > 0 && c.memo > c.lim.MaxMemoEntries {
+		return c.trip(fmt.Errorf("%w: %d memo entries exceed limit %d",
+			ErrBudgetExceeded, c.memo, c.lim.MaxMemoEntries))
+	}
+	return nil
+}
+
+// AddStates charges n tracked search states against Limits.MaxStates.
+func (c *Checker) AddStates(n int) error {
+	if c == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	c.states += n
+	if c.lim.MaxStates > 0 && c.states > c.lim.MaxStates {
+		return c.trip(fmt.Errorf("%w: %d search states exceed limit %d",
+			ErrBudgetExceeded, c.states, c.lim.MaxStates))
+	}
+	return nil
+}
+
+// Wrap maps a context error onto the typed taxonomy: Canceled →
+// ErrCanceled, DeadlineExceeded → ErrDeadline. Other errors (and nil)
+// pass through unchanged.
+func Wrap(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	default:
+		return err
+	}
+}
+
+// Degradable reports whether err is a reason to fall back to the
+// baseline scheduler rather than fail outright: the solver ran out of
+// time or resources, but the caller is still waiting for an answer.
+// Cancellation is not degradable — the caller abandoned the request.
+func Degradable(err error) bool {
+	return errors.Is(err, ErrDeadline) ||
+		errors.Is(err, ErrBudgetExceeded) ||
+		errors.Is(err, context.DeadlineExceeded)
+}

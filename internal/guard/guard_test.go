@@ -1,0 +1,123 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilCheckerIsFree(t *testing.T) {
+	var c *Checker
+	if err := c.Tick(); err != nil {
+		t.Fatalf("nil Tick = %v", err)
+	}
+	if err := c.AddMemo(1 << 30); err != nil {
+		t.Fatalf("nil AddMemo = %v", err)
+	}
+	if err := c.AddStates(1 << 30); err != nil {
+		t.Fatalf("nil AddStates = %v", err)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("nil Err = %v", err)
+	}
+	c.Release() // must not panic
+	if c.Context() == nil {
+		t.Fatal("nil Context() = nil")
+	}
+}
+
+func TestTickCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, Limits{})
+	defer c.Release()
+	if err := c.Tick(); err != nil {
+		t.Fatalf("live context tripped: %v", err)
+	}
+	cancel()
+	// The poll is throttled; within 256+1 ticks it must land.
+	var err error
+	for i := 0; i < 2*(tickMask+1); i++ {
+		if err = c.Tick(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("after cancel: err = %v, want ErrCanceled", err)
+	}
+	// Latched: every later call returns the same reason immediately.
+	if err := c.Tick(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("latched err = %v", err)
+	}
+	if err := c.AddMemo(1); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("AddMemo after trip = %v", err)
+	}
+}
+
+func TestDeadlineFromLimits(t *testing.T) {
+	c := New(context.Background(), Limits{Deadline: time.Millisecond})
+	defer c.Release()
+	deadline := time.Now().Add(500 * time.Millisecond)
+	var err error
+	for time.Now().Before(deadline) {
+		if err = c.Tick(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+func TestMemoAndStateBudgets(t *testing.T) {
+	c := New(context.Background(), Limits{MaxMemoEntries: 3})
+	defer c.Release()
+	for i := 0; i < 3; i++ {
+		if err := c.AddMemo(1); err != nil {
+			t.Fatalf("AddMemo #%d = %v", i, err)
+		}
+	}
+	if err := c.AddMemo(1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("4th AddMemo = %v, want ErrBudgetExceeded", err)
+	}
+
+	s := New(context.Background(), Limits{MaxStates: 2})
+	defer s.Release()
+	if err := s.AddStates(2); err != nil {
+		t.Fatalf("AddStates(2) = %v", err)
+	}
+	if err := s.AddStates(1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("AddStates over = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestWrapAndDegradable(t *testing.T) {
+	if Wrap(nil) != nil {
+		t.Fatal("Wrap(nil) != nil")
+	}
+	if !errors.Is(Wrap(context.Canceled), ErrCanceled) {
+		t.Fatal("Wrap(Canceled) != ErrCanceled")
+	}
+	if !errors.Is(Wrap(context.DeadlineExceeded), ErrDeadline) {
+		t.Fatal("Wrap(DeadlineExceeded) != ErrDeadline")
+	}
+	other := errors.New("other")
+	if Wrap(other) != other {
+		t.Fatal("Wrap(other) changed the error")
+	}
+	if Degradable(ErrCanceled) {
+		t.Fatal("ErrCanceled must not be degradable")
+	}
+	if !Degradable(ErrDeadline) || !Degradable(ErrBudgetExceeded) {
+		t.Fatal("deadline/budget must be degradable")
+	}
+}
+
+func TestUnlimited(t *testing.T) {
+	if !(Limits{}).Unlimited() {
+		t.Fatal("zero Limits must be Unlimited")
+	}
+	if (Limits{MaxStates: 1}).Unlimited() {
+		t.Fatal("MaxStates=1 is not Unlimited")
+	}
+}

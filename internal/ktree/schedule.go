@@ -1,10 +1,12 @@
 package ktree
 
 import (
+	"context"
 	"fmt"
 
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
+	"wrbpg/internal/guard"
 	"wrbpg/internal/perm"
 )
 
@@ -31,6 +33,11 @@ type Scheduler struct {
 	t         *Tree
 	budgetIdx map[cdag.Weight]int
 	memo      [][]entry
+	// ck, when non-nil, is the active cancellation/budget guard of a
+	// *Ctx call. The DP checks it per cold cell and never memoizes
+	// results computed after it trips. nil (the default) costs one
+	// pointer test per cell.
+	ck *guard.Checker
 }
 
 // NewScheduler returns a scheduler for the tree. The k! permutation
@@ -68,6 +75,16 @@ func (s *Scheduler) cell(v cdag.NodeID, b cdag.Weight) *entry {
 	return &row[bi]
 }
 
+// store memoizes a freshly computed cell unless the guard has tripped
+// (poisoned partial results must never persist) or the memo budget is
+// exhausted (which trips the guard for the rest of the solve).
+func (s *Scheduler) store(v cdag.NodeID, b cdag.Weight, e entry) {
+	if s.ck != nil && (s.ck.Err() != nil || s.ck.AddMemo(1) != nil) {
+		return
+	}
+	*s.cell(v, b) = e
+}
+
 // pt computes Pt(v, b) of Eq. 6, minimizing over parent permutations
 // σ and keep/spill vectors δ. Configurations that spill a source
 // parent are skipped: re-ordering the source to the end of the
@@ -78,6 +95,11 @@ func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
 	if c := s.cell(v, b); c.valid {
 		return *c
 	}
+	// Cancellation checkpoint on the cold path only: warm hits return
+	// above untouched, and an all-warm solve finishes in microseconds.
+	if s.ck != nil && s.ck.Tick() != nil {
+		return entry{cost: Inf}
+	}
 	g := s.t.G
 	var best entry
 	if g.IsSource(v) {
@@ -87,7 +109,7 @@ func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
 			best = entry{cost: Inf}
 		}
 		best.valid = true
-		*s.cell(v, b) = best
+		s.store(v, b, best)
 		return best
 	}
 	parents := g.Parents(v)
@@ -98,7 +120,7 @@ func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
 	}
 	if g.Weight(v)+parentSum > b {
 		best = entry{cost: Inf, valid: true}
-		*s.cell(v, b) = best
+		s.store(v, b, best)
 		return best
 	}
 	best = entry{cost: Inf}
@@ -132,7 +154,7 @@ func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
 		}
 	}
 	best.valid = true
-	*s.cell(v, b) = best
+	s.store(v, b, best)
 	return best
 }
 
@@ -145,6 +167,37 @@ func (s *Scheduler) MinCost(b cdag.Weight) cdag.Weight {
 		return Inf
 	}
 	return e.cost + s.t.G.Weight(s.t.Root)
+}
+
+// MinCostCtx is MinCost under a cancellation context and resource
+// limits. It returns guard.ErrCanceled / guard.ErrDeadline /
+// guard.ErrBudgetExceeded (wrapped) when the solve was aborted; the
+// scheduler remains usable afterwards — partial results computed after
+// the abort are never memoized.
+func (s *Scheduler) MinCostCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error) {
+	ck := guard.New(ctx, lim)
+	defer ck.Release()
+	s.ck = ck
+	defer func() { s.ck = nil }()
+	c := s.MinCost(b)
+	if err := ck.Err(); err != nil {
+		return 0, fmt.Errorf("ktree: %w", err)
+	}
+	return c, nil
+}
+
+// ScheduleCtx is Schedule under a cancellation context and resource
+// limits, with the same abort semantics as MinCostCtx.
+func (s *Scheduler) ScheduleCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
+	ck := guard.New(ctx, lim)
+	defer ck.Release()
+	s.ck = ck
+	defer func() { s.ck = nil }()
+	sched, err := s.Schedule(b)
+	if cerr := ck.Err(); cerr != nil {
+		return nil, fmt.Errorf("ktree: %w", cerr)
+	}
+	return sched, err
 }
 
 // Schedule generates an optimal schedule under budget b; it always

@@ -16,12 +16,24 @@ type Matrix struct {
 	Data       []float64 // len == Rows*Cols
 }
 
-// NewMatrix allocates a zero m×n matrix.
+// NewMatrix allocates a zero m×n matrix. It panics on non-positive
+// dimensions; use TryNewMatrix when the dimensions come from untrusted
+// input (flags, files).
 func NewMatrix(m, n int) *Matrix {
-	if m <= 0 || n <= 0 {
-		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", m, n))
+	a, err := TryNewMatrix(m, n)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &Matrix{Rows: m, Cols: n, Data: make([]float64, m*n)}
+	return a
+}
+
+// TryNewMatrix is NewMatrix returning an error instead of panicking on
+// non-positive dimensions.
+func TryNewMatrix(m, n int) (*Matrix, error) {
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("linalg: invalid dimensions %dx%d", m, n)
+	}
+	return &Matrix{Rows: m, Cols: n, Data: make([]float64, m*n)}, nil
 }
 
 // At returns A[i,j] (zero-based).

@@ -120,3 +120,19 @@ func TestIdentity(t *testing.T) {
 		t.Errorf("identity product differs by %g", d)
 	}
 }
+
+func TestTryNewMatrix(t *testing.T) {
+	if _, err := TryNewMatrix(0, 3); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := TryNewMatrix(3, -1); err == nil {
+		t.Fatal("negative cols accepted")
+	}
+	a, err := TryNewMatrix(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 2 || a.Cols != 3 || len(a.Data) != 6 {
+		t.Fatalf("TryNewMatrix misbuilt: %+v", a)
+	}
+}

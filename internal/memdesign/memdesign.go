@@ -27,15 +27,29 @@ type Spec struct {
 }
 
 // NewSpec builds a Spec from a budget in bits (rounded up to whole
-// words).
+// words). It panics on a non-positive word size; use TrySpec when the
+// word size comes from untrusted input (flags, config files).
 func NewSpec(bits cdag.Weight, wordBits int) Spec {
+	s, err := TrySpec(bits, wordBits)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// TrySpec is NewSpec returning an error instead of panicking on
+// invalid parameters.
+func TrySpec(bits cdag.Weight, wordBits int) (Spec, error) {
 	if wordBits <= 0 {
-		panic(fmt.Sprintf("memdesign: word size must be positive, got %d", wordBits))
+		return Spec{}, fmt.Errorf("memdesign: word size must be positive, got %d", wordBits)
+	}
+	if bits < 0 {
+		return Spec{}, fmt.Errorf("memdesign: capacity must be non-negative, got %d bits", bits)
 	}
 	wb := cdag.Weight(wordBits)
 	words := int((bits + wb - 1) / wb)
 	minBits := cdag.Weight(words) * wb
-	return Spec{Words: words, WordBits: wordBits, MinBits: minBits, Pow2Bits: Pow2(minBits)}
+	return Spec{Words: words, WordBits: wordBits, MinBits: minBits, Pow2Bits: Pow2(minBits)}, nil
 }
 
 // Pow2WordCapacity returns the capacity rounded up to a power-of-two

@@ -1,6 +1,7 @@
 package memdesign
 
 import (
+	"context"
 	"fmt"
 
 	"wrbpg/internal/cdag"
@@ -13,10 +14,18 @@ import (
 // scheduler is not — wrap each worker's share in its own scheduler,
 // or pass workers = 1).
 func SweepCosts(fn CostFn, budgets []cdag.Weight, workers int) []cdag.Weight {
-	out, _ := par.Map(workers, budgets, func(b cdag.Weight) (cdag.Weight, error) {
+	out, _ := SweepCostsCtx(context.Background(), fn, budgets, workers)
+	return out
+}
+
+// SweepCostsCtx is SweepCosts under a cancellation context: once ctx
+// dies no further budget is evaluated and the typed reason
+// (guard.ErrCanceled / guard.ErrDeadline) is returned. A panicking fn
+// surfaces as a *par.PanicError naming the offending budget index.
+func SweepCostsCtx(ctx context.Context, fn CostFn, budgets []cdag.Weight, workers int) ([]cdag.Weight, error) {
+	return par.MapCtx(ctx, workers, budgets, func(b cdag.Weight) (cdag.Weight, error) {
 		return fn(b), nil
 	})
-	return out
 }
 
 // SearchLinearParallel is SearchLinear with the budget axis split
@@ -27,6 +36,12 @@ func SweepCosts(fn CostFn, budgets []cdag.Weight, workers int) []cdag.Weight {
 // budget ranges; SearchMonotone's binary search is cheaper whenever
 // monotonicity holds.
 func SearchLinearParallel(fn CostFn, target cdag.Weight, lo, hi, step cdag.Weight, workers int) (cdag.Weight, error) {
+	return SearchLinearParallelCtx(context.Background(), fn, target, lo, hi, step, workers)
+}
+
+// SearchLinearParallelCtx is SearchLinearParallel under a cancellation
+// context, with the same abort semantics as SweepCostsCtx.
+func SearchLinearParallelCtx(ctx context.Context, fn CostFn, target cdag.Weight, lo, hi, step cdag.Weight, workers int) (cdag.Weight, error) {
 	if step <= 0 {
 		step = 1
 	}
@@ -38,7 +53,7 @@ func SearchLinearParallel(fn CostFn, target cdag.Weight, lo, hi, step cdag.Weigh
 	}
 	n := int((hi-lo)/step) + 1
 	chunks := par.Chunks(n, workers)
-	hits, err := par.Map(workers, chunks, func(c [2]int) (cdag.Weight, error) {
+	hits, err := par.MapCtx(ctx, workers, chunks, func(c [2]int) (cdag.Weight, error) {
 		for i := c[0]; i < c[1]; i++ {
 			b := lo + cdag.Weight(i)*step
 			if fn(b) == target {

@@ -167,11 +167,17 @@ func newSetIndex(n int) *setIndex {
 
 // handle returns the memo handle of s: the packed word for narrow
 // graphs, the interned index for wide ones. Only the first occurrence
-// of a distinct wide set allocates (its intern entry).
+// of a distinct wide set allocates (its intern entry). The narrow case
+// must stay inlinable — it sits on the warm memo-probe path of every
+// DP cell — so the wide machinery lives in handleWide.
 func (ix *setIndex) handle(s Bitset) uint64 {
 	if !ix.wide {
 		return s.w0
 	}
+	return ix.handleWide(s)
+}
+
+func (ix *setIndex) handleWide(s Bitset) uint64 {
 	buf := ix.scratch[:0]
 	buf = binary.LittleEndian.AppendUint64(buf, s.w0)
 	for _, w := range s.ext {
@@ -210,4 +216,89 @@ type pmKey struct {
 	v          cdag.NodeID
 	b          cdag.Weight
 	ini, reuse uint64
+}
+
+// hash mixes the four key fields; it must stay inlinable — it runs on
+// every memo probe, warm or cold.
+func (k pmKey) hash() uint64 {
+	h := uint64(uint32(k.v)) * 0x9E3779B97F4A7C15
+	h ^= uint64(k.b) * 0xC2B2AE3D27D4EB4F
+	h ^= k.ini * 0x165667B19E3779F9
+	h ^= k.reuse * 0x27D4EB2F165667C5
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	return h ^ h>>29
+}
+
+// pmTable is the Pm memo: an open-addressed hash table with linear
+// probing, specialized to pmKey. It replaces map[pmKey]cdag.Weight on
+// the DP hot path — probing a flat slot array with an inlined integer
+// hash skips the runtime's generic hashing and bucket walk, which
+// dominated warm-hit cost. The zero value is an empty table; there is
+// no deletion.
+type pmTable struct {
+	mask  uint64
+	n     int
+	slots []pmSlot
+}
+
+type pmSlot struct {
+	key  pmKey
+	cost cdag.Weight
+	full bool
+}
+
+func (t *pmTable) get(k pmKey) (cdag.Weight, bool) {
+	if t.slots == nil {
+		return 0, false
+	}
+	for i := k.hash() & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if !s.full {
+			return 0, false
+		}
+		if s.key == k {
+			return s.cost, true
+		}
+	}
+}
+
+func (t *pmTable) put(k pmKey, c cdag.Weight) {
+	// Grow at 3/4 occupancy so probe chains stay short.
+	if (t.n+1)*4 > len(t.slots)*3 {
+		t.grow()
+	}
+	for i := k.hash() & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if !s.full {
+			*s = pmSlot{key: k, cost: c, full: true}
+			t.n++
+			return
+		}
+		if s.key == k {
+			s.cost = c
+			return
+		}
+	}
+}
+
+func (t *pmTable) grow() {
+	old := t.slots
+	size := 256
+	if len(old) > 0 {
+		size = len(old) * 2
+	}
+	t.slots = make([]pmSlot, size)
+	t.mask = uint64(size - 1)
+	for i := range old {
+		if !old[i].full {
+			continue
+		}
+		for j := old[i].key.hash() & t.mask; ; j = (j + 1) & t.mask {
+			if !t.slots[j].full {
+				t.slots[j] = old[i]
+				break
+			}
+		}
+	}
 }

@@ -1,9 +1,11 @@
 package memstate
 
 import (
+	"context"
 	"fmt"
 
 	"wrbpg/internal/cdag"
+	"wrbpg/internal/guard"
 	"wrbpg/internal/perm"
 )
 
@@ -21,9 +23,12 @@ import (
 // cached cell performs zero allocations.
 type KScheduler struct {
 	g    *cdag.Graph
-	memo map[pmKey]cdag.Weight
+	memo pmTable
 	ix   *setIndex
 	anc  []Bitset
+	// ck, when non-nil, is the active cancellation/budget guard of a
+	// CostCtx call; see Scheduler.ck.
+	ck *guard.Checker
 }
 
 // maxK mirrors ktree.MaxK (= perm.MaxK); 2^k·k! growth makes anything
@@ -49,10 +54,9 @@ func NewKScheduler(g *cdag.Graph) (*KScheduler, error) {
 		}
 	}
 	return &KScheduler{
-		g:    g,
-		memo: map[pmKey]cdag.Weight{},
-		ix:   newSetIndex(g.Len()),
-		anc:  ancestorMasks(g),
+		g:   g,
+		ix:  newSetIndex(g.Len()),
+		anc: ancestorMasks(g),
 	}, nil
 }
 
@@ -66,16 +70,41 @@ func (s *KScheduler) Cost(v cdag.NodeID, b cdag.Weight, initial, reuse Bitset) c
 	return s.pmk(v, b, s.Restrict(initial, v), s.Restrict(reuse, v))
 }
 
+// CostCtx is Cost under a cancellation context and resource limits,
+// with the same abort semantics as Scheduler.CostCtx.
+func (s *KScheduler) CostCtx(ctx context.Context, lim guard.Limits, v cdag.NodeID, b cdag.Weight, initial, reuse Bitset) (cdag.Weight, error) {
+	ck := guard.New(ctx, lim)
+	defer ck.Release()
+	s.ck = ck
+	defer func() { s.ck = nil }()
+	c := s.Cost(v, b, initial, reuse)
+	if err := ck.Err(); err != nil {
+		return 0, fmt.Errorf("memstate: %w", err)
+	}
+	return c, nil
+}
+
 // PlainCost is Cost with empty states; it coincides with the k-ary
 // tree DP Pt.
 func (s *KScheduler) PlainCost(v cdag.NodeID, b cdag.Weight) cdag.Weight {
 	return s.Cost(v, b, Bitset{}, Bitset{})
 }
 
+// pmk holds only the memo probe so warm hits run in a tiny frame; the
+// enumeration lives in pmkCold with its large stack arrays.
 func (s *KScheduler) pmk(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Weight {
 	key := pmKey{v: v, b: b, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
-	if c, ok := s.memo[key]; ok {
+	if c, ok := s.memo.get(key); ok {
 		return c
+	}
+	return s.pmkCold(key, v, b, ini, reuse)
+}
+
+func (s *KScheduler) pmkCold(key pmKey, v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Weight {
+	// Cancellation checkpoint on the cold path only: warm hits never
+	// reach this function.
+	if s.ck != nil && s.ck.Tick() != nil {
+		return Inf
 	}
 	g := s.g
 	// Guard: v, its parents and its reuse set must co-reside.
@@ -155,6 +184,10 @@ func (s *KScheduler) pmk(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.W
 		}
 		cost = best
 	}
-	s.memo[key] = cost
+	// Never memoize after a trip: children returned poisoned Inf costs
+	// that must not survive into later solves.
+	if s.ck == nil || (s.ck.Err() == nil && s.ck.AddMemo(1) == nil) {
+		s.memo.put(key, cost)
+	}
 	return cost
 }

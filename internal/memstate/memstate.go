@@ -23,12 +23,14 @@
 package memstate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
 	"wrbpg/internal/cdag"
+	"wrbpg/internal/guard"
 )
 
 // Inf is the sentinel cost of an infeasible subproblem.
@@ -37,9 +39,14 @@ const Inf cdag.Weight = math.MaxInt64 / 4
 // Scheduler evaluates Pm on a binary in-tree.
 type Scheduler struct {
 	g    *cdag.Graph
-	memo map[pmKey]cdag.Weight
+	memo pmTable
 	ix   *setIndex
 	anc  []Bitset
+	// ck, when non-nil, is the active cancellation/budget guard of a
+	// CostCtx call. The DP checks it per cold cell and never memoizes
+	// results computed after it trips. nil (the default) costs one
+	// pointer test per cell.
+	ck *guard.Checker
 }
 
 // NewScheduler wraps a binary in-tree (every in-degree 0 or 2, unique
@@ -57,10 +64,9 @@ func NewScheduler(g *cdag.Graph) (*Scheduler, error) {
 		}
 	}
 	return &Scheduler{
-		g:    g,
-		memo: map[pmKey]cdag.Weight{},
-		ix:   newSetIndex(g.Len()),
-		anc:  ancestorMasks(g),
+		g:   g,
+		ix:  newSetIndex(g.Len()),
+		anc: ancestorMasks(g),
 	}, nil
 }
 
@@ -76,10 +82,32 @@ func (s *Scheduler) Cost(v cdag.NodeID, b cdag.Weight, initial, reuse Bitset) cd
 	return s.pm(v, b, s.Restrict(initial, v), s.Restrict(reuse, v))
 }
 
+// CostCtx is Cost under a cancellation context and resource limits. It
+// returns guard.ErrCanceled / guard.ErrDeadline /
+// guard.ErrBudgetExceeded (wrapped) when the solve was aborted; the
+// scheduler remains usable afterwards — partial results computed after
+// the abort are never memoized.
+func (s *Scheduler) CostCtx(ctx context.Context, lim guard.Limits, v cdag.NodeID, b cdag.Weight, initial, reuse Bitset) (cdag.Weight, error) {
+	ck := guard.New(ctx, lim)
+	defer ck.Release()
+	s.ck = ck
+	defer func() { s.ck = nil }()
+	c := s.Cost(v, b, initial, reuse)
+	if err := ck.Err(); err != nil {
+		return 0, fmt.Errorf("memstate: %w", err)
+	}
+	return c, nil
+}
+
 func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Weight {
 	key := pmKey{v: v, b: b, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
-	if c, ok := s.memo[key]; ok {
+	if c, ok := s.memo.get(key); ok {
 		return c
+	}
+	// Cancellation checkpoint on the cold path only: warm hits return
+	// above untouched.
+	if s.ck != nil && s.ck.Tick() != nil {
+		return Inf
 	}
 	g := s.g
 	// Budget guard: v, its parents and its reuse set must co-reside.
@@ -155,7 +183,11 @@ func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Wei
 			cost = Inf
 		}
 	}
-	s.memo[key] = cost
+	// Never memoize after a trip: children returned poisoned Inf costs
+	// that must not survive into later solves.
+	if s.ck == nil || (s.ck.Err() == nil && s.ck.AddMemo(1) == nil) {
+		s.memo.put(key, cost)
+	}
 	return cost
 }
 

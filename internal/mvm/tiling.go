@@ -1,11 +1,13 @@
 package mvm
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
+	"wrbpg/internal/guard"
 	"wrbpg/internal/par"
 )
 
@@ -251,11 +253,32 @@ func (g *Graph) searchHeight(h int, budget cdag.Weight) searchResult {
 // to the earlier (larger-height) candidate in both paths, so the
 // parallel search returns exactly the serial configuration.
 func (g *Graph) Search(budget cdag.Weight) (TileConfig, cdag.Weight, error) {
+	return g.sharedSearch(nil, budget)
+}
+
+// SearchCtx is Search under a cancellation context and resource
+// limits: the height sweep checks for cancellation per candidate and
+// the parallel fan-out stops dispatching chunks once the context dies,
+// returning guard.ErrCanceled / guard.ErrDeadline (wrapped).
+func (g *Graph) SearchCtx(ctx context.Context, lim guard.Limits, budget cdag.Weight) (TileConfig, cdag.Weight, error) {
+	ck := guard.New(ctx, lim)
+	defer ck.Release()
+	tc, cost, err := g.sharedSearch(ck, budget)
+	if cerr := ck.Err(); cerr != nil {
+		return TileConfig{}, 0, fmt.Errorf("mvm: %w", cerr)
+	}
+	return tc, cost, err
+}
+
+// sharedSearch implements Search for an optional guard. ck == nil is
+// the plain Search hot path and must stay allocation-free beyond the
+// candidate slice; every guard access below is nil-safe.
+func (g *Graph) sharedSearch(ck *guard.Checker, budget cdag.Weight) (TileConfig, cdag.Weight, error) {
 	heights := g.Candidates()
 	best := searchResult{cost: Inf, peak: Inf}
 	if len(heights) >= searchParallelThreshold {
 		chunks := par.Chunks(len(heights), 0)
-		parts, _ := par.Map(0, chunks, func(c [2]int) (searchResult, error) {
+		parts, err := par.MapCtx(ck.Context(), 0, chunks, func(c [2]int) (searchResult, error) {
 			b := searchResult{cost: Inf, peak: Inf}
 			for _, h := range heights[c[0]:c[1]] {
 				if r := g.searchHeight(h, budget); r.cost < b.cost || (r.cost == b.cost && r.peak < b.peak) {
@@ -264,6 +287,9 @@ func (g *Graph) Search(budget cdag.Weight) (TileConfig, cdag.Weight, error) {
 			}
 			return b, nil
 		})
+		if err != nil {
+			return TileConfig{}, 0, fmt.Errorf("mvm: search aborted: %w", err)
+		}
 		for _, r := range parts {
 			if r.cost < best.cost || (r.cost == best.cost && r.peak < best.peak) {
 				best = r
@@ -271,6 +297,9 @@ func (g *Graph) Search(budget cdag.Weight) (TileConfig, cdag.Weight, error) {
 		}
 	} else {
 		for _, h := range heights {
+			if ck != nil && ck.Tick() != nil {
+				return TileConfig{}, 0, fmt.Errorf("mvm: search aborted: %w", ck.Err())
+			}
 			if r := g.searchHeight(h, budget); r.cost < best.cost || (r.cost == best.cost && r.peak < best.peak) {
 				best = r
 			}

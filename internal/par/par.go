@@ -2,20 +2,75 @@
 // experiment sweeps (internal/bench), the mvm tile search, and the
 // memdesign budget sweeps. It lives below all of them so that packages
 // bench depends on can use it without an import cycle.
+//
+// Workers are crash-isolated: a panic inside f is recovered and
+// surfaced as a *PanicError naming the offending item and carrying the
+// recovery-time stack, instead of killing the process. MapCtx
+// additionally stops dispatching when the context is canceled; the
+// cancellation is visible to in-flight workers through whatever
+// context their closure captured (hand them the same ctx).
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"wrbpg/internal/guard"
 )
+
+// PanicError wraps a panic recovered inside a worker: the index of the
+// input item whose evaluation panicked, the recovered value, and the
+// stack captured at recovery time.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: worker panic on item %d: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// faultHook, when installed, runs before each item is evaluated — a
+// deterministic fault-injection point for tests (panic or delay chosen
+// items). It must be safe for concurrent use.
+var faultHook atomic.Pointer[func(index int)]
+
+// SetFaultHook installs a test-only fault-injection hook called with
+// each item's index before f runs, and returns a restore function.
+// Pass the hook a panic or a sleep to simulate crashing or hung
+// workers. SetFaultHook(nil) clears the hook.
+func SetFaultHook(h func(index int)) (restore func()) {
+	var prev *func(index int)
+	if h == nil {
+		prev = faultHook.Swap(nil)
+	} else {
+		prev = faultHook.Swap(&h)
+	}
+	return func() { faultHook.Store(prev) }
+}
 
 // Map evaluates f over every input on a bounded worker pool and
 // returns the outputs in input order. workers ≤ 0 selects
 // GOMAXPROCS. The first error wins: once any job fails, the producer
 // stops submitting new work, the remaining workers drain, and Map
 // returns that error — jobs not yet started are never evaluated.
+// A panicking f surfaces as a *PanicError, not a process crash.
 func Map[I, O any](workers int, in []I, f func(I) (O, error)) ([]O, error) {
+	return MapCtx(context.Background(), workers, in, f)
+}
+
+// MapCtx is Map under a context: once ctx is done, no further job is
+// dispatched, the pool drains, and the typed cancellation reason
+// (guard.ErrCanceled / guard.ErrDeadline) is returned — unless a
+// worker failed first, in which case that error wins as in Map.
+// In-flight evaluations are not preempted (Go cannot kill a
+// goroutine); long-running f bodies should capture ctx and check it.
+func MapCtx[I, O any](ctx context.Context, workers int, in []I, f func(I) (O, error)) ([]O, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -26,13 +81,30 @@ func Map[I, O any](workers int, in []I, f func(I) (O, error)) ([]O, error) {
 	if len(in) == 0 {
 		return out, nil
 	}
+	eval := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		if h := faultHook.Load(); h != nil {
+			(*h)(i)
+		}
+		y, err := f(in[i])
+		if err != nil {
+			return err
+		}
+		out[i] = y
+		return nil
+	}
 	if workers <= 1 {
-		for i, x := range in {
-			y, err := f(x)
-			if err != nil {
+		for i := range in {
+			if err := ctxErr(ctx); err != nil {
 				return nil, err
 			}
-			out[i] = y
+			if err := eval(i); err != nil {
+				return nil, err
+			}
 		}
 		return out, nil
 	}
@@ -41,6 +113,14 @@ func Map[I, O any](workers int, in []I, f func(I) (O, error)) ([]O, error) {
 	var stop atomic.Bool
 	var mu sync.Mutex
 	var firstErr error
+	fail := func(err error) {
+		stop.Store(true)
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -49,32 +129,49 @@ func Map[I, O any](workers int, in []I, f func(I) (O, error)) ([]O, error) {
 				if stop.Load() {
 					continue // drain without evaluating
 				}
-				y, err := f(in[i])
-				if err != nil {
-					stop.Store(true)
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
+				if err := eval(i); err != nil {
+					fail(err)
 				}
-				out[i] = y
 			}
 		}()
 	}
+	var ctxAbort error
+	done := ctx.Done()
+produce:
 	for i := range in {
 		if stop.Load() {
 			break
 		}
-		jobs <- i
+		select {
+		case <-done:
+			ctxAbort = guard.Wrap(ctx.Err())
+			stop.Store(true)
+			break produce
+		case jobs <- i:
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	// A worker's own failure is more informative than the cancellation
+	// that raced with it; keep the original first-error-wins contract.
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if ctxAbort != nil {
+		return nil, ctxAbort
+	}
 	return out, nil
+}
+
+// ctxErr polls ctx without blocking, mapping the reason onto the
+// guard taxonomy.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return guard.Wrap(ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // Chunks splits the half-open index range [0, n) into at most parts

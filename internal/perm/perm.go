@@ -22,13 +22,25 @@ var (
 
 // Table returns all k! permutations of {0, …, k-1} as rows of a
 // shared table. Rows are aliased, not copied: callers must not mutate
-// them. Row 0 is always the identity permutation.
+// them. Row 0 is always the identity permutation. It panics for k
+// outside [0, MaxK]; use TryTable when the arity comes from untrusted
+// input.
 func Table(k int) [][]uint8 {
+	t, err := TryTable(k)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// TryTable is Table returning an error instead of panicking on an
+// arity outside [0, MaxK].
+func TryTable(k int) ([][]uint8, error) {
 	if k < 0 || k > MaxK {
-		panic(fmt.Sprintf("perm: arity %d out of range [0,%d]", k, MaxK))
+		return nil, fmt.Errorf("perm: arity %d out of range [0,%d]", k, MaxK)
 	}
 	once[k].Do(func() { tables[k] = build(k) })
-	return tables[k]
+	return tables[k], nil
 }
 
 // Count returns k!.

@@ -65,3 +65,19 @@ func TestOutOfRangePanics(t *testing.T) {
 	}()
 	Table(MaxK + 1)
 }
+
+func TestTryTable(t *testing.T) {
+	if _, err := TryTable(-1); err == nil {
+		t.Fatal("negative arity accepted")
+	}
+	if _, err := TryTable(MaxK + 1); err == nil {
+		t.Fatal("arity above MaxK accepted")
+	}
+	rows, err := TryTable(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("TryTable(3) returned %d rows, want 6", len(rows))
+	}
+}

@@ -1,0 +1,270 @@
+// Package solve is the hardened entry point to the optimal schedulers:
+// it runs a solver under a context, a deadline and resource limits,
+// and degrades gracefully to the baseline scheduler (Section 5.1) when
+// the optimal solve cannot finish — so a caller always gets a valid
+// schedule within its budget envelope, or a typed error explaining why
+// not even the baseline could deliver one.
+//
+// The degradation contract:
+//
+//   - The optimal solver runs in its own goroutine with a panic
+//     recover, so a crashing or genuinely hung solver (one that
+//     ignores its context) cannot take the caller down or block it
+//     past the deadline.
+//   - Deadline expiry, resource-budget exhaustion (guard.Limits),
+//     solver panics and invalid optimal schedules degrade to the
+//     layer-by-layer baseline (layered graphs) or the greedy
+//     topological baseline (arbitrary CDAGs).
+//   - Cancellation (guard.ErrCanceled) never degrades: the caller went
+//     away, so no answer is wanted at all.
+//   - Every returned schedule — optimal or fallback — has passed
+//     core.Simulate under the requested budget.
+package solve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wrbpg/internal/baseline"
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/exact"
+	"wrbpg/internal/guard"
+	"wrbpg/internal/ktree"
+	"wrbpg/internal/mvm"
+)
+
+// Source identifies which scheduler produced an Outcome's schedule.
+type Source int
+
+const (
+	// SourceOptimal marks a schedule from the dataflow-specific
+	// optimal solver.
+	SourceOptimal Source = iota
+	// SourceFallback marks a schedule from the baseline scheduler,
+	// produced because the optimal solve was aborted.
+	SourceFallback
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceOptimal:
+		return "optimal"
+	case SourceFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Problem packages one schedulable instance: the underlying CDAG (for
+// validation and the fallback), its layer structure when it has one,
+// and the optimal solver to attempt first.
+type Problem struct {
+	// Name labels the instance in errors and degradation logs.
+	Name string
+	// G is the underlying CDAG; the fallback scheduler and the
+	// core.Simulate validation run against it.
+	G *cdag.Graph
+	// Layers, when non-nil, routes the fallback through
+	// baseline.LayerByLayer; nil falls back to baseline.Greedy.
+	Layers [][]cdag.NodeID
+	// Optimal attempts the optimal solve. It must honour ctx and lim
+	// cooperatively (the *Ctx solver methods do); Run additionally
+	// isolates it in a goroutine so even a non-cooperative solver
+	// cannot hang the caller.
+	Optimal func(ctx context.Context, lim guard.Limits, budget cdag.Weight) (core.Schedule, error)
+}
+
+// Outcome reports one hardened solve.
+type Outcome struct {
+	// Source says which scheduler produced Schedule.
+	Source Source
+	// Schedule is the validated schedule.
+	Schedule core.Schedule
+	// Stats is the core.Simulate result for Schedule under Budget.
+	Stats core.Stats
+	// Budget is the fast-memory budget the solve ran under.
+	Budget cdag.Weight
+	// Err, when Source is SourceFallback, is the typed reason the
+	// optimal solve was abandoned (the degradation event to log). It
+	// is nil for SourceOptimal.
+	Err error
+	// Elapsed is the wall-clock time of the whole solve, fallback
+	// included.
+	Elapsed time.Duration
+}
+
+// optResult carries the optimal goroutine's answer.
+type optResult struct {
+	sched    core.Schedule
+	err      error
+	panicked bool
+}
+
+// Run attempts p.Optimal under ctx and lim and degrades to the
+// baseline scheduler when the attempt times out, exhausts its resource
+// limits, panics, or returns an invalid schedule. The fallback runs
+// without limits (it is linear-time) but is still validated; if it
+// fails too, Run returns an error wrapping both causes. Cancellation
+// of ctx itself is returned as guard.ErrCanceled without fallback.
+func Run(ctx context.Context, p Problem, budget cdag.Weight, lim guard.Limits) (Outcome, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rctx := ctx
+	cancel := context.CancelFunc(func() {})
+	if lim.Deadline > 0 {
+		rctx, cancel = context.WithTimeout(ctx, lim.Deadline)
+	}
+	defer cancel()
+
+	ch := make(chan optResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- optResult{
+					err:      fmt.Errorf("solve: %s optimal solver panicked: %v", p.Name, r),
+					panicked: true,
+				}
+			}
+		}()
+		sched, err := p.Optimal(rctx, lim, budget)
+		ch <- optResult{sched: sched, err: err}
+	}()
+
+	var optErr error
+	degrade := false
+	out := Outcome{Source: SourceOptimal, Budget: budget}
+	select {
+	case r := <-ch:
+		optErr = r.err
+		// A solver bug (panic) is degradable: the caller still wants an
+		// answer, and the baseline is an independent code path.
+		degrade = r.panicked
+		if optErr == nil {
+			stats, err := core.Simulate(p.G, budget, r.sched)
+			if err != nil {
+				// An invalid "optimal" schedule is a solver bug, but the
+				// caller still wants an answer: degrade and surface it.
+				optErr = fmt.Errorf("solve: %s optimal schedule failed validation: %w", p.Name, err)
+				degrade = true
+			} else {
+				out.Schedule = r.sched
+				out.Stats = stats
+			}
+		}
+	case <-rctx.Done():
+		// The solver did not return by the deadline — either it is
+		// mid-unwind (cooperative) or genuinely hung (it ignores its
+		// context). Abandon the goroutine; the buffered channel lets it
+		// exit whenever it eventually finishes.
+		optErr = guard.Wrap(rctx.Err())
+	}
+
+	if optErr == nil {
+		out.Elapsed = time.Since(start)
+		return out, nil
+	}
+	if !degrade {
+		degrade = guard.Degradable(optErr)
+	}
+	if !degrade {
+		return Outcome{Source: SourceOptimal, Budget: budget, Err: optErr, Elapsed: time.Since(start)},
+			fmt.Errorf("solve: %s: %w", p.Name, optErr)
+	}
+
+	sched, err := fallback(p, budget)
+	if err != nil {
+		return Outcome{Source: SourceFallback, Budget: budget, Err: optErr, Elapsed: time.Since(start)},
+			fmt.Errorf("solve: %s: optimal failed (%v) and fallback failed: %w", p.Name, optErr, err)
+	}
+	stats, err := core.Simulate(p.G, budget, sched)
+	if err != nil {
+		return Outcome{Source: SourceFallback, Budget: budget, Err: optErr, Elapsed: time.Since(start)},
+			fmt.Errorf("solve: %s: fallback schedule failed validation: %w", p.Name, err)
+	}
+	return Outcome{
+		Source:   SourceFallback,
+		Schedule: sched,
+		Stats:    stats,
+		Budget:   budget,
+		Err:      optErr,
+		Elapsed:  time.Since(start),
+	}, nil
+}
+
+// fallback produces the baseline schedule for the problem.
+func fallback(p Problem, budget cdag.Weight) (core.Schedule, error) {
+	if p.Layers != nil {
+		return baseline.LayerByLayer(p.G, p.Layers, budget)
+	}
+	return baseline.Greedy(p.G, budget)
+}
+
+// DWT wraps a DWT graph: the optimal solver is the P(v, b) dynamic
+// program (Lemma 3.3) and the fallback is layer-by-layer over the
+// graph's layer structure.
+func DWT(g *dwt.Graph) Problem {
+	return Problem{
+		Name:   "dwt",
+		G:      g.G,
+		Layers: g.Layers,
+		Optimal: func(ctx context.Context, lim guard.Limits, budget cdag.Weight) (core.Schedule, error) {
+			s, err := dwt.NewScheduler(g)
+			if err != nil {
+				return nil, err
+			}
+			return s.ScheduleCtx(ctx, lim, budget)
+		},
+	}
+}
+
+// KTree wraps a k-ary tree: the optimal solver is the Pt(v, b) dynamic
+// program (Eq. 6) and the fallback is the greedy topological baseline.
+func KTree(t *ktree.Tree) Problem {
+	return Problem{
+		Name: "ktree",
+		G:    t.G,
+		Optimal: func(ctx context.Context, lim guard.Limits, budget cdag.Weight) (core.Schedule, error) {
+			return ktree.NewScheduler(t).ScheduleCtx(ctx, lim, budget)
+		},
+	}
+}
+
+// MVM wraps an MVM graph: the optimal solver is the tile-configuration
+// search of Section 4.3 and the fallback is the greedy topological
+// baseline.
+func MVM(g *mvm.Graph) Problem {
+	return Problem{
+		Name: "mvm",
+		G:    g.G,
+		Optimal: func(ctx context.Context, lim guard.Limits, budget cdag.Weight) (core.Schedule, error) {
+			tc, _, err := g.SearchCtx(ctx, lim, budget)
+			if err != nil {
+				return nil, err
+			}
+			return g.TileSchedule(tc)
+		},
+	}
+}
+
+// Exact wraps an arbitrary small CDAG: the optimal solver is the
+// exhaustive Dijkstra search (bounded by lim.MaxStates) and the
+// fallback is the greedy topological baseline.
+func Exact(g *cdag.Graph) Problem {
+	return Problem{
+		Name: "exact",
+		G:    g,
+		Optimal: func(ctx context.Context, lim guard.Limits, budget cdag.Weight) (core.Schedule, error) {
+			res, err := exact.SolveCtx(ctx, g, budget, lim)
+			if err != nil {
+				return nil, err
+			}
+			return res.Schedule, nil
+		},
+	}
+}
