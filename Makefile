@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fault bench-smoke bench-json staticcheck check
+.PHONY: all build vet test race race-fault bench-smoke bench-json serve-check staticcheck check
 
 all: check
 
@@ -30,7 +30,12 @@ bench-smoke:
 
 # Writes the perf-regression report (see docs/PERFORMANCE.md).
 bench-json:
-	$(GO) run ./cmd/experiments -bench-json BENCH_1.json
+	$(GO) run ./cmd/experiments -bench-json BENCH_3.json
+
+# Boots the wrbpgd daemon on a random port and exercises every endpoint
+# end to end, including graceful SIGTERM shutdown (docs/SERVICE.md).
+serve-check:
+	$(GO) test -race -run TestServeEndToEnd -v ./cmd/wrbpgd/
 
 # Runs staticcheck when it is installed; skips (successfully) when not,
 # so the gate works in minimal containers. CI installs it explicitly.
@@ -41,4 +46,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-check: build vet race race-fault bench-smoke staticcheck
+check: build vet race race-fault bench-smoke serve-check staticcheck

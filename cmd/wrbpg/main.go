@@ -6,7 +6,7 @@
 // Usage:
 //
 //	wrbpg info     -workload dwt|mvm [-n N] [-d D] [-m M] [-weights equal|da]
-//	wrbpg schedule -workload dwt|mvm -budget BITS [...] [-moves]
+//	wrbpg schedule -workload dwt|mvm -budget BITS [...] [-moves] [-json]
 //	wrbpg minmem   -workload dwt|mvm [...]
 //	wrbpg synth    -bits CAPACITY [-word BITS]
 //	wrbpg dot      -workload dwt|mvm [...]
@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +32,7 @@ import (
 	"wrbpg/internal/memdesign"
 	"wrbpg/internal/mmm"
 	"wrbpg/internal/mvm"
+	"wrbpg/internal/serve/wire"
 	"wrbpg/internal/solve"
 	"wrbpg/internal/synth"
 	"wrbpg/internal/wcfg"
@@ -370,12 +372,34 @@ func cmdSchedule(args []string) {
 	trace := fs.Bool("trace", false, "print the fast-memory occupancy sparkline")
 	timeout := fs.Duration("timeout", 0,
 		"wall-clock limit for the solve; on expiry degrade to the baseline scheduler (0 = no limit)")
+	jsonOut := fs.Bool("json", false,
+		"emit the machine-readable result (the wrbpgd wire format) instead of the text report")
 	fs.Parse(args)
 	w := wf.build()
 
 	var sched core.Schedule
 	var err error
 	b := cdag.Weight(*budget)
+	if *jsonOut {
+		// The -json path always goes through the hardened solve facade
+		// so the CLI and wrbpgd emit the identical result struct.
+		if b == 0 {
+			if b, err = defaultBudget(w); err != nil {
+				log.Fatal(err)
+			}
+		}
+		out, rerr := solve.Run(context.Background(), problemFor(w), b, guard.Limits{Deadline: *timeout})
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		res := wire.NewScheduleResult(w.label, out, core.LowerBound(w.g), *moves)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *timeout > 0 {
 		if b == 0 {
 			if b, err = defaultBudget(w); err != nil {

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"wrbpg/internal/core"
+	"wrbpg/internal/guard"
+	"wrbpg/internal/serve/wire"
+	"wrbpg/internal/solve"
 )
 
 // TestBuildAllWorkloads: every workload flag combination builds and
@@ -50,5 +54,40 @@ func TestBuildScheduleExplicitBudget(t *testing.T) {
 	}
 	if _, err := core.Simulate(w.g, b, sched); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestJSONResultMatchesTextPath: the -json path (solve facade + wire
+// result) reports the same schedule metrics the text path computes, so
+// the two output modes can never disagree about a solve.
+func TestJSONResultMatchesTextPath(t *testing.T) {
+	wf := workloadFlags{workload: "mvm", m: 4, n: 6, weights: "equal"}
+	w := wf.build()
+	b, err := defaultBudget(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := solve.Run(context.Background(), problemFor(w), b, guard.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := wire.NewScheduleResult(w.label, out, core.LowerBound(w.g), false)
+	if res.Source != "optimal" {
+		t.Fatalf("source: %+v", res)
+	}
+	_, sched, err := buildSchedule(w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.Simulate(w.g, b, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostBits != int64(stats.Cost) || res.PeakBits != int64(stats.PeakRedWeight) {
+		t.Fatalf("json path cost/peak %d/%d != text path %d/%d",
+			res.CostBits, res.PeakBits, stats.Cost, stats.PeakRedWeight)
+	}
+	if res.MoveCount != len(sched) || res.Schedule != nil {
+		t.Fatalf("move accounting: %+v vs %d moves", res, len(sched))
 	}
 }

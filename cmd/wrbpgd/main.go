@@ -1,0 +1,120 @@
+// Command wrbpgd is the scheduling daemon: an HTTP/JSON service over
+// the hardened solve facade with a content-addressed schedule cache.
+// See docs/SERVICE.md for the API.
+//
+// The daemon prints "wrbpgd listening on ADDR" once the listener is
+// bound (so -addr :0 is usable from scripts and tests), and drains
+// in-flight solves on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wrbpg/internal/guard"
+	"wrbpg/internal/serve"
+	"wrbpg/internal/solve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wrbpgd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable daemon body: flag parsing, listener setup, and
+// the serve/shutdown lifecycle.
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("wrbpgd", flag.ContinueOnError)
+	var (
+		addr           = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+		cacheShards    = fs.Int("cache-shards", 0, "schedule cache shard count (0 = default)")
+		cachePerShard  = fs.Int("cache-per-shard", 0, "schedule cache entries per shard (0 = default)")
+		maxInflight    = fs.Int("max-inflight", 0, "max concurrent solver invocations (0 = default)")
+		defaultTimeout = fs.Duration("default-timeout", 0, "per-solve deadline when the request names none (0 = default)")
+		maxTimeout     = fs.Duration("max-timeout", 0, "upper clamp on request-supplied solve deadlines (0 = default)")
+		maxMemo        = fs.Int("max-memo", 0, "memo-entry ceiling per solve, 0 = unlimited")
+		maxStates      = fs.Int("max-states", 0, "search-state ceiling per solve, 0 = unlimited")
+		drainTimeout   = fs.Duration("drain-timeout", 35*time.Second, "grace period for in-flight solves on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	srv := serve.New(serve.Options{
+		CacheShards:    *cacheShards,
+		CachePerShard:  *cachePerShard,
+		MaxInflight:    *maxInflight,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		Limits: guard.Limits{
+			MaxMemoEntries: *maxMemo,
+			MaxStates:      *maxStates,
+		},
+	})
+
+	logger := log.New(os.Stderr, "wrbpgd: ", log.LstdFlags)
+	// Surface degraded solves in the daemon log: a burst of fallbacks
+	// means the deadline or resource ceilings are too tight for the
+	// traffic mix.
+	restore := solve.SetHook(func(name string, out solve.Outcome, err error) {
+		switch {
+		case err != nil:
+			logger.Printf("solve %s failed: %v", name, err)
+		case out.Source == solve.SourceFallback:
+			logger.Printf("solve %s degraded to baseline (%v) after %v", name, out.Err, out.Elapsed)
+		}
+	})
+	defer restore()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The bound address goes to stdout so callers that passed :0 can
+	// read the real port; everything else logs to stderr.
+	fmt.Fprintf(stdout, "wrbpgd listening on %s\n", ln.Addr())
+	logger.Printf("serving: %s", srv)
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("shutdown: draining in-flight solves (up to %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("exit: cache %+v", srv.CacheStats())
+	return nil
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"wrbpg/internal/serve"
+	"wrbpg/internal/serve/wire"
+)
+
+// TestServeEndToEnd builds the real wrbpgd binary, boots it on a
+// random port, exercises every endpoint with a plain HTTP client, and
+// verifies graceful shutdown on SIGTERM. This is the `make serve-check`
+// entry point.
+func TestServeEndToEnd(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("signal-driven shutdown test is POSIX-only")
+	}
+	bin := filepath.Join(t.TempDir(), "wrbpgd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-default-timeout", "10s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // safety net; normal path is SIGTERM below
+
+	// The first stdout line announces the bound address.
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v (stderr: %s)", err, stderr.String())
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "wrbpgd listening on "))
+	if addr == "" || strings.Contains(addr, " ") {
+		t.Fatalf("unparseable listen line %q", line)
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	get := func(path string, out any) int {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("GET %s: decoding: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	post := func(path, body string, out any) int {
+		t.Helper()
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("POST %s: decoding: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// Liveness.
+	var health map[string]any
+	if code := get("/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: code %d body %v", code, health)
+	}
+
+	// Cold solve, then an identical warm request answered by the cache.
+	reqBody := `{"family":"dwt","n":32,"d":4,"budget_bits":2048}`
+	var cold, warm wire.ScheduleResult
+	if code := post("/v1/schedule", reqBody, &cold); code != http.StatusOK {
+		t.Fatalf("cold schedule: code %d", code)
+	}
+	if cold.Cache != "miss" || cold.Source != "optimal" || cold.CostBits < cold.LowerBoundBits {
+		t.Fatalf("cold result: %+v", cold)
+	}
+	if code := post("/v1/schedule", reqBody, &warm); code != http.StatusOK {
+		t.Fatalf("warm schedule: code %d", code)
+	}
+	if warm.Cache != "hit" || warm.CacheKey != cold.CacheKey || warm.CostBits != cold.CostBits {
+		t.Fatalf("warm result not a cache hit of the cold one:\ncold %+v\nwarm %+v", cold, warm)
+	}
+
+	// Malformed requests come back as structured 400s, not 500s.
+	var werr wire.Error
+	if code := post("/v1/schedule", `{"family":"mvm","m":0,"n":8,"budget_bits":64}`, &werr); code != http.StatusBadRequest || werr.Message == "" {
+		t.Fatalf("invalid mvm: code %d body %+v", code, werr)
+	}
+
+	// Batch with partial failure.
+	batch := fmt.Sprintf(`{"requests":[%s,{"family":"nope","budget_bits":1},%s]}`,
+		reqBody, `{"family":"mvm","m":4,"n":4,"budget_bits":1024}`)
+	var bresp wire.BatchResponse
+	if code := post("/v1/schedule/batch", batch, &bresp); code != http.StatusOK {
+		t.Fatalf("batch: code %d", code)
+	}
+	if bresp.Succeeded != 2 || bresp.Failed != 1 || len(bresp.Items) != 3 {
+		t.Fatalf("batch outcome: %+v", bresp)
+	}
+	if bresp.Items[1].Error == nil || bresp.Items[1].Result != nil {
+		t.Fatalf("batch item 1 should have failed: %+v", bresp.Items[1])
+	}
+
+	// Bounds endpoint, no solve.
+	var lb wire.LowerBoundResult
+	if code := get("/v1/lowerbound?family=dwt&n=32&d=4", &lb); code != http.StatusOK {
+		t.Fatalf("lowerbound: code %d", code)
+	}
+	if lb.LowerBoundBits <= 0 || int64(cold.LowerBoundBits) != lb.LowerBoundBits {
+		t.Fatalf("lowerbound mismatch: endpoint %d vs schedule %d", lb.LowerBoundBits, cold.LowerBoundBits)
+	}
+
+	// Counters reflect the traffic above.
+	var stats serve.Stats
+	if code := get("/statsz", &stats); code != http.StatusOK {
+		t.Fatalf("statsz: code %d", code)
+	}
+	if stats.Cache.Hits < 2 || stats.Cache.Misses < 1 || stats.Solves < 2 || stats.BadRequests < 1 {
+		t.Fatalf("statsz counters: %+v", stats)
+	}
+
+	// Graceful shutdown: SIGTERM drains and the process exits cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill() //nolint:errcheck
+		t.Fatalf("daemon did not exit within 30s of SIGTERM\nstderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "draining in-flight solves") {
+		t.Errorf("shutdown log missing drain message:\n%s", stderr.String())
+	}
+}
+
+// TestRunRejectsBadFlags keeps flag errors as errors, not hangs.
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-addr"}, os.Stdout); err == nil {
+		t.Fatal("missing flag value accepted")
+	}
+	if err := run([]string{"positional"}, os.Stdout); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1:bad"}, os.Stdout); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"wrbpg/internal/ktree"
 	"wrbpg/internal/memstate"
 	"wrbpg/internal/mvm"
+	"wrbpg/internal/schedcache"
+	"wrbpg/internal/solve"
 )
 
 // PerfResult is one kernel's measurement, comparable across commits:
@@ -151,6 +153,44 @@ func perfKernels() []perfKernel {
 		{"KtreeFullTreeBuild", func() (func() error, error) {
 			return func() error {
 				_, err := ktree.FullTree(2, 7, func(d, i int) cdag.Weight { return 1 })
+				return err
+			}, nil
+		}},
+		// The schedcache pair measures the serving layer's cache around
+		// a realistic key population: a hit must stay allocation-light
+		// (one LRU bump under a shard lock), and a keyed miss that finds
+		// the value absent must stay cheap relative to any solve.
+		{"SchedcacheHit", func() (func() error, error) {
+			c := schedcache.New[int](16, 64)
+			keys := make([]string, 256)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("dwt/%032x", i)
+				c.Put(keys[i], i)
+			}
+			var i int
+			return func() error {
+				k := keys[i&(len(keys)-1)]
+				i++
+				if _, _, err := c.Do(k, func() (int, bool, error) {
+					return 0, false, fmt.Errorf("bench: unexpected miss for %s", k)
+				}); err != nil {
+					return err
+				}
+				return nil
+			}, nil
+		}},
+		{"SchedcacheMissKey", func() (func() error, error) {
+			cfg := Configs()[0]
+			in := solve.Instance{Family: solve.FamilyDWT, N: 64, D: 6, Cfg: cfg}
+			c := schedcache.New[int](16, 64)
+			var b int64
+			return func() error {
+				// Fresh budget each iteration keeps every lookup a miss:
+				// key derivation (sha256 canonicalization) + singleflight
+				// leader dispatch, with a trivial fill standing in for
+				// the solve.
+				b++
+				_, _, err := c.Do(in.Key(b), func() (int, bool, error) { return int(b), true, nil })
 				return err
 			}, nil
 		}},

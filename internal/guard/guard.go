@@ -200,6 +200,31 @@ func Wrap(err error) error {
 	}
 }
 
+// ClampDeadline maps a caller-facing deadline request onto a solve
+// budget: it starts from want (0 = unlimited), never exceeds max
+// (0 = no ceiling), and never outlives a deadline already carried by
+// ctx — so a solver handed the result unwinds before the transport
+// (e.g. an HTTP request context) gives up on it. The returned duration
+// is at least 1ns whenever any bound applies, keeping "deadline
+// already passed" distinguishable from "no deadline" (0).
+func ClampDeadline(ctx context.Context, want, max time.Duration) time.Duration {
+	d := want
+	if max > 0 && (d == 0 || d > max) {
+		d = max
+	}
+	if ctx != nil {
+		if t, ok := ctx.Deadline(); ok {
+			if left := time.Until(t); d == 0 || left < d {
+				d = left
+			}
+		}
+	}
+	if d < 0 {
+		d = time.Nanosecond
+	}
+	return d
+}
+
 // Degradable reports whether err is a reason to fall back to the
 // baseline scheduler rather than fail outright: the solver ran out of
 // time or resources, but the caller is still waiting for an answer.

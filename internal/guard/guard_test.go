@@ -113,6 +113,41 @@ func TestWrapAndDegradable(t *testing.T) {
 	}
 }
 
+func TestClampDeadline(t *testing.T) {
+	bg := context.Background()
+	if d := ClampDeadline(bg, 0, 0); d != 0 {
+		t.Fatalf("no bounds: %v, want 0", d)
+	}
+	if d := ClampDeadline(bg, time.Second, 0); d != time.Second {
+		t.Fatalf("want only: %v, want 1s", d)
+	}
+	if d := ClampDeadline(bg, time.Minute, time.Second); d != time.Second {
+		t.Fatalf("max clamps want: %v, want 1s", d)
+	}
+	if d := ClampDeadline(bg, 0, time.Second); d != time.Second {
+		t.Fatalf("max bounds unlimited want: %v, want 1s", d)
+	}
+	if d := ClampDeadline(nil, time.Second, 0); d != time.Second {
+		t.Fatalf("nil ctx: %v, want 1s", d)
+	}
+	// A context deadline tightens but never loosens.
+	ctx, cancel := context.WithTimeout(bg, 50*time.Millisecond)
+	defer cancel()
+	if d := ClampDeadline(ctx, time.Minute, 0); d > 50*time.Millisecond {
+		t.Fatalf("ctx must tighten: %v", d)
+	}
+	if d := ClampDeadline(ctx, time.Nanosecond, time.Minute); d > time.Nanosecond {
+		t.Fatalf("want below ctx deadline must survive: %v", d)
+	}
+	// An already-expired context yields a positive sentinel, not 0
+	// ("no deadline") and not a negative duration.
+	expired, cancel2 := context.WithDeadline(bg, time.Now().Add(-time.Second))
+	defer cancel2()
+	if d := ClampDeadline(expired, time.Minute, 0); d <= 0 {
+		t.Fatalf("expired ctx: %v, want > 0", d)
+	}
+}
+
 func TestUnlimited(t *testing.T) {
 	if !(Limits{}).Unlimited() {
 		t.Fatal("zero Limits must be Unlimited")

@@ -1,0 +1,414 @@
+// Package serve is the HTTP/JSON serving layer over the hardened
+// solve facade: wrbpgd's request handlers, the content-addressed
+// schedule cache wiring, solver admission control and serving metrics.
+//
+// The request path is: decode + validate (structured 400s, no panics)
+// → canonical solve.Instance → content-addressed key → schedcache.Do.
+// A cache hit answers without touching the solver; a miss runs exactly
+// one solve per key (singleflight), bounded by the solver semaphore
+// and a per-request deadline mapped onto guard.Limits, degrading to
+// the baseline scheduler at the deadline rather than failing. Only
+// optimal results are cached — a deadline-degraded fallback is an
+// artifact of that request's time budget, and a later request with
+// more headroom deserves a fresh attempt.
+//
+// Endpoints:
+//
+//	POST /v1/schedule        solve one instance (cache-backed)
+//	POST /v1/schedule/batch  fan out independent solves, partial failure
+//	GET  /v1/lowerbound      Proposition 2.3/2.4 bounds, no solve
+//	GET  /healthz            liveness
+//	GET  /statsz             cache/solver/latency counters
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"wrbpg/internal/core"
+	"wrbpg/internal/guard"
+	"wrbpg/internal/par"
+	"wrbpg/internal/schedcache"
+	"wrbpg/internal/serve/wire"
+	"wrbpg/internal/solve"
+)
+
+// Options configures a Server; zero fields take the stated defaults.
+type Options struct {
+	// CacheShards (default 16) and CachePerShard (default 64) size the
+	// schedule cache: total capacity is the product.
+	CacheShards   int
+	CachePerShard int
+	// MaxInflight bounds concurrent solver invocations (default
+	// 2×GOMAXPROCS). Cache hits are not counted — they never solve.
+	MaxInflight int
+	// DefaultTimeout is the per-solve deadline when the request does
+	// not name one (default 2s); MaxTimeout clamps request-supplied
+	// deadlines (default 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Limits carries the resource ceilings (memo entries, search
+	// states) applied to every solve; its Deadline field is ignored —
+	// deadlines are derived per request.
+	Limits guard.Limits
+	// MaxBatch bounds the number of requests in one batch call
+	// (default 64); MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBatch     int
+	MaxBodyBytes int64
+}
+
+// withDefaults resolves zero fields.
+func (o Options) withDefaults() Options {
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	if o.CachePerShard <= 0 {
+		o.CachePerShard = 64
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 2 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 30 * time.Second
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	return o
+}
+
+// Server is the wrbpgd request handler set. Create with New.
+type Server struct {
+	opts  Options
+	cache *schedcache.Cache[*wire.ScheduleResult]
+	sem   chan struct{}
+	m     metrics
+	start time.Time
+}
+
+// New builds a Server with the given options.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:  opts,
+		cache: schedcache.New[*wire.ScheduleResult](opts.CacheShards, opts.CachePerShard),
+		sem:   make(chan struct{}, opts.MaxInflight),
+		start: time.Now(),
+	}
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	mux.HandleFunc("/v1/schedule/batch", s.handleBatch)
+	mux.HandleFunc("/v1/lowerbound", s.handleLowerBound)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	return mux
+}
+
+// CacheStats exposes the cache counters (for tests and the daemon's
+// shutdown log).
+func (s *Server) CacheStats() schedcache.Stats { return s.cache.Snapshot() }
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing useful to do mid-response
+}
+
+// writeErr writes a structured error body; every non-2xx response
+// goes through here, so clients always get {"status","error"}.
+func (s *Server) writeErr(w http.ResponseWriter, e *wire.Error) {
+	if e.Status >= 400 && e.Status < 500 {
+		s.m.badRequests.Add(1)
+	}
+	writeJSON(w, e.Status, e)
+}
+
+// asWireErr maps an internal error onto a structured API error:
+// validation failures stay 400s, client abandonment is 499, anything
+// else is a 500.
+func asWireErr(err error) *wire.Error {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return we
+	}
+	if errors.Is(err, guard.ErrCanceled) || errors.Is(err, context.Canceled) {
+		return wire.Errorf(499, "client closed request")
+	}
+	return wire.Errorf(http.StatusInternalServerError, "%v", err)
+}
+
+// decodeStrict decodes one JSON value, rejecting unknown fields and
+// trailing garbage, with the body size capped.
+func decodeStrict(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return wire.Errorf(http.StatusBadRequest, "malformed request body: %v", err)
+	}
+	if dec.More() {
+		return wire.Errorf(http.StatusBadRequest, "trailing data after request body")
+	}
+	return nil
+}
+
+// handleSchedule serves POST /v1/schedule.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "POST required"))
+		return
+	}
+	s.m.requests.Add(1)
+	var req wire.ScheduleRequest
+	if err := decodeStrict(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		s.writeErr(w, asWireErr(err))
+		return
+	}
+	res, werr := s.schedule(r.Context(), &req)
+	if werr != nil {
+		s.writeErr(w, werr)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// schedule is the shared single-request path (also used per batch
+// item): validate, canonicalize, cache-or-solve, stamp per-request
+// fields.
+func (s *Server) schedule(ctx context.Context, req *wire.ScheduleRequest) (*wire.ScheduleResult, *wire.Error) {
+	start := time.Now()
+	if req.BudgetBits < 1 {
+		return nil, wire.Errorf(http.StatusBadRequest,
+			"budget_bits must be positive, got %d", req.BudgetBits)
+	}
+	inst, err := req.Instance()
+	if err != nil {
+		return nil, wire.Errorf(http.StatusBadRequest, "%v", err)
+	}
+	budget := req.BudgetBits
+	key := inst.Key(budget)
+
+	cached, state, err := s.cache.Do(key, func() (*wire.ScheduleResult, bool, error) {
+		return s.solveCold(ctx, &inst, budget, req.TimeoutMS)
+	})
+	if err != nil {
+		return nil, asWireErr(err)
+	}
+
+	// Stamp the per-request view without mutating the cached entry:
+	// cache disposition, this request's elapsed time, and the move
+	// list only when asked for.
+	res := cached.Clone()
+	res.Cache = state.String()
+	res.CacheKey = key
+	if state != schedcache.Miss {
+		res.ElapsedUS = wire.Elapsed(start)
+	}
+	if !req.IncludeMoves {
+		res.Schedule = nil
+	}
+	return res, nil
+}
+
+// solveCold is the cache-miss path: admission through the solver
+// semaphore, deadline mapping onto guard.Limits, the hardened solve,
+// and result construction. The bool reports cacheability — only
+// optimal results are stored.
+func (s *Server) solveCold(ctx context.Context, inst *solve.Instance, budget int64, timeoutMS int64) (*wire.ScheduleResult, bool, error) {
+	p, g, err := inst.Build()
+	if err != nil {
+		return nil, false, wire.Errorf(http.StatusBadRequest, "%v", err)
+	}
+	if min := core.MinExistenceBudget(g); budget < min {
+		return nil, false, wire.Errorf(http.StatusBadRequest,
+			"budget %d below existence bound %d (Proposition 2.3): no schedule exists", budget, min)
+	}
+
+	// Map the request deadline onto the solve budget: the requested
+	// (or default) timeout, clamped by the server maximum and by the
+	// transport context's own deadline.
+	want := s.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		want = time.Duration(timeoutMS) * time.Millisecond
+	}
+	deadline := guard.ClampDeadline(ctx, want, s.opts.MaxTimeout)
+
+	// Admission: one semaphore slot per running solve. Waiting counts
+	// against the caller's context, not the solve deadline.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return nil, false, guard.Wrap(ctx.Err())
+	}
+
+	lim := s.opts.Limits
+	lim.Deadline = deadline
+	s.m.inflight.Add(1)
+	out, err := solve.Run(ctx, p, budget, lim)
+	s.m.inflight.Add(-1)
+	s.m.observeSolve(out.Elapsed, out.Source == solve.SourceFallback, err != nil)
+	if err != nil {
+		return nil, false, err
+	}
+	res := wire.NewScheduleResult(inst.Label(), out, core.LowerBound(g), true)
+	return res, out.Source == solve.SourceOptimal, nil
+}
+
+// handleBatch serves POST /v1/schedule/batch: independent fan-out over
+// the worker pool with per-item (partial) failure reporting.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "POST required"))
+		return
+	}
+	s.m.batches.Add(1)
+	var req wire.BatchRequest
+	if err := decodeStrict(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		s.writeErr(w, asWireErr(err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.writeErr(w, wire.Errorf(http.StatusBadRequest, "empty batch"))
+		return
+	}
+	if len(req.Requests) > s.opts.MaxBatch {
+		s.writeErr(w, wire.Errorf(http.StatusBadRequest,
+			"batch of %d exceeds limit %d", len(req.Requests), s.opts.MaxBatch))
+		return
+	}
+
+	ctx := r.Context()
+	idx := make([]int, len(req.Requests))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Each item reports success or failure in place; the pool function
+	// never returns an error, so one malformed item cannot abort its
+	// siblings (partial-failure reporting). Solver concurrency is
+	// bounded by the semaphore inside the shared path, so the pool
+	// width only bounds decode/validate parallelism.
+	items, perr := par.MapCtx(ctx, s.opts.MaxInflight, idx, func(i int) (wire.BatchItem, error) {
+		s.m.requests.Add(1)
+		res, werr := s.schedule(ctx, &req.Requests[i])
+		if werr != nil {
+			return wire.BatchItem{Index: i, Error: werr}, nil
+		}
+		return wire.BatchItem{Index: i, Result: res}, nil
+	})
+	if perr != nil {
+		s.writeErr(w, asWireErr(perr))
+		return
+	}
+	resp := wire.BatchResponse{Items: items}
+	for _, it := range items {
+		if it.Error != nil {
+			resp.Failed++
+		} else {
+			resp.Succeeded++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLowerBound serves GET /v1/lowerbound for the parametric
+// families: the compulsory-I/O lower bound (Proposition 2.4) and the
+// schedule-existence bound (Proposition 2.3), computed without
+// solving. Query parameters: family, n, d, m, k, height, weights.
+func (s *Server) handleLowerBound(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "GET required"))
+		return
+	}
+	q := r.URL.Query()
+	intArg := func(name string) (int, *wire.Error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, wire.Errorf(http.StatusBadRequest, "bad %s=%q: %v", name, v, err)
+		}
+		return n, nil
+	}
+	req := wire.ScheduleRequest{
+		Family:  q.Get("family"),
+		Weights: wire.WeightSpec{Name: q.Get("weights")},
+	}
+	if req.Family == solve.FamilyCDAG {
+		s.writeErr(w, wire.Errorf(http.StatusBadRequest,
+			"family cdag needs a request body; use POST /v1/schedule"))
+		return
+	}
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"n", &req.N}, {"d", &req.D}, {"m", &req.M}, {"k", &req.K}, {"height", &req.Height}} {
+		v, werr := intArg(f.name)
+		if werr != nil {
+			s.writeErr(w, werr)
+			return
+		}
+		*f.dst = v
+	}
+	inst, err := req.Instance()
+	if err != nil {
+		s.writeErr(w, wire.Errorf(http.StatusBadRequest, "%v", err))
+		return
+	}
+	_, g, err := inst.Build()
+	if err != nil {
+		s.writeErr(w, wire.Errorf(http.StatusBadRequest, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.LowerBoundResult{
+		Workload:         inst.Label(),
+		LowerBoundBits:   int64(core.LowerBound(g)),
+		MinExistenceBits: int64(core.MinExistenceBudget(g)),
+		Nodes:            g.Len(),
+		Edges:            g.EdgeCount(),
+		TotalWeightBits:  int64(g.TotalWeight()),
+		SourceWeightBits: int64(g.SourceWeight()),
+		SinkWeightBits:   int64(g.SinkWeight()),
+	})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleStatsz serves GET /statsz.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.snapshot(time.Since(s.start), s.cache.Snapshot()))
+}
+
+// String describes the server configuration for startup logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("cache %d×%d entries, %d solver slots, timeout %v (max %v)",
+		s.opts.CacheShards, s.opts.CachePerShard, s.opts.MaxInflight,
+		s.opts.DefaultTimeout, s.opts.MaxTimeout)
+}

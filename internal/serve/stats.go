@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"wrbpg/internal/schedcache"
+)
+
+// latencyBoundsUS are the upper bounds (µs) of the solve-latency
+// histogram buckets; the final implicit bucket is +Inf. Solves span
+// microsecond cache-adjacent paths to multi-second degraded solves, so
+// the buckets are roughly logarithmic.
+var latencyBoundsUS = [...]int64{
+	50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000,
+}
+
+// metrics is the server's lock-free counter set; GET /statsz snapshots
+// it without contending with the request path.
+type metrics struct {
+	requests     atomic.Uint64 // POST /v1/schedule requests (incl. batch items)
+	batches      atomic.Uint64 // POST /v1/schedule/batch requests
+	badRequests  atomic.Uint64 // structured 4xx responses
+	solves       atomic.Uint64 // solver invocations (cache misses)
+	fallbacks    atomic.Uint64 // solves degraded to the baseline
+	solveErrors  atomic.Uint64 // solves that returned no schedule at all
+	inflight     atomic.Int64  // solver invocations currently running
+	latencyUnder [len(latencyBoundsUS)]atomic.Uint64
+	latencyOver  atomic.Uint64 // +Inf bucket
+	latencySumUS atomic.Int64
+	latencyCount atomic.Uint64
+}
+
+// observeSolve records one completed solver invocation.
+func (m *metrics) observeSolve(d time.Duration, fallback, failed bool) {
+	m.solves.Add(1)
+	if fallback {
+		m.fallbacks.Add(1)
+	}
+	if failed {
+		m.solveErrors.Add(1)
+	}
+	us := d.Microseconds()
+	m.latencySumUS.Add(us)
+	m.latencyCount.Add(1)
+	for i, b := range latencyBoundsUS {
+		if us <= b {
+			m.latencyUnder[i].Add(1)
+			return
+		}
+	}
+	m.latencyOver.Add(1)
+}
+
+// LatencyBucket is one histogram bucket in the /statsz response.
+type LatencyBucket struct {
+	// LEUS is the bucket's inclusive upper bound in microseconds;
+	// -1 marks the +Inf bucket.
+	LEUS  int64  `json:"le_us"`
+	Count uint64 `json:"count"`
+}
+
+// Stats is the GET /statsz response body.
+type Stats struct {
+	UptimeS     float64          `json:"uptime_s"`
+	Requests    uint64           `json:"requests"`
+	Batches     uint64           `json:"batches"`
+	BadRequests uint64           `json:"bad_requests"`
+	Cache       schedcache.Stats `json:"cache"`
+	Solves      uint64           `json:"solves"`
+	Fallbacks   uint64           `json:"fallbacks"`
+	SolveErrors uint64           `json:"solve_errors"`
+	InFlight    int64            `json:"in_flight"`
+	// SolveLatency is the cumulative histogram of solver wall-clock
+	// times (cache hits excluded — they never invoke the solver).
+	SolveLatency   []LatencyBucket `json:"solve_latency"`
+	SolveLatencyUS int64           `json:"solve_latency_sum_us"`
+}
+
+// snapshot assembles the exported view.
+func (m *metrics) snapshot(uptime time.Duration, cache schedcache.Stats) Stats {
+	st := Stats{
+		UptimeS:        uptime.Seconds(),
+		Requests:       m.requests.Load(),
+		Batches:        m.batches.Load(),
+		BadRequests:    m.badRequests.Load(),
+		Cache:          cache,
+		Solves:         m.solves.Load(),
+		Fallbacks:      m.fallbacks.Load(),
+		SolveErrors:    m.solveErrors.Load(),
+		InFlight:       m.inflight.Load(),
+		SolveLatencyUS: m.latencySumUS.Load(),
+	}
+	for i, b := range latencyBoundsUS {
+		st.SolveLatency = append(st.SolveLatency, LatencyBucket{LEUS: b, Count: m.latencyUnder[i].Load()})
+	}
+	st.SolveLatency = append(st.SolveLatency, LatencyBucket{LEUS: -1, Count: m.latencyOver.Load()})
+	return st
+}

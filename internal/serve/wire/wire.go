@@ -1,0 +1,225 @@
+// Package wire defines the machine-readable request/response types
+// shared by the wrbpgd HTTP API and the wrbpg CLI's -json output, so
+// both surfaces emit the same result struct and downstream tooling
+// parses one format.
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/solve"
+	"wrbpg/internal/wcfg"
+)
+
+// WeightSpec selects a weight configuration: either a named preset
+// ("equal", "da") or explicit word/class sizes. Explicit fields, when
+// any is set, override the preset entirely.
+type WeightSpec struct {
+	// Name is "equal" (default) or "da" / "double-accumulator".
+	Name string `json:"name,omitempty"`
+	// WordBits, InputWords and NodeWords spell out a custom
+	// configuration; all three must be positive when used.
+	WordBits   int `json:"word_bits,omitempty"`
+	InputWords int `json:"input_words,omitempty"`
+	NodeWords  int `json:"node_words,omitempty"`
+}
+
+// Config resolves the spec to a wcfg.Config, rejecting non-positive
+// custom weights (the negative-weight validation gap of untrusted
+// requests).
+func (ws WeightSpec) Config() (wcfg.Config, error) {
+	if ws.WordBits != 0 || ws.InputWords != 0 || ws.NodeWords != 0 {
+		if ws.WordBits < 1 || ws.InputWords < 1 || ws.NodeWords < 1 {
+			return wcfg.Config{}, fmt.Errorf(
+				"wire: custom weights must all be positive, got word_bits=%d input_words=%d node_words=%d",
+				ws.WordBits, ws.InputWords, ws.NodeWords)
+		}
+		return wcfg.Config{Name: "Custom", WordBits: ws.WordBits,
+			InputWords: ws.InputWords, NodeWords: ws.NodeWords}, nil
+	}
+	switch ws.Name {
+	case "", "equal":
+		return wcfg.Equal(wcfg.DefaultWordBits), nil
+	case "da", "double", "double-accumulator":
+		return wcfg.DoubleAccumulator(wcfg.DefaultWordBits), nil
+	default:
+		return wcfg.Config{}, fmt.Errorf("wire: unknown weight config %q (want equal or da)", ws.Name)
+	}
+}
+
+// ScheduleRequest asks for one solve. Families: "dwt" (N, D), "ktree"
+// (K, Height), "mvm" (M, N), or "cdag" with an explicit Graph in the
+// cdag JSON spec format.
+type ScheduleRequest struct {
+	Family string `json:"family"`
+	N      int    `json:"n,omitempty"`
+	D      int    `json:"d,omitempty"`
+	M      int    `json:"m,omitempty"`
+	K      int    `json:"k,omitempty"`
+	Height int    `json:"height,omitempty"`
+	// Weights selects the node-weight configuration for the parametric
+	// families; ignored for cdag.
+	Weights WeightSpec `json:"weights,omitempty"`
+	// BudgetBits is the fast-memory budget B; it must be positive
+	// (servers have no "default to minimum memory" convention — the
+	// budget is part of the cache identity).
+	BudgetBits int64 `json:"budget_bits"`
+	// Graph is the explicit CDAG of a family:"cdag" request.
+	Graph *cdag.Graph `json:"graph,omitempty"`
+	// TimeoutMS optionally overrides the server's default solve
+	// deadline, clamped to its maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IncludeMoves asks for the full move list in the response (the
+	// summary metrics are always present).
+	IncludeMoves bool `json:"include_moves,omitempty"`
+}
+
+// Instance converts the request to its canonical solve.Instance.
+func (r *ScheduleRequest) Instance() (solve.Instance, error) {
+	var cfg wcfg.Config
+	if r.Family != solve.FamilyCDAG {
+		var err error
+		if cfg, err = r.Weights.Config(); err != nil {
+			return solve.Instance{}, err
+		}
+	}
+	in := solve.Instance{
+		Family: r.Family,
+		N:      r.N, D: r.D, M: r.M,
+		K: r.K, Height: r.Height,
+		Cfg: cfg,
+		G:   r.Graph,
+	}
+	if err := in.Validate(); err != nil {
+		return solve.Instance{}, err
+	}
+	return in, nil
+}
+
+// ScheduleResult is the shared machine-readable result of one solve,
+// emitted identically by `wrbpg schedule -json` and by wrbpgd.
+type ScheduleResult struct {
+	// Workload is the human-readable instance label.
+	Workload string `json:"workload"`
+	// Source is "optimal" or "fallback".
+	Source string `json:"source"`
+	// FallbackReason is the typed degradation cause when Source is
+	// "fallback".
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// BudgetBits, CostBits, PeakBits and LowerBoundBits are the solve
+	// metrics in bits (weighted I/O cost, peak red residency, and the
+	// Proposition 2.4 lower bound).
+	BudgetBits     int64 `json:"budget_bits"`
+	CostBits       int64 `json:"cost_bits"`
+	PeakBits       int64 `json:"peak_bits"`
+	LowerBoundBits int64 `json:"lower_bound_bits"`
+	// MoveCount is the schedule length; MoveKinds counts M1–M4.
+	MoveCount int            `json:"move_count"`
+	MoveKinds map[string]int `json:"move_kinds"`
+	// Schedule is the full move list, present only when requested.
+	Schedule core.Schedule `json:"schedule,omitempty"`
+	// ElapsedUS is the wall-clock solve time in microseconds. On a
+	// cache hit the server reports the lookup time, not the original
+	// solve time.
+	ElapsedUS int64 `json:"elapsed_us"`
+	// CacheKey is the content-addressed identity of the instance;
+	// Cache is "hit", "miss" or "shared" when served from wrbpgd and
+	// empty from the CLI.
+	CacheKey string `json:"cache_key,omitempty"`
+	Cache    string `json:"cache,omitempty"`
+}
+
+// NewScheduleResult builds the shared result struct from a solve
+// outcome. lb is core.LowerBound of the instance graph.
+func NewScheduleResult(label string, out solve.Outcome, lb cdag.Weight, includeMoves bool) *ScheduleResult {
+	r := &ScheduleResult{
+		Workload:       label,
+		Source:         out.Source.String(),
+		BudgetBits:     int64(out.Budget),
+		CostBits:       int64(out.Stats.Cost),
+		PeakBits:       int64(out.Stats.PeakRedWeight),
+		LowerBoundBits: int64(lb),
+		MoveCount:      len(out.Schedule),
+		MoveKinds: map[string]int{
+			"M1": out.Stats.Moves[core.M1],
+			"M2": out.Stats.Moves[core.M2],
+			"M3": out.Stats.Moves[core.M3],
+			"M4": out.Stats.Moves[core.M4],
+		},
+		ElapsedUS: out.Elapsed.Microseconds(),
+	}
+	if out.Source == solve.SourceFallback && out.Err != nil {
+		r.FallbackReason = out.Err.Error()
+	}
+	if includeMoves {
+		r.Schedule = out.Schedule
+	}
+	return r
+}
+
+// Clone returns a shallow-plus-maps copy, so per-request fields
+// (Cache, ElapsedUS) can be stamped without mutating a cached result.
+func (r *ScheduleResult) Clone() *ScheduleResult {
+	cp := *r
+	cp.MoveKinds = make(map[string]int, len(r.MoveKinds))
+	for k, v := range r.MoveKinds {
+		cp.MoveKinds[k] = v
+	}
+	return &cp
+}
+
+// BatchRequest fans out independent schedule requests.
+type BatchRequest struct {
+	Requests []ScheduleRequest `json:"requests"`
+}
+
+// BatchItem is one batch element's outcome: exactly one of Result or
+// Error is set (partial-failure reporting).
+type BatchItem struct {
+	Index  int             `json:"index"`
+	Result *ScheduleResult `json:"result,omitempty"`
+	Error  *Error          `json:"error,omitempty"`
+}
+
+// BatchResponse reports every item plus summary counts.
+type BatchResponse struct {
+	Items     []BatchItem `json:"items"`
+	Succeeded int         `json:"succeeded"`
+	Failed    int         `json:"failed"`
+}
+
+// LowerBoundResult answers GET /v1/lowerbound: the compulsory I/O
+// lower bound and the smallest budget at which any schedule exists.
+type LowerBoundResult struct {
+	Workload         string `json:"workload"`
+	LowerBoundBits   int64  `json:"lower_bound_bits"`
+	MinExistenceBits int64  `json:"min_existence_bits"`
+	Nodes            int    `json:"nodes"`
+	Edges            int    `json:"edges"`
+	TotalWeightBits  int64  `json:"total_weight_bits"`
+	SourceWeightBits int64  `json:"source_weight_bits"`
+	SinkWeightBits   int64  `json:"sink_weight_bits"`
+}
+
+// Error is the structured error body of every non-2xx API response.
+type Error struct {
+	// Status is the HTTP status code.
+	Status int `json:"status"`
+	// Message is a human-readable description of what was wrong with
+	// the request (or what failed serving it).
+	Message string `json:"error"`
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// Errorf builds a structured Error.
+func Errorf(status int, format string, args ...any) *Error {
+	return &Error{Status: status, Message: fmt.Sprintf(format, args...)}
+}
+
+// Elapsed returns the microseconds since start, for servers stamping
+// per-request timing onto results.
+func Elapsed(start time.Time) int64 { return time.Since(start).Microseconds() }

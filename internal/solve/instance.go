@@ -1,0 +1,192 @@
+// Canonical instance representation: the cacheable identity of one
+// solve. A serving system (cmd/wrbpgd) keys its schedule cache on
+// Instance.Key, so two requests naming the same dataflow family, the
+// same parameters, the same node weights and the same budget are the
+// same content-addressed instance — regardless of field order in the
+// request JSON, node display names, or which client sent them.
+
+package solve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/ktree"
+	"wrbpg/internal/mvm"
+	"wrbpg/internal/wcfg"
+)
+
+// Family names a dataflow family the solve facade can build and
+// schedule from parameters alone (plus "cdag" for explicit graphs).
+const (
+	FamilyDWT   = "dwt"
+	FamilyKTree = "ktree"
+	FamilyMVM   = "mvm"
+	FamilyCDAG  = "cdag"
+)
+
+// Instance is the canonical, cacheable description of one solvable
+// instance: a graph family with its parameters and weight
+// configuration (or an explicit CDAG), ready to be turned into a
+// Problem. Instances are content-addressed via Key.
+type Instance struct {
+	// Family is one of the Family* constants.
+	Family string
+	// N is the DWT input count or the MVM column count.
+	N int
+	// D is the DWT level.
+	D int
+	// M is the MVM row count.
+	M int
+	// K and Height describe a full k-ary tree (ktree family).
+	K, Height int
+	// Cfg assigns the node weights for the parametric families; it is
+	// ignored for FamilyCDAG, whose graph carries explicit weights.
+	Cfg wcfg.Config
+	// G is the explicit graph of a FamilyCDAG instance.
+	G *cdag.Graph
+}
+
+// Validate checks the cheap structural requirements without building
+// the graph: a known family, parameters in range, and for FamilyCDAG a
+// present, valid graph. Family-specific constructors re-validate on
+// Build; Validate exists so a server can reject malformed requests
+// before paying for construction.
+func (in *Instance) Validate() error {
+	switch in.Family {
+	case FamilyDWT:
+		if in.D < 1 || in.N < 1 {
+			return fmt.Errorf("solve: dwt requires n ≥ 1 and d ≥ 1, got n=%d d=%d", in.N, in.D)
+		}
+	case FamilyKTree:
+		if in.K < 1 || in.K > ktree.MaxK || in.Height < 1 {
+			return fmt.Errorf("solve: ktree requires 1 ≤ k ≤ %d and height ≥ 1, got k=%d height=%d",
+				ktree.MaxK, in.K, in.Height)
+		}
+	case FamilyMVM:
+		if in.M < 2 || in.N < 1 {
+			return fmt.Errorf("solve: mvm requires m ≥ 2 and n ≥ 1, got m=%d n=%d", in.M, in.N)
+		}
+	case FamilyCDAG:
+		if in.G == nil {
+			return fmt.Errorf("solve: cdag instance has no graph")
+		}
+		if err := in.G.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("solve: unknown family %q (want dwt, ktree, mvm or cdag)", in.Family)
+	}
+	if in.Family != FamilyCDAG {
+		if in.Cfg.WordBits < 1 || in.Cfg.InputWords < 1 || in.Cfg.NodeWords < 1 {
+			return fmt.Errorf("solve: weight config must be positive, got word=%d input=%d node=%d",
+				in.Cfg.WordBits, in.Cfg.InputWords, in.Cfg.NodeWords)
+		}
+	}
+	return nil
+}
+
+// Label returns a human-readable name for reports, e.g.
+// "Equal DWT(256,8)".
+func (in *Instance) Label() string {
+	switch in.Family {
+	case FamilyDWT:
+		return fmt.Sprintf("%s DWT(%d,%d)", in.Cfg.Name, in.N, in.D)
+	case FamilyKTree:
+		return fmt.Sprintf("%s KTree(k=%d,h=%d)", in.Cfg.Name, in.K, in.Height)
+	case FamilyMVM:
+		return fmt.Sprintf("%s MVM(%d,%d)", in.Cfg.Name, in.M, in.N)
+	case FamilyCDAG:
+		n := 0
+		if in.G != nil {
+			n = in.G.Len()
+		}
+		return fmt.Sprintf("CDAG(%d nodes)", n)
+	default:
+		return in.Family
+	}
+}
+
+// Key returns the content-addressed cache key of the instance at the
+// given budget: "<family>/<hex sha-256>" over a canonical binary
+// serialization of family, parameters, weight configuration and
+// budget. For FamilyCDAG the digest covers the full semantic content
+// of the graph — per-node weights and parent lists — but not display
+// names, which do not affect schedules.
+func (in *Instance) Key(budget cdag.Weight) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(in.Family))
+	h.Write([]byte{0})
+	put(int64(budget))
+	if in.Family == FamilyCDAG && in.G != nil {
+		put(int64(in.G.Len()))
+		for v := 0; v < in.G.Len(); v++ {
+			id := cdag.NodeID(v)
+			put(in.G.Weight(id))
+			ps := in.G.Parents(id)
+			put(int64(len(ps)))
+			for _, p := range ps {
+				put(int64(p))
+			}
+		}
+	} else {
+		put(int64(in.N))
+		put(int64(in.D))
+		put(int64(in.M))
+		put(int64(in.K))
+		put(int64(in.Height))
+		put(int64(in.Cfg.WordBits))
+		put(int64(in.Cfg.InputWords))
+		put(int64(in.Cfg.NodeWords))
+	}
+	return in.Family + "/" + hex.EncodeToString(h.Sum(nil))
+}
+
+// Build constructs the instance's graph and wraps it as a Problem for
+// Run. The returned graph is the Problem's underlying CDAG (for lower
+// bounds, existence checks and validation). Construction routes
+// through the family constructors' error paths, so malformed
+// parameters surface as errors, never panics.
+func (in *Instance) Build() (Problem, *cdag.Graph, error) {
+	if err := in.Validate(); err != nil {
+		return Problem{}, nil, err
+	}
+	switch in.Family {
+	case FamilyDWT:
+		g, err := dwt.Build(in.N, in.D, dwt.ConfigWeights(in.Cfg))
+		if err != nil {
+			return Problem{}, nil, err
+		}
+		return DWT(g), g.G, nil
+	case FamilyKTree:
+		wf := func(depth, index int) cdag.Weight {
+			if depth == in.Height {
+				return in.Cfg.Input()
+			}
+			return in.Cfg.Node()
+		}
+		tr, err := ktree.FullTree(in.K, in.Height, wf)
+		if err != nil {
+			return Problem{}, nil, err
+		}
+		return KTree(tr), tr.G, nil
+	case FamilyMVM:
+		g, err := mvm.Build(in.M, in.N, in.Cfg)
+		if err != nil {
+			return Problem{}, nil, err
+		}
+		return MVM(g), g.G, nil
+	case FamilyCDAG:
+		return Exact(in.G), in.G, nil
+	}
+	return Problem{}, nil, fmt.Errorf("solve: unknown family %q", in.Family)
+}

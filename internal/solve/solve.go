@@ -24,6 +24,7 @@ package solve
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"wrbpg/internal/baseline"
@@ -104,6 +105,29 @@ type optResult struct {
 	panicked bool
 }
 
+// Hook observes every completed Run: the problem name, its outcome
+// (source, stats, elapsed time, degradation reason) and the terminal
+// error, if any. Serving layers install one to feed their metrics
+// (fallback counters, solve-latency histograms) without threading an
+// observer through every call site.
+type Hook func(name string, out Outcome, err error)
+
+// hook holds the installed observer; nil means no observation.
+var hook atomic.Pointer[Hook]
+
+// SetHook installs h as the process-wide Run observer and returns a
+// restore function reinstating the previous hook. h must be safe for
+// concurrent use; SetHook(nil) clears the hook.
+func SetHook(h Hook) (restore func()) {
+	var prev *Hook
+	if h == nil {
+		prev = hook.Swap(nil)
+	} else {
+		prev = hook.Swap(&h)
+	}
+	return func() { hook.Store(prev) }
+}
+
 // Run attempts p.Optimal under ctx and lim and degrades to the
 // baseline scheduler when the attempt times out, exhausts its resource
 // limits, panics, or returns an invalid schedule. The fallback runs
@@ -111,6 +135,15 @@ type optResult struct {
 // fails too, Run returns an error wrapping both causes. Cancellation
 // of ctx itself is returned as guard.ErrCanceled without fallback.
 func Run(ctx context.Context, p Problem, budget cdag.Weight, lim guard.Limits) (Outcome, error) {
+	out, err := run(ctx, p, budget, lim)
+	if h := hook.Load(); h != nil {
+		(*h)(p.Name, out, err)
+	}
+	return out, err
+}
+
+// run is Run without the observation hook.
+func run(ctx context.Context, p Problem, budget cdag.Weight, lim guard.Limits) (Outcome, error) {
 	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
