@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fault bench-smoke bench-json serve-check staticcheck check
+.PHONY: all build vet test race race-fault bench-smoke bench-json bench-json-quick serve-check staticcheck check
 
 all: check
 
@@ -30,7 +30,11 @@ bench-smoke:
 
 # Writes the perf-regression report (see docs/PERFORMANCE.md).
 bench-json:
-	$(GO) run ./cmd/experiments -bench-json BENCH_3.json
+	$(GO) run ./cmd/experiments -bench-json BENCH_4.json
+
+# One-iteration perf smoke artifact for CI (not a comparable baseline).
+bench-json-quick:
+	$(GO) run ./cmd/experiments -bench-json BENCH_4.json -bench-quick
 
 # Boots the wrbpgd daemon on a random port and exercises every endpoint
 # end to end, including graceful SIGTERM shutdown (docs/SERVICE.md).

@@ -3,12 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-table1] [-fig5] [-fig6] [-fig7] [-fig8] [-dse] [-all] [-short] [-bench-json FILE]
+//	experiments [-table1] [-fig5] [-fig6] [-fig7] [-fig8] [-dse] [-all] [-short] [-bench-json FILE] [-bench-quick]
 //
 // With no flags, -all is assumed. -short reduces the Figure 5/6
 // sweep sizes for quick runs. -bench-json runs the hot-path
 // perf-regression suite and writes a BENCH_*.json report; alone it
-// skips the figures.
+// skips the figures. -bench-quick runs each kernel once (CI smoke).
 package main
 
 import (
@@ -39,6 +39,7 @@ var (
 	flagAll    = flag.Bool("all", false, "print everything")
 	flagShort  = flag.Bool("short", false, "reduced sweeps for quick runs")
 	flagBench  = flag.String("bench-json", "", "run the perf-regression suite and write BENCH JSON to `file` ('-' for stdout)")
+	flagQuick  = flag.Bool("bench-quick", false, "with -bench-json: run each kernel once (CI smoke artifact, not a baseline)")
 	flagTime   = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 = none)")
 )
 
@@ -137,9 +138,14 @@ func dse2() {
 
 // benchJSON runs the hot-path perf suite and writes the report; the
 // output feeds the BENCH_*.json regression history (see
-// docs/PERFORMANCE.md).
+// docs/PERFORMANCE.md). With -bench-quick each kernel runs once —
+// a smoke artifact for CI, not a comparable baseline.
 func benchJSON(path string) {
-	rep, err := bench.RunPerfSuite()
+	run := bench.RunPerfSuite
+	if *flagQuick {
+		run = bench.RunPerfSuiteQuick
+	}
+	rep, err := run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -45,6 +45,8 @@ func run(args []string, stdout *os.File) error {
 		maxTimeout     = fs.Duration("max-timeout", 0, "upper clamp on request-supplied solve deadlines (0 = default)")
 		maxMemo        = fs.Int("max-memo", 0, "memo-entry ceiling per solve, 0 = unlimited")
 		maxStates      = fs.Int("max-states", 0, "search-state ceiling per solve, 0 = unlimited")
+		maxSweep       = fs.Int("max-sweep-budgets", 0, "max budgets per sweep request (0 = default)")
+		sweepSessions  = fs.Int("sweep-sessions", 0, "warm solver sessions kept for /v1/schedule/sweep (0 = default)")
 		drainTimeout   = fs.Duration("drain-timeout", 35*time.Second, "grace period for in-flight solves on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +66,8 @@ func run(args []string, stdout *os.File) error {
 			MaxMemoEntries: *maxMemo,
 			MaxStates:      *maxStates,
 		},
+		MaxSweepBudgets: *maxSweep,
+		SweepSessions:   *sweepSessions,
 	})
 
 	logger := log.New(os.Stderr, "wrbpgd: ", log.LstdFlags)

@@ -137,6 +137,31 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("lowerbound mismatch: endpoint %d vs schedule %d", lb.LowerBoundBits, cold.LowerBoundBits)
 	}
 
+	// Budget sweep: one warm session answers several budgets, including
+	// an infeasible one (a legitimate answer, not a failure), and the
+	// shared-budget item agrees with the single-budget solve above.
+	sweepBody := fmt.Sprintf(`{"family":"dwt","n":32,"d":4,"budgets_bits":[%d,2048,%d]}`,
+		lb.MinExistenceBits-1, lb.MinExistenceBits)
+	var sweep1, sweep2 wire.SweepResponse
+	if code := post("/v1/schedule/sweep", sweepBody, &sweep1); code != http.StatusOK {
+		t.Fatalf("sweep: code %d", code)
+	}
+	if sweep1.Session != "miss" || sweep1.Succeeded != 3 || sweep1.Failed != 0 || len(sweep1.Items) != 3 {
+		t.Fatalf("sweep outcome: %+v", sweep1)
+	}
+	if sweep1.Items[0].Feasible || sweep1.Items[0].Error != nil {
+		t.Fatalf("below-existence budget should be infeasible without error: %+v", sweep1.Items[0])
+	}
+	if !sweep1.Items[1].Feasible || sweep1.Items[1].CostBits != cold.CostBits {
+		t.Fatalf("sweep at 2048 disagrees with /v1/schedule: %+v vs cost %d", sweep1.Items[1], cold.CostBits)
+	}
+	if code := post("/v1/schedule/sweep", sweepBody, &sweep2); code != http.StatusOK || sweep2.Session != "hit" {
+		t.Fatalf("repeat sweep should hit the session pool: code %d session %q", code, sweep2.Session)
+	}
+	if code := post("/v1/schedule/sweep", `{"family":"dwt","n":32,"d":4,"budgets_bits":[]}`, &werr); code != http.StatusBadRequest {
+		t.Fatalf("empty sweep accepted: code %d", code)
+	}
+
 	// Counters reflect the traffic above.
 	var stats serve.Stats
 	if code := get("/statsz", &stats); code != http.StatusOK {
@@ -144,6 +169,10 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if stats.Cache.Hits < 2 || stats.Cache.Misses < 1 || stats.Solves < 2 || stats.BadRequests < 1 {
 		t.Fatalf("statsz counters: %+v", stats)
+	}
+	if stats.Sweeps < 3 || stats.SweepBudgets < 6 || stats.SessionHits < 1 ||
+		stats.SessionMisses < 1 || stats.SessionsLive < 1 {
+		t.Fatalf("sweep counters: %+v", stats)
 	}
 
 	// Graceful shutdown: SIGTERM drains and the process exits cleanly.

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
 	"testing"
+	"time"
 
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
@@ -14,6 +16,7 @@ import (
 	"wrbpg/internal/memstate"
 	"wrbpg/internal/mvm"
 	"wrbpg/internal/schedcache"
+	"wrbpg/internal/serve"
 	"wrbpg/internal/solve"
 )
 
@@ -44,6 +47,48 @@ type PerfReport struct {
 type perfKernel struct {
 	name  string
 	setup func() (func() error, error)
+}
+
+// sweepTree builds the k-ary instance the sweep kernels share: a full
+// tree under the paper's Double Accumulator weighting (32-bit
+// accumulators over 16-bit inputs), the same depth-staggered weight
+// profile the Table-1 workloads use.
+func sweepTree(k, height int) (*ktree.Tree, error) {
+	cfg := Configs()[1]
+	return ktree.FullTree(k, height, func(depth, index int) cdag.Weight {
+		if depth == height {
+			return cfg.Input()
+		}
+		return cfg.Node()
+	})
+}
+
+// sweepBudgets returns n budgets descending geometrically from the
+// total weight to the existence bound — the grid a Figure-5 curve
+// samples, answered largest-first so the first solve warms the memo
+// for the rest.
+func sweepBudgets(min, total cdag.Weight, n int) []cdag.Weight {
+	lo, hi := 1.0001, 8.0
+	var ratio float64
+	for it := 0; it < 60; it++ {
+		ratio = (lo + hi) / 2
+		p := 1.0
+		for i := 0; i < n-1; i++ {
+			p *= ratio
+		}
+		if float64(min)*p > float64(total) {
+			hi = ratio
+		} else {
+			lo = ratio
+		}
+	}
+	out := make([]cdag.Weight, n)
+	b := float64(min)
+	for i := range out {
+		out[n-1-i] = cdag.Weight(b + 0.5)
+		b *= ratio
+	}
+	return out
 }
 
 // perfKernels returns the hot-path suite: DP cost evaluation with
@@ -179,6 +224,99 @@ func perfKernels() []perfKernel {
 				return nil
 			}, nil
 		}},
+		// The sweep-engine kernels back the warm-start acceptance claim:
+		// a 16-budget sweep against one warm scheduler must cost < 2× a
+		// single cold solve at the largest budget (the interval memo
+		// shares all sub-budget cells), and the serving path's warm
+		// sweep must not allocate. The budget grid is the Figure-5
+		// pattern — geometric from the existence bound to the total
+		// weight, answered largest-first — under the paper's Double
+		// Accumulator weighting, whose per-level weights stagger the
+		// subtree existence bounds the way real mixed-precision
+		// workloads do.
+		{"KtreeSweep16Cold", func() (func() error, error) {
+			tr, err := sweepTree(4, 3)
+			if err != nil {
+				return nil, err
+			}
+			budgets := sweepBudgets(core.MinExistenceBudget(tr.G), tr.G.TotalWeight(), 16)
+			return func() error {
+				s := ktree.NewScheduler(tr)
+				for _, b := range budgets {
+					s.MinCost(b)
+				}
+				return nil
+			}, nil
+		}},
+		{"KtreeMinCostColdMax", func() (func() error, error) {
+			tr, err := sweepTree(4, 3)
+			if err != nil {
+				return nil, err
+			}
+			max := sweepBudgets(core.MinExistenceBudget(tr.G), tr.G.TotalWeight(), 16)[0]
+			return func() error { ktree.NewScheduler(tr).MinCost(max); return nil }, nil
+		}},
+		{"MemstateKSweep16Cold", func() (func() error, error) {
+			tr, err := sweepTree(3, 3)
+			if err != nil {
+				return nil, err
+			}
+			reuse := memstate.NewBitset(tr.G.Sources()[0])
+			budgets := sweepBudgets(core.MinExistenceBudget(tr.G), tr.G.TotalWeight(), 16)
+			return func() error {
+				s, err := memstate.NewKScheduler(tr.G)
+				if err != nil {
+					return err
+				}
+				for _, b := range budgets {
+					s.Cost(tr.Root, b, memstate.Bitset{}, reuse)
+				}
+				return nil
+			}, nil
+		}},
+		{"MemstateKSchedulerCostColdMax", func() (func() error, error) {
+			tr, err := sweepTree(3, 3)
+			if err != nil {
+				return nil, err
+			}
+			reuse := memstate.NewBitset(tr.G.Sources()[0])
+			max := sweepBudgets(core.MinExistenceBudget(tr.G), tr.G.TotalWeight(), 16)[0]
+			return func() error {
+				s, err := memstate.NewKScheduler(tr.G)
+				if err != nil {
+					return err
+				}
+				s.Cost(tr.Root, max, memstate.Bitset{}, reuse)
+				return nil
+			}, nil
+		}},
+		{"ServeSweepWarm", func() (func() error, error) {
+			// The full serving sweep core — session-pool hit plus 16 warm
+			// budget queries — measured steady-state: the workspace slices
+			// and shape key are reused exactly as the handler reuses its
+			// pooled workspace, so this kernel must report 0 allocs/op.
+			srv := serve.New(serve.Options{})
+			in := solve.Instance{Family: solve.FamilyKTree, K: 4, Height: 3, Cfg: Configs()[0]}
+			se, err := solve.NewSession(in)
+			if err != nil {
+				return nil, err
+			}
+			key := in.ShapeKey()
+			max := se.MinExistence() + 18
+			budgets := make([]cdag.Weight, 0, 16)
+			for b := max; b > max-16; b-- {
+				budgets = append(budgets, b)
+			}
+			pts := make([]solve.CostPoint, 0, 16)
+			ctx := context.Background()
+			if _, _, err := srv.SweepCosts(ctx, &in, key, budgets, pts[:0]); err != nil {
+				return nil, err
+			}
+			return func() error {
+				_, _, err := srv.SweepCosts(ctx, &in, key, budgets, pts[:0])
+				return err
+			}, nil
+		}},
 		{"SchedcacheMissKey", func() (func() error, error) {
 			cfg := Configs()[0]
 			in := solve.Instance{Family: solve.FamilyDWT, N: 64, D: 6, Cfg: cfg}
@@ -231,6 +369,36 @@ func RunPerfSuite() (PerfReport, error) {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return rep, nil
+}
+
+// RunPerfSuiteQuick runs every kernel body exactly once and reports
+// wall-clock-only results (Iterations=1, no allocator counters). It is
+// the CI smoke mode: it proves each kernel still sets up and runs, and
+// produces a BENCH_*.json artifact in seconds, without the statistical
+// weight of RunPerfSuite. Quick reports are not comparable baselines.
+func RunPerfSuiteQuick() (PerfReport, error) {
+	rep := PerfReport{
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, k := range perfKernels() {
+		body, err := k.setup()
+		if err != nil {
+			return rep, fmt.Errorf("bench: perf kernel %s: %w", k.name, err)
+		}
+		start := time.Now()
+		if err := body(); err != nil {
+			return rep, fmt.Errorf("bench: perf kernel %s: %w", k.name, err)
+		}
+		rep.Results = append(rep.Results, PerfResult{
+			Name:       k.name,
+			Iterations: 1,
+			NsPerOp:    float64(time.Since(start).Nanoseconds()),
 		})
 	}
 	return rep, nil

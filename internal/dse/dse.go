@@ -10,6 +10,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,11 +19,22 @@ import (
 	"wrbpg/internal/core"
 	"wrbpg/internal/dwt"
 	"wrbpg/internal/energy"
+	"wrbpg/internal/guard"
 	"wrbpg/internal/memdesign"
 	"wrbpg/internal/mvm"
 	"wrbpg/internal/synth"
 	"wrbpg/internal/wcfg"
 )
+
+// shape is the graph-determining part of a precision configuration:
+// two configs with equal shapes (differing only in display name) build
+// identical graphs, so they share one warm solver session during
+// exploration and the second evaluation runs entirely on memo hits.
+type shape struct{ wb, iw, nw int }
+
+func shapeOf(cfg wcfg.Config) shape {
+	return shape{cfg.WordBits, cfg.InputWords, cfg.NodeWords}
+}
 
 // Point is one evaluated design.
 type Point struct {
@@ -88,44 +100,59 @@ func Precisions(wordBits []int, accWords []int) []wcfg.Config {
 }
 
 // ExploreDWT evaluates the grid on DWT(n, d) with the optimum
-// scheduler.
+// scheduler. Configs sharing a weight shape reuse one warm
+// dwt.Session: the minimum-memory binary search probes and the final
+// schedule all land in the same P(v, b) memo.
 func ExploreDWT(n, d int, cfgs []wcfg.Config, proc synth.Process, ep energy.Params) ([]Point, error) {
+	ctx := context.Background()
+	sessions := make(map[shape]*dwt.Session, len(cfgs))
 	return explore(cfgs, proc, ep, func(cfg wcfg.Config) (cdag.Weight, int, core.Stats, error) {
-		g, err := dwt.Build(n, d, dwt.ConfigWeights(cfg))
+		se, ok := sessions[shapeOf(cfg)]
+		if !ok {
+			g, err := dwt.Build(n, d, dwt.ConfigWeights(cfg))
+			if err != nil {
+				return 0, 0, core.Stats{}, err
+			}
+			if se, err = dwt.NewSession(g); err != nil {
+				return 0, 0, core.Stats{}, err
+			}
+			sessions[shapeOf(cfg)] = se
+		}
+		g := se.Graph().G
+		b, err := memdesign.SearchMonotoneSession(ctx, guard.Limits{}, se,
+			core.LowerBound(g), core.MinExistenceBudget(g), g.TotalWeight(),
+			cdag.Weight(cfg.WordBits))
 		if err != nil {
 			return 0, 0, core.Stats{}, err
 		}
-		s, err := dwt.NewScheduler(g)
+		sched, err := se.ScheduleCtx(ctx, guard.Limits{}, b)
 		if err != nil {
 			return 0, 0, core.Stats{}, err
 		}
-		b, err := s.MinMemory(cdag.Weight(cfg.WordBits))
-		if err != nil {
-			return 0, 0, core.Stats{}, err
-		}
-		sched, err := s.Schedule(b)
-		if err != nil {
-			return 0, 0, core.Stats{}, err
-		}
-		stats, err := core.Simulate(g.G, b, sched)
+		stats, err := core.Simulate(g, b, sched)
 		return b, len(sched), stats, err
 	})
 }
 
 // ExploreMVM evaluates the grid on MVM(m, n) with the tiling
-// scheduler.
+// scheduler. Configs sharing a weight shape reuse one warm
+// mvm.Session, so repeated budgets answer from the tile-search memo.
 func ExploreMVM(m, n int, cfgs []wcfg.Config, proc synth.Process, ep energy.Params) ([]Point, error) {
+	ctx := context.Background()
+	sessions := make(map[shape]*mvm.Session, len(cfgs))
 	return explore(cfgs, proc, ep, func(cfg wcfg.Config) (cdag.Weight, int, core.Stats, error) {
-		g, err := mvm.Build(m, n, cfg)
-		if err != nil {
-			return 0, 0, core.Stats{}, err
+		se, ok := sessions[shapeOf(cfg)]
+		if !ok {
+			g, err := mvm.Build(m, n, cfg)
+			if err != nil {
+				return 0, 0, core.Stats{}, err
+			}
+			se = mvm.NewSession(g)
+			sessions[shapeOf(cfg)] = se
 		}
+		g := se.Graph()
 		b := g.MinMemory()
-		tc, _, err := g.Search(b)
-		if err != nil {
-			return 0, 0, core.Stats{}, err
-		}
-		sched, err := g.TileSchedule(tc)
+		sched, err := se.ScheduleCtx(ctx, guard.Limits{}, b)
 		if err != nil {
 			return 0, 0, core.Stats{}, err
 		}

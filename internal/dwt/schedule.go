@@ -8,6 +8,7 @@ import (
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
 	"wrbpg/internal/guard"
+	"wrbpg/internal/memdesign"
 )
 
 // Inf is the sentinel cost of an infeasible subproblem (the ∞ entries
@@ -295,35 +296,15 @@ func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, sched *core.Schedule) erro
 // MinMemory returns the minimum fast memory size of Definition 2.6:
 // the smallest budget (searched on multiples of step) whose minimum
 // schedule cost equals the algorithmic lower bound. MinCost is
-// monotone non-increasing in the budget, so binary search applies.
+// monotone non-increasing in the budget, so the binary search of
+// memdesign.SearchMonotone applies, and it runs inside this
+// scheduler's warm memo.
 func (s *Scheduler) MinMemory(step cdag.Weight) (cdag.Weight, error) {
-	if step <= 0 {
-		step = 1
-	}
 	g := s.dg.G
 	lb := core.LowerBound(g)
-	lo := core.MinExistenceBudget(g)
-	if r := lo % step; r != 0 {
-		lo += step - r
+	b, err := memdesign.SearchMonotone(s.MinCost, lb, core.MinExistenceBudget(g), g.TotalWeight(), step)
+	if err != nil {
+		return 0, fmt.Errorf("dwt: %w", err)
 	}
-	hi := g.TotalWeight()
-	if r := hi % step; r != 0 {
-		hi += step - r
-	}
-	if s.MinCost(hi) != lb {
-		return 0, fmt.Errorf("dwt: lower bound %d not attained even at budget %d", lb, hi)
-	}
-	for lo < hi {
-		mid := lo + (hi-lo)/2
-		mid -= mid % step
-		if mid < lo {
-			mid = lo
-		}
-		if s.MinCost(mid) == lb {
-			hi = mid
-		} else {
-			lo = mid + step
-		}
-	}
-	return hi, nil
+	return b, nil
 }

@@ -89,6 +89,26 @@ func New(ctx context.Context, lim Limits) *Checker {
 	return c
 }
 
+// Reset reinitializes c in place for a new solve under ctx and lim,
+// reusing the allocation — solver sessions own one Checker value and
+// Reset it per budget query, so a warm query allocates nothing (a
+// timeout context is still derived, and costs, when lim.Deadline is
+// positive; deadline-free sessions poll ctx directly). Any deadline
+// timer from the previous solve is released first, so Reset may be
+// called without an intervening Release.
+func (c *Checker) Reset(ctx context.Context, lim Limits) {
+	if c.cancel != nil {
+		c.cancel()
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	*c = Checker{ctx: ctx, lim: lim}
+	if lim.Deadline > 0 {
+		c.ctx, c.cancel = context.WithTimeout(ctx, lim.Deadline)
+	}
+}
+
 // Release frees the deadline timer, if any. Safe on nil.
 func (c *Checker) Release() {
 	if c != nil && c.cancel != nil {

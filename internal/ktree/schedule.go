@@ -7,10 +7,11 @@ import (
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
 	"wrbpg/internal/guard"
+	"wrbpg/internal/memdesign"
 	"wrbpg/internal/perm"
 )
 
-// entry is one memoized Pt(v, b) cell. The chosen parent order is
+// entry is one memoized Pt(v, ·) value. The chosen parent order is
 // stored as a row index into the shared permutation table of the
 // node's arity (perm.Table), so cells hold no per-cell slices; delta
 // bit i set means the parent at position i of that row keeps its red
@@ -19,20 +20,47 @@ type entry struct {
 	cost    cdag.Weight
 	permIdx int32
 	delta   uint16
-	valid   bool
+}
+
+// Budget-interval sentinels: Pt(v, ·) is a non-increasing step
+// function of the budget, so every computed value is valid on a whole
+// interval. Inf doubles as +∞ on the budget axis (no real budget
+// reaches it — weights sum far below MaxInt64/4).
+const (
+	budgetMax = Inf
+	budgetMin = -Inf
+)
+
+// ival is one step of Pt(v, ·): the entry holds on every budget in
+// [lo, hi] (inclusive).
+type ival struct {
+	lo, hi cdag.Weight
+	e      entry
 }
 
 // Scheduler computes Pt(v, b) (Eq. 6) with memoization and generates
 // optimal schedules for k-ary trees.
 //
-// The memo is a per-node slice indexed by a dense budget index (the
-// map below assigns consecutive indices to distinct budgets as they
-// are first seen), replacing the former map-of-maps: a cache hit is
-// one small map probe plus a slice load, with zero allocations.
+// The memo stores, per node, the steps of Pt(v, ·) as a sorted list
+// of disjoint budget intervals. A cold cell derives the interval on
+// which its value holds by intersecting the (shifted) intervals of
+// every child cell it consulted, so a query at a nearby budget — the
+// dominant access pattern of budget sweeps and the memory-design
+// binary search — is a warm hit instead of a fresh enumeration. A hit
+// is one branchless binary search over a short slice: no map, no
+// allocation.
 type Scheduler struct {
-	t         *Tree
-	budgetIdx map[cdag.Weight]int
-	memo      [][]entry
+	t    *Tree
+	memo [][]ival
+	// exist[v] is the subtree existence bound: Pt(v, b) is finite iff
+	// b ≥ exist[v]. The all-spill strategy computes every subtree node
+	// with only itself and its parents resident, so the bound is the
+	// subtree max of w_u + Σ parent weights (Proposition 2.3 applied
+	// to the subtree) — exact, and computable in one bottom-up pass.
+	// It short-circuits the whole infeasible region to an O(1) answer
+	// with a maximally wide interval, which is what keeps budget
+	// sweeps cheap near the existence boundary.
+	exist []cdag.Weight
 	// ck, when non-nil, is the active cancellation/budget guard of a
 	// *Ctx call. The DP checks it per cold cell and never memoizes
 	// results computed after it trips. nil (the default) costs one
@@ -50,39 +78,79 @@ func NewScheduler(t *Tree) *Scheduler {
 			perm.Table(k)
 		}
 	}
+	g := t.G
+	exist := make([]cdag.Weight, g.Len())
+	// Node IDs are topological by construction, so one forward pass
+	// sees every parent before its child.
+	for v := 0; v < g.Len(); v++ {
+		id := cdag.NodeID(v)
+		e := g.Weight(id)
+		for _, p := range g.Parents(id) {
+			e += g.Weight(p)
+		}
+		for _, p := range g.Parents(id) {
+			if exist[p] > e {
+				e = exist[p]
+			}
+		}
+		exist[v] = e
+	}
 	return &Scheduler{
-		t:         t,
-		budgetIdx: map[cdag.Weight]int{},
-		memo:      make([][]entry, t.G.Len()),
+		t:     t,
+		memo:  make([][]ival, t.G.Len()),
+		exist: exist,
 	}
 }
 
-// cell returns a pointer to the memo slot for (v, b), growing the
-// node's row on first touch of a new budget index.
-func (s *Scheduler) cell(v cdag.NodeID, b cdag.Weight) *entry {
-	bi, ok := s.budgetIdx[b]
-	if !ok {
-		bi = len(s.budgetIdx)
-		s.budgetIdx[b] = bi
-	}
+// lookup returns the memoized step covering budget b, or nil.
+func (s *Scheduler) lookup(v cdag.NodeID, b cdag.Weight) *ival {
 	row := s.memo[v]
-	if bi >= len(row) {
-		grown := make([]entry, bi+1)
-		copy(grown, row)
-		s.memo[v] = grown
-		row = grown
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid].lo <= b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return &row[bi]
+	if lo > 0 && row[lo-1].hi >= b {
+		return &row[lo-1]
+	}
+	return nil
 }
 
-// store memoizes a freshly computed cell unless the guard has tripped
+// store memoizes a freshly computed step unless the guard has tripped
 // (poisoned partial results must never persist) or the memo budget is
-// exhausted (which trips the guard for the rest of the solve).
-func (s *Scheduler) store(v cdag.NodeID, b cdag.Weight, e entry) {
+// exhausted (which trips the guard for the rest of the solve). The
+// interval is clipped to the uncovered gap around b, keeping the
+// per-node list sorted and disjoint; neighbouring steps computed from
+// different query points agree wherever they overlap, so clipping
+// loses nothing but redundancy.
+func (s *Scheduler) store(v cdag.NodeID, b cdag.Weight, iv ival) {
 	if s.ck != nil && (s.ck.Err() != nil || s.ck.AddMemo(1) != nil) {
 		return
 	}
-	*s.cell(v, b) = e
+	row := s.memo[v]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid].lo <= b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > 0 && row[lo-1].hi >= iv.lo {
+		iv.lo = row[lo-1].hi + 1
+	}
+	if lo < len(row) && row[lo].lo <= iv.hi {
+		iv.hi = row[lo].lo - 1
+	}
+	row = append(row, ival{})
+	copy(row[lo+1:], row[lo:])
+	row[lo] = iv
+	s.memo[v] = row
 }
 
 // pt computes Pt(v, b) of Eq. 6, minimizing over parent permutations
@@ -91,39 +159,47 @@ func (s *Scheduler) store(v cdag.NodeID, b cdag.Weight, e entry) {
 // permutation with δ=1 is always at least 2·w cheaper (sources
 // already hold blue pebbles), so the minimum is unchanged and the
 // generator never writes a blue pebble onto a node that has one.
-func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
-	if c := s.cell(v, b); c.valid {
-		return *c
+//
+// Alongside the entry, pt returns the budget interval [lo, hi] on
+// which it is valid: a cold cell starts from the feasibility cutoff
+// and narrows by every child interval it consults (shifted by the
+// red-pebble weight held while that child was queried). On the
+// intersection every configuration evaluates identically, so both
+// the minimum and the argmin are constant there.
+func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) (entry, cdag.Weight, cdag.Weight) {
+	if iv := s.lookup(v, b); iv != nil {
+		return iv.e, iv.lo, iv.hi
 	}
 	// Cancellation checkpoint on the cold path only: warm hits return
 	// above untouched, and an all-warm solve finishes in microseconds.
+	// The poisoned value carries the empty-width interval [b, b] so a
+	// caller can never widen its own step with it; store refuses it
+	// and everything above anyway.
 	if s.ck != nil && s.ck.Tick() != nil {
-		return entry{cost: Inf}
+		return entry{cost: Inf}, b, b
 	}
 	g := s.t.G
-	var best entry
+	// The whole infeasible region is one O(1) step: Pt(v, b) is finite
+	// exactly when b reaches the subtree existence bound.
+	if b < s.exist[v] {
+		e := entry{cost: Inf}
+		s.store(v, b, ival{lo: budgetMin, hi: s.exist[v] - 1, e: e})
+		return e, budgetMin, s.exist[v] - 1
+	}
 	if g.IsSource(v) {
-		if g.Weight(v) <= b {
-			best = entry{cost: g.Weight(v)}
-		} else {
-			best = entry{cost: Inf}
-		}
-		best.valid = true
-		s.store(v, b, best)
-		return best
+		w := g.Weight(v)
+		e := entry{cost: w}
+		s.store(v, b, ival{lo: w, hi: budgetMax, e: e})
+		return e, w, budgetMax
 	}
 	parents := g.Parents(v)
 	k := len(parents)
-	var parentSum cdag.Weight
-	for _, p := range parents {
-		parentSum += g.Weight(p)
-	}
-	if g.Weight(v)+parentSum > b {
-		best = entry{cost: Inf, valid: true}
-		s.store(v, b, best)
-		return best
-	}
-	best = entry{cost: Inf}
+	// Every feasible configuration consults all k children, whose
+	// intervals start no lower than their own existence bounds, so the
+	// narrowing below keeps lo ≥ exist[v] automatically; starting from
+	// the local co-residency cutoff is enough.
+	lo, hi := s.exist[v], budgetMax
+	best := entry{cost: Inf}
 	for pi, order := range perm.Table(k) {
 		for delta := uint16(0); delta < 1<<uint(k); delta++ {
 			skip := false
@@ -135,7 +211,13 @@ func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
 					skip = true // dominated; see doc comment
 					break
 				}
-				sub := s.pt(p, b-held)
+				sub, slo, shi := s.pt(p, b-held)
+				if nlo := slo + held; nlo > lo {
+					lo = nlo
+				}
+				if nhi := shi + held; nhi < hi {
+					hi = nhi
+				}
 				if sub.cost >= Inf {
 					skip = true
 					break
@@ -153,16 +235,15 @@ func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) entry {
 			best = entry{cost: cost, permIdx: int32(pi), delta: delta}
 		}
 	}
-	best.valid = true
-	s.store(v, b, best)
-	return best
+	s.store(v, b, ival{lo: lo, hi: hi, e: best})
+	return best, lo, hi
 }
 
 // MinCost returns the minimum weighted schedule cost for the whole
 // tree under budget b: w_root + Pt(root, b) (Eq. 7), or Inf when no
 // valid schedule exists.
 func (s *Scheduler) MinCost(b cdag.Weight) cdag.Weight {
-	e := s.pt(s.t.Root, b)
+	e, _, _ := s.pt(s.t.Root, b)
 	if e.cost >= Inf {
 		return Inf
 	}
@@ -221,7 +302,7 @@ func (s *Scheduler) Schedule(b cdag.Weight) (core.Schedule, error) {
 // no other red pebbles in v's subtree.
 func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, sched *core.Schedule) error {
 	g := s.t.G
-	e := s.pt(v, b)
+	e, _, _ := s.pt(v, b)
 	if e.cost >= Inf {
 		return fmt.Errorf("ktree: internal error: infeasible subproblem node %d budget %d", v, b)
 	}
@@ -260,36 +341,16 @@ func (s *Scheduler) gen(v cdag.NodeID, b cdag.Weight, sched *core.Schedule) erro
 
 // MinMemory returns the smallest budget (on multiples of step) whose
 // optimal cost equals the algorithmic lower bound (Definition 2.6).
+// The binary search runs inside this scheduler's warm memo via
+// memdesign.SearchMonotone.
 func (s *Scheduler) MinMemory(step cdag.Weight) (cdag.Weight, error) {
-	if step <= 0 {
-		step = 1
-	}
 	g := s.t.G
 	lb := core.LowerBound(g)
-	lo := core.MinExistenceBudget(g)
-	if r := lo % step; r != 0 {
-		lo += step - r
+	b, err := memdesign.SearchMonotone(s.MinCost, lb, core.MinExistenceBudget(g), g.TotalWeight(), step)
+	if err != nil {
+		return 0, fmt.Errorf("ktree: %w", err)
 	}
-	hi := g.TotalWeight()
-	if r := hi % step; r != 0 {
-		hi += step - r
-	}
-	if s.MinCost(hi) != lb {
-		return 0, fmt.Errorf("ktree: lower bound %d not attained even at budget %d", lb, hi)
-	}
-	for lo < hi {
-		mid := lo + (hi-lo)/2
-		mid -= mid % step
-		if mid < lo {
-			mid = lo
-		}
-		if s.MinCost(mid) == lb {
-			hi = mid
-		} else {
-			lo = mid + step
-		}
-	}
-	return hi, nil
+	return b, nil
 }
 
 // StrategyCount returns 2^k·k!, the number of per-node strategies the

@@ -1,0 +1,111 @@
+package memdesign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/guard"
+	"wrbpg/internal/par"
+)
+
+// fnQuerier adapts a pure cost function to CostQuerier, counting
+// queries so tests can assert probe budgets.
+type fnQuerier struct {
+	fn    func(cdag.Weight) cdag.Weight
+	err   error
+	calls int
+}
+
+func (q *fnQuerier) CostCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error) {
+	q.calls++
+	if q.err != nil {
+		return 0, q.err
+	}
+	return q.fn(b), nil
+}
+
+// TestSearchSessionMatchesPlain: the session-aware searches must find
+// exactly what their CostFn counterparts find.
+func TestSearchSessionMatchesPlain(t *testing.T) {
+	ctx := context.Background()
+	wantM, err := SearchMonotone(stepFn, 10, 0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, err := SearchMonotoneSession(ctx, guard.Limits{}, &fnQuerier{fn: stepFn}, 10, 0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotM != wantM {
+		t.Errorf("SearchMonotoneSession = %d, SearchMonotone = %d", gotM, wantM)
+	}
+
+	wantL, err := SearchLinear(combFn, 7, 0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotL, err := SearchLinearSession(ctx, guard.Limits{}, &fnQuerier{fn: combFn}, 7, 0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotL != wantL {
+		t.Errorf("SearchLinearSession = %d, SearchLinear = %d", gotL, wantL)
+	}
+
+	// Miss cases error like the plain searches.
+	if _, err := SearchMonotoneSession(ctx, guard.Limits{}, &fnQuerier{fn: stepFn}, 1, 0, 100, 4); err == nil {
+		t.Error("unreachable monotone target should error")
+	}
+	if _, err := SearchLinearSession(ctx, guard.Limits{}, &fnQuerier{fn: combFn}, 7, 0, 20, 4); err == nil {
+		t.Error("target beyond linear range should error")
+	}
+}
+
+// TestSearchSessionPropagatesAbort: a querier abort (deadline etc.)
+// surfaces from the search instead of being misread as a cost.
+func TestSearchSessionPropagatesAbort(t *testing.T) {
+	ctx := context.Background()
+	q := &fnQuerier{err: fmt.Errorf("wrapped: %w", guard.ErrDeadline)}
+	if _, err := SearchMonotoneSession(ctx, guard.Limits{}, q, 10, 0, 100, 4); !errors.Is(err, guard.ErrDeadline) {
+		t.Errorf("monotone abort: got %v", err)
+	}
+	if _, err := SearchLinearSession(ctx, guard.Limits{}, q, 7, 0, 100, 4); !errors.Is(err, guard.ErrDeadline) {
+		t.Errorf("linear abort: got %v", err)
+	}
+}
+
+// TestSweepCostsSession: session sweep matches direct evaluation,
+// reuses the out buffer, and reports injected faults as typed panic
+// errors with the partial prefix.
+func TestSweepCostsSession(t *testing.T) {
+	ctx := context.Background()
+	budgets := []cdag.Weight{8, 16, 40, 48}
+	out, err := SweepCostsSession(ctx, guard.Limits{}, &fnQuerier{fn: stepFn}, budgets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []cdag.Weight{100, 100, 10, 10}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("SweepCostsSession[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+
+	restore := par.SetFaultHook(func(i int) {
+		if i == 2 {
+			panic("injected memdesign fault")
+		}
+	})
+	defer restore()
+	partial, err := SweepCostsSession(ctx, guard.Limits{}, &fnQuerier{fn: stepFn}, budgets, out[:0])
+	var pe *par.PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("fault run: err = %v, want *par.PanicError at index 2", err)
+	}
+	if len(partial) != 2 || partial[0] != 100 || partial[1] != 100 {
+		t.Fatalf("fault run prefix = %v, want the first two costs", partial)
+	}
+}

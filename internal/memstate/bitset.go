@@ -208,21 +208,21 @@ func ancestorMasks(g *cdag.Graph) []Bitset {
 	return masks
 }
 
-// pmKey is the packed DP state of Eq. 8: target node, budget, and the
-// handles of the initial and reuse sets. It is a comparable struct,
-// so memo lookups build no strings and perform zero allocations —
-// previously each lookup sorted both sets and Sprintf'd a key.
+// pmKey is the packed budget-free DP state of Eq. 8: target node and
+// the handles of the initial and reuse sets. The budget is *not* part
+// of the key — Pm(v, ·, I, R) is a non-increasing step function of
+// the budget, so each key owns a list of disjoint budget intervals on
+// which the value is constant (pmIval). It is a comparable struct, so
+// memo lookups build no strings and perform zero allocations.
 type pmKey struct {
 	v          cdag.NodeID
-	b          cdag.Weight
 	ini, reuse uint64
 }
 
-// hash mixes the four key fields; it must stay inlinable — it runs on
-// every memo probe, warm or cold.
+// hash mixes the three key fields; it must stay inlinable — it runs
+// on every memo probe, warm or cold.
 func (k pmKey) hash() uint64 {
 	h := uint64(uint32(k.v)) * 0x9E3779B97F4A7C15
-	h ^= uint64(k.b) * 0xC2B2AE3D27D4EB4F
 	h ^= k.ini * 0x165667B19E3779F9
 	h ^= k.reuse * 0x27D4EB2F165667C5
 	h ^= h >> 32
@@ -230,12 +230,21 @@ func (k pmKey) hash() uint64 {
 	return h ^ h>>29
 }
 
+// pmIval records that Pm for its key equals cost on every budget in
+// [lo, hi]. Intervals in a slot are sorted by lo and pairwise
+// disjoint.
+type pmIval struct {
+	lo, hi cdag.Weight
+	cost   cdag.Weight
+}
+
 // pmTable is the Pm memo: an open-addressed hash table with linear
-// probing, specialized to pmKey. It replaces map[pmKey]cdag.Weight on
-// the DP hot path — probing a flat slot array with an inlined integer
-// hash skips the runtime's generic hashing and bucket walk, which
-// dominated warm-hit cost. The zero value is an empty table; there is
-// no deletion.
+// probing, specialized to pmKey, whose slots hold sorted
+// budget-interval lists. Probing a flat slot array with an inlined
+// integer hash skips the runtime's generic hashing and bucket walk,
+// and a warm hit answers a whole budget *range* per entry — the
+// mechanism that lets a k-budget sweep cost about one solve instead
+// of k. The zero value is an empty table; there is no deletion.
 type pmTable struct {
 	mask  uint64
 	n     int
@@ -243,27 +252,46 @@ type pmTable struct {
 }
 
 type pmSlot struct {
-	key  pmKey
-	cost cdag.Weight
-	full bool
+	key   pmKey
+	ivals []pmIval
+	full  bool
 }
 
-func (t *pmTable) get(k pmKey) (cdag.Weight, bool) {
+// get returns the memoized cost covering budget b along with its
+// validity interval. The binary search allocates nothing.
+func (t *pmTable) get(k pmKey, b cdag.Weight) (cdag.Weight, cdag.Weight, cdag.Weight, bool) {
 	if t.slots == nil {
-		return 0, false
+		return 0, 0, 0, false
 	}
 	for i := k.hash() & t.mask; ; i = (i + 1) & t.mask {
 		s := &t.slots[i]
 		if !s.full {
-			return 0, false
+			return 0, 0, 0, false
 		}
 		if s.key == k {
-			return s.cost, true
+			row := s.ivals
+			lo, hi := 0, len(row)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if row[mid].lo <= b {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo > 0 && row[lo-1].hi >= b {
+				iv := row[lo-1]
+				return iv.cost, iv.lo, iv.hi, true
+			}
+			return 0, 0, 0, false
 		}
 	}
 }
 
-func (t *pmTable) put(k pmKey, c cdag.Weight) {
+// put inserts iv, clipped to the uncovered gap it lands in. Neighbours
+// are restrictions of the same step function, so on any overlap they
+// agree and clipping discards only redundancy.
+func (t *pmTable) put(k pmKey, iv pmIval) {
 	// Grow at 3/4 occupancy so probe chains stay short.
 	if (t.n+1)*4 > len(t.slots)*3 {
 		t.grow()
@@ -271,12 +299,34 @@ func (t *pmTable) put(k pmKey, c cdag.Weight) {
 	for i := k.hash() & t.mask; ; i = (i + 1) & t.mask {
 		s := &t.slots[i]
 		if !s.full {
-			*s = pmSlot{key: k, cost: c, full: true}
+			*s = pmSlot{key: k, ivals: []pmIval{iv}, full: true}
 			t.n++
 			return
 		}
 		if s.key == k {
-			s.cost = c
+			row := s.ivals
+			lo, hi := 0, len(row)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if row[mid].lo <= iv.lo {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo > 0 && row[lo-1].hi >= iv.lo {
+				iv.lo = row[lo-1].hi + 1
+			}
+			if lo < len(row) && row[lo].lo <= iv.hi {
+				iv.hi = row[lo].lo - 1
+			}
+			if iv.lo > iv.hi {
+				return
+			}
+			row = append(row, pmIval{})
+			copy(row[lo+1:], row[lo:])
+			row[lo] = iv
+			s.ivals = row
 			return
 		}
 	}

@@ -67,7 +67,8 @@ func (s *KScheduler) Restrict(x Bitset, u cdag.NodeID) Bitset {
 
 // Cost returns the k-ary Pm(v, b, I_v, R_v).
 func (s *KScheduler) Cost(v cdag.NodeID, b cdag.Weight, initial, reuse Bitset) cdag.Weight {
-	return s.pmk(v, b, s.Restrict(initial, v), s.Restrict(reuse, v))
+	c, _, _ := s.pmk(v, b, s.Restrict(initial, v), s.Restrict(reuse, v))
+	return c
 }
 
 // CostCtx is Cost under a cancellation context and resource limits,
@@ -91,20 +92,23 @@ func (s *KScheduler) PlainCost(v cdag.NodeID, b cdag.Weight) cdag.Weight {
 }
 
 // pmk holds only the memo probe so warm hits run in a tiny frame; the
-// enumeration lives in pmkCold with its large stack arrays.
-func (s *KScheduler) pmk(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Weight {
-	key := pmKey{v: v, b: b, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
-	if c, ok := s.memo.get(key); ok {
-		return c
+// enumeration lives in pmkCold with its large stack arrays. Like
+// Scheduler.pm it returns the value together with the budget interval
+// [lo, hi] ∋ b on which it is valid.
+func (s *KScheduler) pmk(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) (cdag.Weight, cdag.Weight, cdag.Weight) {
+	key := pmKey{v: v, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
+	if c, lo, hi, ok := s.memo.get(key, b); ok {
+		return c, lo, hi
 	}
 	return s.pmkCold(key, v, b, ini, reuse)
 }
 
-func (s *KScheduler) pmkCold(key pmKey, v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Weight {
+func (s *KScheduler) pmkCold(key pmKey, v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) (cdag.Weight, cdag.Weight, cdag.Weight) {
 	// Cancellation checkpoint on the cold path only: warm hits never
-	// reach this function.
+	// reach this function. The tripped return carries an empty-width
+	// interval so enclosing cells cannot widen around a poisoned value.
 	if s.ck != nil && s.ck.Tick() != nil {
-		return Inf
+		return Inf, b, b
 	}
 	g := s.g
 	// Guard: v, its parents and its reuse set must co-reside.
@@ -121,9 +125,10 @@ func (s *KScheduler) pmkCold(key pmKey, v cdag.NodeID, b cdag.Weight, ini, reuse
 		}
 	}
 	var cost cdag.Weight
+	lo, hi := guard, cdag.Weight(budgetMax)
 	switch {
 	case guard > b:
-		cost = Inf
+		cost, lo, hi = Inf, budgetMin, guard-1
 	case ini.Has(v):
 		cost = 0
 		reuse.ForEach(func(r cdag.NodeID) {
@@ -160,7 +165,19 @@ func (s *KScheduler) pmkCold(key pmKey, v cdag.NodeID, b cdag.Weight, ini, reuse
 				for i := 0; i < k; i++ {
 					oi := order[i]
 					pendingIni -= iniW[oi] // its own subtree is being computed now
-					sub := s.pmk(parents[oi], b-pendingIni-heldBefore, iniP[oi], reuseP[oi])
+					shift := pendingIni + heldBefore
+					sub, slo, shi := s.pmk(parents[oi], b-shift, iniP[oi], reuseP[oi])
+					// Intersect the sub-call's validity interval
+					// (shifted back to this cell's budget axis) before
+					// acting on its value: the enumeration's outcome —
+					// including this break — is constant only where
+					// every consulted sub-value is.
+					if nlo := slo + shift; nlo > lo {
+						lo = nlo
+					}
+					if nhi := shi + shift; nhi < hi {
+						hi = nhi
+					}
 					if sub >= Inf {
 						bad = true
 						break
@@ -187,7 +204,7 @@ func (s *KScheduler) pmkCold(key pmKey, v cdag.NodeID, b cdag.Weight, ini, reuse
 	// Never memoize after a trip: children returned poisoned Inf costs
 	// that must not survive into later solves.
 	if s.ck == nil || (s.ck.Err() == nil && s.ck.AddMemo(1) == nil) {
-		s.memo.put(key, cost)
+		s.memo.put(key, pmIval{lo: lo, hi: hi, cost: cost})
 	}
-	return cost
+	return cost, lo, hi
 }

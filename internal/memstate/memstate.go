@@ -36,6 +36,13 @@ import (
 // Inf is the sentinel cost of an infeasible subproblem.
 const Inf cdag.Weight = math.MaxInt64 / 4
 
+// Budget-interval sentinels: a memoized value valid "for every budget
+// from here up" (or down) uses these as its open end.
+const (
+	budgetMax = Inf
+	budgetMin = -Inf
+)
+
 // Scheduler evaluates Pm on a binary in-tree.
 type Scheduler struct {
 	g    *cdag.Graph
@@ -79,7 +86,8 @@ func (s *Scheduler) Restrict(x Bitset, u cdag.NodeID) Bitset {
 // restricted to v's subtree internally, so passing global states is
 // safe.
 func (s *Scheduler) Cost(v cdag.NodeID, b cdag.Weight, initial, reuse Bitset) cdag.Weight {
-	return s.pm(v, b, s.Restrict(initial, v), s.Restrict(reuse, v))
+	c, _, _ := s.pm(v, b, s.Restrict(initial, v), s.Restrict(reuse, v))
+	return c
 }
 
 // CostCtx is Cost under a cancellation context and resource limits. It
@@ -99,15 +107,22 @@ func (s *Scheduler) CostCtx(ctx context.Context, lim guard.Limits, v cdag.NodeID
 	return c, nil
 }
 
-func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Weight {
-	key := pmKey{v: v, b: b, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
-	if c, ok := s.memo.get(key); ok {
-		return c
+// pm returns Pm(v, b, I, R) together with the budget interval
+// [lo, hi] ∋ b on which that value holds. Every case below derives
+// its interval from quantities independent of b (the co-residency
+// guard, node weights) intersected with the shifted intervals of the
+// sub-calls it consulted — on that intersection every consulted value
+// is constant, so the minimum is too.
+func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) (cdag.Weight, cdag.Weight, cdag.Weight) {
+	key := pmKey{v: v, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
+	if c, lo, hi, ok := s.memo.get(key, b); ok {
+		return c, lo, hi
 	}
 	// Cancellation checkpoint on the cold path only: warm hits return
-	// above untouched.
+	// above untouched. The tripped return carries an empty-width
+	// interval so enclosing cells cannot widen around a poisoned value.
 	if s.ck != nil && s.ck.Tick() != nil {
-		return Inf
+		return Inf, b, b
 	}
 	g := s.g
 	// Budget guard: v, its parents and its reuse set must co-reside.
@@ -124,9 +139,10 @@ func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Wei
 		}
 	}
 	var cost cdag.Weight
+	lo, hi := guard, cdag.Weight(budgetMax)
 	switch {
 	case guard > b:
-		cost = Inf
+		cost, lo, hi = Inf, budgetMin, guard-1
 	case ini.Has(v):
 		// v already resident: only bring in reuse nodes not yet in
 		// fast memory (they hold blue pebbles).
@@ -164,14 +180,29 @@ func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Wei
 			}
 			return w
 		}
+		// sub evaluates one sub-call at budget b-shift and intersects
+		// its validity interval (shifted back) into [lo, hi].
+		sub := func(p cdag.NodeID, shift cdag.Weight, pi, pr Bitset) cdag.Weight {
+			c, slo, shi := s.pm(p, b-shift, pi, pr)
+			if nlo := slo + shift; nlo > lo {
+				lo = nlo
+			}
+			if nhi := shi + shift; nhi < hi {
+				hi = nhi
+			}
+			return c
+		}
 
 		// Strategy: p1 first. Its budget excludes p2's initially
 		// resident nodes; p2's budget then excludes p1's reuse nodes
-		// (plus p1 itself if kept red).
-		spill1 := add(s.pm(p1, b-i2.Weight(g), i1, r1), s.pm(p2, b-r1.Weight(g), i2, r2), 2*w1)
-		keep1 := add(s.pm(p1, b-i2.Weight(g), i1, r1), s.pm(p2, b-unionW(r1, p1), i2, r2))
-		spill2 := add(s.pm(p2, b-i1.Weight(g), i2, r2), s.pm(p1, b-r2.Weight(g), i1, r1), 2*w2)
-		keep2 := add(s.pm(p2, b-i1.Weight(g), i2, r2), s.pm(p1, b-unionW(r2, p2), i1, r1))
+		// (plus p1 itself if kept red). The six distinct sub-calls are
+		// hoisted so each is consulted (and intersected) once.
+		first1 := sub(p1, i2.Weight(g), i1, r1)
+		first2 := sub(p2, i1.Weight(g), i2, r2)
+		spill1 := add(first1, sub(p2, r1.Weight(g), i2, r2), 2*w1)
+		keep1 := add(first1, sub(p2, unionW(r1, p1), i2, r2))
+		spill2 := add(first2, sub(p1, r2.Weight(g), i1, r1), 2*w2)
+		keep2 := add(first2, sub(p1, unionW(r2, p2), i1, r1))
 
 		cost = keep1
 		for _, c := range []cdag.Weight{keep2, spill1, spill2} {
@@ -186,9 +217,9 @@ func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) cdag.Wei
 	// Never memoize after a trip: children returned poisoned Inf costs
 	// that must not survive into later solves.
 	if s.ck == nil || (s.ck.Err() == nil && s.ck.AddMemo(1) == nil) {
-		s.memo.put(key, cost)
+		s.memo.put(key, pmIval{lo: lo, hi: hi, cost: cost})
 	}
-	return cost
+	return cost, lo, hi
 }
 
 // PlainCost returns Pm with empty states, which coincides with the

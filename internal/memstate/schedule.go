@@ -58,10 +58,14 @@ func (s *Scheduler) pmChoice(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) ch
 		}
 		return w
 	}
-	keep1 := add(s.pm(p1, b-i2.Weight(g), i1, r1), s.pm(p2, b-unionW(r1, p1), i2, r2))
-	keep2 := add(s.pm(p2, b-i1.Weight(g), i2, r2), s.pm(p1, b-unionW(r2, p2), i1, r1))
-	spill1 := add(s.pm(p1, b-i2.Weight(g), i1, r1), s.pm(p2, b-r1.Weight(g), i2, r2), 2*w1)
-	spill2 := add(s.pm(p2, b-i1.Weight(g), i2, r2), s.pm(p1, b-r2.Weight(g), i1, r1), 2*w2)
+	pm := func(p cdag.NodeID, pb cdag.Weight, pi, pr Bitset) cdag.Weight {
+		c, _, _ := s.pm(p, pb, pi, pr)
+		return c
+	}
+	keep1 := add(pm(p1, b-i2.Weight(g), i1, r1), pm(p2, b-unionW(r1, p1), i2, r2))
+	keep2 := add(pm(p2, b-i1.Weight(g), i2, r2), pm(p1, b-unionW(r2, p2), i1, r1))
+	spill1 := add(pm(p1, b-i2.Weight(g), i1, r1), pm(p2, b-r1.Weight(g), i2, r2), 2*w1)
+	spill2 := add(pm(p2, b-i1.Weight(g), i2, r2), pm(p1, b-r2.Weight(g), i1, r1), 2*w2)
 
 	best, c := keep1, choiceKeep1
 	if keep2 < best {
@@ -106,7 +110,7 @@ func (s *Scheduler) StartLabels(ini, reuse Bitset) []core.Label {
 func (s *Scheduler) Schedule(v cdag.NodeID, b cdag.Weight, initial, reuse Bitset) (core.Schedule, error) {
 	ini := s.Restrict(initial, v)
 	r := s.Restrict(reuse, v)
-	if c := s.pm(v, b, ini, r); c >= Inf {
+	if c, _, _ := s.pm(v, b, ini, r); c >= Inf {
 		return nil, fmt.Errorf("memstate: Pm(%d, %d, %s, %s) is infeasible",
 			v, b, Describe(s.g, ini), Describe(s.g, r))
 	}

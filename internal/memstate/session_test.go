@@ -1,0 +1,95 @@
+package memstate
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/guard"
+	"wrbpg/internal/ktree"
+)
+
+func sessionFixture(t *testing.T) (*ktree.Tree, cdag.NodeID, Bitset) {
+	t.Helper()
+	tr, err := ktree.FullTree(3, 3, func(d, i int) cdag.Weight { return 1 + cdag.Weight(i%2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, tr.Root, NewBitset(tr.G.Sources()[0])
+}
+
+// TestSessionMatchesOneShot: warm session answers over an out-of-order
+// budget list must equal independent cold KScheduler queries with the
+// same pinned (node, initial, reuse) arguments.
+func TestSessionMatchesOneShot(t *testing.T) {
+	tr, root, reuse := sessionFixture(t)
+	se, err := NewSession(tr.G, root, Bitset{}, reuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	min := core.MinExistenceBudget(tr.G)
+	budgets := []cdag.Weight{min + 12, min, min + 5, min - 1, min + 12, min + 2}
+	for _, b := range budgets {
+		got, err := se.CostCtx(ctx, guard.Limits{}, b)
+		if err != nil {
+			t.Fatalf("CostCtx(%d): %v", b, err)
+		}
+		s, err := NewKScheduler(tr.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := s.Cost(root, b, Bitset{}, reuse); got != want {
+			t.Errorf("CostCtx(%d) = %d, cold Cost = %d", b, got, want)
+		}
+	}
+}
+
+// TestSessionWarmCostZeroAlloc: a repeated budget query is a pure memo
+// probe through the session's reused guard checker.
+func TestSessionWarmCostZeroAlloc(t *testing.T) {
+	tr, root, reuse := sessionFixture(t)
+	se, err := NewSession(tr.G, root, Bitset{}, reuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	b := core.MinExistenceBudget(tr.G) + 4
+	if _, err := se.CostCtx(ctx, guard.Limits{}, b); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		se.CostCtx(ctx, guard.Limits{}, b) //nolint:errcheck
+	})
+	if allocs != 0 {
+		t.Errorf("warm CostCtx allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSessionAbortThenReuse: a resource-limited query aborts typed and
+// leaves the memo unpoisoned.
+func TestSessionAbortThenReuse(t *testing.T) {
+	tr, root, reuse := sessionFixture(t)
+	se, err := NewSession(tr.G, root, Bitset{}, reuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	b := core.MinExistenceBudget(tr.G) + 6
+	if _, err := se.CostCtx(ctx, guard.Limits{MaxMemoEntries: 1}, b); !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("limited query: got %v, want ErrBudgetExceeded", err)
+	}
+	got, err := se.CostCtx(ctx, guard.Limits{}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewKScheduler(tr.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := s.Cost(root, b, Bitset{}, reuse); got != want {
+		t.Errorf("after abort, CostCtx(%d) = %d, want %d", b, got, want)
+	}
+}

@@ -43,6 +43,10 @@ type Graph struct {
 	// graph is immutable after Build and Search's candidate loop hits
 	// PredictCost once or twice per height.
 	lb cdag.Weight
+	// cand caches the candidate tile heights (see Candidates): they
+	// depend only on M, so Build computes them once and Search's hot
+	// path reads them without allocating.
+	cand []int
 }
 
 // Build constructs MVM(m, n) with class weights from cfg. m ≥ 2 and
@@ -99,6 +103,7 @@ func Build(m, n int, cfg wcfg.Config) (*Graph, error) {
 		return nil, fmt.Errorf("mvm: internal construction error: %w", err)
 	}
 	out.lb = core.LowerBound(g)
+	out.cand = out.candidates()
 	return out, nil
 }
 

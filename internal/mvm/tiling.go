@@ -166,11 +166,23 @@ func (g *Graph) PredictPeak(tc TileConfig) cdag.Weight {
 
 // Candidates returns the tile heights worth searching: for each
 // distinct tile count q = ⌈m/h⌉ the smallest h achieving it, since
-// cost depends on h only through q while peak grows with h. As q
-// grows the height ⌈m/q⌉ is non-increasing, so duplicates are always
-// adjacent and a single previous-value check replaces the former
-// seen-map — no allocations beyond the result slice.
+// cost depends on h only through q while peak grows with h. The set
+// depends only on M, so Build computes it once; Candidates returns a
+// copy (Search reads the cached slice directly and allocates nothing).
 func (g *Graph) Candidates() []int {
+	cand := g.cand
+	if cand == nil {
+		cand = g.candidates()
+	}
+	out := make([]int, len(cand))
+	copy(out, cand)
+	return out
+}
+
+// candidates enumerates the distinct heights. As q grows the height
+// ⌈m/q⌉ is non-increasing, so duplicates are always adjacent and a
+// single previous-value check replaces the former seen-map.
+func (g *Graph) candidates() []int {
 	out := make([]int, 0, 2*isqrt(g.M))
 	prev := -1
 	for q := 1; q <= g.M; q++ {
@@ -271,10 +283,14 @@ func (g *Graph) SearchCtx(ctx context.Context, lim guard.Limits, budget cdag.Wei
 }
 
 // sharedSearch implements Search for an optional guard. ck == nil is
-// the plain Search hot path and must stay allocation-free beyond the
-// candidate slice; every guard access below is nil-safe.
+// the plain Search hot path and must stay allocation-free (the
+// candidate heights are cached on the graph); every guard access below
+// is nil-safe.
 func (g *Graph) sharedSearch(ck *guard.Checker, budget cdag.Weight) (TileConfig, cdag.Weight, error) {
-	heights := g.Candidates()
+	heights := g.cand
+	if heights == nil {
+		heights = g.candidates() // hand-constructed Graph (tests)
+	}
 	best := searchResult{cost: Inf, peak: Inf}
 	if len(heights) >= searchParallelThreshold {
 		chunks := par.Chunks(len(heights), 0)

@@ -54,6 +54,17 @@ func SetFaultHook(h func(index int)) (restore func()) {
 	return func() { faultHook.Store(prev) }
 }
 
+// Fault invokes the installed fault hook for item index i, or does
+// nothing when no hook is installed. Serial iteration points outside
+// the pool (session budget sweeps) call it per item so the same
+// SetFaultHook tests exercise them; callers are expected to recover
+// the hook's panic exactly as the pool workers do.
+func Fault(i int) {
+	if h := faultHook.Load(); h != nil {
+		(*h)(i)
+	}
+}
+
 // Map evaluates f over every input on a bounded worker pool and
 // returns the outputs in input order. workers ≤ 0 selects
 // GOMAXPROCS. The first error wins: once any job fails, the producer

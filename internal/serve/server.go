@@ -16,9 +16,18 @@
 //
 //	POST /v1/schedule        solve one instance (cache-backed)
 //	POST /v1/schedule/batch  fan out independent solves, partial failure
+//	POST /v1/schedule/sweep  many budgets, one warm solver session
 //	GET  /v1/lowerbound      Proposition 2.3/2.4 bounds, no solve
 //	GET  /healthz            liveness
-//	GET  /statsz             cache/solver/latency counters
+//	GET  /statsz             cache/solver/latency/session counters
+//
+// The sweep path keeps a pool of warm solver sessions keyed by the
+// instance's budget-free ShapeKey: the DP memos share sub-budget cells
+// across budget queries, so answering k budgets costs roughly one cold
+// solve, and answering them again is pure memo hits. Per-request
+// workspaces recycle through a sync.Pool, so steady-state sweep
+// traffic performs zero allocations per warm query (see
+// docs/PERFORMANCE.md, "The sweep engine").
 package serve
 
 import (
@@ -29,6 +38,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"wrbpg/internal/core"
@@ -61,6 +71,11 @@ type Options struct {
 	// (default 64); MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBatch     int
 	MaxBodyBytes int64
+	// MaxSweepBudgets bounds the budget list of one sweep request
+	// (default 128). SweepSessions caps the warm-session pool backing
+	// POST /v1/schedule/sweep (default 32, LRU-evicted).
+	MaxSweepBudgets int
+	SweepSessions   int
 }
 
 // withDefaults resolves zero fields.
@@ -86,6 +101,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
 	}
+	if o.MaxSweepBudgets <= 0 {
+		o.MaxSweepBudgets = 128
+	}
+	if o.SweepSessions <= 0 {
+		o.SweepSessions = 32
+	}
 	return o
 }
 
@@ -93,20 +114,33 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts  Options
 	cache *schedcache.Cache[*wire.ScheduleResult]
-	sem   chan struct{}
-	m     metrics
-	start time.Time
+	// sessions is the warm solver-session pool keyed by the instance
+	// ShapeKey (budget-free identity); one LRU shard keeps the live
+	// count exactly at SweepSessions.
+	sessions *schedcache.Cache[*sessionEntry]
+	// wsPool recycles sweep workspaces (budget/cost/item buffers), so
+	// steady-state sweep traffic allocates nothing per warm query.
+	wsPool sync.Pool
+	sem    chan struct{}
+	m      metrics
+	start  time.Time
 }
 
 // New builds a Server with the given options.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
-		opts:  opts,
-		cache: schedcache.New[*wire.ScheduleResult](opts.CacheShards, opts.CachePerShard),
-		sem:   make(chan struct{}, opts.MaxInflight),
-		start: time.Now(),
+	s := &Server{
+		opts:     opts,
+		cache:    schedcache.New[*wire.ScheduleResult](opts.CacheShards, opts.CachePerShard),
+		sessions: schedcache.New[*sessionEntry](1, opts.SweepSessions),
+		sem:      make(chan struct{}, opts.MaxInflight),
+		start:    time.Now(),
 	}
+	s.wsPool.New = func() any {
+		s.m.wsAllocs.Add(1)
+		return &sweepWorkspace{}
+	}
+	return s
 }
 
 // Handler returns the HTTP handler serving every endpoint.
@@ -114,6 +148,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	mux.HandleFunc("/v1/schedule/batch", s.handleBatch)
+	mux.HandleFunc("/v1/schedule/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/lowerbound", s.handleLowerBound)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
@@ -403,7 +438,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleStatsz serves GET /statsz.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.m.snapshot(time.Since(s.start), s.cache.Snapshot()))
+	writeJSON(w, http.StatusOK, s.m.snapshot(time.Since(s.start), s.cache.Snapshot(), s.sessions.Len()))
 }
 
 // String describes the server configuration for startup logs.

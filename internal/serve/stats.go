@@ -21,17 +21,22 @@ var latencyBoundsUS = [...]int64{
 // metrics is the server's lock-free counter set; GET /statsz snapshots
 // it without contending with the request path.
 type metrics struct {
-	requests     atomic.Uint64 // POST /v1/schedule requests (incl. batch items)
-	batches      atomic.Uint64 // POST /v1/schedule/batch requests
-	badRequests  atomic.Uint64 // structured 4xx responses
-	solves       atomic.Uint64 // solver invocations (cache misses)
-	fallbacks    atomic.Uint64 // solves degraded to the baseline
-	solveErrors  atomic.Uint64 // solves that returned no schedule at all
-	inflight     atomic.Int64  // solver invocations currently running
-	latencyUnder [len(latencyBoundsUS)]atomic.Uint64
-	latencyOver  atomic.Uint64 // +Inf bucket
-	latencySumUS atomic.Int64
-	latencyCount atomic.Uint64
+	requests      atomic.Uint64 // POST /v1/schedule requests (incl. batch items)
+	batches       atomic.Uint64 // POST /v1/schedule/batch requests
+	badRequests   atomic.Uint64 // structured 4xx responses
+	solves        atomic.Uint64 // solver invocations (cache misses)
+	fallbacks     atomic.Uint64 // solves degraded to the baseline
+	solveErrors   atomic.Uint64 // solves that returned no schedule at all
+	inflight      atomic.Int64  // solver invocations currently running
+	sweeps        atomic.Uint64 // POST /v1/schedule/sweep requests
+	sweepBudgets  atomic.Uint64 // budgets answered across all sweeps
+	sessionHits   atomic.Uint64 // sweeps answered from an existing warm session
+	sessionMisses atomic.Uint64 // sweeps that built (or joined building) a session
+	wsAllocs      atomic.Uint64 // sweep workspaces allocated (pool misses)
+	latencyUnder  [len(latencyBoundsUS)]atomic.Uint64
+	latencyOver   atomic.Uint64 // +Inf bucket
+	latencySumUS  atomic.Int64
+	latencyCount  atomic.Uint64
 }
 
 // observeSolve records one completed solver invocation.
@@ -74,6 +79,16 @@ type Stats struct {
 	Fallbacks   uint64           `json:"fallbacks"`
 	SolveErrors uint64           `json:"solve_errors"`
 	InFlight    int64            `json:"in_flight"`
+	// Sweep-engine counters: requests and budgets served by
+	// POST /v1/schedule/sweep, warm-session pool dispositions, sessions
+	// currently live, and workspace allocations (sync.Pool misses — flat
+	// under steady-state traffic).
+	Sweeps          uint64 `json:"sweeps"`
+	SweepBudgets    uint64 `json:"sweep_budgets"`
+	SessionHits     uint64 `json:"session_hits"`
+	SessionMisses   uint64 `json:"session_misses"`
+	SessionsLive    int    `json:"sessions_live"`
+	SweepWorkspaces uint64 `json:"sweep_workspaces"`
 	// SolveLatency is the cumulative histogram of solver wall-clock
 	// times (cache hits excluded — they never invoke the solver).
 	SolveLatency   []LatencyBucket `json:"solve_latency"`
@@ -81,18 +96,24 @@ type Stats struct {
 }
 
 // snapshot assembles the exported view.
-func (m *metrics) snapshot(uptime time.Duration, cache schedcache.Stats) Stats {
+func (m *metrics) snapshot(uptime time.Duration, cache schedcache.Stats, sessionsLive int) Stats {
 	st := Stats{
-		UptimeS:        uptime.Seconds(),
-		Requests:       m.requests.Load(),
-		Batches:        m.batches.Load(),
-		BadRequests:    m.badRequests.Load(),
-		Cache:          cache,
-		Solves:         m.solves.Load(),
-		Fallbacks:      m.fallbacks.Load(),
-		SolveErrors:    m.solveErrors.Load(),
-		InFlight:       m.inflight.Load(),
-		SolveLatencyUS: m.latencySumUS.Load(),
+		UptimeS:         uptime.Seconds(),
+		Requests:        m.requests.Load(),
+		Batches:         m.batches.Load(),
+		BadRequests:     m.badRequests.Load(),
+		Cache:           cache,
+		Solves:          m.solves.Load(),
+		Fallbacks:       m.fallbacks.Load(),
+		SolveErrors:     m.solveErrors.Load(),
+		InFlight:        m.inflight.Load(),
+		Sweeps:          m.sweeps.Load(),
+		SweepBudgets:    m.sweepBudgets.Load(),
+		SessionHits:     m.sessionHits.Load(),
+		SessionMisses:   m.sessionMisses.Load(),
+		SessionsLive:    sessionsLive,
+		SweepWorkspaces: m.wsAllocs.Load(),
+		SolveLatencyUS:  m.latencySumUS.Load(),
 	}
 	for i, b := range latencyBoundsUS {
 		st.SolveLatency = append(st.SolveLatency, LatencyBucket{LEUS: b, Count: m.latencyUnder[i].Load()})

@@ -1,0 +1,231 @@
+// The warm-sweep serving path: POST /v1/schedule/sweep answers a list
+// of budgets for one instance from a persistent solver session instead
+// of one cold solve per budget. Sessions live in an LRU pool keyed by
+// the instance's budget-free ShapeKey (singleflighted builds, capped at
+// Options.SweepSessions); the DP memos share sub-budget cells across
+// queries, so a k-budget sweep costs roughly one cold solve and a
+// repeat sweep is pure memo hits. Request-scoped buffers (decoded
+// budgets, cost points, wire items) recycle through the server's
+// sync.Pool, so steady-state sweep traffic performs zero allocations
+// per warm query (guarded by internal/bench's alloc-regression test).
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/guard"
+	"wrbpg/internal/schedcache"
+	"wrbpg/internal/serve/wire"
+	"wrbpg/internal/solve"
+)
+
+// sessionEntry pairs one warm solve.Session with the mutex serializing
+// access to it: sessions are single-goroutine solvers, so concurrent
+// sweeps for the same shape queue on the entry rather than racing the
+// memo tables.
+type sessionEntry struct {
+	mu sync.Mutex
+	se *solve.Session
+}
+
+// sweepWorkspace is the per-request scratch recycled through the
+// server's pool. Slices are reused via [:0], so the buffers stop
+// growing once they have seen the largest sweep in flight.
+type sweepWorkspace struct {
+	budgets []cdag.Weight
+	pts     []solve.CostPoint
+	items   []wire.SweepItem
+}
+
+// handleSweep serves POST /v1/schedule/sweep.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "POST required"))
+		return
+	}
+	s.m.sweeps.Add(1)
+	var req wire.SweepRequest
+	if err := decodeStrict(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		s.writeErr(w, asWireErr(err))
+		return
+	}
+	// The workspace must outlive the response encoder — the response
+	// aliases ws.items — so the handler owns its lifetime, not sweep.
+	ws := s.wsPool.Get().(*sweepWorkspace)
+	defer s.wsPool.Put(ws)
+	res, werr := s.sweep(r.Context(), &req, ws)
+	if werr != nil {
+		s.writeErr(w, werr)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// sweep validates the request, derives the whole-sweep deadline,
+// acquires a solver slot and answers every budget from the session
+// pool.
+func (s *Server) sweep(ctx context.Context, req *wire.SweepRequest, ws *sweepWorkspace) (*wire.SweepResponse, *wire.Error) {
+	start := time.Now()
+	if len(req.BudgetsBits) == 0 {
+		return nil, wire.Errorf(http.StatusBadRequest, "budgets_bits must not be empty")
+	}
+	if len(req.BudgetsBits) > s.opts.MaxSweepBudgets {
+		return nil, wire.Errorf(http.StatusBadRequest,
+			"sweep of %d budgets exceeds limit %d", len(req.BudgetsBits), s.opts.MaxSweepBudgets)
+	}
+	budgets := ws.budgets[:0]
+	for i, b := range req.BudgetsBits {
+		if b < 1 {
+			ws.budgets = budgets
+			return nil, wire.Errorf(http.StatusBadRequest,
+				"budgets_bits[%d] must be positive, got %d", i, b)
+		}
+		budgets = append(budgets, cdag.Weight(b))
+	}
+	ws.budgets = budgets
+	inst, err := req.Instance()
+	if err != nil {
+		return nil, wire.Errorf(http.StatusBadRequest, "%v", err)
+	}
+
+	// One deadline covers the whole sweep, carried by the context so
+	// the per-budget warm queries need no per-query timer (a timer per
+	// query would allocate and defeat the zero-alloc steady state).
+	want := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		want = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	sctx := ctx
+	if d := guard.ClampDeadline(ctx, want, s.opts.MaxTimeout); d > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	// Admission: a sweep is solver work, one semaphore slot like any
+	// cold solve. Waiting counts against the caller's context.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return nil, asWireErr(guard.Wrap(ctx.Err()))
+	}
+
+	s.m.inflight.Add(1)
+	pts, state, err := s.SweepCosts(sctx, &inst, inst.ShapeKey(), budgets, ws.pts[:0])
+	s.m.inflight.Add(-1)
+	ws.pts = pts
+	if err != nil {
+		// A session build failure or whole-sweep cancellation; per-budget
+		// deadline aborts land on their items instead.
+		return nil, asWireErr(err)
+	}
+
+	items := ws.items[:0]
+	succeeded, failed := 0, 0
+	for _, p := range pts {
+		it := wire.SweepItem{BudgetBits: int64(p.Budget)}
+		switch {
+		case p.Err != nil:
+			it.Error = asSweepItemErr(p.Err)
+			failed++
+		case p.Feasible:
+			it.CostBits = int64(p.Cost)
+			it.Feasible = true
+			succeeded++
+		default:
+			// Infeasible is a legitimate answer, not a failure.
+			succeeded++
+		}
+		items = append(items, it)
+	}
+	ws.items = items
+	s.m.sweepBudgets.Add(uint64(len(budgets)))
+
+	se := s.sessionMeta(&inst)
+	return &wire.SweepResponse{
+		Workload:         se.Label(),
+		LowerBoundBits:   int64(se.LowerBound()),
+		MinExistenceBits: int64(se.MinExistence()),
+		Items:            items,
+		Succeeded:        succeeded,
+		Failed:           failed,
+		Session:          state.String(),
+		ElapsedUS:        wire.Elapsed(start),
+	}, nil
+}
+
+// SweepCosts is the allocation-free core of the sweep path (the bench
+// harness drives it directly): look up or build the warm session for
+// key — the instance's ShapeKey, computed by the caller — then answer
+// every budget against it, appending to out. A pool hit plus warm
+// queries performs zero allocations. The returned error is a session
+// build failure or guard.ErrCanceled for a whole-sweep cancellation;
+// per-budget aborts (deadline, resource limits, solver faults) are
+// reported on their CostPoint.
+func (s *Server) SweepCosts(ctx context.Context, inst *solve.Instance, key string, budgets []cdag.Weight, out []solve.CostPoint) ([]solve.CostPoint, schedcache.State, error) {
+	ent, state, err := s.sessions.Do(key, func() (*sessionEntry, bool, error) {
+		se, err := solve.NewSession(*inst)
+		if err != nil {
+			return nil, false, err
+		}
+		return &sessionEntry{se: se}, true, nil
+	})
+	if err != nil {
+		return out, state, err
+	}
+	if state == schedcache.Hit {
+		s.m.sessionHits.Add(1)
+	} else {
+		s.m.sessionMisses.Add(1)
+	}
+	// Per-query resource ceilings come from the server options; the
+	// sweep deadline is already carried by ctx, so Deadline stays zero
+	// and the session's guard checker resets without starting a timer.
+	lim := s.opts.Limits
+	lim.Deadline = 0
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	pts, err := ent.se.SweepCosts(ctx, lim, budgets, out)
+	return pts, state, err
+}
+
+// sessionMeta returns the session whose immutable metadata (label,
+// bounds) stamps the response. The pooled entry is the common case; if
+// it was evicted between the sweep and here (possible under heavy
+// shape churn), a fresh session is built purely for its metadata.
+func (s *Server) sessionMeta(inst *solve.Instance) *solve.Session {
+	if ent, ok := s.sessions.Get(inst.ShapeKey()); ok {
+		return ent.se
+	}
+	se, err := solve.NewSession(*inst)
+	if err != nil {
+		// The instance already validated and solved; metadata
+		// construction cannot fail differently. Fall back to a label-only
+		// view rather than panicking.
+		return &solve.Session{}
+	}
+	return se
+}
+
+// asSweepItemErr maps a per-budget abort onto the structured item
+// error: deadline → 504, resource budget → 422, cancellation → 499,
+// anything else (including solver faults) → 500.
+func asSweepItemErr(err error) *wire.Error {
+	switch {
+	case errors.Is(err, guard.ErrDeadline):
+		return wire.Errorf(http.StatusGatewayTimeout, "budget query deadline exceeded: %v", err)
+	case errors.Is(err, guard.ErrBudgetExceeded):
+		return wire.Errorf(http.StatusUnprocessableEntity, "resource budget exhausted: %v", err)
+	case errors.Is(err, guard.ErrCanceled):
+		return wire.Errorf(499, "client closed request")
+	default:
+		return wire.Errorf(http.StatusInternalServerError, "%v", err)
+	}
+}

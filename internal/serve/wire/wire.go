@@ -171,6 +171,71 @@ func (r *ScheduleResult) Clone() *ScheduleResult {
 	return &cp
 }
 
+// SweepRequest asks for the optimal costs of one instance at many
+// budgets, answered from a single warm solver session (POST
+// /v1/schedule/sweep). The instance fields mirror ScheduleRequest;
+// the response carries per-budget costs only — fetch move lists for
+// interesting budgets via /v1/schedule, which shares no state with
+// the sweep path.
+type SweepRequest struct {
+	Family string `json:"family"`
+	N      int    `json:"n,omitempty"`
+	D      int    `json:"d,omitempty"`
+	M      int    `json:"m,omitempty"`
+	K      int    `json:"k,omitempty"`
+	Height int    `json:"height,omitempty"`
+	// Weights selects the node-weight configuration for the parametric
+	// families; ignored for cdag.
+	Weights WeightSpec `json:"weights,omitempty"`
+	// Graph is the explicit CDAG of a family:"cdag" request.
+	Graph *cdag.Graph `json:"graph,omitempty"`
+	// BudgetsBits lists the fast-memory budgets to answer, all
+	// positive; answers come back in the same order.
+	BudgetsBits []int64 `json:"budgets_bits"`
+	// TimeoutMS optionally overrides the server's default deadline for
+	// the whole sweep, clamped to its maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Instance converts the request to its canonical solve.Instance.
+func (r *SweepRequest) Instance() (solve.Instance, error) {
+	sr := ScheduleRequest{
+		Family: r.Family,
+		N:      r.N, D: r.D, M: r.M,
+		K: r.K, Height: r.Height,
+		Weights: r.Weights,
+		Graph:   r.Graph,
+	}
+	return sr.Instance()
+}
+
+// SweepItem is one budget's answer. Feasible=false with no Error is a
+// legitimate answer: no schedule exists under that budget. Error is
+// set when that budget's query was aborted (deadline, resource
+// budget, solver fault); sibling budgets are unaffected.
+type SweepItem struct {
+	BudgetBits int64  `json:"budget_bits"`
+	CostBits   int64  `json:"cost_bits,omitempty"`
+	Feasible   bool   `json:"feasible"`
+	Error      *Error `json:"error,omitempty"`
+}
+
+// SweepResponse answers one sweep: per-budget items in request order
+// plus the instance bounds and session-pool disposition.
+type SweepResponse struct {
+	Workload         string      `json:"workload"`
+	LowerBoundBits   int64       `json:"lower_bound_bits"`
+	MinExistenceBits int64       `json:"min_existence_bits"`
+	Items            []SweepItem `json:"items"`
+	Succeeded        int         `json:"succeeded"`
+	Failed           int         `json:"failed"`
+	// Session is "hit" when the sweep was answered from an existing
+	// warm session, "miss" when a session was built, "shared" when a
+	// concurrent request built it.
+	Session   string `json:"session"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
 // BatchRequest fans out independent schedule requests.
 type BatchRequest struct {
 	Requests []ScheduleRequest `json:"requests"`

@@ -118,6 +118,20 @@ func (in *Instance) Label() string {
 // of the graph — per-node weights and parent lists — but not display
 // names, which do not affect schedules.
 func (in *Instance) Key(budget cdag.Weight) string {
+	return in.digest(true, budget)
+}
+
+// ShapeKey returns the budget-free content-addressed identity of the
+// instance: two instances share a ShapeKey exactly when they describe
+// the same graph, so a warm solver session built for one answers
+// budget queries for the other. Serving layers key their session pool
+// on it.
+func (in *Instance) ShapeKey() string {
+	return in.digest(false, 0)
+}
+
+// digest implements Key and ShapeKey over one canonical serialization.
+func (in *Instance) digest(withBudget bool, budget cdag.Weight) string {
 	h := sha256.New()
 	var buf [8]byte
 	put := func(x int64) {
@@ -126,7 +140,9 @@ func (in *Instance) Key(budget cdag.Weight) string {
 	}
 	h.Write([]byte(in.Family))
 	h.Write([]byte{0})
-	put(int64(budget))
+	if withBudget {
+		put(int64(budget))
+	}
 	if in.Family == FamilyCDAG && in.G != nil {
 		put(int64(in.G.Len()))
 		for v := 0; v < in.G.Len(); v++ {
@@ -162,25 +178,19 @@ func (in *Instance) Build() (Problem, *cdag.Graph, error) {
 	}
 	switch in.Family {
 	case FamilyDWT:
-		g, err := dwt.Build(in.N, in.D, dwt.ConfigWeights(in.Cfg))
+		g, err := in.buildDWT()
 		if err != nil {
 			return Problem{}, nil, err
 		}
 		return DWT(g), g.G, nil
 	case FamilyKTree:
-		wf := func(depth, index int) cdag.Weight {
-			if depth == in.Height {
-				return in.Cfg.Input()
-			}
-			return in.Cfg.Node()
-		}
-		tr, err := ktree.FullTree(in.K, in.Height, wf)
+		tr, err := in.buildKTree()
 		if err != nil {
 			return Problem{}, nil, err
 		}
 		return KTree(tr), tr.G, nil
 	case FamilyMVM:
-		g, err := mvm.Build(in.M, in.N, in.Cfg)
+		g, err := in.buildMVM()
 		if err != nil {
 			return Problem{}, nil, err
 		}
@@ -189,4 +199,23 @@ func (in *Instance) Build() (Problem, *cdag.Graph, error) {
 		return Exact(in.G), in.G, nil
 	}
 	return Problem{}, nil, fmt.Errorf("solve: unknown family %q", in.Family)
+}
+
+// buildDWT, buildKTree and buildMVM construct the family-typed graphs;
+// Build wraps them as Problems and NewSession as warm sessions.
+func (in *Instance) buildDWT() (*dwt.Graph, error) {
+	return dwt.Build(in.N, in.D, dwt.ConfigWeights(in.Cfg))
+}
+
+func (in *Instance) buildKTree() (*ktree.Tree, error) {
+	return ktree.FullTree(in.K, in.Height, func(depth, index int) cdag.Weight {
+		if depth == in.Height {
+			return in.Cfg.Input()
+		}
+		return in.Cfg.Node()
+	})
+}
+
+func (in *Instance) buildMVM() (*mvm.Graph, error) {
+	return mvm.Build(in.M, in.N, in.Cfg)
 }

@@ -1,0 +1,225 @@
+// Warm multi-budget sessions over the family solvers. One Session owns
+// one instance's warm solver state (the DP memo tables, the tile-search
+// memo) and answers repeated budget queries against it: the DP
+// recurrences share all sub-budget cells across budget queries, so a
+// sweep over k budgets costs roughly one cold solve at the largest
+// budget instead of k cold solves (BENCH_4.json, docs/PERFORMANCE.md).
+//
+// Sessions trade Run's goroutine isolation for warm state: queries run
+// cooperatively on the caller's goroutine under guard checkpoints, with
+// panics recovered per budget during sweeps. They are not safe for
+// concurrent use — serving layers serialize access per session
+// (internal/serve's session pool).
+
+package solve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/dwt"
+	"wrbpg/internal/exact"
+	"wrbpg/internal/guard"
+	"wrbpg/internal/ktree"
+	"wrbpg/internal/mvm"
+	"wrbpg/internal/par"
+)
+
+// infCost is the shared infeasibility threshold: every family solver
+// uses math.MaxInt64/4 as its Inf sentinel, so any cost at or above it
+// means "no schedule exists under this budget".
+const infCost cdag.Weight = math.MaxInt64 / 4
+
+// CostPoint is one budget's answer in a sweep.
+type CostPoint struct {
+	// Budget is the queried fast-memory budget.
+	Budget cdag.Weight
+	// Cost is the optimal weighted I/O under Budget; it is the family's
+	// Inf sentinel (≥ infCost) when Feasible is false.
+	Cost cdag.Weight
+	// Feasible reports whether any schedule exists under Budget.
+	Feasible bool
+	// Err, when non-nil, is the typed reason this budget's query was
+	// aborted (guard.ErrDeadline, guard.ErrCanceled, a *par.PanicError,
+	// …); Cost and Feasible are meaningless then. Other budgets in the
+	// same sweep are unaffected unless the whole sweep was canceled.
+	Err error
+}
+
+// Session is a persistent warm solver for one instance, answering
+// repeated cost/schedule queries across budgets. Create with
+// NewSession; it implements memdesign.CostQuerier.
+type Session struct {
+	inst     Instance
+	label    string
+	g        *cdag.Graph
+	lb       cdag.Weight
+	minExist cdag.Weight
+	cost     func(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error)
+	sched    func(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error)
+}
+
+// NewSession builds the instance's graph once and wraps the family
+// solver's warm session around it. For FamilyCDAG the exact search has
+// no reusable memo, so every budget query is a cold (but guarded)
+// exact solve — the Session still provides the uniform surface.
+func NewSession(inst Instance) (*Session, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{inst: inst, label: inst.Label()}
+	switch inst.Family {
+	case FamilyDWT:
+		g, err := inst.buildDWT()
+		if err != nil {
+			return nil, err
+		}
+		se, err := dwt.NewSession(g)
+		if err != nil {
+			return nil, err
+		}
+		s.g = g.G
+		s.cost = se.CostCtx
+		s.sched = se.ScheduleCtx
+	case FamilyKTree:
+		tr, err := inst.buildKTree()
+		if err != nil {
+			return nil, err
+		}
+		se := ktree.NewSession(tr)
+		s.g = tr.G
+		s.cost = se.CostCtx
+		s.sched = se.ScheduleCtx
+	case FamilyMVM:
+		g, err := inst.buildMVM()
+		if err != nil {
+			return nil, err
+		}
+		se := mvm.NewSession(g)
+		s.g = g.G
+		s.cost = se.CostCtx
+		s.sched = se.ScheduleCtx
+	case FamilyCDAG:
+		g := inst.G
+		s.g = g
+		s.cost = func(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error) {
+			res, err := exact.SolveCtx(ctx, g, b, lim)
+			if errors.Is(err, exact.ErrInfeasible) {
+				return infCost, nil
+			}
+			if err != nil {
+				return 0, err
+			}
+			return res.Cost, nil
+		}
+		s.sched = func(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
+			res, err := exact.SolveCtx(ctx, g, b, lim)
+			if err != nil {
+				return nil, err
+			}
+			return res.Schedule, nil
+		}
+	default:
+		return nil, fmt.Errorf("solve: unknown family %q", inst.Family)
+	}
+	s.lb = core.LowerBound(s.g)
+	s.minExist = core.MinExistenceBudget(s.g)
+	return s, nil
+}
+
+// Label returns the human-readable instance label.
+func (s *Session) Label() string { return s.label }
+
+// Graph returns the underlying CDAG.
+func (s *Session) Graph() *cdag.Graph { return s.g }
+
+// LowerBound returns the cached Proposition 2.4 lower bound.
+func (s *Session) LowerBound() cdag.Weight { return s.lb }
+
+// MinExistence returns the cached Proposition 2.3 existence bound.
+func (s *Session) MinExistence() cdag.Weight { return s.minExist }
+
+// CostCtx returns the optimal cost under the budget against the warm
+// state (the family Inf sentinel when infeasible); it satisfies
+// memdesign.CostQuerier, so the session plugs into the memdesign
+// search helpers. Resource limits in lim are per query.
+func (s *Session) CostCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error) {
+	if b < s.minExist {
+		return infCost, nil
+	}
+	return s.cost(ctx, lim, b)
+}
+
+// ScheduleCtx generates an optimal schedule under the budget against
+// the warm state. Unlike Run it neither validates the schedule nor
+// degrades to the baseline — callers wanting the hardened contract
+// wrap the instance in Run.
+func (s *Session) ScheduleCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
+	return s.sched(ctx, lim, b)
+}
+
+// SweepCosts answers every budget in order against the warm state,
+// appending one CostPoint per budget to out (pass a retained out[:0]
+// for allocation-free steady state; nil grows a fresh slice).
+//
+// Per-budget failures — deadline, resource budget, a solver panic —
+// are recorded on that budget's CostPoint and the sweep continues, so
+// a mid-sweep deadline yields valid answers for the budgets served
+// before it; no-poison memoization keeps the session reusable after
+// any abort. Cancellation stops the sweep (the caller is gone) and
+// returns the partial prefix with guard.ErrCanceled. Each item passes
+// through par.Fault, so par.SetFaultHook fault-injection tests
+// exercise this path like any pool worker.
+func (s *Session) SweepCosts(ctx context.Context, lim guard.Limits, budgets []cdag.Weight, out []CostPoint) ([]CostPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for i, b := range budgets {
+		cp := s.costPoint(ctx, lim, i, b)
+		out = append(out, cp)
+		if cp.Err != nil && errors.Is(cp.Err, guard.ErrCanceled) {
+			return out, guard.ErrCanceled
+		}
+	}
+	return out, nil
+}
+
+// costPoint answers one budget with pool-worker crash isolation: a
+// panicking solver (or injected fault) surfaces as a *par.PanicError
+// on the point, never as a process crash, and the deferred guard
+// teardown in the family sessions keeps their memo state consistent.
+func (s *Session) costPoint(ctx context.Context, lim guard.Limits, i int, b cdag.Weight) (cp CostPoint) {
+	cp.Budget = b
+	defer func() {
+		if r := recover(); r != nil {
+			cp = CostPoint{Budget: b, Err: &par.PanicError{Index: i, Value: r, Stack: debug.Stack()}}
+		}
+	}()
+	par.Fault(i)
+	c, err := s.CostCtx(ctx, lim, b)
+	if err != nil {
+		cp.Err = err
+		return cp
+	}
+	cp.Cost = c
+	cp.Feasible = c < infCost
+	return cp
+}
+
+// SolveSweep is the multi-budget entry point: it builds one warm
+// session for the instance and answers the whole budget list from it.
+// Results are deterministic and identical to independent one-shot
+// solves at each budget — the memo only changes how much work each
+// query performs, never its answer.
+func SolveSweep(ctx context.Context, inst Instance, budgets []cdag.Weight, lim guard.Limits) ([]CostPoint, error) {
+	s, err := NewSession(inst)
+	if err != nil {
+		return nil, err
+	}
+	return s.SweepCosts(ctx, lim, budgets, make([]CostPoint, 0, len(budgets)))
+}
