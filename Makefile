@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fault bench-smoke bench-json bench-json-quick serve-check staticcheck check
+.PHONY: all build vet test race race-fault bench-smoke bench-json bench-json-quick serve-check obs-check staticcheck check
 
 all: check
 
@@ -30,16 +30,23 @@ bench-smoke:
 
 # Writes the perf-regression report (see docs/PERFORMANCE.md).
 bench-json:
-	$(GO) run ./cmd/experiments -bench-json BENCH_4.json
+	$(GO) run ./cmd/experiments -bench-json BENCH_5.json
 
 # One-iteration perf smoke artifact for CI (not a comparable baseline).
 bench-json-quick:
-	$(GO) run ./cmd/experiments -bench-json BENCH_4.json -bench-quick
+	$(GO) run ./cmd/experiments -bench-json BENCH_5.json -bench-quick
 
 # Boots the wrbpgd daemon on a random port and exercises every endpoint
 # end to end, including graceful SIGTERM shutdown (docs/SERVICE.md).
 serve-check:
 	$(GO) test -race -run TestServeEndToEnd -v ./cmd/wrbpgd/
+
+# Boots the daemon with a debug listener, scrapes GET /metrics, and
+# validates the whole observability surface: exposition parseability,
+# series count, trace retrieval, pprof, and structured JSON logs
+# (docs/OBSERVABILITY.md).
+obs-check:
+	$(GO) test -race -run TestObsEndToEnd -v ./cmd/wrbpgd/
 
 # Runs staticcheck when it is installed; skips (successfully) when not,
 # so the gate works in minimal containers. CI installs it explicitly.
@@ -50,4 +57,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-check: build vet race race-fault bench-smoke serve-check staticcheck
+check: build vet race race-fault bench-smoke serve-check obs-check staticcheck

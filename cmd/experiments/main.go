@@ -16,7 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 
@@ -26,6 +26,7 @@ import (
 	"wrbpg/internal/energy"
 	"wrbpg/internal/guard"
 	"wrbpg/internal/memdesign"
+	"wrbpg/internal/obs"
 	"wrbpg/internal/synth"
 )
 
@@ -47,6 +48,16 @@ var (
 // figure sweeps.
 var runCtx = context.Background()
 
+// logger is replaced in main once -log-format / -log-level are parsed.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+func fatal(v any) { fatalf("%v", v) }
+
 // fatalIfSweepFailed distinguishes a cancelled sweep from a real
 // failure in its error message.
 func fatalIfSweepFailed(err error) {
@@ -54,15 +65,19 @@ func fatalIfSweepFailed(err error) {
 		return
 	}
 	if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrDeadline) {
-		log.Fatalf("sweep aborted: %v", err)
+		fatalf("sweep aborted: %v", err)
 	}
-	log.Fatal(err)
+	fatal(err)
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
+	logFlags := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+	if l, err := logFlags.Logger(os.Stderr); err != nil {
+		fatalf("%v", err)
+	} else {
+		logger = l
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *flagTime > 0 {
@@ -107,7 +122,7 @@ func dse2() {
 	cfgs := dse.Precisions([]int{8, 12, 16}, []int{1, 2})
 	pts, err := dse.ExploreDWT(bench.DWTInputs, bench.DWTLevels, cfgs, synth.TSMC65(), energy.Default65nm())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	front := dse.Pareto(pts)
 	onFront := map[string]bool{}
@@ -147,22 +162,22 @@ func benchJSON(path string) {
 	}
 	rep, err := run()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer f.Close()
 		out = f
 	}
 	if err := rep.WriteJSON(out); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if path != "-" {
-		log.Printf("wrote perf report to %s", path)
+		logger.Info("wrote perf report", "path", path)
 	}
 }
 
@@ -253,7 +268,7 @@ func table1() {
 	header("Table 1: minimum fast memory size comparison (* = our approaches)")
 	rows, err := bench.Table1()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	var out [][]string
 	for _, r := range rows {
@@ -281,7 +296,7 @@ func fig7() {
 	header("Figure 7: synthesized memory metrics (AMC-model, TSMC 65 nm)")
 	rows, err := bench.Fig7(synth.TSMC65())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	var out [][]string
 	for _, r := range rows {
@@ -318,7 +333,7 @@ func fig8() {
 	header("Figure 8: physical layout comparison (equal scale)")
 	pairs, err := bench.Fig8(synth.TSMC65())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	for _, p := range pairs {
 		scale := p.Baseline.Macro.WidthLambda / 48
@@ -334,6 +349,6 @@ func fig8() {
 
 func must(err error) {
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 }

@@ -17,7 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -32,17 +32,42 @@ import (
 	"wrbpg/internal/memdesign"
 	"wrbpg/internal/mmm"
 	"wrbpg/internal/mvm"
+	"wrbpg/internal/obs"
 	"wrbpg/internal/serve/wire"
 	"wrbpg/internal/solve"
 	"wrbpg/internal/synth"
 	"wrbpg/internal/wcfg"
 )
 
+// logger is the process logger; subcommands reconfigure it from the
+// shared -log-format/-log-level flags right after parsing.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// initLog resolves the shared logging flags into the process logger.
+func initLog(lf *obs.LogFlags) {
+	l, err := lf.Logger(os.Stderr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger = l
+}
+
+// fatalf logs at error level and exits non-zero — the structured
+// replacement for log.Fatalf.
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// fatal is fatalf for a bare error or value.
+func fatal(v any) { fatalf("%v", v) }
+
 type workloadFlags struct {
 	workload string
 	n, d, m  int
 	k, taps  int
 	weights  string
+	log      *obs.LogFlags
 }
 
 func addWorkloadFlags(fs *flag.FlagSet) *workloadFlags {
@@ -54,6 +79,7 @@ func addWorkloadFlags(fs *flag.FlagSet) *workloadFlags {
 	fs.IntVar(&wf.k, "k", 16, "MMM inner dimension")
 	fs.IntVar(&wf.taps, "taps", 4, "conv filter taps")
 	fs.StringVar(&wf.weights, "weights", "equal", "equal or da (double accumulator)")
+	wf.log = obs.AddLogFlags(fs)
 	return wf
 }
 
@@ -64,7 +90,7 @@ func (wf *workloadFlags) config() wcfg.Config {
 	case "da", "double", "double-accumulator":
 		return wcfg.DoubleAccumulator(wcfg.DefaultWordBits)
 	default:
-		log.Fatalf("unknown weights %q (want equal or da)", wf.weights)
+		fatalf("unknown weights %q (want equal or da)", wf.weights)
 		panic("unreachable")
 	}
 }
@@ -88,47 +114,45 @@ func (wf *workloadFlags) build() built {
 	case "dwt":
 		g, err := dwt.Build(wf.n, wf.d, dwt.ConfigWeights(cfg))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return built{g: g.G, dwt: g, label: fmt.Sprintf("%s DWT(%d,%d)", cfg.Name, wf.n, wf.d)}
 	case "mvm":
 		g, err := mvm.Build(wf.m, wf.n, cfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return built{g: g.G, mvm: g, label: fmt.Sprintf("%s MVM(%d,%d)", cfg.Name, wf.m, wf.n)}
 	case "fft":
 		g, err := fft.Build(wf.n, cfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return built{g: g.G, fft: g, label: fmt.Sprintf("%s FFT(%d)", cfg.Name, wf.n)}
 	case "mmm":
 		g, err := mmm.Build(wf.m, wf.k, wf.n, cfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return built{g: g.G, mmm: g, label: fmt.Sprintf("%s MMM(%d,%d,%d)", cfg.Name, wf.m, wf.k, wf.n)}
 	case "conv":
 		g, err := conv.Build(wf.n, wf.taps, wf.d, cfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return built{g: g.G, conv: g, label: fmt.Sprintf("%s Conv(%d,%d,%d)", cfg.Name, wf.n, wf.taps, wf.d)}
 	default:
-		log.Fatalf("unknown workload %q (want dwt, mvm, fft, mmm or conv)", wf.workload)
+		fatalf("unknown workload %q (want dwt, mvm, fft, mmm or conv)", wf.workload)
 		panic("unreachable")
 	}
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("wrbpg: ")
 	// Library invariant violations surface as panics; report them as
 	// ordinary fatal errors instead of a stack-trace crash.
 	defer func() {
 		if r := recover(); r != nil {
-			log.Fatalf("internal error: %v", r)
+			fatalf("internal error: %v", r)
 		}
 	}()
 	if len(os.Args) < 2 {
@@ -152,7 +176,7 @@ func main() {
 	case "-h", "--help", "help":
 		usage()
 	default:
-		log.Printf("unknown subcommand %q", os.Args[1])
+		logger.Error("unknown subcommand", "cmd", os.Args[1])
 		usage()
 	}
 }
@@ -237,26 +261,27 @@ func cmdCompile(args []string) {
 	budget := fs.Int64("budget", 0, "fast memory budget in bits (0 = minimum memory)")
 	out := fs.String("o", "", "output file (default stdout)")
 	fs.Parse(args)
+	initLog(wf.log)
 	w := wf.build()
 	b, sched, err := buildSchedule(w, cdag.Weight(*budget))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	m, err := core.NewManifest(w.label, w.g, b, sched)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	dst := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer f.Close()
 		dst = f
 	}
 	if err := core.WriteManifest(dst, m); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "compiled %s: %d moves, %d bits I/O at %d bits fast memory\n",
 		w.label, len(m.Moves), m.CostBits, m.BudgetBits)
@@ -267,21 +292,22 @@ func cmdVerify(args []string) {
 	wf := addWorkloadFlags(fs)
 	in := fs.String("manifest", "", "manifest file to verify")
 	fs.Parse(args)
+	initLog(wf.log)
 	if *in == "" {
-		log.Fatal("verify: -manifest is required")
+		fatal("verify: -manifest is required")
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer f.Close()
 	m, err := core.ReadManifest(f)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	w := wf.build()
 	if err := m.Verify(w.g); err != nil {
-		log.Fatalf("verification FAILED: %v", err)
+		fatalf("verification FAILED: %v", err)
 	}
 	fmt.Printf("manifest %q verifies against %s: cost %d bits, peak %d bits at budget %d\n",
 		m.Workload, w.label, m.CostBits, m.PeakBits, m.BudgetBits)
@@ -291,6 +317,7 @@ func cmdInfo(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	wf := addWorkloadFlags(fs)
 	fs.Parse(args)
+	initLog(wf.log)
 	b := wf.build()
 	g, label := b.g, b.label
 	fmt.Printf("%s\n", label)
@@ -375,6 +402,7 @@ func cmdSchedule(args []string) {
 	jsonOut := fs.Bool("json", false,
 		"emit the machine-readable result (the wrbpgd wire format) instead of the text report")
 	fs.Parse(args)
+	initLog(wf.log)
 	w := wf.build()
 
 	var sched core.Schedule
@@ -385,33 +413,34 @@ func cmdSchedule(args []string) {
 		// so the CLI and wrbpgd emit the identical result struct.
 		if b == 0 {
 			if b, err = defaultBudget(w); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 		out, rerr := solve.Run(context.Background(), problemFor(w), b, guard.Limits{Deadline: *timeout})
 		if rerr != nil {
-			log.Fatal(rerr)
+			fatal(rerr)
 		}
 		res := wire.NewScheduleResult(w.label, out, core.LowerBound(w.g), *moves)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	}
 	if *timeout > 0 {
 		if b == 0 {
 			if b, err = defaultBudget(w); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 		out, rerr := solve.Run(context.Background(), problemFor(w), b, guard.Limits{Deadline: *timeout})
 		if rerr != nil {
-			log.Fatal(rerr)
+			fatal(rerr)
 		}
 		if out.Source == solve.SourceFallback {
-			log.Printf("degraded: optimal solve abandoned (%v); using baseline schedule", out.Err)
+			logger.Warn("degraded: optimal solve abandoned; using baseline schedule",
+				"reason", solve.FallbackReason(out.Err), "err", out.Err)
 		}
 		fmt.Printf("path: %s (%s)\n", out.Source, out.Elapsed.Round(time.Microsecond))
 		printScheduleReport(w, b, out.Schedule, *moves, *trace)
@@ -421,11 +450,11 @@ func cmdSchedule(args []string) {
 	case w.dwt != nil:
 		s, serr := dwt.NewScheduler(w.dwt)
 		if serr != nil {
-			log.Fatal(serr)
+			fatal(serr)
 		}
 		if b == 0 {
 			if b, err = s.MinMemory(16); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 		sched, err = s.Schedule(b)
@@ -435,7 +464,7 @@ func cmdSchedule(args []string) {
 		}
 		tc, _, serr := w.mvm.Search(b)
 		if serr != nil {
-			log.Fatal(serr)
+			fatal(serr)
 		}
 		fmt.Printf("tile configuration: %v\n", tc)
 		sched, err = w.mvm.TileSchedule(tc)
@@ -445,7 +474,7 @@ func cmdSchedule(args []string) {
 		}
 		t, _, serr := w.fft.Search(b)
 		if serr != nil {
-			log.Fatal(serr)
+			fatal(serr)
 		}
 		fmt.Printf("block exponent: %d (%d passes)\n", t, w.fft.Passes(t))
 		sched, err = w.fft.BlockedSchedule(t)
@@ -455,7 +484,7 @@ func cmdSchedule(args []string) {
 		}
 		cfg, _, serr := w.mmm.Search(b)
 		if serr != nil {
-			log.Fatal(serr)
+			fatal(serr)
 		}
 		fmt.Printf("strategy: %v\n", cfg)
 		sched, err = w.mmm.Schedule(cfg)
@@ -465,13 +494,13 @@ func cmdSchedule(args []string) {
 		}
 		c, _, serr := w.conv.Search(b)
 		if serr != nil {
-			log.Fatal(serr)
+			fatal(serr)
 		}
 		fmt.Printf("resident window buffer: %d inputs\n", c)
 		sched, err = w.conv.Schedule(c)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	printScheduleReport(w, b, sched, *moves, *trace)
 }
@@ -481,7 +510,7 @@ func cmdSchedule(args []string) {
 func printScheduleReport(w built, b cdag.Weight, sched core.Schedule, moves, trace bool) {
 	stats, err := core.Simulate(w.g, b, sched)
 	if err != nil {
-		log.Fatalf("schedule failed validation: %v", err)
+		fatalf("schedule failed validation: %v", err)
 	}
 	fmt.Printf("%s at %d bits:\n", w.label, b)
 	fmt.Printf("  moves:        %d (M1 %d, M2 %d, M3 %d, M4 %d)\n",
@@ -491,7 +520,7 @@ func printScheduleReport(w built, b cdag.Weight, sched core.Schedule, moves, tra
 	if trace {
 		tr, err := core.OccupancyTrace(w.g, b, sched)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("  occupancy:    %s\n", core.Sparkline(tr, b, 72))
 	}
@@ -504,6 +533,7 @@ func cmdMinMem(args []string) {
 	fs := flag.NewFlagSet("minmem", flag.ExitOnError)
 	wf := addWorkloadFlags(fs)
 	fs.Parse(args)
+	initLog(wf.log)
 	w := wf.build()
 	cfg := wf.config()
 	fmt.Printf("%s minimum fast memory (Definition 2.6):\n", w.label)
@@ -511,15 +541,15 @@ func cmdMinMem(args []string) {
 	case w.dwt != nil:
 		s, err := dwt.NewScheduler(w.dwt)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		opt, err := s.MinMemory(16)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		lbl, err := baseline.MinMemory(w.dwt.G, w.dwt.Layers, 16)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("  optimum (ours):  %v\n", memdesign.NewSpec(opt, cfg.WordBits))
 		fmt.Printf("  layer-by-layer:  %v\n", memdesign.NewSpec(lbl, cfg.WordBits))
@@ -536,7 +566,7 @@ func cmdMinMem(args []string) {
 	case w.mmm != nil:
 		c, _, err := w.mmm.Search(w.mmm.MinMemory())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("  %-15v %v\n", c, memdesign.NewSpec(w.mmm.MinMemory(), cfg.WordBits))
 	case w.conv != nil:
@@ -548,10 +578,12 @@ func cmdSynth(args []string) {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
 	bits := fs.Int64("bits", 2048, "capacity in bits")
 	word := fs.Int("word", 16, "word size in bits")
+	lf := obs.AddLogFlags(fs)
 	fs.Parse(args)
+	initLog(lf)
 	m, err := synth.Synthesize(cdag.Weight(*bits), *word, synth.TSMC65())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println(m)
 	fmt.Print(m.Layout(m.WidthLambda / 40))
@@ -561,6 +593,7 @@ func cmdDOT(args []string) {
 	fs := flag.NewFlagSet("dot", flag.ExitOnError)
 	wf := addWorkloadFlags(fs)
 	fs.Parse(args)
+	initLog(wf.log)
 	w := wf.build()
 	fmt.Print(w.g.DOT(w.label))
 }

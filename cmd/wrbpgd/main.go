@@ -1,10 +1,13 @@
 // Command wrbpgd is the scheduling daemon: an HTTP/JSON service over
 // the hardened solve facade with a content-addressed schedule cache.
-// See docs/SERVICE.md for the API.
+// See docs/SERVICE.md for the API and docs/OBSERVABILITY.md for the
+// metrics, tracing and profiling surface.
 //
 // The daemon prints "wrbpgd listening on ADDR" once the listener is
 // bound (so -addr :0 is usable from scripts and tests), and drains
-// in-flight solves on SIGINT/SIGTERM before exiting.
+// in-flight solves on SIGINT/SIGTERM before exiting. With -debug-addr
+// a second listener serves /debug/pprof/* and /metrics; it prints
+// "wrbpgd debug listening on ADDR" when bound.
 package main
 
 import (
@@ -12,7 +15,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -21,6 +24,7 @@ import (
 	"time"
 
 	"wrbpg/internal/guard"
+	"wrbpg/internal/obs"
 	"wrbpg/internal/serve"
 	"wrbpg/internal/solve"
 )
@@ -38,6 +42,7 @@ func run(args []string, stdout *os.File) error {
 	fs := flag.NewFlagSet("wrbpgd", flag.ContinueOnError)
 	var (
 		addr           = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+		debugAddr      = fs.String("debug-addr", "", "optional debug listen address serving /debug/pprof/* and /metrics (keep it loopback)")
 		cacheShards    = fs.Int("cache-shards", 0, "schedule cache shard count (0 = default)")
 		cachePerShard  = fs.Int("cache-per-shard", 0, "schedule cache entries per shard (0 = default)")
 		maxInflight    = fs.Int("max-inflight", 0, "max concurrent solver invocations (0 = default)")
@@ -47,13 +52,19 @@ func run(args []string, stdout *os.File) error {
 		maxStates      = fs.Int("max-states", 0, "search-state ceiling per solve, 0 = unlimited")
 		maxSweep       = fs.Int("max-sweep-budgets", 0, "max budgets per sweep request (0 = default)")
 		sweepSessions  = fs.Int("sweep-sessions", 0, "warm solver sessions kept for /v1/schedule/sweep (0 = default)")
+		traceBuffer    = fs.Int("trace-buffer", 0, "completed request traces kept for /v1/trace/{id} (0 = default)")
 		drainTimeout   = fs.Duration("drain-timeout", 35*time.Second, "grace period for in-flight solves on shutdown")
 	)
+	logFlags := obs.AddLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		return err
 	}
 
 	srv := serve.New(serve.Options{
@@ -68,18 +79,19 @@ func run(args []string, stdout *os.File) error {
 		},
 		MaxSweepBudgets: *maxSweep,
 		SweepSessions:   *sweepSessions,
+		TraceBuffer:     *traceBuffer,
 	})
 
-	logger := log.New(os.Stderr, "wrbpgd: ", log.LstdFlags)
 	// Surface degraded solves in the daemon log: a burst of fallbacks
 	// means the deadline or resource ceilings are too tight for the
 	// traffic mix.
 	restore := solve.SetHook(func(name string, out solve.Outcome, err error) {
 		switch {
 		case err != nil:
-			logger.Printf("solve %s failed: %v", name, err)
+			logger.Error("solve failed", "workload", name, "err", err)
 		case out.Source == solve.SourceFallback:
-			logger.Printf("solve %s degraded to baseline (%v) after %v", name, out.Err, out.Elapsed)
+			logger.Warn("solve degraded to baseline", "workload", name,
+				"reason", solve.FallbackReason(out.Err), "err", out.Err, "elapsed", out.Elapsed)
 		}
 	})
 	defer restore()
@@ -91,11 +103,32 @@ func run(args []string, stdout *os.File) error {
 	// The bound address goes to stdout so callers that passed :0 can
 	// read the real port; everything else logs to stderr.
 	fmt.Fprintf(stdout, "wrbpgd listening on %s\n", ln.Addr())
-	logger.Printf("serving: %s", srv)
+	logger.Info("serving", "config", srv.String(), "addr", ln.Addr().String())
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The debug listener is separate so pprof and metrics scraping
+	// never share the public port; it is torn down with the daemon.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Fprintf(stdout, "wrbpgd debug listening on %s\n", dln.Addr())
+		logger.Info("debug listener up", "addr", dln.Addr().String())
+		debugSrv = &http.Server{
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -110,15 +143,18 @@ func run(args []string, stdout *os.File) error {
 	case <-ctx.Done():
 	}
 	stop()
-	logger.Printf("shutdown: draining in-flight solves (up to %v)", *drainTimeout)
+	logger.Info("shutdown: draining in-flight solves", "grace", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if debugSrv != nil {
+		debugSrv.Shutdown(dctx) //nolint:errcheck // best-effort; the daemon is exiting
+	}
 	if err := httpSrv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	logger.Printf("exit: cache %+v", srv.CacheStats())
+	logger.Info("exit", "cache", slog.AnyValue(srv.CacheStats()))
 	return nil
 }

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"wrbpg/internal/obs"
+)
+
+// TestObsEndToEnd is the `make obs-check` entry point: it boots the
+// real daemon with a debug listener and JSON logs, drives a traced
+// request, and validates the whole observability surface — /metrics
+// parses as Prometheus text exposition with a full series catalog, the
+// trace is retrievable by ID, pprof answers on the debug port, and
+// stderr carries structured JSON log records.
+func TestObsEndToEnd(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("signal-driven shutdown test is POSIX-only")
+	}
+	bin := filepath.Join(t.TempDir(), "wrbpgd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-debug-addr", "127.0.0.1:0",
+		"-log-format", "json",
+		"-default-timeout", "10s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // safety net; normal path is SIGTERM below
+
+	// Stdout announces the public listener first, the debug one second.
+	rd := bufio.NewReader(stdout)
+	readAddr := func(prefix string) string {
+		t.Helper()
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading %q line: %v (stderr: %s)", prefix, err, stderr.String())
+		}
+		addr := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), prefix))
+		if addr == "" || strings.Contains(addr, " ") {
+			t.Fatalf("unparseable line %q", line)
+		}
+		return addr
+	}
+	base := "http://" + readAddr("wrbpgd listening on")
+	debug := "http://" + readAddr("wrbpgd debug listening on")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// A traced schedule request: the response must carry the trace ID
+	// header and the trace must be retrievable afterwards.
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/schedule",
+		strings.NewReader(`{"family":"dwt","n":32,"d":4,"budget_bits":256}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Wrbpg-Trace", "on")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Wrbpg-Trace-Id")
+	if traceID == "" {
+		t.Fatal("traced request returned no X-Wrbpg-Trace-Id header")
+	}
+	var ex obs.TraceExport
+	tresp, err := client.Get(base + "/v1/trace/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(tresp.Body).Decode(&ex)
+	tresp.Body.Close()
+	if err != nil || tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: status %d, err %v", tresp.StatusCode, err)
+	}
+	if len(ex.Spans) == 0 || ex.Spans[0].Name != "request" {
+		t.Fatalf("trace export %+v, want a request root span", ex)
+	}
+
+	// /metrics must parse as text exposition 0.0.4 with the full
+	// catalog, on both the public and the debug listener.
+	for _, url := range []string{base + "/metrics", debug + "/metrics"} {
+		mresp, err := client.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(mresp.Body)
+		mresp.Body.Close()
+		if mresp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", url, mresp.StatusCode)
+		}
+		if ct := mresp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+			t.Errorf("%s: Content-Type %q, want exposition 0.0.4", url, ct)
+		}
+		samples, err := obs.ParseText(string(raw))
+		if err != nil {
+			t.Fatalf("%s unparseable: %v", url, err)
+		}
+		series := map[string]bool{}
+		for _, s := range samples {
+			series[s.Series()] = true
+		}
+		if len(series) < 15 {
+			t.Errorf("%s exposes %d series, want >= 15:\n%s", url, len(series), raw)
+		}
+	}
+
+	// pprof on the debug listener only.
+	presp, err := client.Get(debug + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, presp.Body) //nolint:errcheck
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("debug pprof index: %d", presp.StatusCode)
+	}
+
+	// Graceful shutdown, then check the structured logs: every stderr
+	// line must be a JSON record with msg and level fields.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	lines := strings.Split(strings.TrimSpace(stderr.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no structured log output on stderr")
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stderr line %d is not JSON with -log-format=json: %q", i, line)
+		}
+		if rec["msg"] == nil || rec["level"] == nil {
+			t.Errorf("stderr line %d lacks msg/level: %q", i, line)
+		}
+	}
+}

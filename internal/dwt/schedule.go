@@ -105,6 +105,7 @@ func (s *Scheduler) store(v cdag.NodeID, b cdag.Weight, e entry) {
 // pebbles behind. Results are memoized per (v, b).
 func (s *Scheduler) p(v cdag.NodeID, b cdag.Weight) entry {
 	if c := s.cell(v, b); c.valid {
+		s.ck.NoteHit()
 		return *c
 	}
 	// Cancellation checkpoint on the cold path only: warm hits return
@@ -188,6 +189,7 @@ func (s *Scheduler) MinCost(b cdag.Weight) cdag.Weight {
 func (s *Scheduler) MinCostCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error) {
 	ck := guard.New(ctx, lim)
 	defer ck.Release()
+	defer func() { guard.CountersFor("dwt").Record(ck.TakeCounts()) }()
 	s.ck = ck
 	defer func() { s.ck = nil }()
 	c := s.MinCost(b)
@@ -202,6 +204,7 @@ func (s *Scheduler) MinCostCtx(ctx context.Context, lim guard.Limits, b cdag.Wei
 func (s *Scheduler) ScheduleCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
 	ck := guard.New(ctx, lim)
 	defer ck.Release()
+	defer func() { guard.CountersFor("dwt").Record(ck.TakeCounts()) }()
 	s.ck = ck
 	defer func() { s.ck = nil }()
 	sched, err := s.Schedule(b)

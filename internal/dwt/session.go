@@ -39,6 +39,10 @@ func (se *Session) Scheduler() *Scheduler { return se.s }
 // Graph returns the underlying DWT graph.
 func (se *Session) Graph() *Graph { return se.s.dg }
 
+// TakeCounts returns and resets the session's cumulative solver
+// observation counters (memo hits, entries) for metric export.
+func (se *Session) TakeCounts() guard.Counts { return se.ck.TakeCounts() }
+
 func (se *Session) begin(ctx context.Context, lim guard.Limits) {
 	se.ck.Reset(ctx, lim)
 	se.s.ck = &se.ck

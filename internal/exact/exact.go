@@ -101,6 +101,10 @@ func Solve(g *cdag.Graph, budget cdag.Weight) (*Result, error) {
 func SolveCtx(ctx context.Context, g *cdag.Graph, budget cdag.Weight, lim guard.Limits) (*Result, error) {
 	ck := guard.New(ctx, lim)
 	defer ck.Release()
+	// Export the states-explored count for this solve (the exact search
+	// is the one solver whose cost is measured in states, not memo
+	// cells).
+	defer func() { guard.CountersFor("cdag").Record(ck.TakeCounts()) }()
 	if g.Len() > MaxNodes {
 		return nil, ErrTooLarge
 	}

@@ -62,6 +62,35 @@ func (l Limits) Unlimited() bool {
 // increment in the common case.
 const tickMask = 255
 
+// Counts is the observation side of a Checker: cheap solver-progress
+// counters the DP kernels feed as they run. Unlike the budget charges
+// (which reset per query so Limits stay per-query), counts accumulate
+// across Reset for the checker's lifetime — a warm session owns one
+// Checker, so the serving layer reads deltas between queries and feeds
+// its metrics registry without touching the DP hot paths twice.
+type Counts struct {
+	// MemoHits counts warm memo probes (a cell or interval answered
+	// without recomputation).
+	MemoHits int64
+	// MemoEntries counts memoized cells created (AddMemo charges).
+	MemoEntries int64
+	// States counts tracked search states (AddStates charges).
+	States int64
+	// IntervalSplits counts budget-interval memo stores that were
+	// clipped against an existing neighbouring step (dense sweeps split
+	// the budget axis finer and finer; a high rate means queries land
+	// between known steps).
+	IntervalSplits int64
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.MemoHits += other.MemoHits
+	c.MemoEntries += other.MemoEntries
+	c.States += other.States
+	c.IntervalSplits += other.IntervalSplits
+}
+
 // Checker is the per-solve cancellation and budget monitor. It is not
 // safe for concurrent use — each goroutine (or worker-pool chunk)
 // installs its own. A nil *Checker is valid and disables all checks.
@@ -73,6 +102,7 @@ type Checker struct {
 	memo   int
 	states int
 	err    error
+	counts Counts
 }
 
 // New builds a checker for one solve. When lim.Deadline is positive a
@@ -103,7 +133,9 @@ func (c *Checker) Reset(ctx context.Context, lim Limits) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	*c = Checker{ctx: ctx, lim: lim}
+	// Budget charges reset (Limits are per query); observation counts
+	// survive, so session owners can read cumulative progress.
+	*c = Checker{ctx: ctx, lim: lim, counts: c.counts}
 	if lim.Deadline > 0 {
 		c.ctx, c.cancel = context.WithTimeout(ctx, lim.Deadline)
 	}
@@ -133,10 +165,12 @@ func (c *Checker) Err() error {
 	return c.err
 }
 
-// trip latches the first abort reason.
+// trip latches the first abort reason and feeds the process-wide
+// abort counter (wrbpg_guard_aborts_total).
 func (c *Checker) trip(err error) error {
 	if c.err == nil {
 		c.err = err
+		noteAbort(err)
 	}
 	return c.err
 }
@@ -169,6 +203,42 @@ func (c *Checker) poll() error {
 	}
 }
 
+// NoteHit records one warm memo hit. It sits on the warmest solver
+// paths, so it is a nil test plus a plain increment — no atomics, the
+// checker is single-goroutine by contract.
+func (c *Checker) NoteHit() {
+	if c != nil {
+		c.counts.MemoHits++
+	}
+}
+
+// NoteSplit records one clipped budget-interval store.
+func (c *Checker) NoteSplit() {
+	if c != nil {
+		c.counts.IntervalSplits++
+	}
+}
+
+// Counts returns the cumulative observation counters (they survive
+// Reset). Zero for a nil checker.
+func (c *Checker) Counts() Counts {
+	if c == nil {
+		return Counts{}
+	}
+	return c.counts
+}
+
+// TakeCounts returns the cumulative observation counters and zeroes
+// them, so per-query deltas need no bookkeeping on the caller's side.
+func (c *Checker) TakeCounts() Counts {
+	if c == nil {
+		return Counts{}
+	}
+	ct := c.counts
+	c.counts = Counts{}
+	return ct
+}
+
 // AddMemo charges n new memo entries against Limits.MaxMemoEntries and
 // returns non-nil once the ceiling is exceeded (or the checker already
 // tripped). Call it before storing a fresh DP cell and skip the store
@@ -181,6 +251,7 @@ func (c *Checker) AddMemo(n int) error {
 		return c.err
 	}
 	c.memo += n
+	c.counts.MemoEntries += int64(n)
 	if c.lim.MaxMemoEntries > 0 && c.memo > c.lim.MaxMemoEntries {
 		return c.trip(fmt.Errorf("%w: %d memo entries exceed limit %d",
 			ErrBudgetExceeded, c.memo, c.lim.MaxMemoEntries))
@@ -197,6 +268,7 @@ func (c *Checker) AddStates(n int) error {
 		return c.err
 	}
 	c.states += n
+	c.counts.States += int64(n)
 	if c.lim.MaxStates > 0 && c.states > c.lim.MaxStates {
 		return c.trip(fmt.Errorf("%w: %d search states exceed limit %d",
 			ErrBudgetExceeded, c.states, c.lim.MaxStates))

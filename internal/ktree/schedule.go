@@ -141,11 +141,17 @@ func (s *Scheduler) store(v cdag.NodeID, b cdag.Weight, iv ival) {
 			hi = mid
 		}
 	}
+	clipped := false
 	if lo > 0 && row[lo-1].hi >= iv.lo {
 		iv.lo = row[lo-1].hi + 1
+		clipped = true
 	}
 	if lo < len(row) && row[lo].lo <= iv.hi {
 		iv.hi = row[lo].lo - 1
+		clipped = true
+	}
+	if clipped {
+		s.ck.NoteSplit()
 	}
 	row = append(row, ival{})
 	copy(row[lo+1:], row[lo:])
@@ -168,6 +174,7 @@ func (s *Scheduler) store(v cdag.NodeID, b cdag.Weight, iv ival) {
 // the minimum and the argmin are constant there.
 func (s *Scheduler) pt(v cdag.NodeID, b cdag.Weight) (entry, cdag.Weight, cdag.Weight) {
 	if iv := s.lookup(v, b); iv != nil {
+		s.ck.NoteHit()
 		return iv.e, iv.lo, iv.hi
 	}
 	// Cancellation checkpoint on the cold path only: warm hits return
@@ -258,6 +265,7 @@ func (s *Scheduler) MinCost(b cdag.Weight) cdag.Weight {
 func (s *Scheduler) MinCostCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error) {
 	ck := guard.New(ctx, lim)
 	defer ck.Release()
+	defer func() { guard.CountersFor("ktree").Record(ck.TakeCounts()) }()
 	s.ck = ck
 	defer func() { s.ck = nil }()
 	c := s.MinCost(b)
@@ -272,6 +280,7 @@ func (s *Scheduler) MinCostCtx(ctx context.Context, lim guard.Limits, b cdag.Wei
 func (s *Scheduler) ScheduleCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
 	ck := guard.New(ctx, lim)
 	defer ck.Release()
+	defer func() { guard.CountersFor("ktree").Record(ck.TakeCounts()) }()
 	s.ck = ck
 	defer func() { s.ck = nil }()
 	sched, err := s.Schedule(b)

@@ -37,6 +37,10 @@ func (se *Session) Scheduler() *Scheduler { return se.s }
 // Tree returns the underlying tree.
 func (se *Session) Tree() *Tree { return se.s.t }
 
+// TakeCounts returns and resets the session's cumulative solver
+// observation counters (memo hits, entries, splits) for metric export.
+func (se *Session) TakeCounts() guard.Counts { return se.ck.TakeCounts() }
+
 // begin installs the session checker for one query; end uninstalls it.
 func (se *Session) begin(ctx context.Context, lim guard.Limits) {
 	se.ck.Reset(ctx, lim)

@@ -290,8 +290,10 @@ func (t *pmTable) get(k pmKey, b cdag.Weight) (cdag.Weight, cdag.Weight, cdag.We
 
 // put inserts iv, clipped to the uncovered gap it lands in. Neighbours
 // are restrictions of the same step function, so on any overlap they
-// agree and clipping discards only redundancy.
-func (t *pmTable) put(k pmKey, iv pmIval) {
+// agree and clipping discards only redundancy. The returned flag
+// reports whether clipping happened (an interval split, for the
+// observation counters).
+func (t *pmTable) put(k pmKey, iv pmIval) (clipped bool) {
 	// Grow at 3/4 occupancy so probe chains stay short.
 	if (t.n+1)*4 > len(t.slots)*3 {
 		t.grow()
@@ -301,7 +303,7 @@ func (t *pmTable) put(k pmKey, iv pmIval) {
 		if !s.full {
 			*s = pmSlot{key: k, ivals: []pmIval{iv}, full: true}
 			t.n++
-			return
+			return false
 		}
 		if s.key == k {
 			row := s.ivals
@@ -316,18 +318,20 @@ func (t *pmTable) put(k pmKey, iv pmIval) {
 			}
 			if lo > 0 && row[lo-1].hi >= iv.lo {
 				iv.lo = row[lo-1].hi + 1
+				clipped = true
 			}
 			if lo < len(row) && row[lo].lo <= iv.hi {
 				iv.hi = row[lo].lo - 1
+				clipped = true
 			}
 			if iv.lo > iv.hi {
-				return
+				return clipped
 			}
 			row = append(row, pmIval{})
 			copy(row[lo+1:], row[lo:])
 			row[lo] = iv
 			s.ivals = row
-			return
+			return clipped
 		}
 	}
 }

@@ -98,6 +98,7 @@ func (s *KScheduler) PlainCost(v cdag.NodeID, b cdag.Weight) cdag.Weight {
 func (s *KScheduler) pmk(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) (cdag.Weight, cdag.Weight, cdag.Weight) {
 	key := pmKey{v: v, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
 	if c, lo, hi, ok := s.memo.get(key, b); ok {
+		s.ck.NoteHit()
 		return c, lo, hi
 	}
 	return s.pmkCold(key, v, b, ini, reuse)
@@ -204,7 +205,9 @@ func (s *KScheduler) pmkCold(key pmKey, v cdag.NodeID, b cdag.Weight, ini, reuse
 	// Never memoize after a trip: children returned poisoned Inf costs
 	// that must not survive into later solves.
 	if s.ck == nil || (s.ck.Err() == nil && s.ck.AddMemo(1) == nil) {
-		s.memo.put(key, pmIval{lo: lo, hi: hi, cost: cost})
+		if s.memo.put(key, pmIval{lo: lo, hi: hi, cost: cost}) {
+			s.ck.NoteSplit()
+		}
 	}
 	return cost, lo, hi
 }

@@ -116,6 +116,7 @@ func (s *Scheduler) CostCtx(ctx context.Context, lim guard.Limits, v cdag.NodeID
 func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) (cdag.Weight, cdag.Weight, cdag.Weight) {
 	key := pmKey{v: v, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
 	if c, lo, hi, ok := s.memo.get(key, b); ok {
+		s.ck.NoteHit()
 		return c, lo, hi
 	}
 	// Cancellation checkpoint on the cold path only: warm hits return
@@ -217,7 +218,9 @@ func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) (cdag.We
 	// Never memoize after a trip: children returned poisoned Inf costs
 	// that must not survive into later solves.
 	if s.ck == nil || (s.ck.Err() == nil && s.ck.AddMemo(1) == nil) {
-		s.memo.put(key, pmIval{lo: lo, hi: hi, cost: cost})
+		if s.memo.put(key, pmIval{lo: lo, hi: hi, cost: cost}) {
+			s.ck.NoteSplit()
+		}
 	}
 	return cost, lo, hi
 }

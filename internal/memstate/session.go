@@ -46,6 +46,10 @@ func (se *Session) KScheduler() *KScheduler { return se.s }
 // Node returns the pinned query node.
 func (se *Session) Node() cdag.NodeID { return se.v }
 
+// TakeCounts returns and resets the session's cumulative solver
+// observation counters (memo hits, entries, splits) for metric export.
+func (se *Session) TakeCounts() guard.Counts { return se.ck.TakeCounts() }
+
 // CostCtx returns Pm(v, b, I, R) for the pinned node and states under
 // the session's warm memo (Inf when infeasible). The error is non-nil
 // only when the query was aborted; resource limits in lim are per

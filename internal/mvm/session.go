@@ -35,6 +35,10 @@ func NewSession(g *Graph) *Session {
 // Graph returns the underlying MVM graph.
 func (se *Session) Graph() *Graph { return se.g }
 
+// TakeCounts returns and resets the session's cumulative solver
+// observation counters (memo hits, states, …) for metric export.
+func (se *Session) TakeCounts() guard.Counts { return se.ck.TakeCounts() }
+
 // search returns the memoized best configuration for the budget,
 // running the guarded candidate sweep on a miss. Aborted sweeps are
 // never memoized (no-poison), so the session stays reusable after a
@@ -42,6 +46,7 @@ func (se *Session) Graph() *Graph { return se.g }
 // result — "nothing fits" is a valid, budget-monotone answer.
 func (se *Session) search(ctx context.Context, lim guard.Limits, b cdag.Weight) (searchResult, error) {
 	if r, ok := se.memo[b]; ok {
+		se.ck.NoteHit()
 		return r, nil
 	}
 	se.ck.Reset(ctx, lim)

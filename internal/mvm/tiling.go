@@ -275,6 +275,7 @@ func (g *Graph) Search(budget cdag.Weight) (TileConfig, cdag.Weight, error) {
 func (g *Graph) SearchCtx(ctx context.Context, lim guard.Limits, budget cdag.Weight) (TileConfig, cdag.Weight, error) {
 	ck := guard.New(ctx, lim)
 	defer ck.Release()
+	defer func() { guard.CountersFor("mvm").Record(ck.TakeCounts()) }()
 	tc, cost, err := g.sharedSearch(ck, budget)
 	if cerr := ck.Err(); cerr != nil {
 		return TileConfig{}, 0, fmt.Errorf("mvm: %w", cerr)

@@ -1,0 +1,63 @@
+// Structured-logging setup shared by the three binaries (wrbpg,
+// wrbpgd, experiments): one -log-format=text|json / -log-level flag
+// pair, resolved to a log/slog logger, so every process in the fleet
+// emits the same leveled, machine-parseable log shape.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFlags carries the shared logging flag values; register with
+// AddLogFlags and resolve with Logger.
+type LogFlags struct {
+	Format string
+	Level  string
+}
+
+// AddLogFlags registers -log-format and -log-level on fs and returns
+// the destination struct.
+func AddLogFlags(fs *flag.FlagSet) *LogFlags {
+	lf := &LogFlags{}
+	fs.StringVar(&lf.Format, "log-format", "text", "log output format: text or json")
+	fs.StringVar(&lf.Level, "log-level", "info", "minimum log level: debug, info, warn or error")
+	return lf
+}
+
+// Logger resolves the flags to a slog.Logger writing to w.
+func (lf *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	return NewLogger(w, lf.Format, lf.Level)
+}
+
+// NewLogger builds a slog.Logger with the given format ("text" or
+// "json") and level ("debug", "info", "warn", "error").
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}

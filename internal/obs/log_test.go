@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestLogFlagsResolve: the shared -log-format/-log-level pair must
+// produce the right handler shape and level filtering.
+func TestLogFlagsResolve(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	lf := AddLogFlags(fs)
+	if err := fs.Parse([]string{"-log-format=json", "-log-level=warn"}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	logger, err := lf.Logger(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("filtered out")
+	logger.Warn("kept", "k", "v")
+	out := strings.TrimSpace(sb.String())
+	if strings.Contains(out, "filtered out") {
+		t.Errorf("info line survived -log-level=warn: %q", out)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(out), &rec); err != nil {
+		t.Fatalf("-log-format=json output is not JSON: %v\n%q", err, out)
+	}
+	if rec["msg"] != "kept" || rec["k"] != "v" || rec["level"] != "WARN" {
+		t.Errorf("json record = %v", rec)
+	}
+}
+
+// TestNewLoggerRejectsUnknown: bad flag values fail at startup rather
+// than silently defaulting.
+func TestNewLoggerRejectsUnknown(t *testing.T) {
+	var sb strings.Builder
+	if _, err := NewLogger(&sb, "xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := NewLogger(&sb, "text", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+// TestNewLoggerTextDefault: empty strings mean text/info.
+func TestNewLoggerTextDefault(t *testing.T) {
+	var sb strings.Builder
+	logger, err := NewLogger(&sb, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("filtered")
+	logger.Info("hello")
+	out := sb.String()
+	if strings.Contains(out, "filtered") {
+		t.Error("debug line survived default info level")
+	}
+	if !strings.Contains(out, "msg=hello") {
+		t.Errorf("text handler output missing msg=hello: %q", out)
+	}
+}

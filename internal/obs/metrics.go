@@ -1,0 +1,329 @@
+// Package obs is the zero-dependency observability core shared by the
+// solver stack and the serving layer: lock-free counter/gauge/histogram
+// registries with a Prometheus text-exposition writer, request-scoped
+// trace spans with Chrome trace_event export, and log/slog helpers for
+// the command-line binaries.
+//
+// The package sits below every other internal package (it imports only
+// the standard library), so the DP kernels, the worker pool and the
+// HTTP layer can all feed the same registry without import cycles.
+// Hot paths pay one atomic add per event; snapshots and exposition
+// never block writers.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// unusable — obtain counters from a Registry so they are exported.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (in-flight requests, live
+// sessions).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a cumulative histogram with fixed upper bounds. Observe
+// is lock-free: one atomic add on the matching bucket plus a CAS loop
+// on the (rarely contended) sum.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds; +Inf implicit
+	buckets []atomic.Uint64
+	inf     atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits
+	count   atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			goto sum
+		}
+	}
+	h.inf.Add(1)
+sum:
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bucket returns the (non-cumulative) count of bucket i; i ==
+// len(bounds) addresses the +Inf bucket.
+func (h *Histogram) Bucket(i int) uint64 {
+	if i >= len(h.bounds) {
+		return h.inf.Load()
+	}
+	return h.buckets[i].Load()
+}
+
+// Bounds returns the finite upper bounds.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// CounterVec is a family of counters partitioned by one label. With
+// interns each label value once; callers on hot paths should capture
+// the returned *Counter instead of calling With per event.
+type CounterVec struct {
+	mu    sync.RWMutex
+	label string
+	kids  map[string]*Counter
+}
+
+// With returns the counter for the given label value, creating it on
+// first use.
+func (cv *CounterVec) With(value string) *Counter {
+	cv.mu.RLock()
+	c := cv.kids[value]
+	cv.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	if c = cv.kids[value]; c == nil {
+		c = &Counter{}
+		cv.kids[value] = c
+	}
+	return c
+}
+
+// metricKind discriminates the exposition TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered family: exactly one of the value fields is
+// set.
+type metric struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+	vec        *CounterVec
+	fn         func() float64 // counterFunc / gaugeFunc callback
+}
+
+// Registry holds registered metrics and renders them in Prometheus
+// text exposition format (version 0.0.4). Registration takes a lock;
+// updating registered metrics is lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+// Default is the process-wide registry the solver-side packages feed
+// (memo hit/miss counters, worker-pool counters). Serving layers merge
+// it into their own exposition.
+var Default = NewRegistry()
+
+// register adds m, panicking on a duplicate name — metric names are
+// compile-time constants, so a duplicate is a programming error worth
+// failing fast on (mirroring prometheus.MustRegister).
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	}
+	r.byName[m.name] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterVec registers and returns a counter family keyed by label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	cv := &CounterVec{label: label, kids: map[string]*Counter{}}
+	r.register(&metric{name: name, help: help, kind: kindCounter, vec: cv})
+	return cv
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is fn() at exposition time —
+// for quantities another component already tracks (cache entries, pool
+// occupancy) that need no second counter on the hot path.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// CounterFunc registers a counter whose value is fn() at exposition
+// time; fn must be monotonically non-decreasing (it reads an existing
+// atomic counter, e.g. schedcache's).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, fn: fn})
+}
+
+// Histogram registers and returns a histogram with the given strictly
+// increasing finite upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing", name))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.buckets = make([]atomic.Uint64, len(h.bounds))
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// snapshotMetrics copies the registered list under the lock, so the
+// (lock-free) value reads below never race with registration.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metric(nil), r.metrics...)
+}
+
+// WriteText renders every registered metric in Prometheus text
+// exposition format, sorted by metric name.
+func (r *Registry) WriteText(w io.Writer) error {
+	ms := r.snapshotMetrics()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	var b strings.Builder
+	for _, m := range ms {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, typeName(m.kind))
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(float64(m.counter.Value())))
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(float64(m.gauge.Value())))
+		case m.fn != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.fn()))
+		case m.vec != nil:
+			m.vec.mu.RLock()
+			vals := make([]string, 0, len(m.vec.kids))
+			for v := range m.vec.kids {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				fmt.Fprintf(&b, "%s{%s=%q} %s\n",
+					m.name, m.vec.label, v, formatFloat(float64(m.vec.kids[v].Value())))
+			}
+			m.vec.mu.RUnlock()
+		case m.hist != nil:
+			h := m.hist
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.Bucket(i)
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), cum)
+			}
+			cum += h.Bucket(len(h.bounds))
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, cum)
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the merged text exposition of the given registries
+// (later registries append after earlier ones; names must not collide
+// across them).
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			if err := r.WriteText(w); err != nil {
+				return // client went away; nothing useful to do
+			}
+		}
+	})
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// integral values without an exponent, everything else shortest-form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition
+// format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeBasics pins the scalar metric semantics.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_gauge", "help")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Fatalf("gauge after Set = %d, want -7", got)
+	}
+}
+
+// TestRegistryConcurrent hammers every metric kind from many goroutines
+// (run under -race) and checks the totals are exact: lock-free must not
+// mean lossy.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "h")
+	g := r.Gauge("conc_gauge", "h")
+	cv := r.CounterVec("conc_vec_total", "h", "kind")
+	h := r.Histogram("conc_hist", "h", []float64{1, 10, 100})
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := []string{"a", "b", "c"}[w%3]
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				cv.With(kind).Inc()
+				h.Observe(float64(i % 200))
+				// Interleave exposition with the writes: snapshots must
+				// never block or corrupt writers.
+				if i%4096 == 0 {
+					var sb strings.Builder
+					if err := r.WriteText(&sb); err != nil {
+						t.Errorf("WriteText: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	var vecTotal uint64
+	for _, k := range []string{"a", "b", "c"} {
+		vecTotal += cv.With(k).Value()
+	}
+	if vecTotal != workers*perWorker {
+		t.Errorf("vec total = %d, want %d", vecTotal, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var bucketTotal uint64
+	for i := 0; i <= len(h.Bounds()); i++ {
+		bucketTotal += h.Bucket(i)
+	}
+	if bucketTotal != h.Count() {
+		t.Errorf("bucket sum = %d, want count %d", bucketTotal, h.Count())
+	}
+	wantSum := float64(workers) * float64(perWorker/200) * (199 * 200 / 2)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestWriteTextRoundTrip renders a populated registry and re-parses it
+// with ParseText: the writer and the validator must agree on the
+// exposition grammar.
+func TestWriteTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rt_total", "a counter\nwith a newline and a back\\slash")
+	c.Add(3)
+	g := r.Gauge("rt_gauge", "gauge")
+	g.Set(-4)
+	cv := r.CounterVec("rt_vec_total", "vec", "reason")
+	cv.With(`quote"and\slash`).Add(2)
+	cv.With("plain").Inc()
+	h := r.Histogram("rt_hist", "hist", []float64{0.5, 2.5})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(99)
+	r.GaugeFunc("rt_func_gauge", "fn", func() float64 { return 1.5 })
+	r.CounterFunc("rt_func_total", "fn", func() float64 { return 42 })
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(sb.String())
+	if err != nil {
+		t.Fatalf("ParseText of own output: %v\n%s", err, sb.String())
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Series()] = s.Value
+	}
+	want := map[string]float64{
+		"rt_total": 3,
+		"rt_gauge": -4,
+		`rt_vec_total{reason="quote\"and\\slash"}`: 2,
+		`rt_vec_total{reason="plain"}`:             1,
+		`rt_hist_bucket{le="0.5"}`:                 1,
+		`rt_hist_bucket{le="2.5"}`:                 2, // cumulative
+		`rt_hist_bucket{le="+Inf"}`:                3,
+		"rt_hist_sum":                              100.25,
+		"rt_hist_count":                            3,
+		"rt_func_gauge":                            1.5,
+		"rt_func_total":                            42,
+	}
+	for series, v := range want {
+		gv, ok := got[series]
+		if !ok {
+			t.Errorf("series %s missing from exposition:\n%s", series, sb.String())
+			continue
+		}
+		if gv != v {
+			t.Errorf("series %s = %g, want %g", series, gv, v)
+		}
+	}
+}
+
+// TestDuplicateRegistrationPanics: a duplicate metric name is a
+// programming error and must fail fast.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "h")
+}
+
+// TestHistogramBoundsValidation: non-increasing bounds must panic at
+// registration, not mis-bucket at observe time.
+func TestHistogramBoundsValidation(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds did not panic")
+		}
+	}()
+	r.Histogram("bad_hist", "h", []float64{1, 1})
+}
+
+// TestHandlerMergesRegistries: the HTTP handler concatenates several
+// registries into one parseable exposition with the Prometheus content
+// type.
+func TestHandlerMergesRegistries(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("merge_a_total", "h").Inc()
+	r2 := NewRegistry()
+	r2.Counter("merge_b_total", "h").Add(2)
+
+	rec := httptest.NewRecorder()
+	Handler(r1, r2).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want a 0.0.4 exposition", ct)
+	}
+	samples, err := ParseText(rec.Body.String())
+	if err != nil {
+		t.Fatalf("merged exposition unparseable: %v", err)
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Series()] = s.Value
+	}
+	if got["merge_a_total"] != 1 || got["merge_b_total"] != 2 {
+		t.Errorf("merged samples = %v, want merge_a_total=1 merge_b_total=2", got)
+	}
+}

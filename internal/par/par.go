@@ -18,9 +18,28 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wrbpg/internal/guard"
+	"wrbpg/internal/obs"
 )
+
+// Worker-pool observability: items evaluated, panics recovered, and
+// cumulative busy time across all workers (busy seconds divided by
+// wall time and GOMAXPROCS gives pool utilization). Items are
+// coarse-grained (a solve, a sweep point), so two clock reads per item
+// are noise.
+var (
+	tasksTotal  = obs.Default.Counter("wrbpg_par_tasks_total", "Worker-pool items evaluated.")
+	panicsTotal = obs.Default.Counter("wrbpg_par_panics_total", "Worker panics recovered as *par.PanicError.")
+	busyNanos   atomic.Int64
+)
+
+func init() {
+	obs.Default.CounterFunc("wrbpg_par_busy_seconds_total",
+		"Cumulative worker busy time across the pool.",
+		func() float64 { return float64(busyNanos.Load()) / 1e9 })
+}
 
 // PanicError wraps a panic recovered inside a worker: the index of the
 // input item whose evaluation panicked, the recovered value, and the
@@ -93,8 +112,12 @@ func MapCtx[I, O any](ctx context.Context, workers int, in []I, f func(I) (O, er
 		return out, nil
 	}
 	eval := func(i int) (err error) {
+		start := time.Now()
+		tasksTotal.Inc()
 		defer func() {
+			busyNanos.Add(int64(time.Since(start)))
 			if r := recover(); r != nil {
+				panicsTotal.Inc()
 				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 			}
 		}()

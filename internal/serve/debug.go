@@ -1,0 +1,33 @@
+// The operator-facing debug surface, served on a separate listener
+// (wrbpgd -debug-addr) so profiling and metrics scraping never share a
+// port — or a blast radius — with the public API.
+
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the debug mux: the standard net/http/pprof
+// endpoints plus the merged Prometheus exposition.
+//
+//	GET /debug/pprof/           profile index
+//	GET /debug/pprof/profile    30s CPU profile (?seconds=N)
+//	GET /debug/pprof/heap       heap profile (also goroutine, block, …)
+//	GET /debug/pprof/trace      execution trace (?seconds=N)
+//	GET /metrics                Prometheus text exposition
+//
+// Bind it to a loopback or otherwise access-controlled address: CPU
+// profiling and execution tracing cost real resources, so the debug
+// listener must never face untrusted clients.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", s.MetricsHandler())
+	return mux
+}

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wrbpg/internal/guard"
+	"wrbpg/internal/obs"
+	"wrbpg/internal/serve/wire"
+)
+
+// postTraced POSTs body with the X-Wrbpg-Trace header set and returns
+// the response plus its body bytes.
+func postTraced(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TraceHeader, "on")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// spanNames flattens a span forest into a set of names.
+func spanNames(nodes []*obs.SpanNode, into map[string]*obs.SpanNode) {
+	for _, n := range nodes {
+		into[n.Name] = n
+		spanNames(n.Children, into)
+	}
+}
+
+// TestTraceEndToEnd is the tracing acceptance test: a traced cold
+// schedule yields a retrievable trace whose tree contains the
+// request/cache/solve phases, the cache span carries its disposition,
+// and the chrome export is loadable JSON. Untraced requests get no
+// trace ID header.
+func TestTraceEndToEnd(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	req := dwtRequest(16 * 16)
+
+	resp, body := postTraced(t, ts.URL+"/v1/schedule", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get(TraceIDHeader)
+	if id == "" {
+		t.Fatal("traced request returned no " + TraceIDHeader)
+	}
+
+	var ex obs.TraceExport
+	if r := getJSON(t, ts.URL+"/v1/trace/"+id, &ex); r.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: %d", r.StatusCode)
+	}
+	if ex.TraceID != id {
+		t.Fatalf("trace body ID %q, want %q", ex.TraceID, id)
+	}
+	if len(ex.Spans) != 1 || ex.Spans[0].Name != "request" {
+		t.Fatalf("roots = %+v, want single 'request' root", ex.Spans)
+	}
+	all := map[string]*obs.SpanNode{}
+	spanNames(ex.Spans, all)
+	for _, want := range []string{"request", "canonicalize", "cache", "build", "admission", "solve", "solve.optimal", "solve.simulate"} {
+		if all[want] == nil {
+			t.Errorf("span %q missing from trace (have %d spans)", want, len(all))
+		}
+	}
+	if cache := all["cache"]; cache != nil {
+		found := false
+		for _, a := range cache.Attrs {
+			if a.Key == "disposition" && a.Value == "miss" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("cache span attrs = %v, want disposition=miss", cache.Attrs)
+		}
+	}
+	if solveSp := all["solve"]; solveSp != nil {
+		kids := map[string]bool{}
+		for _, c := range solveSp.Children {
+			kids[c.Name] = true
+		}
+		if !kids["solve.optimal"] || !kids["solve.simulate"] {
+			t.Errorf("solve children = %v, want optimal+simulate nested under solve", solveSp.Children)
+		}
+	}
+
+	// Chrome export: a JSON array of complete events.
+	var evs []obs.ChromeEvent
+	if r := getJSON(t, ts.URL+"/v1/trace/"+id+"?format=chrome", &evs); r.StatusCode != http.StatusOK {
+		t.Fatalf("chrome fetch: %d", r.StatusCode)
+	}
+	if len(evs) < 5 {
+		t.Fatalf("chrome export has %d events, want the full span set", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Ph != "X" {
+			t.Errorf("chrome event %q ph=%q, want X", ev.Name, ev.Ph)
+		}
+	}
+
+	// Unknown IDs 404; untraced requests carry no ID header.
+	if r := getJSON(t, ts.URL+"/v1/trace/doesnotexist", nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace: %d, want 404", r.StatusCode)
+	}
+	resp2, _ := postJSON(t, ts.URL+"/v1/schedule", req)
+	if got := resp2.Header.Get(TraceIDHeader); got != "" {
+		t.Errorf("untraced request returned trace ID %q", got)
+	}
+}
+
+// TestMetricsEndpoint: after mixed traffic, GET /metrics is a valid
+// Prometheus 0.0.4 exposition with at least 15 distinct series, and
+// the request/cache counters reflect the traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	req := dwtRequest(16 * 16)
+	postJSON(t, ts.URL+"/v1/schedule", req) // miss
+	postJSON(t, ts.URL+"/v1/schedule", req) // hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(string(raw))
+	if err != nil {
+		t.Fatalf("/metrics output unparseable: %v", err)
+	}
+	series := map[string]float64{}
+	names := map[string]bool{}
+	for _, s := range samples {
+		series[s.Series()] = s.Value
+		names[s.Name] = true
+	}
+	if len(series) < 15 {
+		t.Errorf("only %d distinct series exposed, want >= 15:\n%s", len(series), raw)
+	}
+	checks := map[string]float64{
+		`wrbpg_http_requests_total{endpoint="schedule"}`: 2,
+		"wrbpg_cache_misses_total":                       1,
+		"wrbpg_cache_hits_total":                         1,
+		"wrbpg_solves_total":                             1,
+		"wrbpg_cache_entries":                            1,
+	}
+	for s, want := range checks {
+		if got, ok := series[s]; !ok || got != want {
+			t.Errorf("series %s = %v (present=%v), want %v", s, got, ok, want)
+		}
+	}
+	// The solver-side registry (memo counters, worker pool) must ride
+	// along in the same exposition.
+	for _, name := range []string{"wrbpg_solver_queries_total", "wrbpg_solve_latency_us"} {
+		if !names[name] && !names[name+"_count"] {
+			t.Errorf("metric family %s missing from merged exposition", name)
+		}
+	}
+}
+
+// TestFallbackReasonInBodyAndMetric: a deterministic budget-limit
+// degradation must label the response with the machine-readable cause
+// and increment wrbpg_fallback_total{reason="budget"}.
+func TestFallbackReasonInBodyAndMetric(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{
+		Limits: guard.Limits{MaxMemoEntries: 1},
+	})
+	req := dwtRequest(16 * 16)
+	req.IncludeMoves = false
+
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out wire.ScheduleResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Source != "fallback" {
+		t.Fatalf("source = %q, want fallback", out.Source)
+	}
+	if out.FallbackCause != "budget" {
+		t.Fatalf("fallback_cause = %q, want budget (human text: %q)", out.FallbackCause, out.FallbackReason)
+	}
+
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw, _ := io.ReadAll(resp2.Body)
+	samples, err := obs.ParseText(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "wrbpg_fallback_total" && s.Labels["reason"] == "budget" && s.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf(`wrbpg_fallback_total{reason="budget"} not incremented`)
+	}
+}
+
+// TestSweepItemReason: sweep items that abort must carry the
+// machine-readable reason in their wire error.
+func TestSweepItemReason(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{
+		Limits: guard.Limits{MaxMemoEntries: 1},
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/schedule/sweep", sweepReq([]int64{1 << 20}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d\n%s", resp.StatusCode, body)
+	}
+	sr := decodeSweep(t, body)
+	if sr.Failed == 0 {
+		t.Skip("memo ceiling did not trip on this sweep; nothing to assert")
+	}
+	for _, it := range sr.Items {
+		if it.Error == nil {
+			continue
+		}
+		if it.Error.Reason != "budget" {
+			t.Errorf("item %d error reason = %q, want budget (%+v)", it.BudgetBits, it.Error.Reason, it.Error)
+		}
+	}
+}
+
+// TestDebugHandler: the -debug-addr surface serves the pprof index and
+// the same metrics exposition as the public /metrics.
+func TestDebugHandler(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s.DebugHandler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("pprof index: %d\n%s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if _, err := obs.ParseText(string(raw)); err != nil {
+		t.Fatalf("debug /metrics unparseable: %v", err)
+	}
+}

@@ -18,8 +18,18 @@
 //	POST /v1/schedule/batch  fan out independent solves, partial failure
 //	POST /v1/schedule/sweep  many budgets, one warm solver session
 //	GET  /v1/lowerbound      Proposition 2.3/2.4 bounds, no solve
+//	GET  /v1/trace/{id}      span tree of a traced request
 //	GET  /healthz            liveness
 //	GET  /statsz             cache/solver/latency/session counters
+//	GET  /metrics            Prometheus text exposition
+//
+// Any request carrying "X-Wrbpg-Trace: on" is traced: the solver
+// phases (canonicalize, cache, build, admission, solve, simulate,
+// fallback) record spans, the response carries the trace ID in
+// X-Wrbpg-Trace-Id, and the completed span tree is retrievable at
+// GET /v1/trace/{id} (add ?format=chrome for a chrome://tracing /
+// Perfetto trace_event array). Untraced requests pay one context
+// lookup per phase and zero tracing allocations.
 //
 // The sweep path keeps a pool of warm solver sessions keyed by the
 // instance's budget-free ShapeKey: the DP memos share sub-budget cells
@@ -38,15 +48,23 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"wrbpg/internal/core"
 	"wrbpg/internal/guard"
+	"wrbpg/internal/obs"
 	"wrbpg/internal/par"
 	"wrbpg/internal/schedcache"
 	"wrbpg/internal/serve/wire"
 	"wrbpg/internal/solve"
+)
+
+// Trace opt-in request header and response trace-ID header.
+const (
+	TraceHeader   = "X-Wrbpg-Trace"
+	TraceIDHeader = "X-Wrbpg-Trace-Id"
 )
 
 // Options configures a Server; zero fields take the stated defaults.
@@ -76,6 +94,9 @@ type Options struct {
 	// POST /v1/schedule/sweep (default 32, LRU-evicted).
 	MaxSweepBudgets int
 	SweepSessions   int
+	// TraceBuffer caps the completed traces retained for
+	// GET /v1/trace/{id} (default 64, oldest evicted first).
+	TraceBuffer int
 }
 
 // withDefaults resolves zero fields.
@@ -107,6 +128,9 @@ func (o Options) withDefaults() Options {
 	if o.SweepSessions <= 0 {
 		o.SweepSessions = 32
 	}
+	if o.TraceBuffer <= 0 {
+		o.TraceBuffer = 64
+	}
 	return o
 }
 
@@ -122,22 +146,29 @@ type Server struct {
 	// steady-state sweep traffic allocates nothing per warm query.
 	wsPool sync.Pool
 	sem    chan struct{}
-	m      metrics
+	reg    *obs.Registry
+	m      *metrics
+	traces *obs.TraceStore
 	start  time.Time
 }
 
 // New builds a Server with the given options.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	reg := obs.NewRegistry()
 	s := &Server{
 		opts:     opts,
 		cache:    schedcache.New[*wire.ScheduleResult](opts.CacheShards, opts.CachePerShard),
 		sessions: schedcache.New[*sessionEntry](1, opts.SweepSessions),
 		sem:      make(chan struct{}, opts.MaxInflight),
+		reg:      reg,
+		m:        newMetrics(reg),
+		traces:   obs.NewTraceStore(opts.TraceBuffer),
 		start:    time.Now(),
 	}
+	s.registerFuncs()
 	s.wsPool.New = func() any {
-		s.m.wsAllocs.Add(1)
+		s.m.wsAllocs.Inc()
 		return &sweepWorkspace{}
 	}
 	return s
@@ -150,9 +181,68 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/schedule/batch", s.handleBatch)
 	mux.HandleFunc("/v1/schedule/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/lowerbound", s.handleLowerBound)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
-	return mux
+	mux.Handle("/metrics", s.MetricsHandler())
+	return s.withTracing(mux)
+}
+
+// MetricsHandler serves the merged Prometheus text exposition: this
+// server's registry plus the process-wide solver registry.
+func (s *Server) MetricsHandler() http.Handler {
+	return obs.Handler(s.reg, obs.Default)
+}
+
+// withTracing wraps the endpoint mux with the per-request trace
+// lifecycle: a request carrying "X-Wrbpg-Trace: on" gets a fresh
+// trace on its context and a root span covering the whole handler;
+// the completed trace lands in the retrieval buffer. Untraced
+// requests pass through with zero overhead.
+func (s *Server) withTracing(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Header.Get(TraceHeader) {
+		case "on", "1", "true":
+		default:
+			h.ServeHTTP(w, r)
+			return
+		}
+		s.m.traced.Inc()
+		tr := obs.NewTrace()
+		ctx, root := obs.StartSpan(obs.WithTrace(r.Context(), tr), "request")
+		root.SetAttr("method", r.Method)
+		root.SetAttr("path", r.URL.Path)
+		w.Header().Set(TraceIDHeader, tr.ID())
+		h.ServeHTTP(w, r.WithContext(ctx))
+		root.End()
+		s.traces.Put(tr)
+	})
+}
+
+// handleTrace serves GET /v1/trace/{id}: the span tree of a completed
+// traced request, or its chrome://tracing event array with
+// ?format=chrome.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "GET required"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		s.writeErr(w, wire.Errorf(http.StatusBadRequest, "want /v1/trace/{id}"))
+		return
+	}
+	tr, ok := s.traces.Get(id)
+	if !ok {
+		s.writeErr(w, wire.Errorf(http.StatusNotFound,
+			"trace %q not found (buffer keeps the last %d traced requests)", id, s.opts.TraceBuffer))
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		writeJSON(w, http.StatusOK, tr.ChromeTrace())
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Tree())
 }
 
 // CacheStats exposes the cache counters (for tests and the daemon's
@@ -172,7 +262,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // goes through here, so clients always get {"status","error"}.
 func (s *Server) writeErr(w http.ResponseWriter, e *wire.Error) {
 	if e.Status >= 400 && e.Status < 500 {
-		s.m.badRequests.Add(1)
+		s.m.badRequests.Inc()
 	}
 	writeJSON(w, e.Status, e)
 }
@@ -186,7 +276,7 @@ func asWireErr(err error) *wire.Error {
 		return we
 	}
 	if errors.Is(err, guard.ErrCanceled) || errors.Is(err, context.Canceled) {
-		return wire.Errorf(499, "client closed request")
+		return wire.Errorf(499, "client closed request").WithReason("canceled")
 	}
 	return wire.Errorf(http.StatusInternalServerError, "%v", err)
 }
@@ -212,7 +302,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "POST required"))
 		return
 	}
-	s.m.requests.Add(1)
+	s.m.reqSchedule.Inc()
 	var req wire.ScheduleRequest
 	if err := decodeStrict(w, r, s.opts.MaxBodyBytes, &req); err != nil {
 		s.writeErr(w, asWireErr(err))
@@ -235,16 +325,21 @@ func (s *Server) schedule(ctx context.Context, req *wire.ScheduleRequest) (*wire
 		return nil, wire.Errorf(http.StatusBadRequest,
 			"budget_bits must be positive, got %d", req.BudgetBits)
 	}
+	_, csp := obs.StartSpan(ctx, "canonicalize")
 	inst, err := req.Instance()
+	csp.End()
 	if err != nil {
 		return nil, wire.Errorf(http.StatusBadRequest, "%v", err)
 	}
 	budget := req.BudgetBits
 	key := inst.Key(budget)
 
+	cctx, sp := obs.StartSpan(ctx, "cache")
 	cached, state, err := s.cache.Do(key, func() (*wire.ScheduleResult, bool, error) {
-		return s.solveCold(ctx, &inst, budget, req.TimeoutMS)
+		return s.solveCold(cctx, &inst, budget, req.TimeoutMS)
 	})
+	sp.SetAttr("disposition", state.String())
+	sp.End()
 	if err != nil {
 		return nil, asWireErr(err)
 	}
@@ -269,7 +364,9 @@ func (s *Server) schedule(ctx context.Context, req *wire.ScheduleRequest) (*wire
 // and result construction. The bool reports cacheability — only
 // optimal results are stored.
 func (s *Server) solveCold(ctx context.Context, inst *solve.Instance, budget int64, timeoutMS int64) (*wire.ScheduleResult, bool, error) {
+	_, bsp := obs.StartSpan(ctx, "build")
 	p, g, err := inst.Build()
+	bsp.End()
 	if err != nil {
 		return nil, false, wire.Errorf(http.StatusBadRequest, "%v", err)
 	}
@@ -289,19 +386,26 @@ func (s *Server) solveCold(ctx context.Context, inst *solve.Instance, budget int
 
 	// Admission: one semaphore slot per running solve. Waiting counts
 	// against the caller's context, not the solve deadline.
+	_, asp := obs.StartSpan(ctx, "admission")
 	select {
 	case s.sem <- struct{}{}:
+		asp.End()
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		asp.End()
 		return nil, false, guard.Wrap(ctx.Err())
 	}
 
 	lim := s.opts.Limits
 	lim.Deadline = deadline
 	s.m.inflight.Add(1)
-	out, err := solve.Run(ctx, p, budget, lim)
+	sctx, ssp := obs.StartSpan(ctx, "solve")
+	out, err := solve.Run(sctx, p, budget, lim)
+	ssp.SetAttr("source", out.Source.String())
+	ssp.End()
 	s.m.inflight.Add(-1)
-	s.m.observeSolve(out.Elapsed, out.Source == solve.SourceFallback, err != nil)
+	fallback := out.Source == solve.SourceFallback
+	s.m.observeSolve(out.Elapsed, fallback, err != nil, solve.FallbackReason(out.Err))
 	if err != nil {
 		return nil, false, err
 	}
@@ -316,7 +420,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "POST required"))
 		return
 	}
-	s.m.batches.Add(1)
+	s.m.reqBatch.Inc()
 	var req wire.BatchRequest
 	if err := decodeStrict(w, r, s.opts.MaxBodyBytes, &req); err != nil {
 		s.writeErr(w, asWireErr(err))
@@ -343,7 +447,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// bounded by the semaphore inside the shared path, so the pool
 	// width only bounds decode/validate parallelism.
 	items, perr := par.MapCtx(ctx, s.opts.MaxInflight, idx, func(i int) (wire.BatchItem, error) {
-		s.m.requests.Add(1)
+		s.m.reqSchedule.Inc()
 		res, werr := s.schedule(ctx, &req.Requests[i])
 		if werr != nil {
 			return wire.BatchItem{Index: i, Error: werr}, nil

@@ -1,16 +1,25 @@
+// Serving metrics, rebuilt over the obs registry: every counter the
+// old lock-free struct tracked is now a registered obs metric, so one
+// set of atomics feeds both GET /statsz (the original JSON view, kept
+// wire-compatible) and GET /metrics (Prometheus text exposition). Each
+// Server owns its own registry; the handler merges it with obs.Default
+// (solver-family, guard and worker-pool counters) at exposition time.
+
 package serve
 
 import (
-	"sync/atomic"
 	"time"
 
+	"wrbpg/internal/obs"
 	"wrbpg/internal/schedcache"
 )
 
 // latencyBoundsUS are the upper bounds (µs) of the solve-latency
 // histogram buckets; the final implicit bucket is +Inf. Solves span
 // microsecond cache-adjacent paths to multi-second degraded solves, so
-// the buckets are roughly logarithmic.
+// the buckets are roughly logarithmic. The exposition keeps microsecond
+// units (metric wrbpg_solve_latency_us) so /statsz reads identical
+// bucket values — int64 µs round-trip exactly through float64.
 var latencyBoundsUS = [...]int64{
 	50, 100, 250, 500,
 	1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
@@ -18,46 +27,115 @@ var latencyBoundsUS = [...]int64{
 	1_000_000, 2_500_000, 5_000_000,
 }
 
-// metrics is the server's lock-free counter set; GET /statsz snapshots
-// it without contending with the request path.
+// metrics holds the server's pre-resolved metric handles. Updating any
+// of them is lock-free (one atomic add); /statsz and /metrics snapshot
+// without contending with the request path.
 type metrics struct {
-	requests      atomic.Uint64 // POST /v1/schedule requests (incl. batch items)
-	batches       atomic.Uint64 // POST /v1/schedule/batch requests
-	badRequests   atomic.Uint64 // structured 4xx responses
-	solves        atomic.Uint64 // solver invocations (cache misses)
-	fallbacks     atomic.Uint64 // solves degraded to the baseline
-	solveErrors   atomic.Uint64 // solves that returned no schedule at all
-	inflight      atomic.Int64  // solver invocations currently running
-	sweeps        atomic.Uint64 // POST /v1/schedule/sweep requests
-	sweepBudgets  atomic.Uint64 // budgets answered across all sweeps
-	sessionHits   atomic.Uint64 // sweeps answered from an existing warm session
-	sessionMisses atomic.Uint64 // sweeps that built (or joined building) a session
-	wsAllocs      atomic.Uint64 // sweep workspaces allocated (pool misses)
-	latencyUnder  [len(latencyBoundsUS)]atomic.Uint64
-	latencyOver   atomic.Uint64 // +Inf bucket
-	latencySumUS  atomic.Int64
-	latencyCount  atomic.Uint64
+	// HTTP request counters by endpoint; schedule includes batch items
+	// (each item runs the shared schedule path), matching the original
+	// /statsz "requests" semantics.
+	reqSchedule *obs.Counter
+	reqBatch    *obs.Counter
+	reqSweep    *obs.Counter
+	badRequests *obs.Counter
+
+	solves      *obs.Counter
+	fallbacks   *obs.Counter
+	fallbackVec *obs.CounterVec // by classified reason
+	solveErrors *obs.Counter
+	inflight    *obs.Gauge
+	latency     *obs.Histogram
+
+	sweepBudgets  *obs.Counter
+	sessionHits   *obs.Counter
+	sessionMisses *obs.Counter
+	wsAllocs      *obs.Counter
+
+	traced *obs.Counter
 }
 
-// observeSolve records one completed solver invocation.
-func (m *metrics) observeSolve(d time.Duration, fallback, failed bool) {
-	m.solves.Add(1)
+// newMetrics registers the server's metric families in reg and returns
+// the resolved handles.
+func newMetrics(reg *obs.Registry) *metrics {
+	req := reg.CounterVec("wrbpg_http_requests_total",
+		"API requests by endpoint; schedule includes batch items.", "endpoint")
+	bounds := make([]float64, len(latencyBoundsUS))
+	for i, b := range latencyBoundsUS {
+		bounds[i] = float64(b)
+	}
+	return &metrics{
+		reqSchedule: req.With("schedule"),
+		reqBatch:    req.With("batch"),
+		reqSweep:    req.With("sweep"),
+		badRequests: reg.Counter("wrbpg_http_bad_requests_total",
+			"Structured 4xx responses."),
+		solves: reg.Counter("wrbpg_solves_total",
+			"Solver invocations (cache misses)."),
+		fallbacks: reg.Counter("wrbpg_solve_fallbacks_total",
+			"Solves degraded to the baseline scheduler."),
+		fallbackVec: reg.CounterVec("wrbpg_fallback_total",
+			"Fallbacks and per-budget sweep aborts by classified reason (deadline, budget, panic, canceled, other).", "reason"),
+		solveErrors: reg.Counter("wrbpg_solve_errors_total",
+			"Solves that returned no schedule at all."),
+		inflight: reg.Gauge("wrbpg_solves_inflight",
+			"Solver invocations currently running."),
+		latency: reg.Histogram("wrbpg_solve_latency_us",
+			"Solver wall-clock time per invocation, microseconds (cache hits excluded).", bounds),
+		sweepBudgets: reg.Counter("wrbpg_sweep_budgets_total",
+			"Budgets answered across all sweep requests."),
+		sessionHits: reg.Counter("wrbpg_sweep_session_hits_total",
+			"Sweeps answered from an existing warm session."),
+		sessionMisses: reg.Counter("wrbpg_sweep_session_misses_total",
+			"Sweeps that built (or joined building) a session."),
+		wsAllocs: reg.Counter("wrbpg_sweep_workspace_allocs_total",
+			"Sweep workspaces allocated (sync.Pool misses)."),
+		traced: reg.Counter("wrbpg_traced_requests_total",
+			"Requests that opted into tracing via the X-Wrbpg-Trace header."),
+	}
+}
+
+// registerFuncs exposes quantities other components already track
+// (cache counters, pool occupancy, uptime) without a second counter on
+// any hot path.
+func (s *Server) registerFuncs() {
+	reg, cache, sessions := s.reg, s.cache, s.sessions
+	reg.CounterFunc("wrbpg_cache_hits_total",
+		"Schedule-cache hits.", func() float64 { return float64(cache.Snapshot().Hits) })
+	reg.CounterFunc("wrbpg_cache_misses_total",
+		"Schedule-cache misses.", func() float64 { return float64(cache.Snapshot().Misses) })
+	reg.CounterFunc("wrbpg_cache_shared_total",
+		"Schedule-cache singleflight joins (waiters sharing a leader's solve).",
+		func() float64 { return float64(cache.Snapshot().Shared) })
+	reg.CounterFunc("wrbpg_cache_stores_total",
+		"Schedule-cache entries stored.", func() float64 { return float64(cache.Snapshot().Stores) })
+	reg.CounterFunc("wrbpg_cache_evictions_total",
+		"Schedule-cache LRU evictions.", func() float64 { return float64(cache.Snapshot().Evictions) })
+	reg.GaugeFunc("wrbpg_cache_entries",
+		"Schedule-cache entries currently live.", func() float64 { return float64(cache.Len()) })
+	reg.GaugeFunc("wrbpg_sweep_sessions_live",
+		"Warm solver sessions currently pooled.", func() float64 { return float64(sessions.Len()) })
+	reg.GaugeFunc("wrbpg_traces_stored",
+		"Completed request traces retained for GET /v1/trace/{id}.",
+		func() float64 { return float64(s.traces.Len()) })
+	reg.GaugeFunc("wrbpg_uptime_seconds",
+		"Seconds since the server started.", func() float64 { return time.Since(s.start).Seconds() })
+}
+
+// observeSolve records one completed solver invocation. reason is the
+// classified degradation cause ("" when the solve was optimal).
+func (m *metrics) observeSolve(d time.Duration, fallback, failed bool, reason string) {
+	m.solves.Inc()
 	if fallback {
-		m.fallbacks.Add(1)
+		m.fallbacks.Inc()
+		if reason == "" {
+			reason = "other"
+		}
+		m.fallbackVec.With(reason).Inc()
 	}
 	if failed {
-		m.solveErrors.Add(1)
+		m.solveErrors.Inc()
 	}
-	us := d.Microseconds()
-	m.latencySumUS.Add(us)
-	m.latencyCount.Add(1)
-	for i, b := range latencyBoundsUS {
-		if us <= b {
-			m.latencyUnder[i].Add(1)
-			return
-		}
-	}
-	m.latencyOver.Add(1)
+	m.latency.Observe(float64(d.Microseconds()))
 }
 
 // LatencyBucket is one histogram bucket in the /statsz response.
@@ -95,29 +173,30 @@ type Stats struct {
 	SolveLatencyUS int64           `json:"solve_latency_sum_us"`
 }
 
-// snapshot assembles the exported view.
+// snapshot assembles the exported view from the registered metrics;
+// the JSON shape predates the registry and stays wire-compatible.
 func (m *metrics) snapshot(uptime time.Duration, cache schedcache.Stats, sessionsLive int) Stats {
 	st := Stats{
 		UptimeS:         uptime.Seconds(),
-		Requests:        m.requests.Load(),
-		Batches:         m.batches.Load(),
-		BadRequests:     m.badRequests.Load(),
+		Requests:        m.reqSchedule.Value(),
+		Batches:         m.reqBatch.Value(),
+		BadRequests:     m.badRequests.Value(),
 		Cache:           cache,
-		Solves:          m.solves.Load(),
-		Fallbacks:       m.fallbacks.Load(),
-		SolveErrors:     m.solveErrors.Load(),
-		InFlight:        m.inflight.Load(),
-		Sweeps:          m.sweeps.Load(),
-		SweepBudgets:    m.sweepBudgets.Load(),
-		SessionHits:     m.sessionHits.Load(),
-		SessionMisses:   m.sessionMisses.Load(),
+		Solves:          m.solves.Value(),
+		Fallbacks:       m.fallbacks.Value(),
+		SolveErrors:     m.solveErrors.Value(),
+		InFlight:        m.inflight.Value(),
+		Sweeps:          m.reqSweep.Value(),
+		SweepBudgets:    m.sweepBudgets.Value(),
+		SessionHits:     m.sessionHits.Value(),
+		SessionMisses:   m.sessionMisses.Value(),
 		SessionsLive:    sessionsLive,
-		SweepWorkspaces: m.wsAllocs.Load(),
-		SolveLatencyUS:  m.latencySumUS.Load(),
+		SweepWorkspaces: m.wsAllocs.Value(),
+		SolveLatencyUS:  int64(m.latency.Sum()),
 	}
 	for i, b := range latencyBoundsUS {
-		st.SolveLatency = append(st.SolveLatency, LatencyBucket{LEUS: b, Count: m.latencyUnder[i].Load()})
+		st.SolveLatency = append(st.SolveLatency, LatencyBucket{LEUS: b, Count: m.latency.Bucket(i)})
 	}
-	st.SolveLatency = append(st.SolveLatency, LatencyBucket{LEUS: -1, Count: m.latencyOver.Load()})
+	st.SolveLatency = append(st.SolveLatency, LatencyBucket{LEUS: -1, Count: m.latency.Bucket(len(latencyBoundsUS))})
 	return st
 }

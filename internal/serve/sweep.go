@@ -20,6 +20,7 @@ import (
 
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/guard"
+	"wrbpg/internal/obs"
 	"wrbpg/internal/schedcache"
 	"wrbpg/internal/serve/wire"
 	"wrbpg/internal/solve"
@@ -49,7 +50,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "POST required"))
 		return
 	}
-	s.m.sweeps.Add(1)
+	s.m.reqSweep.Inc()
 	var req wire.SweepRequest
 	if err := decodeStrict(w, r, s.opts.MaxBodyBytes, &req); err != nil {
 		s.writeErr(w, asWireErr(err))
@@ -118,7 +119,10 @@ func (s *Server) sweep(ctx context.Context, req *wire.SweepRequest, ws *sweepWor
 	}
 
 	s.m.inflight.Add(1)
-	pts, state, err := s.SweepCosts(sctx, &inst, inst.ShapeKey(), budgets, ws.pts[:0])
+	wctx, wsp := obs.StartSpan(sctx, "sweep.solve")
+	pts, state, err := s.SweepCosts(wctx, &inst, inst.ShapeKey(), budgets, ws.pts[:0])
+	wsp.SetAttr("session", state.String())
+	wsp.End()
 	s.m.inflight.Add(-1)
 	ws.pts = pts
 	if err != nil {
@@ -134,6 +138,7 @@ func (s *Server) sweep(ctx context.Context, req *wire.SweepRequest, ws *sweepWor
 		switch {
 		case p.Err != nil:
 			it.Error = asSweepItemErr(p.Err)
+			s.m.fallbackVec.With(it.Error.Reason).Inc()
 			failed++
 		case p.Feasible:
 			it.CostBits = int64(p.Cost)
@@ -170,6 +175,7 @@ func (s *Server) sweep(ctx context.Context, req *wire.SweepRequest, ws *sweepWor
 // per-budget aborts (deadline, resource limits, solver faults) are
 // reported on their CostPoint.
 func (s *Server) SweepCosts(ctx context.Context, inst *solve.Instance, key string, budgets []cdag.Weight, out []solve.CostPoint) ([]solve.CostPoint, schedcache.State, error) {
+	_, asp := obs.StartSpan(ctx, "session.acquire")
 	ent, state, err := s.sessions.Do(key, func() (*sessionEntry, bool, error) {
 		se, err := solve.NewSession(*inst)
 		if err != nil {
@@ -177,13 +183,15 @@ func (s *Server) SweepCosts(ctx context.Context, inst *solve.Instance, key strin
 		}
 		return &sessionEntry{se: se}, true, nil
 	})
+	asp.SetAttr("disposition", state.String())
+	asp.End()
 	if err != nil {
 		return out, state, err
 	}
 	if state == schedcache.Hit {
-		s.m.sessionHits.Add(1)
+		s.m.sessionHits.Inc()
 	} else {
-		s.m.sessionMisses.Add(1)
+		s.m.sessionMisses.Inc()
 	}
 	// Per-query resource ceilings come from the server options; the
 	// sweep deadline is already carried by ctx, so Deadline stays zero
@@ -216,16 +224,20 @@ func (s *Server) sessionMeta(inst *solve.Instance) *solve.Session {
 
 // asSweepItemErr maps a per-budget abort onto the structured item
 // error: deadline → 504, resource budget → 422, cancellation → 499,
-// anything else (including solver faults) → 500.
+// anything else (including solver faults) → 500. Every item error
+// carries the machine-readable reason classification alongside the
+// human-readable message, so clients and dashboards need no string
+// matching.
 func asSweepItemErr(err error) *wire.Error {
+	reason := solve.FallbackReason(err)
 	switch {
 	case errors.Is(err, guard.ErrDeadline):
-		return wire.Errorf(http.StatusGatewayTimeout, "budget query deadline exceeded: %v", err)
+		return wire.Errorf(http.StatusGatewayTimeout, "budget query deadline exceeded: %v", err).WithReason(reason)
 	case errors.Is(err, guard.ErrBudgetExceeded):
-		return wire.Errorf(http.StatusUnprocessableEntity, "resource budget exhausted: %v", err)
+		return wire.Errorf(http.StatusUnprocessableEntity, "resource budget exhausted: %v", err).WithReason(reason)
 	case errors.Is(err, guard.ErrCanceled):
-		return wire.Errorf(499, "client closed request")
+		return wire.Errorf(499, "client closed request").WithReason(reason)
 	default:
-		return wire.Errorf(http.StatusInternalServerError, "%v", err)
+		return wire.Errorf(http.StatusInternalServerError, "%v", err).WithReason(reason)
 	}
 }

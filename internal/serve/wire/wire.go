@@ -106,9 +106,12 @@ type ScheduleResult struct {
 	Workload string `json:"workload"`
 	// Source is "optimal" or "fallback".
 	Source string `json:"source"`
-	// FallbackReason is the typed degradation cause when Source is
-	// "fallback".
+	// FallbackReason is the human-readable degradation cause when
+	// Source is "fallback"; FallbackCause is its machine-readable
+	// classification ("deadline", "budget", "panic", "canceled" or
+	// "other") for clients and dashboards that must not string-match.
 	FallbackReason string `json:"fallback_reason,omitempty"`
+	FallbackCause  string `json:"fallback_cause,omitempty"`
 	// BudgetBits, CostBits, PeakBits and LowerBoundBits are the solve
 	// metrics in bits (weighted I/O cost, peak red residency, and the
 	// Proposition 2.4 lower bound).
@@ -153,6 +156,7 @@ func NewScheduleResult(label string, out solve.Outcome, lb cdag.Weight, includeM
 	}
 	if out.Source == solve.SourceFallback && out.Err != nil {
 		r.FallbackReason = out.Err.Error()
+		r.FallbackCause = solve.FallbackReason(out.Err)
 	}
 	if includeMoves {
 		r.Schedule = out.Schedule
@@ -276,6 +280,9 @@ type Error struct {
 	// Message is a human-readable description of what was wrong with
 	// the request (or what failed serving it).
 	Message string `json:"error"`
+	// Reason, when set, classifies the abort machine-readably:
+	// "deadline", "budget", "panic", "canceled" or "other".
+	Reason string `json:"reason,omitempty"`
 }
 
 func (e *Error) Error() string { return e.Message }
@@ -283,6 +290,13 @@ func (e *Error) Error() string { return e.Message }
 // Errorf builds a structured Error.
 func Errorf(status int, format string, args ...any) *Error {
 	return &Error{Status: status, Message: fmt.Sprintf(format, args...)}
+}
+
+// WithReason stamps the machine-readable abort classification and
+// returns e, for chaining off Errorf.
+func (e *Error) WithReason(reason string) *Error {
+	e.Reason = reason
+	return e
 }
 
 // Elapsed returns the microseconds since start, for servers stamping

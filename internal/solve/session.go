@@ -62,6 +62,20 @@ type Session struct {
 	minExist cdag.Weight
 	cost     func(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error)
 	sched    func(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error)
+	// fc/takeCounts export the family session's solver-progress counters
+	// (memo hits, cells, splits) into the obs registry. Public queries
+	// flush per call; SweepCosts flushes once per sweep, keeping the
+	// warm-sweep hot path at a couple of atomic adds total. Nil for
+	// FamilyCDAG, where exact.SolveCtx flushes internally.
+	fc         *guard.FamilyCounters
+	takeCounts func() guard.Counts
+}
+
+// flush records the accumulated solver counts since the last flush.
+func (s *Session) flush() {
+	if s.takeCounts != nil {
+		s.fc.Record(s.takeCounts())
+	}
 }
 
 // NewSession builds the instance's graph once and wraps the family
@@ -86,6 +100,8 @@ func NewSession(inst Instance) (*Session, error) {
 		s.g = g.G
 		s.cost = se.CostCtx
 		s.sched = se.ScheduleCtx
+		s.fc = guard.CountersFor("dwt")
+		s.takeCounts = se.TakeCounts
 	case FamilyKTree:
 		tr, err := inst.buildKTree()
 		if err != nil {
@@ -95,6 +111,8 @@ func NewSession(inst Instance) (*Session, error) {
 		s.g = tr.G
 		s.cost = se.CostCtx
 		s.sched = se.ScheduleCtx
+		s.fc = guard.CountersFor("ktree")
+		s.takeCounts = se.TakeCounts
 	case FamilyMVM:
 		g, err := inst.buildMVM()
 		if err != nil {
@@ -104,6 +122,8 @@ func NewSession(inst Instance) (*Session, error) {
 		s.g = g.G
 		s.cost = se.CostCtx
 		s.sched = se.ScheduleCtx
+		s.fc = guard.CountersFor("mvm")
+		s.takeCounts = se.TakeCounts
 	case FamilyCDAG:
 		g := inst.G
 		s.g = g
@@ -149,6 +169,13 @@ func (s *Session) MinExistence() cdag.Weight { return s.minExist }
 // memdesign.CostQuerier, so the session plugs into the memdesign
 // search helpers. Resource limits in lim are per query.
 func (s *Session) CostCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error) {
+	defer s.flush()
+	return s.costCtx(ctx, lim, b)
+}
+
+// costCtx is CostCtx without the metrics flush, for sweep internals
+// that flush once per sweep instead of once per budget.
+func (s *Session) costCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error) {
 	if b < s.minExist {
 		return infCost, nil
 	}
@@ -160,6 +187,7 @@ func (s *Session) CostCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) 
 // degrades to the baseline — callers wanting the hardened contract
 // wrap the instance in Run.
 func (s *Session) ScheduleCtx(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
+	defer s.flush()
 	return s.sched(ctx, lim, b)
 }
 
@@ -179,6 +207,9 @@ func (s *Session) SweepCosts(ctx context.Context, lim guard.Limits, budgets []cd
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// One metrics flush covers the whole sweep: per-budget flushing
+	// would double the cost of an all-warm sweep.
+	defer s.flush()
 	for i, b := range budgets {
 		cp := s.costPoint(ctx, lim, i, b)
 		out = append(out, cp)
@@ -201,7 +232,7 @@ func (s *Session) costPoint(ctx context.Context, lim guard.Limits, i int, b cdag
 		}
 	}()
 	par.Fault(i)
-	c, err := s.CostCtx(ctx, lim, b)
+	c, err := s.costCtx(ctx, lim, b)
 	if err != nil {
 		cp.Err = err
 		return cp

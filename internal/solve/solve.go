@@ -23,6 +23,7 @@ package solve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -35,7 +36,29 @@ import (
 	"wrbpg/internal/guard"
 	"wrbpg/internal/ktree"
 	"wrbpg/internal/mvm"
+	"wrbpg/internal/obs"
+	"wrbpg/internal/par"
 )
+
+// ErrPanic marks degradations caused by a recovered solver panic, so
+// callers can classify the cause with errors.Is without string
+// matching. It reads naturally inside the wrapping message
+// ("optimal solver panicked: …").
+var ErrPanic = errors.New("panicked")
+
+// FallbackReason classifies a degradation (or abort) cause into the
+// label vocabulary shared by the wrbpg_fallback_total metric and the
+// wire-level fallback_reason field: "canceled", "deadline", "budget",
+// "panic" or "other" ("" for nil). It extends guard.AbortReason with
+// the panic causes only this layer can see (the Run recover and
+// *par.PanicError from sweep workers).
+func FallbackReason(err error) string {
+	var pe *par.PanicError
+	if errors.Is(err, ErrPanic) || errors.As(err, &pe) {
+		return "panic"
+	}
+	return guard.AbortReason(err)
+}
 
 // Source identifies which scheduler produced an Outcome's schedule.
 type Source int
@@ -155,17 +178,23 @@ func run(ctx context.Context, p Problem, budget cdag.Weight, lim guard.Limits) (
 	}
 	defer cancel()
 
+	// The optimal attempt, its validation and the fallback each get a
+	// trace span when the caller's context carries a trace (nil no-op
+	// spans otherwise). Spans parent under the caller's active span, not
+	// under each other: they are sequential phases of one solve.
+	octx, osp := obs.StartSpan(rctx, "solve.optimal")
+
 	ch := make(chan optResult, 1)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
 				ch <- optResult{
-					err:      fmt.Errorf("solve: %s optimal solver panicked: %v", p.Name, r),
+					err:      fmt.Errorf("solve: %s optimal solver %w: %v", p.Name, ErrPanic, r),
 					panicked: true,
 				}
 			}
 		}()
-		sched, err := p.Optimal(rctx, lim, budget)
+		sched, err := p.Optimal(octx, lim, budget)
 		ch <- optResult{sched: sched, err: err}
 	}()
 
@@ -178,8 +207,16 @@ func run(ctx context.Context, p Problem, budget cdag.Weight, lim guard.Limits) (
 		// A solver bug (panic) is degradable: the caller still wants an
 		// answer, and the baseline is an independent code path.
 		degrade = r.panicked
+		if r.panicked {
+			osp.SetAttr("panic", "true")
+		} else if optErr != nil {
+			osp.SetAttr("err", optErr.Error())
+		}
+		osp.End()
 		if optErr == nil {
+			_, ssp := obs.StartSpan(ctx, "solve.simulate")
 			stats, err := core.Simulate(p.G, budget, r.sched)
+			ssp.End()
 			if err != nil {
 				// An invalid "optimal" schedule is a solver bug, but the
 				// caller still wants an answer: degrade and surface it.
@@ -196,6 +233,9 @@ func run(ctx context.Context, p Problem, budget cdag.Weight, lim guard.Limits) (
 		// context). Abandon the goroutine; the buffered channel lets it
 		// exit whenever it eventually finishes.
 		optErr = guard.Wrap(rctx.Err())
+		osp.SetAttr("err", optErr.Error())
+		osp.SetAttr("abandoned", "true")
+		osp.End()
 	}
 
 	if optErr == nil {
@@ -210,12 +250,16 @@ func run(ctx context.Context, p Problem, budget cdag.Weight, lim guard.Limits) (
 			fmt.Errorf("solve: %s: %w", p.Name, optErr)
 	}
 
+	_, fsp := obs.StartSpan(ctx, "solve.fallback")
+	fsp.SetAttr("reason", FallbackReason(optErr))
 	sched, err := fallback(p, budget)
 	if err != nil {
+		fsp.End()
 		return Outcome{Source: SourceFallback, Budget: budget, Err: optErr, Elapsed: time.Since(start)},
 			fmt.Errorf("solve: %s: optimal failed (%v) and fallback failed: %w", p.Name, optErr, err)
 	}
 	stats, err := core.Simulate(p.G, budget, sched)
+	fsp.End()
 	if err != nil {
 		return Outcome{Source: SourceFallback, Budget: budget, Err: optErr, Elapsed: time.Since(start)},
 			fmt.Errorf("solve: %s: fallback schedule failed validation: %w", p.Name, err)
