@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fault bench-smoke bench-json bench-json-quick serve-check obs-check staticcheck check
+.PHONY: all build vet test race race-fault bench-smoke bench-json bench-json-quick serve-check obs-check patch-check staticcheck check
 
 all: check
 
@@ -30,11 +30,11 @@ bench-smoke:
 
 # Writes the perf-regression report (see docs/PERFORMANCE.md).
 bench-json:
-	$(GO) run ./cmd/experiments -bench-json BENCH_5.json
+	$(GO) run ./cmd/experiments -bench-json BENCH_6.json
 
 # One-iteration perf smoke artifact for CI (not a comparable baseline).
 bench-json-quick:
-	$(GO) run ./cmd/experiments -bench-json BENCH_5.json -bench-quick
+	$(GO) run ./cmd/experiments -bench-json BENCH_6.json -bench-quick
 
 # Boots the wrbpgd daemon on a random port and exercises every endpoint
 # end to end, including graceful SIGTERM shutdown (docs/SERVICE.md).
@@ -48,6 +48,13 @@ serve-check:
 obs-check:
 	$(GO) test -race -run TestObsEndToEnd -v ./cmd/wrbpgd/
 
+# Race-enabled incremental re-solve gate: the shuffled-delta property
+# tests in every family (warm answers bit-identical to cold rebuilds),
+# the facade patch semantics with fault injection, the patch endpoint,
+# and the CLI -patch path (docs/PERFORMANCE.md §incremental).
+patch-check:
+	$(GO) test -race -run 'SetWeights|Patch' ./internal/dwt/ ./internal/ktree/ ./internal/memstate/ ./internal/solve/ ./internal/serve/ ./cmd/wrbpg/
+
 # Runs staticcheck when it is installed; skips (successfully) when not,
 # so the gate works in minimal containers. CI installs it explicitly.
 staticcheck:
@@ -57,4 +64,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-check: build vet race race-fault bench-smoke serve-check obs-check staticcheck
+check: build vet race race-fault bench-smoke serve-check obs-check patch-check staticcheck

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	wrbpg info     -workload dwt|mvm [-n N] [-d D] [-m M] [-weights equal|da]
-//	wrbpg schedule -workload dwt|mvm -budget BITS [...] [-moves] [-json]
+//	wrbpg schedule -workload dwt|mvm -budget BITS [...] [-moves] [-json] [-patch FILE]
 //	wrbpg minmem   -workload dwt|mvm [...]
 //	wrbpg synth    -bits CAPACITY [-word BITS]
 //	wrbpg dot      -workload dwt|mvm [...]
@@ -401,6 +401,9 @@ func cmdSchedule(args []string) {
 		"wall-clock limit for the solve; on expiry degrade to the baseline scheduler (0 = no limit)")
 	jsonOut := fs.Bool("json", false,
 		"emit the machine-readable result (the wrbpgd wire format) instead of the text report")
+	patchFile := fs.String("patch", "",
+		"JSON file of weight deltas [{\"node\":N,\"weight_bits\":W},...] applied to the warm base session "+
+			"before re-solving incrementally (requires -json; dwt workload only)")
 	fs.Parse(args)
 	initLog(wf.log)
 	w := wf.build()
@@ -408,6 +411,26 @@ func cmdSchedule(args []string) {
 	var sched core.Schedule
 	var err error
 	b := cdag.Weight(*budget)
+	if *patchFile != "" {
+		if !*jsonOut {
+			fatal("-patch requires -json (the result is the wrbpgd patch wire format)")
+		}
+		if b == 0 {
+			if b, err = defaultBudget(w); err != nil {
+				fatal(err)
+			}
+		}
+		res, perr := schedulePatch(wf, b, *patchFile, *timeout)
+		if perr != nil {
+			fatal(perr)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *jsonOut {
 		// The -json path always goes through the hardened solve facade
 		// so the CLI and wrbpgd emit the identical result struct.
@@ -503,6 +526,77 @@ func cmdSchedule(args []string) {
 		fatal(err)
 	}
 	printScheduleReport(w, b, sched, *moves, *trace)
+}
+
+// schedulePatch is the CLI face of the incremental re-solve engine:
+// build the base session, warm it at the budget, move it to the delta
+// file's target state with dependency-tracked invalidation, and
+// re-answer the budget from the surviving memo cells. It emits the
+// same wire.PatchResponse the wrbpgd patch endpoint returns, so the
+// examples/patch walkthrough scripts work against either surface.
+func schedulePatch(wf *workloadFlags, b cdag.Weight, file string, timeout time.Duration) (*wire.PatchResponse, error) {
+	if wf.workload != "dwt" {
+		return nil, fmt.Errorf("-patch supports the incremental dwt workload, not %q", wf.workload)
+	}
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var wds []wire.PatchDelta
+	if err := json.Unmarshal(raw, &wds); err != nil {
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	if len(wds) == 0 {
+		return nil, fmt.Errorf("%s: no deltas", file)
+	}
+	ds, err := wire.CanonicalDeltas(wds)
+	if err != nil {
+		return nil, err
+	}
+	inst := solve.Instance{Family: solve.FamilyDWT, N: wf.n, D: wf.d, Cfg: wf.config()}
+	se, err := solve.NewSession(inst)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ctx := context.Background()
+	lim := guard.Limits{Deadline: timeout}
+	// Warm the base memo first, so the reported reuse measures what the
+	// incremental engine saved versus a cold re-solve.
+	if _, err := se.CostCtx(ctx, lim, b); err != nil {
+		return nil, err
+	}
+	st, err := se.PatchTo(ds)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := se.SweepCosts(ctx, lim, []cdag.Weight{b}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if pts[0].Err != nil {
+		return nil, pts[0].Err
+	}
+	inst.Deltas = ds
+	it := wire.SweepItem{BudgetBits: int64(pts[0].Budget), Feasible: pts[0].Feasible}
+	if pts[0].Feasible {
+		it.CostBits = int64(pts[0].Cost)
+	}
+	return &wire.PatchResponse{
+		Workload:         se.Label(),
+		BaseKey:          inst.BaseShapeKey(),
+		PatchKey:         inst.ShapeKey(),
+		LowerBoundBits:   int64(se.LowerBound()),
+		MinExistenceBits: int64(se.MinExistence()),
+		Items:            []wire.SweepItem{it},
+		Succeeded:        1,
+		Session:          "cli",
+		DeltasApplied:    len(ds),
+		ChangedNodes:     st.Changed,
+		CellsInvalidated: st.Invalidated,
+		CellsReused:      st.Reused,
+		ElapsedUS:        wire.Elapsed(start),
+	}, nil
 }
 
 // printScheduleReport validates the schedule and prints the shared

@@ -2,8 +2,11 @@ package main
 
 import (
 	"context"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
-
+	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
 	"wrbpg/internal/guard"
 	"wrbpg/internal/serve/wire"
@@ -89,5 +92,70 @@ func TestJSONResultMatchesTextPath(t *testing.T) {
 	}
 	if res.MoveCount != len(sched) || res.Schedule != nil {
 		t.Fatalf("move accounting: %+v vs %d moves", res, len(sched))
+	}
+}
+
+// TestSchedulePatch: the CLI's incremental path answers a patched
+// instance bit-identically to a cold solve of that instance, reports
+// the memo reuse of the warm base session, and rejects the workloads
+// and delta files the engine cannot patch.
+func TestSchedulePatch(t *testing.T) {
+	wf := &workloadFlags{workload: "dwt", n: 16, d: 4, weights: "equal"}
+	inst := solve.Instance{Family: solve.FamilyDWT, N: wf.n, D: wf.d, Cfg: wf.config()}
+	se, err := solve.NewSession(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := se.Graph().Sources()[0]
+	b := se.MinExistence() + 64
+
+	file := filepath.Join(t.TempDir(), "deltas.json")
+	deltas := fmt.Sprintf(`[{"node":%d,"weight_bits":%d}]`, node, se.Graph().Weight(node)+8)
+	if err := os.WriteFile(file, []byte(deltas), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedulePatch(wf, b, file, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Session != "cli" || res.DeltasApplied != 1 || res.ChangedNodes != 1 {
+		t.Fatalf("patch outcome: %+v", res)
+	}
+	if res.CellsInvalidated <= 0 || res.CellsReused <= 0 {
+		t.Errorf("warm base patch: invalidated=%d reused=%d, want both > 0",
+			res.CellsInvalidated, res.CellsReused)
+	}
+	if res.BaseKey != inst.BaseShapeKey() || res.PatchKey == res.BaseKey {
+		t.Fatalf("keys: base=%q patch=%q", res.BaseKey, res.PatchKey)
+	}
+
+	// The answer must equal a cold solve of the patched instance.
+	patched := inst
+	patched.Deltas = []cdag.WeightDelta{{Node: node, Weight: se.Graph().Weight(node) + 8}}
+	cold, err := solve.NewSession(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.CostCtx(context.Background(), guard.Limits{}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Items[0].Feasible || res.Items[0].CostBits != int64(want) {
+		t.Fatalf("patched item %+v, cold cost %d", res.Items[0], want)
+	}
+
+	// Rejections: non-incremental workload, missing file, empty list.
+	if _, err := schedulePatch(&workloadFlags{workload: "mvm", m: 4, n: 4, weights: "equal"}, b, file, 0); err == nil {
+		t.Error("mvm workload accepted")
+	}
+	if _, err := schedulePatch(wf, b, filepath.Join(t.TempDir(), "missing.json"), 0); err == nil {
+		t.Error("missing delta file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`[]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schedulePatch(wf, b, empty, 0); err == nil {
+		t.Error("empty delta list accepted")
 	}
 }

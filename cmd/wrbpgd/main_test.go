@@ -162,6 +162,42 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("empty sweep accepted: code %d", code)
 	}
 
+	// Incremental patch: an inline base builds (and pools) the warm
+	// session, a second call addresses it by base_key and reuses the
+	// surviving memo cells, and the answers agree with a cold solve of
+	// the patched instance through /v1/schedule.
+	var klb wire.LowerBoundResult
+	if code := get("/v1/lowerbound?family=ktree&k=3&height=3", &klb); code != http.StatusOK {
+		t.Fatalf("ktree lowerbound: code %d", code)
+	}
+	pb := klb.MinExistenceBits + 9
+	var p1, p2 wire.PatchResponse
+	patchBody := fmt.Sprintf(`{"family":"ktree","k":3,"height":3,"deltas":[{"node":0,"weight_bits":1}],"budgets_bits":[%d]}`, pb)
+	if code := post("/v1/schedule/patch", patchBody, &p1); code != http.StatusOK {
+		t.Fatalf("inline patch: code %d", code)
+	}
+	if p1.Session != "miss" || p1.ChangedNodes != 1 || p1.Failed != 0 || p1.BaseKey == "" {
+		t.Fatalf("inline patch outcome: %+v", p1)
+	}
+	byKey := fmt.Sprintf(`{"base_key":%q,"deltas":[{"node":0,"weight_bits":2}],"budgets_bits":[%d]}`, p1.BaseKey, pb)
+	if code := post("/v1/schedule/patch", byKey, &p2); code != http.StatusOK {
+		t.Fatalf("base_key patch: code %d", code)
+	}
+	if p2.Session != "hit" || p2.CellsInvalidated <= 0 || p2.CellsReused <= 0 {
+		t.Fatalf("base_key patch outcome: %+v", p2)
+	}
+	var pcold wire.ScheduleResult
+	scheduleBody := fmt.Sprintf(`{"family":"ktree","k":3,"height":3,"deltas":[{"node":0,"weight_bits":2}],"budget_bits":%d}`, pb)
+	if code := post("/v1/schedule", scheduleBody, &pcold); code != http.StatusOK {
+		t.Fatalf("schedule with deltas: code %d", code)
+	}
+	if !p2.Items[0].Feasible || pcold.CostBits != p2.Items[0].CostBits {
+		t.Fatalf("patch cost %+v disagrees with cold patched solve cost %d", p2.Items[0], pcold.CostBits)
+	}
+	if code := post("/v1/schedule/patch", fmt.Sprintf(`{"base_key":"ktree/0000","deltas":[{"node":0,"weight_bits":1}],"budgets_bits":[%d]}`, pb), &werr); code != http.StatusNotFound {
+		t.Fatalf("unknown base_key: code %d, want 404", code)
+	}
+
 	// Counters reflect the traffic above.
 	var stats serve.Stats
 	if code := get("/statsz", &stats); code != http.StatusOK {
@@ -173,6 +209,10 @@ func TestServeEndToEnd(t *testing.T) {
 	if stats.Sweeps < 3 || stats.SweepBudgets < 6 || stats.SessionHits < 1 ||
 		stats.SessionMisses < 1 || stats.SessionsLive < 1 {
 		t.Fatalf("sweep counters: %+v", stats)
+	}
+	if stats.Patches < 2 || stats.PatchDeltas < 2 || stats.PatchChangedNodes < 2 ||
+		stats.SessionCapacity < 1 {
+		t.Fatalf("patch counters: %+v", stats)
 	}
 
 	// Graceful shutdown: SIGTERM drains and the process exits cleanly.

@@ -12,6 +12,7 @@ import (
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
 	"wrbpg/internal/dwt"
+	"wrbpg/internal/guard"
 	"wrbpg/internal/ktree"
 	"wrbpg/internal/memstate"
 	"wrbpg/internal/mvm"
@@ -316,6 +317,209 @@ func perfKernels() []perfKernel {
 				_, _, err := srv.SweepCosts(ctx, &in, key, budgets, pts[:0])
 				return err
 			}, nil
+		}},
+		// The incremental-engine kernels back the patch acceptance
+		// claims: a single-node weight delta followed by a re-query
+		// against the warm session (the *PatchResolveWarm kernels, which
+		// must report 0 allocs/op) versus rebuilding the scheduler cold
+		// on the same patched graph (the *PatchResolveCold pair). The
+		// warm path re-solves only the dirtied subtree cone / root chain
+		// — the ≥5× cold/warm ratio recorded in BENCH_6.json.
+		{"DWTPatchResolveWarm", func() (func() error, error) {
+			cfg := Configs()[0]
+			g, err := dwt.Build(64, 6, dwt.ConfigWeights(cfg))
+			if err != nil {
+				return nil, err
+			}
+			se, err := dwt.NewSession(g)
+			if err != nil {
+				return nil, err
+			}
+			// Patch an input-layer node: layer-1 weights are outside the
+			// Lemma 3.2 pair constraint, so both toggle states are valid.
+			node := g.G.Sources()[0]
+			w := g.G.Weight(node)
+			b := core.MinExistenceBudget(g.G) + 4*cdag.Weight(cfg.WordBits)
+			deltas := [2][]cdag.WeightDelta{
+				{{Node: node, Weight: w + 1}},
+				{{Node: node, Weight: w}},
+			}
+			ctx := context.Background()
+			var lim guard.Limits
+			var i int
+			body := func() error {
+				if _, _, err := se.Patch(deltas[i&1]); err != nil {
+					return err
+				}
+				i++
+				_, err := se.CostCtx(ctx, lim, b)
+				return err
+			}
+			// Warm both toggle states so every budget index exists and
+			// the memo rows have their final capacity.
+			if err := body(); err != nil {
+				return nil, err
+			}
+			return body, body()
+		}},
+		{"DWTPatchResolveCold", func() (func() error, error) {
+			cfg := Configs()[0]
+			g, err := dwt.Build(64, 6, dwt.ConfigWeights(cfg))
+			if err != nil {
+				return nil, err
+			}
+			node := g.G.Sources()[0]
+			w := g.G.Weight(node)
+			b := core.MinExistenceBudget(g.G) + 4*cdag.Weight(cfg.WordBits)
+			var i int
+			return func() error {
+				if err := g.G.TrySetWeight(node, w+cdag.Weight(i&1)); err != nil {
+					return err
+				}
+				i++
+				s, err := dwt.NewScheduler(g)
+				if err != nil {
+					return err
+				}
+				s.MinCost(b)
+				return nil
+			}, nil
+		}},
+		{"KtreePatchResolveWarm", func() (func() error, error) {
+			tr, err := ktree.FullTree(4, 4, func(d, i int) cdag.Weight { return 1 + cdag.Weight((d+i)%2) })
+			if err != nil {
+				return nil, err
+			}
+			se := ktree.NewSession(tr)
+			node := tr.G.Sources()[0]
+			w := tr.G.Weight(node)
+			b := core.MinExistenceBudget(tr.G) + 4
+			deltas := [2][]cdag.WeightDelta{
+				{{Node: node, Weight: w + 1}},
+				{{Node: node, Weight: w}},
+			}
+			ctx := context.Background()
+			var lim guard.Limits
+			var i int
+			body := func() error {
+				if _, _, err := se.Patch(deltas[i&1]); err != nil {
+					return err
+				}
+				i++
+				_, err := se.CostCtx(ctx, lim, b)
+				return err
+			}
+			if err := body(); err != nil {
+				return nil, err
+			}
+			return body, body()
+		}},
+		{"KtreePatchResolveCold", func() (func() error, error) {
+			tr, err := ktree.FullTree(4, 4, func(d, i int) cdag.Weight { return 1 + cdag.Weight((d+i)%2) })
+			if err != nil {
+				return nil, err
+			}
+			node := tr.G.Sources()[0]
+			w := tr.G.Weight(node)
+			b := core.MinExistenceBudget(tr.G) + 4
+			var i int
+			return func() error {
+				if err := tr.G.TrySetWeight(node, w+cdag.Weight(i&1)); err != nil {
+					return err
+				}
+				i++
+				ktree.NewScheduler(tr).MinCost(b)
+				return nil
+			}, nil
+		}},
+		{"MemstatePatchResolveWarm", func() (func() error, error) {
+			tr, err := ktree.FullTree(2, 5, func(d, i int) cdag.Weight { return 1 + cdag.Weight(i%2) })
+			if err != nil {
+				return nil, err
+			}
+			se, err := memstate.NewSession(tr.G, tr.Root, memstate.Bitset{}, memstate.Bitset{})
+			if err != nil {
+				return nil, err
+			}
+			node := tr.G.Sources()[0]
+			w := tr.G.Weight(node)
+			b := core.MinExistenceBudget(tr.G) + 4
+			deltas := [2][]cdag.WeightDelta{
+				{{Node: node, Weight: w + 1}},
+				{{Node: node, Weight: w}},
+			}
+			ctx := context.Background()
+			var lim guard.Limits
+			var i int
+			body := func() error {
+				if _, _, err := se.Patch(deltas[i&1]); err != nil {
+					return err
+				}
+				i++
+				_, err := se.CostCtx(ctx, lim, b)
+				return err
+			}
+			if err := body(); err != nil {
+				return nil, err
+			}
+			return body, body()
+		}},
+		{"MemstatePatchResolveCold", func() (func() error, error) {
+			tr, err := ktree.FullTree(2, 5, func(d, i int) cdag.Weight { return 1 + cdag.Weight(i%2) })
+			if err != nil {
+				return nil, err
+			}
+			node := tr.G.Sources()[0]
+			w := tr.G.Weight(node)
+			b := core.MinExistenceBudget(tr.G) + 4
+			var i int
+			return func() error {
+				if err := tr.G.TrySetWeight(node, w+cdag.Weight(i&1)); err != nil {
+					return err
+				}
+				i++
+				s, err := memstate.NewKScheduler(tr.G)
+				if err != nil {
+					return err
+				}
+				s.PlainCost(tr.Root, b)
+				return nil
+			}, nil
+		}},
+		{"ServePatchWarm", func() (func() error, error) {
+			// The full serving patch core — session-pool hit, delta diff
+			// with dependency-tracked invalidation, 16 warm budget queries
+			// — measured steady-state like ServeSweepWarm: keys and delta
+			// slices precomputed, workspace slices reused, 0 allocs/op.
+			srv := serve.New(serve.Options{})
+			in := solve.Instance{Family: solve.FamilyKTree, K: 4, Height: 3, Cfg: Configs()[0]}
+			se, err := solve.NewSession(in)
+			if err != nil {
+				return nil, err
+			}
+			node := se.Graph().Sources()[0]
+			w := se.Graph().Weight(node)
+			baseKey := in.BaseShapeKey()
+			max := se.MinExistence() + 20
+			budgets := make([]cdag.Weight, 0, 16)
+			for b := max; b > max-16; b-- {
+				budgets = append(budgets, b)
+			}
+			insts := [2]solve.Instance{in, in}
+			insts[0].Deltas = []cdag.WeightDelta{{Node: node, Weight: w + 1}}
+			insts[1].Deltas = []cdag.WeightDelta{{Node: node, Weight: w + 2}}
+			pts := make([]solve.CostPoint, 0, 16)
+			ctx := context.Background()
+			var i int
+			body := func() error {
+				_, _, err := srv.PatchCosts(ctx, &insts[i&1], baseKey, budgets, pts[:0])
+				i++
+				return err
+			}
+			if err := body(); err != nil {
+				return nil, err
+			}
+			return body, body()
 		}},
 		{"SchedcacheMissKey", func() (func() error, error) {
 			cfg := Configs()[0]

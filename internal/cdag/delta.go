@@ -1,0 +1,45 @@
+// Weight deltas: the canonical mutation vocabulary of the incremental
+// re-solve engine. A patch names absolute replacement weights (not
+// additive offsets), so applying the same delta list twice is
+// idempotent and a delta list composed with an instance identifies one
+// concrete weighted graph — which is what lets content-addressed cache
+// keys cover patched instances.
+
+package cdag
+
+import "sort"
+
+// WeightDelta replaces one node's weight. Weight is the node's new
+// absolute weight in bits (not an offset), so delta lists are
+// idempotent and order-free once canonicalized.
+type WeightDelta struct {
+	// Node is the target node.
+	Node NodeID
+	// Weight is the node's new weight in bits; must be positive.
+	Weight Weight
+}
+
+// CanonicalDeltas sorts deltas by node and merges duplicates
+// last-wins, returning the canonical form used in cache keys and by
+// Invalidate implementations: strictly increasing node IDs, one entry
+// per node. It returns nil for an empty input and never aliases ds.
+func CanonicalDeltas(ds []WeightDelta) []WeightDelta {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]WeightDelta, len(ds))
+	copy(out, ds)
+	// Stable keeps the later of two updates to the same node adjacent
+	// and last, so the merge below is "last write wins".
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	w := 0
+	for i := 1; i < len(out); i++ {
+		if out[i].Node == out[w].Node {
+			out[w].Weight = out[i].Weight
+			continue
+		}
+		w++
+		out[w] = out[i]
+	}
+	return out[:w+1]
+}

@@ -1,0 +1,147 @@
+package dwt
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+	"wrbpg/internal/wcfg"
+)
+
+// coldMinCost rebuilds the graph at g's current weights and solves
+// cold — the reference an incrementally patched scheduler must match
+// bit-identically.
+func coldMinCost(t *testing.T, g *Graph, b cdag.Weight) cdag.Weight {
+	t.Helper()
+	g2, err := Build(g.N, g.D, ConfigWeights(wcfg.Equal(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.G.Len(); v++ {
+		if err := g2.G.TrySetWeight(cdag.NodeID(v), g.G.Weight(cdag.NodeID(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewScheduler(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.MinCost(b)
+}
+
+// TestSetWeightsMatchesColdScheduler is the incremental-determinism
+// property: a scheduler patched through a random delta sequence must
+// answer every budget bit-identically to a cold scheduler built at the
+// same weights. Deltas hit input-layer nodes (layer-1 weights are
+// outside the Lemma 3.2 pair constraint, so every toggle is valid) in
+// shuffled, duplicated order.
+func TestSetWeightsMatchesColdScheduler(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := Build(16, 4, ConfigWeights(wcfg.Equal(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := g.G.Sources()
+	for round := 0; round < 30; round++ {
+		ds := make([]cdag.WeightDelta, 1+rng.Intn(3))
+		for i := range ds {
+			ds[i] = cdag.WeightDelta{
+				Node:   srcs[rng.Intn(len(srcs))],
+				Weight: 1 + cdag.Weight(rng.Intn(5)),
+			}
+		}
+		inv, reused, err := s.SetWeights(ds)
+		if err != nil {
+			t.Fatalf("round %d: SetWeights(%v): %v", round, ds, err)
+		}
+		if inv < 0 || reused < 0 {
+			t.Fatalf("round %d: negative counts inv=%d reused=%d", round, inv, reused)
+		}
+		min := core.MinExistenceBudget(g.G)
+		for _, b := range []cdag.Weight{min - 1, min, min + 3, min + 9} {
+			warm := s.MinCost(b)
+			if cold := coldMinCost(t, g, b); warm != cold {
+				t.Fatalf("round %d budget %d: warm %d != cold %d after %v", round, b, warm, cold, ds)
+			}
+		}
+	}
+}
+
+// TestSetWeightsRevertsOnError: a failing delta list (bad weight, bad
+// node, Lemma 3.2 violation) leaves the graph and the memo exactly as
+// they were — the same queries answer identically before and after.
+func TestSetWeightsRevertsOnError(t *testing.T) {
+	g, err := Build(16, 4, ConfigWeights(wcfg.Equal(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.MinExistenceBudget(g.G) + 6
+	want := s.MinCost(b)
+	src := g.G.Sources()[0]
+	// The coefficient (even-index) node of the first layer-2 pair: its
+	// weight may not exceed the sibling average's (Lemma 3.2).
+	coef := g.Layers[1][1]
+	saved := make([]cdag.Weight, g.G.Len())
+	for v := range saved {
+		saved[v] = g.G.Weight(cdag.NodeID(v))
+	}
+	for _, bad := range [][]cdag.WeightDelta{
+		{{Node: src, Weight: 0}},
+		{{Node: -1, Weight: 2}},
+		{{Node: cdag.NodeID(g.G.Len()), Weight: 2}},
+		// First delta applies, second fails: the applied prefix must
+		// unwind too.
+		{{Node: src, Weight: 3}, {Node: coef, Weight: 1 << 40}},
+	} {
+		if _, _, err := s.SetWeights(bad); err == nil {
+			t.Fatalf("SetWeights(%v): want error", bad)
+		}
+		for v := range saved {
+			if w := g.G.Weight(cdag.NodeID(v)); w != saved[v] {
+				t.Fatalf("after failed %v: node %d weight %d, want %d", bad, v, w, saved[v])
+			}
+		}
+		if got := s.MinCost(b); got != want {
+			t.Fatalf("after failed %v: MinCost %d, want %d", bad, got, want)
+		}
+	}
+}
+
+// TestSetWeightsInvalidationCounts: patching before any query
+// invalidates nothing; re-querying then patching the same node again
+// invalidates only the dirtied cone and reports the surviving cells.
+func TestSetWeightsInvalidationCounts(t *testing.T) {
+	g, err := Build(16, 4, ConfigWeights(wcfg.Equal(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.G.Sources()[0]
+	if inv, reused, err := s.SetWeights([]cdag.WeightDelta{{Node: src, Weight: 5}}); err != nil || inv != 0 || reused != 0 {
+		t.Fatalf("pre-query patch: inv=%d reused=%d err=%v, want 0,0,nil", inv, reused, err)
+	}
+	b := core.MinExistenceBudget(g.G) + 6
+	s.MinCost(b)
+	inv, reused, err := s.SetWeights([]cdag.WeightDelta{{Node: src, Weight: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv <= 0 {
+		t.Errorf("post-query patch invalidated %d cells, want > 0", inv)
+	}
+	if reused <= 0 {
+		t.Errorf("post-query patch reports %d surviving cells, want > 0 (untouched subtrees stay warm)", reused)
+	}
+}

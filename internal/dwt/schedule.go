@@ -51,6 +51,21 @@ type Scheduler struct {
 	dg        *Graph
 	budgetIdx map[cdag.Weight]int
 	memo      [][]entry
+	// roots and pruned cache Graph.Roots / Graph.PrunedNodes, so MinCost
+	// iterates plain slices instead of allocating per call — required by
+	// the zero-allocation warm query and patch paths.
+	roots  []cdag.NodeID
+	pruned []cdag.NodeID
+	// live counts currently valid memo cells; SetWeights reports it as
+	// the reused-cell count after an invalidation.
+	live int64
+	// mark/epoch/stack are the SetWeights cone-walk scratch: mark[v]
+	// equal to the current epoch means v's row is already cleared in
+	// this patch, so overlapping descendant cones are walked once.
+	mark  []uint32
+	epoch uint32
+	stack []cdag.NodeID
+	saved []cdag.Weight
 	// ck, when non-nil, is the active cancellation/budget guard of a
 	// *Ctx call. The DP checks it per cell and never memoizes results
 	// computed after it trips, so an aborted solve cannot poison later
@@ -64,11 +79,92 @@ func NewScheduler(dg *Graph) (*Scheduler, error) {
 	if err := dg.CheckWeightAssumption(); err != nil {
 		return nil, err
 	}
+	// Pruned (even-index, layer > 1) nodes in ID order, mirroring
+	// Graph.PrunedNodes without its map.
+	var pruned []cdag.NodeID
+	for i := 2; i <= dg.D+1; i++ {
+		l := dg.Layers[i-1]
+		for j := 2; j <= len(l); j += 2 {
+			pruned = append(pruned, l[j-1])
+		}
+	}
 	return &Scheduler{
 		dg:        dg,
 		budgetIdx: map[cdag.Weight]int{},
 		memo:      make([][]entry, dg.G.Len()),
+		roots:     dg.Roots(),
+		pruned:    pruned,
+		mark:      make([]uint32, dg.G.Len()),
 	}, nil
+}
+
+// SetWeights applies weight deltas to the graph and invalidates
+// exactly the memo cells whose value can change: P(v, b) depends only
+// on weights inside v's subtree (Lemma 3.3), so a change at u dirties
+// the rows of u and its descendants and nothing else. Deltas are
+// validated (positive weights, in-range nodes, the Lemma 3.2 weight
+// assumption must still hold afterwards) and the graph is reverted
+// unchanged on any error. It returns the number of cells cleared and
+// the number surviving; rows keep their capacity, so re-solving after
+// a patch allocates nothing in steady state.
+func (s *Scheduler) SetWeights(ds []cdag.WeightDelta) (invalidated, reused int64, err error) {
+	g := s.dg.G
+	s.saved = s.saved[:0]
+	applied := 0
+	for _, d := range ds {
+		var old cdag.Weight
+		if int(d.Node) >= 0 && int(d.Node) < g.Len() {
+			old = g.Weight(d.Node)
+		}
+		if err := g.TrySetWeight(d.Node, d.Weight); err != nil {
+			s.revert(ds, applied)
+			return 0, 0, fmt.Errorf("dwt: patch: %w", err)
+		}
+		s.saved = append(s.saved, old)
+		applied++
+	}
+	if err := s.dg.CheckWeightAssumption(); err != nil {
+		s.revert(ds, applied)
+		return 0, 0, err
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: every stale mark now looks current
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 1
+	}
+	stack := s.stack[:0]
+	for _, d := range ds {
+		stack = append(stack, d.Node)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.mark[v] == s.epoch {
+			continue
+		}
+		s.mark[v] = s.epoch
+		row := s.memo[v]
+		for i := range row {
+			if row[i].valid {
+				invalidated++
+				row[i] = entry{}
+			}
+		}
+		stack = append(stack, g.Children(v)...)
+	}
+	s.stack = stack
+	s.live -= invalidated
+	return invalidated, s.live, nil
+}
+
+// revert restores the first applied weights of a failed SetWeights, in
+// reverse order so duplicate-node delta lists unwind correctly.
+func (s *Scheduler) revert(ds []cdag.WeightDelta, applied int) {
+	for j := applied - 1; j >= 0; j-- {
+		s.dg.G.SetWeight(ds[j].Node, s.saved[j])
+	}
 }
 
 // cell returns a pointer to the memo slot for (v, b), growing the
@@ -97,6 +193,7 @@ func (s *Scheduler) store(v cdag.NodeID, b cdag.Weight, e entry) {
 		return
 	}
 	*s.cell(v, b) = e
+	s.live++
 }
 
 // p computes P(v, b): the minimum weighted cost to place a red pebble
@@ -168,14 +265,14 @@ func (s *Scheduler) MinCost(b cdag.Weight) cdag.Weight {
 	}
 	g := s.dg.G
 	var total cdag.Weight
-	for _, r := range s.dg.Roots() {
+	for _, r := range s.roots {
 		e := s.p(r, b)
 		if e.cost >= Inf {
 			return Inf
 		}
 		total += e.cost + g.Weight(r) // P(r, B) plus the root's own M2
 	}
-	for v := range s.dg.PrunedNodes() {
+	for _, v := range s.pruned {
 		total += g.Weight(v) // each pruned coefficient is written once
 	}
 	return total
@@ -222,7 +319,7 @@ func (s *Scheduler) Schedule(b cdag.Weight) (core.Schedule, error) {
 		return nil, fmt.Errorf("dwt: no valid schedule under budget %d (existence bound %d)", b, core.MinExistenceBudget(s.dg.G))
 	}
 	var sched core.Schedule
-	for _, r := range s.dg.Roots() {
+	for _, r := range s.roots {
 		if err := s.gen(r, b, &sched); err != nil {
 			return nil, err
 		}

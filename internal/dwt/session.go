@@ -43,6 +43,23 @@ func (se *Session) Graph() *Graph { return se.s.dg }
 // observation counters (memo hits, entries) for metric export.
 func (se *Session) TakeCounts() guard.Counts { return se.ck.TakeCounts() }
 
+// Patch applies weight deltas to the underlying graph, invalidating
+// only the memo cells whose subtree contains a changed node
+// (Scheduler.SetWeights); every other cell stays warm, so the next
+// query re-solves just the dirtied cone. On error (bad node, bad
+// weight, Lemma 3.2 violated) the graph and memo are unchanged. The
+// invalidated/reused cell counts feed the session's observation
+// counters (wrbpg_solver_cells_* after the next flush) and are also
+// returned for the caller's own accounting.
+func (se *Session) Patch(ds []cdag.WeightDelta) (invalidated, reused int64, err error) {
+	invalidated, reused, err = se.s.SetWeights(ds)
+	if err != nil {
+		return 0, 0, err
+	}
+	se.ck.NoteInvalidation(invalidated, reused)
+	return invalidated, reused, nil
+}
+
 func (se *Session) begin(ctx context.Context, lim guard.Limits) {
 	se.ck.Reset(ctx, lim)
 	se.s.ck = &se.ck

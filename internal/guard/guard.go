@@ -81,6 +81,12 @@ type Counts struct {
 	// the budget axis finer and finer; a high rate means queries land
 	// between known steps).
 	IntervalSplits int64
+	// CellsInvalidated counts memo cells (or budget intervals) cleared
+	// by a patch invalidation — the work an incremental re-solve pays.
+	CellsInvalidated int64
+	// CellsReused counts memo cells that survived a patch invalidation
+	// — the work an incremental re-solve avoids redoing.
+	CellsReused int64
 }
 
 // Add accumulates other into c.
@@ -89,6 +95,8 @@ func (c *Counts) Add(other Counts) {
 	c.MemoEntries += other.MemoEntries
 	c.States += other.States
 	c.IntervalSplits += other.IntervalSplits
+	c.CellsInvalidated += other.CellsInvalidated
+	c.CellsReused += other.CellsReused
 }
 
 // Checker is the per-solve cancellation and budget monitor. It is not
@@ -216,6 +224,17 @@ func (c *Checker) NoteHit() {
 func (c *Checker) NoteSplit() {
 	if c != nil {
 		c.counts.IntervalSplits++
+	}
+}
+
+// NoteInvalidation records one patch invalidation: invalidated memo
+// cells cleared because a changed node sits in their subtree, and
+// reused cells that survived. Patching runs outside any query, so this
+// is plain arithmetic like the other observation notes.
+func (c *Checker) NoteInvalidation(invalidated, reused int64) {
+	if c != nil {
+		c.counts.CellsInvalidated += invalidated
+		c.counts.CellsReused += reused
 	}
 }
 

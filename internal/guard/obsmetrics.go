@@ -24,6 +24,10 @@ var (
 		"Search states explored (exact Dijkstra search).", "family")
 	solverSplits = obs.Default.CounterVec("wrbpg_solver_interval_splits_total",
 		"Budget-interval memo stores clipped against an existing step.", "family")
+	solverInvalidated = obs.Default.CounterVec("wrbpg_solver_cells_invalidated_total",
+		"Memo cells cleared by patch invalidations (changed node in their subtree).", "family")
+	solverReused = obs.Default.CounterVec("wrbpg_solver_cells_reused_total",
+		"Memo cells surviving patch invalidations (work an incremental re-solve avoids).", "family")
 	guardAborts = obs.Default.CounterVec("wrbpg_guard_aborts_total",
 		"Solves aborted by the guard, by reason (canceled, deadline, budget).", "reason")
 )
@@ -33,6 +37,7 @@ var (
 // label lookups on the serving hot path.
 type FamilyCounters struct {
 	queries, hits, entries, states, splits *obs.Counter
+	invalidated, reused                    *obs.Counter
 }
 
 var (
@@ -48,11 +53,13 @@ func CountersFor(family string) *FamilyCounters {
 		return fc
 	}
 	fc := &FamilyCounters{
-		queries: solverQueries.With(family),
-		hits:    solverMemoHits.With(family),
-		entries: solverMemoEntries.With(family),
-		states:  solverStates.With(family),
-		splits:  solverSplits.With(family),
+		queries:     solverQueries.With(family),
+		hits:        solverMemoHits.With(family),
+		entries:     solverMemoEntries.With(family),
+		states:      solverStates.With(family),
+		splits:      solverSplits.With(family),
+		invalidated: solverInvalidated.With(family),
+		reused:      solverReused.With(family),
 	}
 	fcs[family] = fc
 	return fc
@@ -77,6 +84,12 @@ func (fc *FamilyCounters) Record(c Counts) {
 	}
 	if c.IntervalSplits > 0 {
 		fc.splits.Add(uint64(c.IntervalSplits))
+	}
+	if c.CellsInvalidated > 0 {
+		fc.invalidated.Add(uint64(c.CellsInvalidated))
+	}
+	if c.CellsReused > 0 {
+		fc.reused.Add(uint64(c.CellsReused))
 	}
 }
 

@@ -1,0 +1,122 @@
+package ktree
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
+)
+
+// coldTreeMinCost rebuilds the full tree at tr's current weights and
+// solves cold — the reference a patched scheduler must match
+// bit-identically. FullTree numbers nodes deterministically, so the
+// rebuilt tree shares tr's node IDs.
+func coldTreeMinCost(t *testing.T, k, height int, tr *Tree, b cdag.Weight) cdag.Weight {
+	t.Helper()
+	tr2, err := FullTree(k, height, func(d, i int) cdag.Weight { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < tr.G.Len(); v++ {
+		if err := tr2.G.TrySetWeight(cdag.NodeID(v), tr.G.Weight(cdag.NodeID(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewScheduler(tr2).MinCost(b)
+}
+
+// TestSetWeightsMatchesColdScheduler is the incremental-determinism
+// property: a scheduler patched through a shuffled random delta
+// sequence — any node, duplicates allowed — must answer every budget
+// bit-identically to a cold scheduler at the same weights.
+func TestSetWeightsMatchesColdScheduler(t *testing.T) {
+	const k, height = 3, 3
+	rng := rand.New(rand.NewSource(23))
+	tr, err := FullTree(k, height, func(d, i int) cdag.Weight { return 1 + cdag.Weight((d+i)%2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(tr)
+	n := tr.G.Len()
+	for round := 0; round < 30; round++ {
+		ds := make([]cdag.WeightDelta, 1+rng.Intn(3))
+		for i := range ds {
+			ds[i] = cdag.WeightDelta{
+				Node:   cdag.NodeID(rng.Intn(n)),
+				Weight: 1 + cdag.Weight(rng.Intn(4)),
+			}
+		}
+		if _, _, err := s.SetWeights(ds); err != nil {
+			t.Fatalf("round %d: SetWeights(%v): %v", round, ds, err)
+		}
+		min := core.MinExistenceBudget(tr.G)
+		for _, b := range []cdag.Weight{min - 1, min, min + 2, min + 7} {
+			warm := s.MinCost(b)
+			if cold := coldTreeMinCost(t, k, height, tr, b); warm != cold {
+				t.Fatalf("round %d budget %d: warm %d != cold %d after %v", round, b, warm, cold, ds)
+			}
+		}
+	}
+}
+
+// TestSetWeightsRevertsOnError: a failing delta list leaves the tree,
+// the memo and the existence table exactly as they were.
+func TestSetWeightsRevertsOnError(t *testing.T) {
+	tr, err := FullTree(3, 3, func(d, i int) cdag.Weight { return 1 + cdag.Weight((d+i)%2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(tr)
+	b := core.MinExistenceBudget(tr.G) + 5
+	want := s.MinCost(b)
+	saved := make([]cdag.Weight, tr.G.Len())
+	for v := range saved {
+		saved[v] = tr.G.Weight(cdag.NodeID(v))
+	}
+	for _, bad := range [][]cdag.WeightDelta{
+		{{Node: 0, Weight: 0}},
+		{{Node: -3, Weight: 1}},
+		{{Node: cdag.NodeID(tr.G.Len() + 1), Weight: 1}},
+		// Applied prefix must unwind when a later delta fails.
+		{{Node: 0, Weight: 7}, {Node: 1, Weight: -2}},
+	} {
+		if _, _, err := s.SetWeights(bad); err == nil {
+			t.Fatalf("SetWeights(%v): want error", bad)
+		}
+		for v := range saved {
+			if w := tr.G.Weight(cdag.NodeID(v)); w != saved[v] {
+				t.Fatalf("after failed %v: node %d weight %d, want %d", bad, v, w, saved[v])
+			}
+		}
+		if got := s.MinCost(b); got != want {
+			t.Fatalf("after failed %v: MinCost %d, want %d", bad, got, want)
+		}
+	}
+}
+
+// TestSetWeightsInvalidatesOnlyRootChain: in an in-tree, a leaf
+// weight change dirties exactly the leaf-to-root chain; everything
+// else survives and is reported as reused.
+func TestSetWeightsInvalidatesOnlyRootChain(t *testing.T) {
+	tr, err := FullTree(3, 3, func(d, i int) cdag.Weight { return 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(tr)
+	b := core.MinExistenceBudget(tr.G) + 4
+	s.MinCost(b)
+	leaf := tr.G.Sources()[0]
+	inv, reused, err := s.SetWeights([]cdag.WeightDelta{{Node: leaf, Weight: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv <= 0 || reused <= 0 {
+		t.Fatalf("leaf patch: inv=%d reused=%d, want both > 0", inv, reused)
+	}
+	// The chain has height+1 nodes; the other ~4/5 of the tree must
+	// keep strictly more intervals than the chain lost.
+	if reused < inv {
+		t.Errorf("leaf patch invalidated %d but only %d survived; expected most of the memo to stay warm", inv, reused)
+	}
+}

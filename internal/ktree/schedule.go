@@ -3,6 +3,7 @@ package ktree
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
@@ -61,6 +62,16 @@ type Scheduler struct {
 	// with a maximally wide interval, which is what keeps budget
 	// sweeps cheap near the existence boundary.
 	exist []cdag.Weight
+	// live counts currently stored budget intervals; SetWeights reports
+	// it as the reused-cell count after an invalidation.
+	live int64
+	// mark/epoch/dirty/saved are SetWeights scratch: mark[v] equal to
+	// the current epoch means v's row was already cleared this patch, so
+	// root paths shared by several changed nodes are walked once.
+	mark  []uint32
+	epoch uint32
+	dirty []cdag.NodeID
+	saved []cdag.Weight
 	// ck, when non-nil, is the active cancellation/budget guard of a
 	// *Ctx call. The DP checks it per cold cell and never memoizes
 	// results computed after it trips. nil (the default) costs one
@@ -99,7 +110,79 @@ func NewScheduler(t *Tree) *Scheduler {
 		t:     t,
 		memo:  make([][]ival, t.G.Len()),
 		exist: exist,
+		mark:  make([]uint32, t.G.Len()),
 	}
+}
+
+// SetWeights applies weight deltas to the tree and invalidates exactly
+// the memo rows whose value can change: Pt(v, b) depends only on
+// weights inside v's subtree (Eq. 6), and in an in-tree the cells
+// whose subtree contains a changed node u are u and its ancestors —
+// the chain from u to the root. Rows keep their capacity ([:0]), the
+// exist bounds of the dirtied chain are recomputed bottom-up, and the
+// graph is reverted unchanged on any validation error. It returns the
+// number of budget intervals cleared and the number surviving.
+func (s *Scheduler) SetWeights(ds []cdag.WeightDelta) (invalidated, reused int64, err error) {
+	g := s.t.G
+	s.saved = s.saved[:0]
+	applied := 0
+	for _, d := range ds {
+		var old cdag.Weight
+		if int(d.Node) >= 0 && int(d.Node) < g.Len() {
+			old = g.Weight(d.Node)
+		}
+		if err := g.TrySetWeight(d.Node, d.Weight); err != nil {
+			for j := applied - 1; j >= 0; j-- {
+				g.SetWeight(ds[j].Node, s.saved[j])
+			}
+			return 0, 0, fmt.Errorf("ktree: patch: %w", err)
+		}
+		s.saved = append(s.saved, old)
+		applied++
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: every stale mark now looks current
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 1
+	}
+	dirty := s.dirty[:0]
+	for _, d := range ds {
+		for v := d.Node; ; {
+			if s.mark[v] == s.epoch {
+				break
+			}
+			s.mark[v] = s.epoch
+			dirty = append(dirty, v)
+			invalidated += int64(len(s.memo[v]))
+			s.memo[v] = s.memo[v][:0]
+			ch := g.Children(v)
+			if len(ch) == 0 {
+				break
+			}
+			v = ch[0] // in-tree: out-degree ≤ 1
+		}
+	}
+	// Node IDs are topological, so recomputing exist in ascending ID
+	// order sees every dirty parent before its child; off-chain parents
+	// kept their (unchanged) bounds.
+	slices.Sort(dirty)
+	s.dirty = dirty
+	for _, v := range dirty {
+		e := g.Weight(v)
+		for _, p := range g.Parents(v) {
+			e += g.Weight(p)
+		}
+		for _, p := range g.Parents(v) {
+			if s.exist[p] > e {
+				e = s.exist[p]
+			}
+		}
+		s.exist[v] = e
+	}
+	s.live -= invalidated
+	return invalidated, s.live, nil
 }
 
 // lookup returns the memoized step covering budget b, or nil.
@@ -157,6 +240,7 @@ func (s *Scheduler) store(v cdag.NodeID, b cdag.Weight, iv ival) {
 	copy(row[lo+1:], row[lo:])
 	row[lo] = iv
 	s.memo[v] = row
+	s.live++
 }
 
 // pt computes Pt(v, b) of Eq. 6, minimizing over parent permutations

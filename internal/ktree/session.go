@@ -41,6 +41,22 @@ func (se *Session) Tree() *Tree { return se.s.t }
 // observation counters (memo hits, entries, splits) for metric export.
 func (se *Session) TakeCounts() guard.Counts { return se.ck.TakeCounts() }
 
+// Patch applies weight deltas to the underlying tree, invalidating
+// only the memo rows on the changed nodes' root paths
+// (Scheduler.SetWeights); every other interval stays warm, so the next
+// query re-solves just the dirtied chain against warm children. On
+// error the tree and memo are unchanged. The invalidated/reused counts
+// feed the session's observation counters (wrbpg_solver_cells_* after
+// the next flush) and are also returned.
+func (se *Session) Patch(ds []cdag.WeightDelta) (invalidated, reused int64, err error) {
+	invalidated, reused, err = se.s.SetWeights(ds)
+	if err != nil {
+		return 0, 0, err
+	}
+	se.ck.NoteInvalidation(invalidated, reused)
+	return invalidated, reused, nil
+}
+
 // begin installs the session checker for one query; end uninstalls it.
 func (se *Session) begin(ctx context.Context, lim guard.Limits) {
 	se.ck.Reset(ctx, lim)

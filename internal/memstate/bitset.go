@@ -244,7 +244,10 @@ type pmIval struct {
 // integer hash skips the runtime's generic hashing and bucket walk,
 // and a warm hit answers a whole budget *range* per entry — the
 // mechanism that lets a k-budget sweep cost about one solve instead
-// of k. The zero value is an empty table; there is no deletion.
+// of k. The zero value is an empty table; there is no deletion —
+// instead every access carries the key node's current generation
+// stamp (genState), and a slot recorded under an older generation is
+// treated as empty and lazily reset, keeping its interval capacity.
 type pmTable struct {
 	mask  uint64
 	n     int
@@ -253,13 +256,17 @@ type pmTable struct {
 
 type pmSlot struct {
 	key   pmKey
+	gen   uint32
 	ivals []pmIval
 	full  bool
 }
 
 // get returns the memoized cost covering budget b along with its
-// validity interval. The binary search allocates nothing.
-func (t *pmTable) get(k pmKey, b cdag.Weight) (cdag.Weight, cdag.Weight, cdag.Weight, bool) {
+// validity interval. gen is the key node's current generation; a slot
+// stamped older was invalidated by a patch and reads as a miss (its
+// storage is reclaimed on the next put). The binary search allocates
+// nothing.
+func (t *pmTable) get(k pmKey, gen uint32, b cdag.Weight) (cdag.Weight, cdag.Weight, cdag.Weight, bool) {
 	if t.slots == nil {
 		return 0, 0, 0, false
 	}
@@ -269,6 +276,9 @@ func (t *pmTable) get(k pmKey, b cdag.Weight) (cdag.Weight, cdag.Weight, cdag.We
 			return 0, 0, 0, false
 		}
 		if s.key == k {
+			if s.gen != gen {
+				return 0, 0, 0, false
+			}
 			row := s.ivals
 			lo, hi := 0, len(row)
 			for lo < hi {
@@ -288,12 +298,15 @@ func (t *pmTable) get(k pmKey, b cdag.Weight) (cdag.Weight, cdag.Weight, cdag.We
 	}
 }
 
-// put inserts iv, clipped to the uncovered gap it lands in. Neighbours
-// are restrictions of the same step function, so on any overlap they
-// agree and clipping discards only redundancy. The returned flag
-// reports whether clipping happened (an interval split, for the
-// observation counters).
-func (t *pmTable) put(k pmKey, iv pmIval) (clipped bool) {
+// put inserts iv under the key node's current generation, clipped to
+// the uncovered gap it lands in. Neighbours are restrictions of the
+// same step function, so on any overlap they agree and clipping
+// discards only redundancy. A slot stamped with an older generation
+// holds only invalidated intervals: it is reset in place (keeping its
+// capacity) before the insert. stored reports whether iv survived
+// (false when clipping emptied it); clipped reports whether clipping
+// happened (an interval split, for the observation counters).
+func (t *pmTable) put(k pmKey, gen uint32, iv pmIval) (stored, clipped bool) {
 	// Grow at 3/4 occupancy so probe chains stay short.
 	if (t.n+1)*4 > len(t.slots)*3 {
 		t.grow()
@@ -301,11 +314,15 @@ func (t *pmTable) put(k pmKey, iv pmIval) (clipped bool) {
 	for i := k.hash() & t.mask; ; i = (i + 1) & t.mask {
 		s := &t.slots[i]
 		if !s.full {
-			*s = pmSlot{key: k, ivals: []pmIval{iv}, full: true}
+			*s = pmSlot{key: k, gen: gen, ivals: append(s.ivals[:0], iv), full: true}
 			t.n++
-			return false
+			return true, false
 		}
 		if s.key == k {
+			if s.gen != gen {
+				s.gen = gen
+				s.ivals = s.ivals[:0]
+			}
 			row := s.ivals
 			lo, hi := 0, len(row)
 			for lo < hi {
@@ -325,13 +342,13 @@ func (t *pmTable) put(k pmKey, iv pmIval) (clipped bool) {
 				clipped = true
 			}
 			if iv.lo > iv.hi {
-				return clipped
+				return false, clipped
 			}
 			row = append(row, pmIval{})
 			copy(row[lo+1:], row[lo:])
 			row[lo] = iv
 			s.ivals = row
-			return clipped
+			return true, clipped
 		}
 	}
 }

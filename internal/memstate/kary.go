@@ -26,6 +26,7 @@ type KScheduler struct {
 	memo pmTable
 	ix   *setIndex
 	anc  []Bitset
+	gs   genState
 	// ck, when non-nil, is the active cancellation/budget guard of a
 	// CostCtx call; see Scheduler.ck.
 	ck *guard.Checker
@@ -57,7 +58,17 @@ func NewKScheduler(g *cdag.Graph) (*KScheduler, error) {
 		g:   g,
 		ix:  newSetIndex(g.Len()),
 		anc: ancestorMasks(g),
+		gs:  newGenState(g.Len()),
 	}, nil
+}
+
+// SetWeights applies weight deltas to the tree and invalidates (via
+// generation stamps) exactly the memo cells whose subtree contains a
+// changed node; see genState. The graph is reverted unchanged on any
+// error. It returns the number of intervals invalidated and the
+// number surviving.
+func (s *KScheduler) SetWeights(ds []cdag.WeightDelta) (invalidated, reused int64, err error) {
+	return s.gs.setWeights(s.g, ds)
 }
 
 // Restrict returns X_u = X ∩ (pred(u) ∪ {u}).
@@ -97,7 +108,7 @@ func (s *KScheduler) PlainCost(v cdag.NodeID, b cdag.Weight) cdag.Weight {
 // [lo, hi] ∋ b on which it is valid.
 func (s *KScheduler) pmk(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) (cdag.Weight, cdag.Weight, cdag.Weight) {
 	key := pmKey{v: v, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
-	if c, lo, hi, ok := s.memo.get(key, b); ok {
+	if c, lo, hi, ok := s.memo.get(key, s.gs.gens[v], b); ok {
 		s.ck.NoteHit()
 		return c, lo, hi
 	}
@@ -205,7 +216,11 @@ func (s *KScheduler) pmkCold(key pmKey, v cdag.NodeID, b cdag.Weight, ini, reuse
 	// Never memoize after a trip: children returned poisoned Inf costs
 	// that must not survive into later solves.
 	if s.ck == nil || (s.ck.Err() == nil && s.ck.AddMemo(1) == nil) {
-		if s.memo.put(key, pmIval{lo: lo, hi: hi, cost: cost}) {
+		stored, clipped := s.memo.put(key, s.gs.gens[v], pmIval{lo: lo, hi: hi, cost: cost})
+		if stored {
+			s.gs.noteStore(v)
+		}
+		if clipped {
 			s.ck.NoteSplit()
 		}
 	}

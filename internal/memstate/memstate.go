@@ -49,6 +49,7 @@ type Scheduler struct {
 	memo pmTable
 	ix   *setIndex
 	anc  []Bitset
+	gs   genState
 	// ck, when non-nil, is the active cancellation/budget guard of a
 	// CostCtx call. The DP checks it per cold cell and never memoizes
 	// results computed after it trips. nil (the default) costs one
@@ -74,7 +75,17 @@ func NewScheduler(g *cdag.Graph) (*Scheduler, error) {
 		g:   g,
 		ix:  newSetIndex(g.Len()),
 		anc: ancestorMasks(g),
+		gs:  newGenState(g.Len()),
 	}, nil
+}
+
+// SetWeights applies weight deltas to the tree and invalidates (via
+// generation stamps) exactly the memo cells whose subtree contains a
+// changed node; see genState. The graph is reverted unchanged on any
+// error. It returns the number of intervals invalidated and the
+// number surviving.
+func (s *Scheduler) SetWeights(ds []cdag.WeightDelta) (invalidated, reused int64, err error) {
+	return s.gs.setWeights(s.g, ds)
 }
 
 // Restrict returns X_u = X ∩ (pred(u) ∪ {u}) — one mask intersection.
@@ -115,7 +126,8 @@ func (s *Scheduler) CostCtx(ctx context.Context, lim guard.Limits, v cdag.NodeID
 // is constant, so the minimum is too.
 func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) (cdag.Weight, cdag.Weight, cdag.Weight) {
 	key := pmKey{v: v, ini: s.ix.handle(ini), reuse: s.ix.handle(reuse)}
-	if c, lo, hi, ok := s.memo.get(key, b); ok {
+	gen := s.gs.gens[v]
+	if c, lo, hi, ok := s.memo.get(key, gen, b); ok {
 		s.ck.NoteHit()
 		return c, lo, hi
 	}
@@ -218,7 +230,11 @@ func (s *Scheduler) pm(v cdag.NodeID, b cdag.Weight, ini, reuse Bitset) (cdag.We
 	// Never memoize after a trip: children returned poisoned Inf costs
 	// that must not survive into later solves.
 	if s.ck == nil || (s.ck.Err() == nil && s.ck.AddMemo(1) == nil) {
-		if s.memo.put(key, pmIval{lo: lo, hi: hi, cost: cost}) {
+		stored, clipped := s.memo.put(key, gen, pmIval{lo: lo, hi: hi, cost: cost})
+		if stored {
+			s.gs.noteStore(v)
+		}
+		if clipped {
 			s.ck.NoteSplit()
 		}
 	}

@@ -1,0 +1,98 @@
+// Incremental invalidation for the Pm memos. The pmTable is keyed by
+// (node, states), not organized per node, so clearing a node's cells
+// eagerly would mean a full table scan. Instead each node carries a
+// generation stamp: Invalidate bumps the stamps along the changed
+// nodes' root chains, and the table treats a slot whose recorded
+// generation is stale as empty, resetting it lazily (keeping its
+// interval capacity) the next time its key is touched. Pm(v, ·, I, R)
+// depends only on weights inside v's subtree (Eq. 8), and in an
+// in-tree the nodes whose subtree contains a changed node u are
+// exactly u's root chain — so stamping that chain invalidates
+// precisely the affected cells.
+
+package memstate
+
+import (
+	"fmt"
+
+	"wrbpg/internal/cdag"
+)
+
+// genState is the per-node generation and live-cell accounting shared
+// by Scheduler and KScheduler.
+type genState struct {
+	// gens[v] is v's current memo generation; slots recorded under an
+	// older generation are stale.
+	gens []uint32
+	// liveN[v] counts live intervals stored for node v; live is their
+	// sum, reported as the reused count after an invalidation.
+	liveN []int64
+	live  int64
+	// mark/epoch deduplicate shared root-chain suffixes when one patch
+	// changes several nodes.
+	mark  []uint32
+	epoch uint32
+	saved []cdag.Weight
+}
+
+func newGenState(n int) genState {
+	return genState{
+		gens:  make([]uint32, n),
+		liveN: make([]int64, n),
+		mark:  make([]uint32, n),
+	}
+}
+
+// noteStore records one interval stored for v.
+func (gs *genState) noteStore(v cdag.NodeID) {
+	gs.liveN[v]++
+	gs.live++
+}
+
+// setWeights applies weight deltas to g (reverting on any error) and
+// bumps the generation of every node on each changed node's root
+// chain, invalidating their cells lazily. It returns the number of
+// intervals invalidated and the number surviving.
+func (gs *genState) setWeights(g *cdag.Graph, ds []cdag.WeightDelta) (invalidated, reused int64, err error) {
+	gs.saved = gs.saved[:0]
+	applied := 0
+	for _, d := range ds {
+		var old cdag.Weight
+		if int(d.Node) >= 0 && int(d.Node) < g.Len() {
+			old = g.Weight(d.Node)
+		}
+		if err := g.TrySetWeight(d.Node, d.Weight); err != nil {
+			for j := applied - 1; j >= 0; j-- {
+				g.SetWeight(ds[j].Node, gs.saved[j])
+			}
+			return 0, 0, fmt.Errorf("memstate: patch: %w", err)
+		}
+		gs.saved = append(gs.saved, old)
+		applied++
+	}
+	gs.epoch++
+	if gs.epoch == 0 { // wrapped: every stale mark now looks current
+		for i := range gs.mark {
+			gs.mark[i] = 0
+		}
+		gs.epoch = 1
+	}
+	for _, d := range ds {
+		for v := d.Node; ; {
+			if gs.mark[v] == gs.epoch {
+				break
+			}
+			gs.mark[v] = gs.epoch
+			gs.gens[v]++
+			invalidated += gs.liveN[v]
+			gs.live -= gs.liveN[v]
+			gs.liveN[v] = 0
+			ch := g.Children(v)
+			if len(ch) == 0 {
+				break
+			}
+			v = ch[0] // in-tree: out-degree ≤ 1
+		}
+	}
+	return invalidated, gs.live, nil
+}

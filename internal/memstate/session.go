@@ -50,6 +50,22 @@ func (se *Session) Node() cdag.NodeID { return se.v }
 // observation counters (memo hits, entries, splits) for metric export.
 func (se *Session) TakeCounts() guard.Counts { return se.ck.TakeCounts() }
 
+// Patch applies weight deltas to the underlying tree, invalidating
+// only the memo cells whose subtree contains a changed node (via the
+// generation stamps of KScheduler.SetWeights); everything else stays
+// warm, so the next query re-solves just the dirtied root chain. On
+// error the tree and memo are unchanged. The invalidated/reused counts
+// feed the session's observation counters (wrbpg_solver_cells_* after
+// the next flush) and are also returned.
+func (se *Session) Patch(ds []cdag.WeightDelta) (invalidated, reused int64, err error) {
+	invalidated, reused, err = se.s.SetWeights(ds)
+	if err != nil {
+		return 0, 0, err
+	}
+	se.ck.NoteInvalidation(invalidated, reused)
+	return invalidated, reused, nil
+}
+
 // CostCtx returns Pm(v, b, I, R) for the pinned node and states under
 // the session's warm memo (Inf when infeasible). The error is non-nil
 // only when the query was aborted; resource limits in lim are per

@@ -1,0 +1,268 @@
+// The incremental re-solve serving path: POST /v1/schedule/patch
+// applies weight deltas to a warm base session and answers a budget
+// list against the surviving memo cells, instead of building and
+// solving the patched instance cold. The base session comes from the
+// same LRU pool the sweep path keeps, keyed by the instance's
+// BaseShapeKey (deltas stripped), so every patched variant of one base
+// lands on — and re-patches — the same pooled session. Patched results
+// requested through /v1/schedule carry their deltas in the cache key,
+// so the schedule cache never conflates a patched instance with its
+// base.
+//
+// The steady-state path (resident session, warmed buffers) performs
+// zero allocations per request body decoded: delta canonicalization
+// reuses the workspace's retained slices and the patch itself diffs in
+// the session's own scratch buffers (guarded by internal/bench's
+// alloc-regression test over PatchCosts).
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"wrbpg/internal/cdag"
+	"wrbpg/internal/guard"
+	"wrbpg/internal/obs"
+	"wrbpg/internal/schedcache"
+	"wrbpg/internal/serve/wire"
+	"wrbpg/internal/solve"
+)
+
+// PatchError marks a rejected delta list (unknown node, family weight
+// constraint): the session reverted to its pre-patch state and stays
+// pooled, and the request — not the server — is at fault, so the
+// handler answers 400, not 500.
+type PatchError struct{ Err error }
+
+func (e *PatchError) Error() string { return e.Err.Error() }
+func (e *PatchError) Unwrap() error { return e.Err }
+
+// PatchOutcome reports the non-item results of one PatchCosts call:
+// what the incremental engine did and the patched instance's bounds,
+// captured under the session lock so they describe exactly the state
+// the budget answers came from.
+type PatchOutcome struct {
+	// Stats is the incremental engine's work report (nodes written,
+	// memo cells invalidated and reused).
+	Stats solve.PatchStats
+	// LowerBound and MinExistence are the patched graph's Proposition
+	// 2.4 / 2.3 bounds.
+	LowerBound   cdag.Weight
+	MinExistence cdag.Weight
+	// Label is the base instance's human-readable name.
+	Label string
+	// Session is the pool disposition (hit/miss/shared) of the base
+	// session lookup.
+	Session schedcache.State
+}
+
+// handlePatch serves POST /v1/schedule/patch.
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "POST required"))
+		return
+	}
+	s.m.reqPatch.Inc()
+	var req wire.PatchRequest
+	if err := decodeStrict(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		s.writeErr(w, asWireErr(err))
+		return
+	}
+	// The workspace must outlive the response encoder — the response
+	// aliases ws.items — so the handler owns its lifetime.
+	ws := s.wsPool.Get().(*sweepWorkspace)
+	defer s.wsPool.Put(ws)
+	res, werr := s.patch(r.Context(), &req, ws)
+	if werr != nil {
+		s.writeErr(w, werr)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// patch validates the request, resolves the base instance (resident
+// session by base_key, or inline), derives the deadline, acquires a
+// solver slot and answers every budget through PatchCosts.
+func (s *Server) patch(ctx context.Context, req *wire.PatchRequest, ws *sweepWorkspace) (*wire.PatchResponse, *wire.Error) {
+	start := time.Now()
+	if len(req.Deltas) == 0 {
+		return nil, wire.Errorf(http.StatusBadRequest,
+			"deltas must not be empty (a delta-free budget list is a sweep: POST /v1/schedule/sweep)")
+	}
+	if len(req.Deltas) > s.opts.MaxPatchDeltas {
+		return nil, wire.Errorf(http.StatusBadRequest,
+			"patch of %d deltas exceeds limit %d", len(req.Deltas), s.opts.MaxPatchDeltas)
+	}
+	if len(req.BudgetsBits) == 0 {
+		return nil, wire.Errorf(http.StatusBadRequest, "budgets_bits must not be empty")
+	}
+	if len(req.BudgetsBits) > s.opts.MaxSweepBudgets {
+		return nil, wire.Errorf(http.StatusBadRequest,
+			"patch of %d budgets exceeds limit %d", len(req.BudgetsBits), s.opts.MaxSweepBudgets)
+	}
+	budgets := ws.budgets[:0]
+	for i, b := range req.BudgetsBits {
+		if b < 1 {
+			ws.budgets = budgets
+			return nil, wire.Errorf(http.StatusBadRequest,
+				"budgets_bits[%d] must be positive, got %d", i, b)
+		}
+		budgets = append(budgets, cdag.Weight(b))
+	}
+	ws.budgets = budgets
+
+	// Resolve the base instance: a resident pooled session named by
+	// base_key, or the inline family fields (which also warm the pool
+	// for subsequent base_key calls).
+	var inst solve.Instance
+	var baseKey string
+	switch {
+	case req.BaseKey != "" && req.Family != "":
+		return nil, wire.Errorf(http.StatusBadRequest,
+			"base_key and an inline base instance are mutually exclusive")
+	case req.BaseKey != "":
+		ent, ok := s.sessions.Get(req.BaseKey)
+		if !ok {
+			return nil, wire.Errorf(http.StatusNotFound,
+				"base session %q is not resident (pool keeps %d sessions, LRU-evicted); resend with the inline base instance",
+				req.BaseKey, s.opts.SweepSessions)
+		}
+		inst = ent.inst
+		baseKey = req.BaseKey
+	default:
+		var err error
+		if inst, err = req.BaseInstance(); err != nil {
+			return nil, wire.Errorf(http.StatusBadRequest, "%v", err)
+		}
+		baseKey = inst.BaseShapeKey()
+	}
+	ds, err := wire.CanonicalDeltas(req.Deltas)
+	if err != nil {
+		return nil, wire.Errorf(http.StatusBadRequest, "%v", err)
+	}
+	inst.Deltas = ds
+	if err := inst.Validate(); err != nil {
+		return nil, wire.Errorf(http.StatusBadRequest, "%v", err)
+	}
+
+	// One deadline covers the patch and every budget answered after it,
+	// carried by the context like the sweep path.
+	want := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		want = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	pctx := ctx
+	if d := guard.ClampDeadline(ctx, want, s.opts.MaxTimeout); d > 0 {
+		var cancel context.CancelFunc
+		pctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	// Admission: a patch re-solve is solver work, one semaphore slot
+	// like any cold solve. Waiting counts against the caller's context.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return nil, asWireErr(guard.Wrap(ctx.Err()))
+	}
+
+	s.m.inflight.Add(1)
+	wctx, wsp := obs.StartSpan(pctx, "patch.solve")
+	pts, out, err := s.PatchCosts(wctx, &inst, baseKey, budgets, ws.pts[:0])
+	wsp.SetAttr("session", out.Session.String())
+	wsp.End()
+	s.m.inflight.Add(-1)
+	ws.pts = pts
+	if err != nil {
+		// An invalid patch (unknown node, family constraint) is the
+		// caller's fault; session build failures and whole-request
+		// aborts keep their server-side mapping.
+		var perr *PatchError
+		if errors.As(err, &perr) {
+			return nil, wire.Errorf(http.StatusBadRequest, "%v", perr.Err)
+		}
+		return nil, asWireErr(err)
+	}
+
+	items := ws.items[:0]
+	succeeded, failed := 0, 0
+	for _, p := range pts {
+		it := wire.SweepItem{BudgetBits: int64(p.Budget)}
+		switch {
+		case p.Err != nil:
+			it.Error = asSweepItemErr(p.Err)
+			s.m.fallbackVec.With(it.Error.Reason).Inc()
+			failed++
+		case p.Feasible:
+			it.CostBits = int64(p.Cost)
+			it.Feasible = true
+			succeeded++
+		default:
+			// Infeasible is a legitimate answer, not a failure.
+			succeeded++
+		}
+		items = append(items, it)
+	}
+	ws.items = items
+	s.m.patchBudgets.Add(uint64(len(budgets)))
+	s.m.patchDeltas.Add(uint64(len(ds)))
+	s.m.patchChanged.Add(uint64(out.Stats.Changed))
+	if out.Stats.Changed == 0 {
+		s.m.patchNoops.Inc()
+	}
+
+	return &wire.PatchResponse{
+		Workload:         out.Label,
+		BaseKey:          baseKey,
+		PatchKey:         inst.ShapeKey(),
+		LowerBoundBits:   int64(out.LowerBound),
+		MinExistenceBits: int64(out.MinExistence),
+		Items:            items,
+		Succeeded:        succeeded,
+		Failed:           failed,
+		Session:          out.Session.String(),
+		DeltasApplied:    len(ds),
+		ChangedNodes:     out.Stats.Changed,
+		CellsInvalidated: out.Stats.Invalidated,
+		CellsReused:      out.Stats.Reused,
+		ElapsedUS:        wire.Elapsed(start),
+	}, nil
+}
+
+// PatchCosts is the allocation-free core of the patch path (the bench
+// harness drives it directly): look up or build the warm base session
+// for baseKey — the instance's BaseShapeKey, computed by the caller —
+// move it to the instance's delta state with dependency-tracked
+// invalidation, and answer every budget against the surviving memo
+// cells, appending to out. A pool hit plus a small diff plus warm
+// queries performs zero allocations in steady state.
+//
+// The returned error is an invalid patch (the session reverts to its
+// pre-patch state and stays pooled), a session build failure, or
+// guard.ErrCanceled for a whole-request cancellation; per-budget
+// aborts are reported on their CostPoint.
+func (s *Server) PatchCosts(ctx context.Context, inst *solve.Instance, baseKey string, budgets []cdag.Weight, out []solve.CostPoint) ([]solve.CostPoint, PatchOutcome, error) {
+	ent, state, err := s.acquireSession(ctx, inst, baseKey)
+	po := PatchOutcome{Session: state}
+	if err != nil {
+		return out, po, err
+	}
+	lim := s.opts.Limits
+	lim.Deadline = 0
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	st, err := ent.se.PatchTo(inst.Deltas)
+	if err != nil {
+		return out, po, &PatchError{Err: err}
+	}
+	po.Stats = st
+	po.Label = ent.se.Label()
+	po.LowerBound = ent.se.LowerBound()
+	po.MinExistence = ent.se.MinExistence()
+	pts, err := ent.se.SweepCosts(ctx, lim, budgets, out)
+	return pts, po, err
+}

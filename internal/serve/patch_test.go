@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"wrbpg/internal/serve/wire"
+)
+
+// patchReq is the canonical test patch: an inline ktree base with one
+// input-node delta.
+func patchReq(budgets []int64, deltas []map[string]any) map[string]any {
+	return map[string]any{
+		"family":       "ktree",
+		"k":            3,
+		"height":       3,
+		"deltas":       deltas,
+		"budgets_bits": budgets,
+	}
+}
+
+func decodePatch(t *testing.T, body []byte) wire.PatchResponse {
+	t.Helper()
+	var pr wire.PatchResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("decoding patch response: %v\n%s", err, body)
+	}
+	return pr
+}
+
+// TestPatchInlineAndByBaseKey is the endpoint's happy path: an inline
+// patch builds (and pools) the base session and answers the budgets; a
+// follow-up patch naming the returned base_key hits the same session
+// and reports the memo cells the incremental engine reused; and every
+// answer agrees with /v1/schedule solving the patched instance cold.
+func TestPatchInlineAndByBaseKey(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+
+	var lb wire.LowerBoundResult
+	getJSON(t, ts.URL+"/v1/lowerbound?family=ktree&k=3&height=3", &lb)
+	min := lb.MinExistenceBits
+	budgets := []int64{min - 1, min + 4, min + 9}
+
+	// Input nodes of the full 3-ary height-3 tree are patch-safe; node 0
+	// is a leaf under FullTree's deterministic numbering.
+	resp, body := postJSON(t, ts.URL+"/v1/schedule/patch",
+		patchReq(budgets, []map[string]any{{"node": 0, "weight_bits": 1}}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline patch: %d\n%s", resp.StatusCode, body)
+	}
+	pr := decodePatch(t, body)
+	if pr.Session != "miss" || pr.BaseKey == "" || pr.PatchKey == pr.BaseKey {
+		t.Fatalf("inline patch: session=%q base=%q patch=%q", pr.Session, pr.BaseKey, pr.PatchKey)
+	}
+	if pr.DeltasApplied != 1 || pr.ChangedNodes != 1 {
+		t.Fatalf("inline patch stats: %+v", pr)
+	}
+	if len(pr.Items) != len(budgets) || pr.Failed != 0 {
+		t.Fatalf("inline patch items: %+v", pr)
+	}
+
+	// Same base, different delta, addressed by base_key: a pool hit that
+	// re-patches the warm session and reuses the surviving memo cells.
+	resp, body = postJSON(t, ts.URL+"/v1/schedule/patch", map[string]any{
+		"base_key":     pr.BaseKey,
+		"deltas":       []map[string]any{{"node": 0, "weight_bits": 2}},
+		"budgets_bits": budgets,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("base_key patch: %d\n%s", resp.StatusCode, body)
+	}
+	pr2 := decodePatch(t, body)
+	if pr2.Session != "hit" || pr2.BaseKey != pr.BaseKey {
+		t.Fatalf("base_key patch: session=%q base=%q, want hit on %q", pr2.Session, pr2.BaseKey, pr.BaseKey)
+	}
+	if pr2.CellsInvalidated <= 0 || pr2.CellsReused <= 0 {
+		t.Errorf("re-patch of a warm session: invalidated=%d reused=%d, want both > 0",
+			pr2.CellsInvalidated, pr2.CellsReused)
+	}
+	if pr2.PatchKey == pr.PatchKey {
+		t.Errorf("different deltas share patch key %q", pr2.PatchKey)
+	}
+
+	// Cross-check one budget against the cold single-solve path with the
+	// same deltas in the request body.
+	resp, body = postJSON(t, ts.URL+"/v1/schedule", map[string]any{
+		"family": "ktree", "k": 3, "height": 3,
+		"deltas":      []map[string]any{{"node": 0, "weight_bits": 2}},
+		"budget_bits": budgets[1],
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule with deltas: %d\n%s", resp.StatusCode, body)
+	}
+	var one wire.ScheduleResult
+	if err := json.Unmarshal(body, &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.CostBits != pr2.Items[1].CostBits {
+		t.Errorf("patch cost %d at budget %d disagrees with cold /v1/schedule cost %d",
+			pr2.Items[1].CostBits, budgets[1], one.CostBits)
+	}
+
+	// A delta-free sweep of the same base must revert the pooled session
+	// and answer at base weights — identical to a fresh server's sweep.
+	resp, body = postJSON(t, ts.URL+"/v1/schedule/sweep", sweepReq(budgets))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep after patch: %d\n%s", resp.StatusCode, body)
+	}
+	sr := decodeSweep(t, body)
+	if sr.Session != "hit" {
+		t.Fatalf("sweep after patch: session=%q, want hit (same base pool entry)", sr.Session)
+	}
+	ts2, _, _ := newTestServer(t, Options{})
+	_, body2 := postJSON(t, ts2.URL+"/v1/schedule/sweep", sweepReq(budgets))
+	fresh := decodeSweep(t, body2)
+	for i := range sr.Items {
+		if sr.Items[i].CostBits != fresh.Items[i].CostBits || sr.Items[i].Feasible != fresh.Items[i].Feasible {
+			t.Errorf("item %d after revert: %+v, fresh server says %+v", i, sr.Items[i], fresh.Items[i])
+		}
+	}
+
+	// Counters: two patches, the second a no-op-free re-patch; the
+	// session gauges cover the pool.
+	var st Stats
+	getJSON(t, ts.URL+"/statsz", &st)
+	if st.Patches != 2 || st.PatchDeltas != 2 || st.PatchBudgets != uint64(2*len(budgets)) ||
+		st.PatchChangedNodes != 2 || st.PatchNoops != 0 {
+		t.Errorf("patch counters: %+v", st)
+	}
+	if st.SessionsLive != 1 || st.SessionCapacity < 1 {
+		t.Errorf("session gauges: live=%d capacity=%d", st.SessionsLive, st.SessionCapacity)
+	}
+}
+
+// TestPatchValidation: malformed patches are structured 4xx errors.
+func TestPatchValidation(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{MaxPatchDeltas: 2, MaxSweepBudgets: 4})
+	d := []map[string]any{{"node": 0, "weight_bits": 1}}
+	cases := []struct {
+		name string
+		body map[string]any
+		want int
+	}{
+		{"empty deltas", patchReq([]int64{4096}, []map[string]any{}), http.StatusBadRequest},
+		{"too many deltas", patchReq([]int64{4096}, []map[string]any{
+			{"node": 0, "weight_bits": 1}, {"node": 1, "weight_bits": 1}, {"node": 2, "weight_bits": 1},
+		}), http.StatusBadRequest},
+		{"empty budgets", patchReq([]int64{}, d), http.StatusBadRequest},
+		{"non-positive budget", patchReq([]int64{0}, d), http.StatusBadRequest},
+		{"negative node", patchReq([]int64{4096}, []map[string]any{{"node": -1, "weight_bits": 1}}), http.StatusBadRequest},
+		{"zero weight", patchReq([]int64{4096}, []map[string]any{{"node": 0, "weight_bits": 0}}), http.StatusBadRequest},
+		{"node out of range", patchReq([]int64{4096}, []map[string]any{{"node": 9999, "weight_bits": 1}}), http.StatusBadRequest},
+		{"mvm family", map[string]any{
+			"family": "mvm", "m": 4, "n": 4, "deltas": d, "budgets_bits": []int64{4096},
+		}, http.StatusBadRequest},
+		{"base_key and family", map[string]any{
+			"base_key": "ktree/feed", "family": "ktree", "k": 3, "height": 3,
+			"deltas": d, "budgets_bits": []int64{4096},
+		}, http.StatusBadRequest},
+		{"unknown base_key", map[string]any{
+			"base_key": "ktree/0000", "deltas": d, "budgets_bits": []int64{4096},
+		}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/schedule/patch", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: code %d, want %d\n%s", tc.name, resp.StatusCode, tc.want, body)
+		}
+		var we wire.Error
+		if err := json.Unmarshal(body, &we); err != nil || we.Message == "" {
+			t.Errorf("%s: unstructured error body %s", tc.name, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/schedule/patch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET patch: code %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestPatchMetricsExposition: the patch and session-pool series appear
+// on /metrics in Prometheus exposition format.
+func TestPatchMetricsExposition(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	if resp, body := postJSON(t, ts.URL+"/v1/schedule/patch",
+		patchReq([]int64{4096}, []map[string]any{{"node": 0, "weight_bits": 1}})); resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch: %d\n%s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, name := range []string{
+		"wrbpg_patch_budgets_total",
+		"wrbpg_patch_deltas_total",
+		"wrbpg_patch_changed_nodes_total",
+		"wrbpg_patch_noop_total",
+		"wrbpg_sweep_session_capacity",
+		"wrbpg_sweep_session_evictions_total",
+		`wrbpg_http_requests_total{endpoint="patch"}`,
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+}

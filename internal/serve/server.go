@@ -17,6 +17,7 @@
 //	POST /v1/schedule        solve one instance (cache-backed)
 //	POST /v1/schedule/batch  fan out independent solves, partial failure
 //	POST /v1/schedule/sweep  many budgets, one warm solver session
+//	POST /v1/schedule/patch  weight deltas + budgets, incremental re-solve
 //	GET  /v1/lowerbound      Proposition 2.3/2.4 bounds, no solve
 //	GET  /v1/trace/{id}      span tree of a traced request
 //	GET  /healthz            liveness
@@ -38,6 +39,13 @@
 // workspaces recycle through a sync.Pool, so steady-state sweep
 // traffic performs zero allocations per warm query (see
 // docs/PERFORMANCE.md, "The sweep engine").
+//
+// The patch path shares that pool, keyed by the delta-free
+// BaseShapeKey: POST /v1/schedule/patch applies per-node weight deltas
+// to the pooled base session with dependency-tracked memo invalidation
+// and answers its budget list from the surviving cells — an
+// incremental re-solve instead of a cold one (see docs/PERFORMANCE.md,
+// "The incremental engine").
 package serve
 
 import (
@@ -89,11 +97,14 @@ type Options struct {
 	// (default 64); MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBatch     int
 	MaxBodyBytes int64
-	// MaxSweepBudgets bounds the budget list of one sweep request
-	// (default 128). SweepSessions caps the warm-session pool backing
-	// POST /v1/schedule/sweep (default 32, LRU-evicted).
+	// MaxSweepBudgets bounds the budget list of one sweep or patch
+	// request (default 128). SweepSessions caps the warm-session pool
+	// backing POST /v1/schedule/sweep and /v1/schedule/patch (default
+	// 32, LRU-evicted). MaxPatchDeltas bounds the delta list of one
+	// patch request (default 256).
 	MaxSweepBudgets int
 	SweepSessions   int
+	MaxPatchDeltas  int
 	// TraceBuffer caps the completed traces retained for
 	// GET /v1/trace/{id} (default 64, oldest evicted first).
 	TraceBuffer int
@@ -127,6 +138,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SweepSessions <= 0 {
 		o.SweepSessions = 32
+	}
+	if o.MaxPatchDeltas <= 0 {
+		o.MaxPatchDeltas = 256
 	}
 	if o.TraceBuffer <= 0 {
 		o.TraceBuffer = 64
@@ -180,6 +194,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	mux.HandleFunc("/v1/schedule/batch", s.handleBatch)
 	mux.HandleFunc("/v1/schedule/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/schedule/patch", s.handlePatch)
 	mux.HandleFunc("/v1/lowerbound", s.handleLowerBound)
 	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -542,7 +557,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleStatsz serves GET /statsz.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.m.snapshot(time.Since(s.start), s.cache.Snapshot(), s.sessions.Len()))
+	writeJSON(w, http.StatusOK, s.m.snapshot(time.Since(s.start), s.cache.Snapshot(), s.sessions.Snapshot()))
 }
 
 // String describes the server configuration for startup logs.

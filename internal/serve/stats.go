@@ -37,6 +37,7 @@ type metrics struct {
 	reqSchedule *obs.Counter
 	reqBatch    *obs.Counter
 	reqSweep    *obs.Counter
+	reqPatch    *obs.Counter
 	badRequests *obs.Counter
 
 	solves      *obs.Counter
@@ -50,6 +51,14 @@ type metrics struct {
 	sessionHits   *obs.Counter
 	sessionMisses *obs.Counter
 	wsAllocs      *obs.Counter
+
+	// Incremental-engine counters: budgets answered after a patch,
+	// deltas received, node weights actually written (the diff against
+	// the session's current state), and patches whose diff was empty.
+	patchBudgets *obs.Counter
+	patchDeltas  *obs.Counter
+	patchChanged *obs.Counter
+	patchNoops   *obs.Counter
 
 	traced *obs.Counter
 }
@@ -67,6 +76,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		reqSchedule: req.With("schedule"),
 		reqBatch:    req.With("batch"),
 		reqSweep:    req.With("sweep"),
+		reqPatch:    req.With("patch"),
 		badRequests: reg.Counter("wrbpg_http_bad_requests_total",
 			"Structured 4xx responses."),
 		solves: reg.Counter("wrbpg_solves_total",
@@ -89,6 +99,14 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Sweeps that built (or joined building) a session."),
 		wsAllocs: reg.Counter("wrbpg_sweep_workspace_allocs_total",
 			"Sweep workspaces allocated (sync.Pool misses)."),
+		patchBudgets: reg.Counter("wrbpg_patch_budgets_total",
+			"Budgets answered across all patch requests."),
+		patchDeltas: reg.Counter("wrbpg_patch_deltas_total",
+			"Canonical weight deltas received by patch requests."),
+		patchChanged: reg.Counter("wrbpg_patch_changed_nodes_total",
+			"Node weights actually written by patches (the diff against the session's current state)."),
+		patchNoops: reg.Counter("wrbpg_patch_noop_total",
+			"Patches whose diff was empty (the session was already at the target state)."),
 		traced: reg.Counter("wrbpg_traced_requests_total",
 			"Requests that opted into tracing via the X-Wrbpg-Trace header."),
 	}
@@ -114,6 +132,12 @@ func (s *Server) registerFuncs() {
 		"Schedule-cache entries currently live.", func() float64 { return float64(cache.Len()) })
 	reg.GaugeFunc("wrbpg_sweep_sessions_live",
 		"Warm solver sessions currently pooled.", func() float64 { return float64(sessions.Len()) })
+	reg.GaugeFunc("wrbpg_sweep_session_capacity",
+		"Warm-session pool capacity (Options.SweepSessions); live/capacity is pool occupancy.",
+		func() float64 { return float64(sessions.Snapshot().Capacity) })
+	reg.CounterFunc("wrbpg_sweep_session_evictions_total",
+		"Warm sessions evicted from the pool (LRU); a base_key patch against an evicted session is a 404.",
+		func() float64 { return float64(sessions.Snapshot().Evictions) })
 	reg.GaugeFunc("wrbpg_traces_stored",
 		"Completed request traces retained for GET /v1/trace/{id}.",
 		func() float64 { return float64(s.traces.Len()) })
@@ -167,6 +191,20 @@ type Stats struct {
 	SessionMisses   uint64 `json:"session_misses"`
 	SessionsLive    int    `json:"sessions_live"`
 	SweepWorkspaces uint64 `json:"sweep_workspaces"`
+	// Session-pool occupancy: capacity is Options.SweepSessions (the
+	// LRU bound), evictions counts sessions dropped to admit new shapes
+	// — a rising rate means the pool is too small for the live shape
+	// set and base_key patches will 404.
+	SessionCapacity  int    `json:"session_capacity"`
+	SessionEvictions uint64 `json:"session_evictions"`
+	// Incremental-engine counters: patch requests, budgets answered
+	// after a patch, deltas received, node weights actually written and
+	// empty-diff patches.
+	Patches           uint64 `json:"patches"`
+	PatchBudgets      uint64 `json:"patch_budgets"`
+	PatchDeltas       uint64 `json:"patch_deltas"`
+	PatchChangedNodes uint64 `json:"patch_changed_nodes"`
+	PatchNoops        uint64 `json:"patch_noops"`
 	// SolveLatency is the cumulative histogram of solver wall-clock
 	// times (cache hits excluded — they never invoke the solver).
 	SolveLatency   []LatencyBucket `json:"solve_latency"`
@@ -175,24 +213,31 @@ type Stats struct {
 
 // snapshot assembles the exported view from the registered metrics;
 // the JSON shape predates the registry and stays wire-compatible.
-func (m *metrics) snapshot(uptime time.Duration, cache schedcache.Stats, sessionsLive int) Stats {
+func (m *metrics) snapshot(uptime time.Duration, cache, sessions schedcache.Stats) Stats {
 	st := Stats{
-		UptimeS:         uptime.Seconds(),
-		Requests:        m.reqSchedule.Value(),
-		Batches:         m.reqBatch.Value(),
-		BadRequests:     m.badRequests.Value(),
-		Cache:           cache,
-		Solves:          m.solves.Value(),
-		Fallbacks:       m.fallbacks.Value(),
-		SolveErrors:     m.solveErrors.Value(),
-		InFlight:        m.inflight.Value(),
-		Sweeps:          m.reqSweep.Value(),
-		SweepBudgets:    m.sweepBudgets.Value(),
-		SessionHits:     m.sessionHits.Value(),
-		SessionMisses:   m.sessionMisses.Value(),
-		SessionsLive:    sessionsLive,
-		SweepWorkspaces: m.wsAllocs.Value(),
-		SolveLatencyUS:  int64(m.latency.Sum()),
+		UptimeS:           uptime.Seconds(),
+		Requests:          m.reqSchedule.Value(),
+		Batches:           m.reqBatch.Value(),
+		BadRequests:       m.badRequests.Value(),
+		Cache:             cache,
+		Solves:            m.solves.Value(),
+		Fallbacks:         m.fallbacks.Value(),
+		SolveErrors:       m.solveErrors.Value(),
+		InFlight:          m.inflight.Value(),
+		Sweeps:            m.reqSweep.Value(),
+		SweepBudgets:      m.sweepBudgets.Value(),
+		SessionHits:       m.sessionHits.Value(),
+		SessionMisses:     m.sessionMisses.Value(),
+		SessionsLive:      sessions.Entries,
+		SweepWorkspaces:   m.wsAllocs.Value(),
+		SessionCapacity:   sessions.Capacity,
+		SessionEvictions:  sessions.Evictions,
+		Patches:           m.reqPatch.Value(),
+		PatchBudgets:      m.patchBudgets.Value(),
+		PatchDeltas:       m.patchDeltas.Value(),
+		PatchChangedNodes: m.patchChanged.Value(),
+		PatchNoops:        m.patchNoops.Value(),
+		SolveLatencyUS:    int64(m.latency.Sum()),
 	}
 	for i, b := range latencyBoundsUS {
 		st.SolveLatency = append(st.SolveLatency, LatencyBucket{LEUS: b, Count: m.latency.Bucket(i)})

@@ -28,11 +28,14 @@ import (
 
 // sessionEntry pairs one warm solve.Session with the mutex serializing
 // access to it: sessions are single-goroutine solvers, so concurrent
-// sweeps for the same shape queue on the entry rather than racing the
-// memo tables.
+// sweeps and patches for the same shape queue on the entry rather than
+// racing the memo tables. inst is the *base* instance (deltas
+// stripped), kept so a patch request naming only a base_key can
+// re-derive the instance without resending it.
 type sessionEntry struct {
-	mu sync.Mutex
-	se *solve.Session
+	mu   sync.Mutex
+	inst solve.Instance
+	se   *solve.Session
 }
 
 // sweepWorkspace is the per-request scratch recycled through the
@@ -175,23 +178,9 @@ func (s *Server) sweep(ctx context.Context, req *wire.SweepRequest, ws *sweepWor
 // per-budget aborts (deadline, resource limits, solver faults) are
 // reported on their CostPoint.
 func (s *Server) SweepCosts(ctx context.Context, inst *solve.Instance, key string, budgets []cdag.Weight, out []solve.CostPoint) ([]solve.CostPoint, schedcache.State, error) {
-	_, asp := obs.StartSpan(ctx, "session.acquire")
-	ent, state, err := s.sessions.Do(key, func() (*sessionEntry, bool, error) {
-		se, err := solve.NewSession(*inst)
-		if err != nil {
-			return nil, false, err
-		}
-		return &sessionEntry{se: se}, true, nil
-	})
-	asp.SetAttr("disposition", state.String())
-	asp.End()
+	ent, state, err := s.acquireSession(ctx, inst, key)
 	if err != nil {
 		return out, state, err
-	}
-	if state == schedcache.Hit {
-		s.m.sessionHits.Inc()
-	} else {
-		s.m.sessionMisses.Inc()
 	}
 	// Per-query resource ceilings come from the server options; the
 	// sweep deadline is already carried by ctx, so Deadline stays zero
@@ -200,8 +189,42 @@ func (s *Server) SweepCosts(ctx context.Context, inst *solve.Instance, key strin
 	lim.Deadline = 0
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
+	// Move the pooled session to this instance's delta state before
+	// querying: a plain sweep (nil deltas) reverts any weights a
+	// previous patch left behind; an unpatched session is a no-op diff.
+	if _, err := ent.se.PatchTo(inst.Deltas); err != nil {
+		return out, state, err
+	}
 	pts, err := ent.se.SweepCosts(ctx, lim, budgets, out)
 	return pts, state, err
+}
+
+// acquireSession looks up or builds (singleflighted) the warm session
+// pool entry for key, counting the disposition into the session
+// hit/miss metrics. The entry stores the *base* session — deltas are
+// applied per request under the entry lock, never baked into the pool.
+func (s *Server) acquireSession(ctx context.Context, inst *solve.Instance, key string) (*sessionEntry, schedcache.State, error) {
+	_, asp := obs.StartSpan(ctx, "session.acquire")
+	ent, state, err := s.sessions.Do(key, func() (*sessionEntry, bool, error) {
+		base := *inst
+		base.Deltas = nil
+		se, err := solve.NewSession(base)
+		if err != nil {
+			return nil, false, err
+		}
+		return &sessionEntry{inst: base, se: se}, true, nil
+	})
+	asp.SetAttr("disposition", state.String())
+	asp.End()
+	if err != nil {
+		return nil, state, err
+	}
+	if state == schedcache.Hit {
+		s.m.sessionHits.Inc()
+	} else {
+		s.m.sessionMisses.Inc()
+	}
+	return ent, state, nil
 }
 
 // sessionMeta returns the session whose immutable metadata (label,

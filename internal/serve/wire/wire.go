@@ -6,6 +6,7 @@ package wire
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"wrbpg/internal/cdag"
@@ -75,6 +76,12 @@ type ScheduleRequest struct {
 	// IncludeMoves asks for the full move list in the response (the
 	// summary metrics are always present).
 	IncludeMoves bool `json:"include_moves,omitempty"`
+	// Deltas, when present, are per-node weight overrides applied on
+	// top of the configured weights (dwt and ktree only). They become
+	// part of the instance's cache identity, so a patched variant never
+	// collides with its base in the schedule cache. The same schema
+	// feeds POST /v1/schedule/patch and the CLI's -patch mode.
+	Deltas []PatchDelta `json:"deltas,omitempty"`
 }
 
 // Instance converts the request to its canonical solve.Instance.
@@ -93,10 +100,43 @@ func (r *ScheduleRequest) Instance() (solve.Instance, error) {
 		Cfg: cfg,
 		G:   r.Graph,
 	}
+	ds, err := CanonicalDeltas(r.Deltas)
+	if err != nil {
+		return solve.Instance{}, err
+	}
+	in.Deltas = ds
 	if err := in.Validate(); err != nil {
 		return solve.Instance{}, err
 	}
 	return in, nil
+}
+
+// PatchDelta is one node-weight override in the wire schema, shared by
+// the deltas field of /v1/schedule, POST /v1/schedule/patch and the
+// CLI's -patch mode: set the named node's weight to weight_bits.
+type PatchDelta struct {
+	Node       int64 `json:"node"`
+	WeightBits int64 `json:"weight_bits"`
+}
+
+// CanonicalDeltas converts wire deltas to the canonical solver form:
+// sorted by node, duplicate nodes merged last-wins (the order clients
+// sent them in is their application order). Weight positivity and node
+// range against the actual graph are the instance's job
+// (solve.Instance.Validate); only the node-ID representation is
+// checked here.
+func CanonicalDeltas(ds []PatchDelta) ([]cdag.WeightDelta, error) {
+	if len(ds) == 0 {
+		return nil, nil
+	}
+	out := make([]cdag.WeightDelta, len(ds))
+	for i, d := range ds {
+		if d.Node < 0 || d.Node > math.MaxInt32 {
+			return nil, fmt.Errorf("wire: deltas[%d].node %d out of range", i, d.Node)
+		}
+		out[i] = cdag.WeightDelta{Node: cdag.NodeID(d.Node), Weight: d.WeightBits}
+	}
+	return cdag.CanonicalDeltas(out), nil
 }
 
 // ScheduleResult is the shared machine-readable result of one solve,
@@ -238,6 +278,86 @@ type SweepResponse struct {
 	// concurrent request built it.
 	Session   string `json:"session"`
 	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+// PatchRequest asks for incremental re-solves: apply weight deltas to
+// a base instance and answer the listed budgets from the warm session
+// pool (POST /v1/schedule/patch). The base is named either by
+// base_key — the base_key of a previous patch response (or the
+// ShapeKey of a delta-free instance), resolved against the resident
+// session pool — or inline by the family fields, which always works
+// and warms the pool for subsequent base_key calls. Only the
+// incremental families (dwt, ktree) accept patches.
+type PatchRequest struct {
+	// BaseKey is the content-addressed identity of the base instance
+	// (solve.Instance.BaseShapeKey). Mutually exclusive with the inline
+	// family fields; 404 when the session is no longer resident.
+	BaseKey string `json:"base_key,omitempty"`
+	// Family, N, D, K, Height and Weights describe the base instance
+	// inline, exactly as in ScheduleRequest (mvm and cdag are not
+	// patchable, so M and Graph have no place here).
+	Family  string     `json:"family,omitempty"`
+	N       int        `json:"n,omitempty"`
+	D       int        `json:"d,omitempty"`
+	K       int        `json:"k,omitempty"`
+	Height  int        `json:"height,omitempty"`
+	Weights WeightSpec `json:"weights,omitempty"`
+	// Deltas are the weight overrides defining the patched instance —
+	// the full target state relative to the *base* weights, not to any
+	// previous patch. Duplicate nodes merge last-wins.
+	Deltas []PatchDelta `json:"deltas"`
+	// BudgetsBits lists the fast-memory budgets to answer after the
+	// patch, all positive; answers come back in the same order.
+	BudgetsBits []int64 `json:"budgets_bits"`
+	// TimeoutMS optionally overrides the server's default deadline for
+	// the whole patch + re-solve, clamped to its maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BaseInstance converts the inline base fields to their canonical
+// solve.Instance (deltas not yet attached).
+func (r *PatchRequest) BaseInstance() (solve.Instance, error) {
+	sr := ScheduleRequest{
+		Family: r.Family,
+		N:      r.N, D: r.D,
+		K: r.K, Height: r.Height,
+		Weights: r.Weights,
+	}
+	return sr.Instance()
+}
+
+// PatchResponse answers one patch: per-budget items in request order,
+// the patched instance's bounds, the session-pool disposition and the
+// incremental-engine work counters.
+type PatchResponse struct {
+	Workload string `json:"workload"`
+	// BaseKey identifies the base instance's warm session; pass it as
+	// base_key in subsequent patch requests to skip the inline base.
+	// PatchKey is the patched instance's budget-free identity — the
+	// shape key its cold-solve results are cached under.
+	BaseKey          string      `json:"base_key"`
+	PatchKey         string      `json:"patch_key"`
+	LowerBoundBits   int64       `json:"lower_bound_bits"`
+	MinExistenceBits int64       `json:"min_existence_bits"`
+	Items            []SweepItem `json:"items"`
+	Succeeded        int         `json:"succeeded"`
+	Failed           int         `json:"failed"`
+	// Session is "hit" when the patch was applied to an existing warm
+	// session, "miss" when a base session was built cold, "shared" when
+	// a concurrent request built it.
+	Session string `json:"session"`
+	// DeltasApplied counts the canonical deltas defining the target
+	// state; ChangedNodes counts the node weights actually written (the
+	// diff against the session's current state — 0 means the session
+	// was already there and no memo cell was touched).
+	DeltasApplied int `json:"deltas_applied"`
+	ChangedNodes  int `json:"changed_nodes"`
+	// CellsInvalidated / CellsReused report the memo cells cleared by
+	// dependency-tracked invalidation versus those that survived — the
+	// work the incremental re-solve avoided redoing.
+	CellsInvalidated int64 `json:"cells_invalidated"`
+	CellsReused      int64 `json:"cells_reused"`
+	ElapsedUS        int64 `json:"elapsed_us"`
 }
 
 // BatchRequest fans out independent schedule requests.

@@ -49,6 +49,14 @@ type Instance struct {
 	Cfg wcfg.Config
 	// G is the explicit graph of a FamilyCDAG instance.
 	G *cdag.Graph
+	// Deltas, when non-empty, are per-node weight overrides applied on
+	// top of the Cfg-derived weights — the canonical delta form of the
+	// incremental re-solve engine. They must be in canonical order
+	// (strictly increasing node IDs, see cdag.CanonicalDeltas) and are
+	// part of the instance's content-addressed identity: Key and
+	// ShapeKey cover them, BaseShapeKey does not. Only the incremental
+	// families (dwt, ktree) accept deltas.
+	Deltas []cdag.WeightDelta
 }
 
 // Validate checks the cheap structural requirements without building
@@ -87,6 +95,22 @@ func (in *Instance) Validate() error {
 				in.Cfg.WordBits, in.Cfg.InputWords, in.Cfg.NodeWords)
 		}
 	}
+	if len(in.Deltas) > 0 {
+		if in.Family != FamilyDWT && in.Family != FamilyKTree {
+			return fmt.Errorf("solve: family %q does not support weight deltas (mvm weights are tied to the tiling config; cdag graphs carry explicit weights)", in.Family)
+		}
+		for i, d := range in.Deltas {
+			if d.Node < 0 {
+				return fmt.Errorf("solve: delta %d names negative node %d", i, d.Node)
+			}
+			if d.Weight < 1 {
+				return fmt.Errorf("solve: delta %d sets non-positive weight %d on node %d", i, d.Weight, d.Node)
+			}
+			if i > 0 && d.Node <= in.Deltas[i-1].Node {
+				return fmt.Errorf("solve: deltas not canonical at index %d: node %d after node %d (sort by node, merge duplicates — cdag.CanonicalDeltas)", i, d.Node, in.Deltas[i-1].Node)
+			}
+		}
+	}
 	return nil
 }
 
@@ -123,11 +147,25 @@ func (in *Instance) Key(budget cdag.Weight) string {
 
 // ShapeKey returns the budget-free content-addressed identity of the
 // instance: two instances share a ShapeKey exactly when they describe
-// the same graph, so a warm solver session built for one answers
-// budget queries for the other. Serving layers key their session pool
-// on it.
+// the same graph (including any weight deltas), so a warm solver
+// session built for one answers budget queries for the other.
 func (in *Instance) ShapeKey() string {
 	return in.digest(false, 0)
+}
+
+// BaseShapeKey returns the ShapeKey of the instance with its weight
+// deltas stripped — the identity of the *base* graph a patch applies
+// to. Serving layers key their warm session pool on it, so every
+// patched variant of one base instance lands on (and re-patches) the
+// same pooled session instead of spawning one session per delta list.
+// For a delta-free instance it equals ShapeKey.
+func (in *Instance) BaseShapeKey() string {
+	if len(in.Deltas) == 0 {
+		return in.digest(false, 0)
+	}
+	base := *in
+	base.Deltas = nil
+	return base.digest(false, 0)
 }
 
 // digest implements Key and ShapeKey over one canonical serialization.
@@ -163,6 +201,15 @@ func (in *Instance) digest(withBudget bool, budget cdag.Weight) string {
 		put(int64(in.Cfg.WordBits))
 		put(int64(in.Cfg.InputWords))
 		put(int64(in.Cfg.NodeWords))
+	}
+	// Delta-free instances write nothing here, so their keys are
+	// byte-identical to the pre-delta serialization (cache continuity).
+	if len(in.Deltas) > 0 {
+		put(int64(len(in.Deltas)))
+		for _, d := range in.Deltas {
+			put(int64(d.Node))
+			put(int64(d.Weight))
+		}
 	}
 	return in.Family + "/" + hex.EncodeToString(h.Sum(nil))
 }
@@ -202,18 +249,50 @@ func (in *Instance) Build() (Problem, *cdag.Graph, error) {
 }
 
 // buildDWT, buildKTree and buildMVM construct the family-typed graphs;
-// Build wraps them as Problems and NewSession as warm sessions.
+// Build wraps them as Problems and NewSession as warm sessions. The
+// incremental families apply any weight deltas after construction, so
+// the cold path solves exactly the graph a patched session holds.
 func (in *Instance) buildDWT() (*dwt.Graph, error) {
-	return dwt.Build(in.N, in.D, dwt.ConfigWeights(in.Cfg))
+	g, err := dwt.Build(in.N, in.D, dwt.ConfigWeights(in.Cfg))
+	if err != nil {
+		return nil, err
+	}
+	if err := in.applyDeltas(g.G); err != nil {
+		return nil, err
+	}
+	if len(in.Deltas) > 0 {
+		// Deltas can break the Lemma 3.2 weight assumption the DWT
+		// scheduler relies on; fail here, before any solver state exists.
+		if err := g.CheckWeightAssumption(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
 }
 
 func (in *Instance) buildKTree() (*ktree.Tree, error) {
-	return ktree.FullTree(in.K, in.Height, func(depth, index int) cdag.Weight {
+	tr, err := ktree.FullTree(in.K, in.Height, func(depth, index int) cdag.Weight {
 		if depth == in.Height {
 			return in.Cfg.Input()
 		}
 		return in.Cfg.Node()
 	})
+	if err != nil {
+		return nil, err
+	}
+	if err := in.applyDeltas(tr.G); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func (in *Instance) applyDeltas(g *cdag.Graph) error {
+	for _, d := range in.Deltas {
+		if err := g.TrySetWeight(d.Node, d.Weight); err != nil {
+			return fmt.Errorf("solve: %w", err)
+		}
+	}
+	return nil
 }
 
 func (in *Instance) buildMVM() (*mvm.Graph, error) {

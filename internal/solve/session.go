@@ -69,6 +69,18 @@ type Session struct {
 	// FamilyCDAG, where exact.SolveCtx flushes internally.
 	fc         *guard.FamilyCounters
 	takeCounts func() guard.Counts
+	// patch, for the incremental families (dwt, ktree), applies weight
+	// deltas to the family session with dependency-tracked invalidation;
+	// baseW snapshots the base instance's weights so PatchTo can revert
+	// nodes that fall out of the target delta list; cur is the canonical
+	// delta state the session currently sits at; scratch/merged are
+	// retained merge buffers keeping the steady-state patch path
+	// allocation-free.
+	patch   func(ds []cdag.WeightDelta) (invalidated, reused int64, err error)
+	baseW   []cdag.Weight
+	cur     []cdag.WeightDelta
+	scratch []cdag.WeightDelta
+	merged  []cdag.WeightDelta
 }
 
 // flush records the accumulated solver counts since the last flush.
@@ -82,14 +94,21 @@ func (s *Session) flush() {
 // solver's warm session around it. For FamilyCDAG the exact search has
 // no reusable memo, so every budget query is a cold (but guarded)
 // exact solve — the Session still provides the uniform surface.
+//
+// For the incremental families the *base* graph (deltas stripped) is
+// built first and any instance deltas are then applied through PatchTo,
+// so a session constructed from a patched instance and a base session
+// patched afterwards are in identical states.
 func NewSession(inst Instance) (*Session, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
 	s := &Session{inst: inst, label: inst.Label()}
+	base := inst
+	base.Deltas = nil
 	switch inst.Family {
 	case FamilyDWT:
-		g, err := inst.buildDWT()
+		g, err := base.buildDWT()
 		if err != nil {
 			return nil, err
 		}
@@ -102,8 +121,9 @@ func NewSession(inst Instance) (*Session, error) {
 		s.sched = se.ScheduleCtx
 		s.fc = guard.CountersFor("dwt")
 		s.takeCounts = se.TakeCounts
+		s.patch = se.Patch
 	case FamilyKTree:
-		tr, err := inst.buildKTree()
+		tr, err := base.buildKTree()
 		if err != nil {
 			return nil, err
 		}
@@ -113,6 +133,7 @@ func NewSession(inst Instance) (*Session, error) {
 		s.sched = se.ScheduleCtx
 		s.fc = guard.CountersFor("ktree")
 		s.takeCounts = se.TakeCounts
+		s.patch = se.Patch
 	case FamilyMVM:
 		g, err := inst.buildMVM()
 		if err != nil {
@@ -149,7 +170,23 @@ func NewSession(inst Instance) (*Session, error) {
 	}
 	s.lb = core.LowerBound(s.g)
 	s.minExist = core.MinExistenceBudget(s.g)
+	if len(inst.Deltas) > 0 {
+		s.baseW = snapshotWeights(s.g)
+		if _, err := s.PatchTo(inst.Deltas); err != nil {
+			return nil, err
+		}
+	} else if s.patch != nil {
+		s.baseW = snapshotWeights(s.g)
+	}
 	return s, nil
+}
+
+func snapshotWeights(g *cdag.Graph) []cdag.Weight {
+	w := make([]cdag.Weight, g.Len())
+	for v := range w {
+		w[v] = g.Weight(cdag.NodeID(v))
+	}
+	return w
 }
 
 // Label returns the human-readable instance label.
