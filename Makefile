@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fault bench-smoke bench-json bench-json-quick serve-check obs-check patch-check staticcheck check
+.PHONY: all build vet test race race-fault bench-smoke bench-json bench-json-quick serve-check obs-check patch-check soak-smoke fuzz-smoke bench-overload staticcheck check
 
 all: check
 
@@ -54,6 +54,27 @@ obs-check:
 # and the CLI -patch path (docs/PERFORMANCE.md §incremental).
 patch-check:
 	$(GO) test -race -run 'SetWeights|Patch' ./internal/dwt/ ./internal/ktree/ ./internal/memstate/ ./internal/solve/ ./internal/serve/ ./cmd/wrbpg/
+
+# 30-second chaos soak: wrbpgload drives an in-process server with a
+# panic injected into every 5th solver work item; the run must produce
+# zero 5xx and a bounded p99 (docs/ROBUSTNESS.md §overload).
+soak-smoke:
+	$(GO) run ./cmd/wrbpgload -inproc -workers 4 -duration 30s \
+		-timeout 300ms -fault-every 5 -assert-no-5xx -max-p99 5s
+
+# Short fuzz pass over the wire request decoders: malformed bodies must
+# surface as structured 400s, never panics. One -fuzz per invocation
+# (a go test restriction).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzScheduleRequest -fuzztime=10s -run '^$$' ./internal/serve/wire/
+	$(GO) test -fuzz=FuzzPatchRequest -fuzztime=10s -run '^$$' ./internal/serve/wire/
+
+# The BENCH_7 overload run: measure capacity closed-loop, then offer 4x
+# that rate open-loop for 10s. Acceptance: nothing but 200s and 429s
+# (docs/PERFORMANCE.md §overload).
+bench-overload:
+	$(GO) run ./cmd/wrbpgload -inproc -workers 4 -probe 3s -overload 4 \
+		-duration 10s -timeout 300ms -assert-no-5xx -out BENCH_7.json
 
 # Runs staticcheck when it is installed; skips (successfully) when not,
 # so the gate works in minimal containers. CI installs it explicitly.

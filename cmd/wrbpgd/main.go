@@ -53,7 +53,16 @@ func run(args []string, stdout *os.File) error {
 		maxSweep       = fs.Int("max-sweep-budgets", 0, "max budgets per sweep request (0 = default)")
 		sweepSessions  = fs.Int("sweep-sessions", 0, "warm solver sessions kept for /v1/schedule/sweep (0 = default)")
 		traceBuffer    = fs.Int("trace-buffer", 0, "completed request traces kept for /v1/trace/{id} (0 = default)")
+		maxQueue       = fs.Int("max-queue", 0, "admission queue depth behind the solver slots (0 = default 8×max-inflight, negative = no queue)")
+		brkWindow      = fs.Int("breaker-window", 0, "fallback-storm breaker sliding window size (0 = default, negative = disabled)")
+		brkThreshold   = fs.Float64("breaker-threshold", 0, "fallback rate that trips the breaker (0 = default)")
+		brkMinSamples  = fs.Int("breaker-min-samples", 0, "window samples required before the breaker may trip (0 = default)")
+		brkCooldown    = fs.Duration("breaker-cooldown", 0, "open-state cooldown before a half-open probe (0 = default)")
+		readTimeout    = fs.Duration("read-timeout", 30*time.Second, "max duration for reading an entire request, body included")
+		writeTimeout   = fs.Duration("write-timeout", 0, "max duration for writing a response; 0 derives max-timeout + 30s (must exceed the longest solve deadline)")
+		idleTimeout    = fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 		drainTimeout   = fs.Duration("drain-timeout", 35*time.Second, "grace period for in-flight solves on shutdown")
+		drainDelay     = fs.Duration("drain-delay", 0, "pause between announcing drain on /readyz and closing the listener, so load balancers stop routing first")
 	)
 	logFlags := obs.AddLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -77,10 +86,26 @@ func run(args []string, stdout *os.File) error {
 			MaxMemoEntries: *maxMemo,
 			MaxStates:      *maxStates,
 		},
-		MaxSweepBudgets: *maxSweep,
-		SweepSessions:   *sweepSessions,
-		TraceBuffer:     *traceBuffer,
+		MaxSweepBudgets:   *maxSweep,
+		SweepSessions:     *sweepSessions,
+		TraceBuffer:       *traceBuffer,
+		MaxQueue:          *maxQueue,
+		BreakerWindow:     *brkWindow,
+		BreakerThreshold:  *brkThreshold,
+		BreakerMinSamples: *brkMinSamples,
+		BreakerCooldown:   *brkCooldown,
 	})
+
+	// The write timeout must outlast the slowest admitted solve (queue
+	// wait + solve deadline + encoding), or the daemon would cut off
+	// exactly the long-running answers it queued for.
+	if *writeTimeout <= 0 {
+		mt := *maxTimeout
+		if mt <= 0 {
+			mt = 30 * time.Second // serve.Options default
+		}
+		*writeTimeout = mt + 30*time.Second
+	}
 
 	// Surface degraded solves in the daemon log: a burst of fallbacks
 	// means the deadline or resource ceilings are too tight for the
@@ -108,6 +133,9 @@ func run(args []string, stdout *os.File) error {
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	// The debug listener is separate so pprof and metrics scraping
@@ -123,6 +151,9 @@ func run(args []string, stdout *os.File) error {
 		debugSrv = &http.Server{
 			Handler:           srv.DebugHandler(),
 			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       *readTimeout,
+			WriteTimeout:      *writeTimeout,
+			IdleTimeout:       *idleTimeout,
 		}
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -143,6 +174,15 @@ func run(args []string, stdout *os.File) error {
 	case <-ctx.Done():
 	}
 	stop()
+	// Announce the drain on /readyz first: load balancers see 503
+	// "draining" and stop routing while the listener is still accepting,
+	// so no request hits a closed port. The delay gives them a health-
+	// check interval to notice before connections start closing.
+	srv.BeginDrain()
+	if *drainDelay > 0 {
+		logger.Info("shutdown: announced on /readyz, delaying listener close", "delay", *drainDelay)
+		time.Sleep(*drainDelay)
+	}
 	logger.Info("shutdown: draining in-flight solves", "grace", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -33,7 +33,7 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-default-timeout", "10s")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-default-timeout", "10s", "-drain-delay", "500ms")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -86,10 +86,14 @@ func TestServeEndToEnd(t *testing.T) {
 		return resp.StatusCode
 	}
 
-	// Liveness.
+	// Liveness, and readiness: a fresh idle daemon is routable.
 	var health map[string]any
 	if code := get("/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
 		t.Fatalf("healthz: code %d body %v", code, health)
+	}
+	var ready map[string]any
+	if code := get("/readyz", &ready); code != http.StatusOK || ready["status"] != "ok" {
+		t.Fatalf("readyz: code %d body %v", code, ready)
 	}
 
 	// Cold solve, then an identical warm request answered by the cache.
@@ -215,9 +219,28 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("patch counters: %+v", stats)
 	}
 
-	// Graceful shutdown: SIGTERM drains and the process exits cleanly.
+	// Graceful shutdown: SIGTERM flips /readyz to "draining" while the
+	// listener still answers (-drain-delay window, so load balancers
+	// stop routing first), then the process drains and exits cleanly.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
+	}
+	sawDraining := false
+	for i := 0; i < 40 && !sawDraining; i++ {
+		resp, err := client.Get(base + "/readyz")
+		if err != nil {
+			break // listener already closed: the window was missed, tolerated below
+		}
+		var rd map[string]any
+		json.NewDecoder(resp.Body).Decode(&rd) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && rd["status"] == "draining" {
+			sawDraining = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Errorf("never observed /readyz 503 draining inside the drain-delay window")
 	}
 	done := make(chan error, 1)
 	go func() { done <- cmd.Wait() }()

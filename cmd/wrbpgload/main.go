@@ -1,0 +1,221 @@
+// Command wrbpgload is the chaos/soak load harness for wrbpgd: it
+// replays a mixed schedule/sweep/patch workload against a live daemon
+// (-target) or an in-process server (-inproc), in closed loop (capacity
+// measurement) or open loop (overload probing), and writes a JSON
+// report of status mix, shed rate and latency percentiles.
+//
+// The two-phase overload run behind docs/PERFORMANCE.md's BENCH_7:
+//
+//	wrbpgload -inproc -workers 4 -probe 3s -overload 4 -duration 10s \
+//	          -assert-no-5xx -out BENCH_7.json
+//
+// measures capacity closed-loop first, then offers 4× that rate open
+// loop: the acceptance criterion is nothing but 200s and 429s.
+//
+// With -inproc, -fault-every N injects a panic into every Nth solver
+// work item via the internal fault hook — the chaos half: injected
+// crashes must surface as degraded 200s (fallback) or per-item errors,
+// never 5xx.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"wrbpg/internal/loadgen"
+	"wrbpg/internal/par"
+	"wrbpg/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wrbpgload:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the JSON document written to -out.
+type report struct {
+	Target      string      `json:"target"`
+	Mix         loadgen.Mix `json:"mix"`
+	TimeoutMS   int64       `json:"timeout_ms"`
+	FaultEvery  int         `json:"fault_every,omitempty"`
+	FaultsFired int64       `json:"faults_fired,omitempty"`
+	// Capacity is the closed-loop probe result when -overload is used.
+	Capacity *loadgen.Result `json:"capacity,omitempty"`
+	// Run is the main measurement phase.
+	Run         *loadgen.Result `json:"run"`
+	GeneratedAt string          `json:"generated_at"`
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("wrbpgload", flag.ContinueOnError)
+	var (
+		target      = fs.String("target", "", "base URL of a running wrbpgd (mutually exclusive with -inproc)")
+		inproc      = fs.Bool("inproc", false, "serve an in-process wrbpg server on a loopback port (enables -fault-every)")
+		duration    = fs.Duration("duration", 10*time.Second, "main measurement duration")
+		workers     = fs.Int("workers", 4, "closed-loop concurrent requesters (ignored when -rate or -overload set)")
+		rate        = fs.Float64("rate", 0, "open-loop offered rate in req/s (overrides -workers)")
+		maxPending  = fs.Int("max-pending", 0, "open-loop in-flight cap (0 = derived)")
+		timeout     = fs.Duration("timeout", 500*time.Millisecond, "per-request solve deadline sent as timeout_ms")
+		retries     = fs.Int("retries", 0, "client retries on 429/503 (honors Retry-After)")
+		seed        = fs.Int64("seed", 1, "PRNG seed for shapes and budgets")
+		mixFlag     = fs.String("mix", "6,2,2", "traffic weights schedule,sweep,patch")
+		faultEvery  = fs.Int("fault-every", 0, "inject a panic into every Nth solver work item (-inproc only, 0 = off)")
+		maxInflight = fs.Int("max-inflight", 0, "-inproc server max concurrent solves (0 = default)")
+		maxQueue    = fs.Int("max-queue", 0, "-inproc server admission queue depth (0 = default)")
+		overload    = fs.Float64("overload", 0, "measure capacity closed-loop, then offer this multiple of it open-loop")
+		probe       = fs.Duration("probe", 3*time.Second, "closed-loop capacity probe duration for -overload")
+		outPath     = fs.String("out", "", "write the JSON report here")
+		assertNo5xx = fs.Bool("assert-no-5xx", false, "exit nonzero if any response was a 5xx")
+		maxP99      = fs.Duration("max-p99", 0, "exit nonzero if the run's p99 exceeds this (0 = no bound)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if (*target == "") == !*inproc {
+		return errors.New("exactly one of -target or -inproc is required")
+	}
+	if *faultEvery > 0 && !*inproc {
+		return errors.New("-fault-every needs -inproc (the fault hook is process-local)")
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+
+	base := *target
+	var faults atomic.Int64
+	if *inproc {
+		srv := serve.New(serve.Options{MaxInflight: *maxInflight, MaxQueue: *maxQueue})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go httpSrv.Serve(ln) //nolint:errcheck // torn down with the process
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(stdout, "wrbpgload inproc server on %s\n", base)
+
+		if *faultEvery > 0 {
+			n := int64(*faultEvery)
+			var calls atomic.Int64
+			restore := par.SetFaultHook(func(i int) {
+				if calls.Add(1)%n == 0 {
+					faults.Add(1)
+					panic(fmt.Sprintf("wrbpgload: injected fault (item %d)", i))
+				}
+			})
+			defer restore()
+		}
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:    base,
+		Mix:        mix,
+		Duration:   *duration,
+		Timeout:    *timeout,
+		MaxRetries: *retries,
+		MaxPending: *maxPending,
+		Seed:       *seed,
+	}
+	rep := &report{Target: base, Mix: mix, TimeoutMS: timeout.Milliseconds(), FaultEvery: *faultEvery}
+	ctx := context.Background()
+
+	switch {
+	case *overload > 0:
+		// Phase 1: capacity, closed loop.
+		pcfg := cfg
+		pcfg.Workers, pcfg.Duration = *workers, *probe
+		capRes, err := loadgen.Run(ctx, pcfg)
+		if err != nil {
+			return fmt.Errorf("capacity probe: %w", err)
+		}
+		rep.Capacity = capRes
+		offered := capRes.ThroughputRPS * *overload
+		if offered < 1 {
+			offered = 1
+		}
+		fmt.Fprintf(stdout, "capacity %.0f rps (p99 %v); offering %.0f rps (%gx)\n",
+			capRes.ThroughputRPS, time.Duration(capRes.P99US)*time.Microsecond, offered, *overload)
+		// Phase 2: overload, open loop.
+		cfg.Rate = offered
+	case *rate > 0:
+		cfg.Rate = *rate
+	default:
+		cfg.Workers = *workers
+	}
+
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	rep.Run = res
+	rep.FaultsFired = faults.Load()
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+
+	fmt.Fprintf(stdout,
+		"%s: sent=%d ok=%d shed429=%d degraded=%d 5xx=%d 4xx=%d blown=%d dropped=%d faults=%d p50=%v p99=%v %.0f rps\n",
+		res.Mode, res.Sent, res.OK, res.Shed429, res.DegradedShed, res.ServerErr,
+		res.ClientErr, res.DeadlineBlown, res.Dropped, rep.FaultsFired,
+		time.Duration(res.P50US)*time.Microsecond, time.Duration(res.P99US)*time.Microsecond,
+		res.ThroughputRPS)
+
+	if *outPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", *outPath)
+	}
+
+	// Assertions last, so the report is on disk even when they fail.
+	if *assertNo5xx && res.ServerErr > 0 {
+		return fmt.Errorf("%d server errors (5xx) — overload must shed, not fail", res.ServerErr)
+	}
+	if *assertNo5xx && res.DeadlineBlown > 0 {
+		return fmt.Errorf("%d deadline-blown 200s — admission should have shed them", res.DeadlineBlown)
+	}
+	if *maxP99 > 0 && time.Duration(res.P99US)*time.Microsecond > *maxP99 {
+		return fmt.Errorf("p99 %v exceeds bound %v",
+			time.Duration(res.P99US)*time.Microsecond, *maxP99)
+	}
+	return nil
+}
+
+// parseMix reads "schedule,sweep,patch" weights.
+func parseMix(s string) (loadgen.Mix, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return loadgen.Mix{}, fmt.Errorf("mix %q: want three comma-separated weights (schedule,sweep,patch)", s)
+	}
+	var w [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return loadgen.Mix{}, fmt.Errorf("mix %q: bad weight %q", s, p)
+		}
+		w[i] = n
+	}
+	if w[0]+w[1]+w[2] == 0 {
+		return loadgen.Mix{}, fmt.Errorf("mix %q: all weights zero", s)
+	}
+	return loadgen.Mix{Schedule: w[0], Sweep: w[1], Patch: w[2]}, nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestInprocChaosSmoke is the soak-smoke core: a short closed-loop run
+// against the in-process server with fault injection. Injected panics
+// must never surface as 5xx — they degrade to baseline answers or
+// per-item errors — and the report must land on disk.
+func TestInprocChaosSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{
+		"-inproc",
+		"-duration", "1500ms",
+		"-workers", "3",
+		"-timeout", "300ms",
+		"-fault-every", "5",
+		"-assert-no-5xx",
+		"-out", out,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Run == nil || rep.Run.Sent == 0 || rep.Run.OK == 0 {
+		t.Fatalf("no traffic recorded: %s", b)
+	}
+	if rep.Run.ServerErr != 0 {
+		t.Fatalf("5xx despite -assert-no-5xx passing: %s", b)
+	}
+	if rep.FaultsFired == 0 {
+		t.Fatalf("fault hook never fired (sent=%d): %s", rep.Run.Sent, b)
+	}
+	if rep.GeneratedAt == "" {
+		t.Fatal("report missing generated_at")
+	}
+}
+
+// TestOverloadTwoPhase exercises the capacity-probe → open-loop flow
+// on a tiny scale: the report must carry both phases.
+func TestOverloadTwoPhase(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{
+		"-inproc",
+		"-max-inflight", "1",
+		"-max-queue", "2",
+		"-workers", "2",
+		"-probe", "700ms",
+		"-overload", "4",
+		"-duration", "900ms",
+		"-timeout", "150ms",
+		"-assert-no-5xx",
+		"-out", out,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Capacity == nil || rep.Capacity.Mode != "closed" {
+		t.Fatalf("missing capacity phase: %s", b)
+	}
+	if rep.Run == nil || rep.Run.Mode != "open" {
+		t.Fatalf("missing open-loop phase: %s", b)
+	}
+	if rep.Run.RateOffered < 4*rep.Capacity.ThroughputRPS*0.99 {
+		t.Fatalf("offered %.0f rps, want >= 4x capacity %.0f", rep.Run.RateOffered, rep.Capacity.ThroughputRPS)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                          // neither -target nor -inproc
+		{"-target", "x", "-inproc"}, // both
+		{"-fault-every", "3", "-target", "http://x"}, // faults need inproc
+		{"-inproc", "-mix", "1,2"},                   // short mix
+		{"-inproc", "-mix", "0,0,0"},                 // all-zero mix
+		{"-inproc", "positional"},                    // stray arg
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix(" 6, 2 ,2")
+	if err != nil || m.Schedule != 6 || m.Sweep != 2 || m.Patch != 2 {
+		t.Fatalf("parseMix: %+v, %v", m, err)
+	}
+	if m2, err := parseMix("10,0,0"); err != nil || m2.Sweep != 0 {
+		t.Fatalf("parseMix single-kind: %+v, %v", m2, err)
+	}
+}

@@ -36,6 +36,11 @@ var (
 	// ErrBudgetExceeded reports that a resource ceiling of Limits was
 	// hit (memo entries or explored states).
 	ErrBudgetExceeded = errors.New("guard: resource budget exceeded")
+	// ErrOptimalInfeasible reports a memory budget outside the optimal
+	// tier's search space (e.g. below MVM's tiling minimum) even though
+	// the budget clears the schedule-existence bound — the baseline
+	// scheduler can still answer, so the error is degradable.
+	ErrOptimalInfeasible = errors.New("guard: budget outside optimal search space")
 )
 
 // Limits bounds a single solve. The zero value imposes no bounds.
@@ -338,10 +343,12 @@ func ClampDeadline(ctx context.Context, want, max time.Duration) time.Duration {
 
 // Degradable reports whether err is a reason to fall back to the
 // baseline scheduler rather than fail outright: the solver ran out of
-// time or resources, but the caller is still waiting for an answer.
-// Cancellation is not degradable — the caller abandoned the request.
+// time or resources — or its search space excludes the budget — but
+// the caller is still waiting for an answer. Cancellation is not
+// degradable — the caller abandoned the request.
 func Degradable(err error) bool {
 	return errors.Is(err, ErrDeadline) ||
 		errors.Is(err, ErrBudgetExceeded) ||
+		errors.Is(err, ErrOptimalInfeasible) ||
 		errors.Is(err, context.DeadlineExceeded)
 }

@@ -120,7 +120,7 @@ func AbortReason(err error) string {
 		return "canceled"
 	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
 		return "deadline"
-	case errors.Is(err, ErrBudgetExceeded):
+	case errors.Is(err, ErrBudgetExceeded), errors.Is(err, ErrOptimalInfeasible):
 		return "budget"
 	default:
 		return "other"

@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Doer abstracts *http.Client for tests.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// retryClient is the well-behaved wrbpg client: it retries 429/503 and
+// transport errors with exponential backoff plus jitter, and when the
+// server sends Retry-After — the admission queue's drain estimate — it
+// honors that instead (capped, so a pathological estimate can't stall
+// the generator). Other statuses are final: a 400 won't improve with
+// repetition.
+type retryClient struct {
+	hc         Doer
+	maxRetries int
+	// base/cap bound the backoff schedule; cap also bounds how long a
+	// Retry-After hint is honored.
+	base, cap time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newRetryClient(hc Doer, maxRetries int, timeout time.Duration) *retryClient {
+	if hc == nil {
+		hc = &http.Client{Timeout: timeout + 5*time.Second}
+	}
+	return &retryClient{
+		hc:         hc,
+		maxRetries: maxRetries,
+		base:       25 * time.Millisecond,
+		cap:        2 * time.Second,
+		rng:        rand.New(rand.NewSource(1)),
+	}
+}
+
+// post sends body to url, retrying per the policy. It returns the
+// final status, response body and how many retries were spent.
+func (c *retryClient) post(ctx context.Context, url string, body []byte) (status int, resp []byte, retries int, err error) {
+	for attempt := 0; ; attempt++ {
+		status, resp, err = c.once(ctx, http.MethodPost, url, body)
+		if err == nil && status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+			return status, resp, attempt, nil
+		}
+		if attempt >= c.maxRetries || ctx.Err() != nil {
+			return status, resp, attempt, err
+		}
+		delay := c.backoff(attempt)
+		if status == http.StatusTooManyRequests {
+			if ra := retryAfter(resp, delay); ra > 0 {
+				delay = ra
+			}
+		}
+		if delay > c.cap {
+			delay = c.cap
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return status, resp, attempt, ctx.Err()
+		}
+	}
+}
+
+func (c *retryClient) get(ctx context.Context, url string) (int, []byte, error) {
+	return c.once(ctx, http.MethodGet, url, nil)
+}
+
+func (c *retryClient) once(ctx context.Context, method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// backoff is exponential with full jitter: uniform in (0, base·2^n].
+func (c *retryClient) backoff(attempt int) time.Duration {
+	d := c.base << uint(attempt)
+	if d > c.cap || d <= 0 {
+		d = c.cap
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d))) + 1
+	c.mu.Unlock()
+	return j
+}
+
+// retryAfter extracts the server's retry_after_s hint from a 429 body
+// (the JSON mirror of the Retry-After header); fallback when absent.
+func retryAfter(body []byte, fallback time.Duration) time.Duration {
+	// Cheap scan instead of full decode: the field is top-level.
+	const key = `"retry_after_s":`
+	i := bytes.Index(body, []byte(key))
+	if i < 0 {
+		return fallback
+	}
+	rest := body[i+len(key):]
+	end := 0
+	for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
+		end++
+	}
+	s, err := strconv.Atoi(string(rest[:end]))
+	if err != nil || s < 1 {
+		return fallback
+	}
+	return time.Duration(s) * time.Second
+}

@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wrbpg/internal/serve"
+)
+
+// TestClosedLoopAgainstServer drives a real in-process server for a
+// short burst: every response must be 200 or 429, never 5xx, and the
+// counters must reconcile.
+func TestClosedLoopAgainstServer(t *testing.T) {
+	s := serve.New(serve.Options{MaxInflight: 2, MaxQueue: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:    ts.URL,
+		Workers:    4,
+		Duration:   700 * time.Millisecond,
+		Timeout:    300 * time.Millisecond,
+		MaxRetries: 1,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.OK == 0 {
+		t.Fatalf("no traffic landed: %+v", res)
+	}
+	if res.ServerErr != 0 {
+		t.Fatalf("server errors under closed-loop load: %+v", res)
+	}
+	if res.ClientErr != 0 {
+		t.Fatalf("generated invalid requests (4xx): %+v (by_status=%v)", res, res.ByStatus)
+	}
+	if res.TransportErr != 0 {
+		t.Fatalf("transport errors: %+v", res)
+	}
+	if res.OK > 0 && (res.P50US <= 0 || res.P99US < res.P50US) {
+		t.Fatalf("nonsense percentiles: p50=%d p99=%d", res.P50US, res.P99US)
+	}
+	var total int64
+	for _, n := range res.ByStatus {
+		total += n
+	}
+	if total != res.Sent-res.TransportErr {
+		t.Fatalf("status counts %d don't reconcile with sent %d", total, res.Sent)
+	}
+}
+
+// TestOpenLoopOverload offers far more than one slot can absorb: the
+// run must finish inside its duration with only 200s and 429s — the
+// ladder sheds, it does not 5xx — and report drops/sheds.
+func TestOpenLoopOverload(t *testing.T) {
+	s := serve.New(serve.Options{MaxInflight: 1, MaxQueue: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:    ts.URL,
+		Rate:       300,
+		MaxPending: 32,
+		Duration:   700 * time.Millisecond,
+		Timeout:    100 * time.Millisecond,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerErr != 0 {
+		t.Fatalf("5xx under overload: %+v (by_status=%v)", res, res.ByStatus)
+	}
+	if res.ClientErr != 0 {
+		t.Fatalf("4xx under overload: %+v (by_status=%v)", res, res.ByStatus)
+	}
+	if res.Offered <= res.Sent {
+		t.Logf("offered=%d sent=%d (no client-side drops this run)", res.Offered, res.Sent)
+	}
+	if res.DeadlineBlown != 0 {
+		t.Fatalf("%d deadline-blown 200s: admission should shed those", res.DeadlineBlown)
+	}
+}
+
+// TestRetryClientHonorsRetryAfter: a 429 with retry_after_s must delay
+// the retry (capped), and the retry must then succeed.
+func TestRetryClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"status":429,"error":"overloaded","reason":"shed","retry_after_s":1}`))
+			return
+		}
+		w.Write([]byte(`{}`))
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cl := newRetryClient(nil, 2, time.Second)
+	cl.cap = 150 * time.Millisecond // don't actually sleep 1s in tests
+	start := time.Now()
+	st, _, retries, err := cl.post(context.Background(), ts.URL, []byte(`{}`))
+	if err != nil || st != 200 {
+		t.Fatalf("status %d err %v", st, err)
+	}
+	if retries != 1 {
+		t.Fatalf("retries = %d, want 1", retries)
+	}
+	if waited := time.Since(start); waited < cl.cap {
+		t.Fatalf("retried after %v, want >= the %v cap (Retry-After honored, capped)", waited, cl.cap)
+	}
+}
+
+// TestRetryClientGivesUpOn400: client errors are final.
+func TestRetryClientGivesUpOn400(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad", http.StatusBadRequest)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cl := newRetryClient(nil, 3, time.Second)
+	st, _, retries, err := cl.post(context.Background(), ts.URL, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 400 || retries != 0 || calls.Load() != 1 {
+		t.Fatalf("status=%d retries=%d calls=%d, want 400/0/1", st, retries, calls.Load())
+	}
+}
+
+func TestRetryAfterParse(t *testing.T) {
+	for _, tc := range []struct {
+		body string
+		want time.Duration
+	}{
+		{`{"retry_after_s":3}`, 3 * time.Second},
+		{`{"status":429,"retry_after_s":12,"reason":"shed"}`, 12 * time.Second},
+		{`{"no_hint":true}`, 99 * time.Millisecond},
+		{`{"retry_after_s":0}`, 99 * time.Millisecond},
+		{``, 99 * time.Millisecond},
+	} {
+		if got := retryAfter([]byte(tc.body), 99*time.Millisecond); got != tc.want {
+			t.Errorf("retryAfter(%q) = %v, want %v", tc.body, got, tc.want)
+		}
+	}
+}
+
+// TestMixCoversAllKinds: with a seeded generator every traffic kind in
+// the mix appears.
+func TestMixCoversAllKinds(t *testing.T) {
+	var schedule, sweep, patch atomic.Int64
+	s := serve.New(serve.Options{})
+	inner := s.Handler()
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/schedule":
+			schedule.Add(1)
+		case "/v1/schedule/sweep":
+			sweep.Add(1)
+		case "/v1/schedule/patch":
+			patch.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Workers:  2,
+		Duration: 700 * time.Millisecond,
+		Timeout:  300 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientErr != 0 {
+		t.Fatalf("4xx: %v", res.ByStatus)
+	}
+	if schedule.Load() == 0 || sweep.Load() == 0 || patch.Load() == 0 {
+		t.Fatalf("mix incomplete: schedule=%d sweep=%d patch=%d (sent=%d)",
+			schedule.Load(), sweep.Load(), patch.Load(), res.Sent)
+	}
+}
+
+// TestWarmupRejectsBadTarget: a target that answers errors fails fast.
+func TestWarmupRejectsBadTarget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	_, err := Run(context.Background(), Config{BaseURL: ts.URL, Workers: 1, Duration: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Run succeeded against a non-wrbpgd target")
+	}
+}
+
+func BenchmarkNextRequest(b *testing.B) {
+	g := &generator{
+		cfg:    Config{Mix: DefaultMix(), Timeout: 500 * time.Millisecond},
+		shapes: DefaultShapes(),
+	}
+	for i := range g.shapes {
+		g.shapes[i].minExist = 256
+		g.shapes[i].nodes = 15
+	}
+	g.patchable = patchableShapes(g.shapes)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, body := g.nextRequest(rng)
+		if len(body) == 0 {
+			b.Fatal("empty body")
+		}
+	}
+}

@@ -99,7 +99,7 @@ func (se *Session) SearchCtx(ctx context.Context, lim guard.Limits, b cdag.Weigh
 		return TileConfig{}, 0, err
 	}
 	if r.cost >= Inf {
-		return TileConfig{}, Inf, fmt.Errorf("mvm: no tile configuration fits budget %d (tiling minimum %d)", b, se.g.TilingMinBudget())
+		return TileConfig{}, Inf, fmt.Errorf("mvm: no tile configuration fits budget %d (tiling minimum %d): %w", b, se.g.TilingMinBudget(), guard.ErrOptimalInfeasible)
 	}
 	return r.tc, r.cost, nil
 }

@@ -323,7 +323,7 @@ func (g *Graph) sharedSearch(ck *guard.Checker, budget cdag.Weight) (TileConfig,
 		}
 	}
 	if best.cost >= Inf {
-		return TileConfig{}, Inf, fmt.Errorf("mvm: no tile configuration fits budget %d (tiling minimum %d)", budget, g.TilingMinBudget())
+		return TileConfig{}, Inf, fmt.Errorf("mvm: no tile configuration fits budget %d (tiling minimum %d): %w", budget, g.TilingMinBudget(), guard.ErrOptimalInfeasible)
 	}
 	return best.tc, best.cost, nil
 }

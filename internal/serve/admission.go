@@ -1,0 +1,210 @@
+// Deadline-aware solver admission: the bounded queue in front of the
+// solver slots that replaced the bare semaphore. Every slot-holder's
+// hold time feeds a live histogram; a new arrival that finds all slots
+// busy gets its queue wait *estimated* from that histogram before it
+// is allowed to wait, so work that cannot finish inside its deadline
+// is rejected up front ("don't queue doomed work") instead of
+// occupying a queue position it can never use. The queue itself is
+// bounded, waiting is capped by the request's own deadline budget, and
+// a waiter whose client disconnects releases its position immediately.
+//
+// Shed decisions carry a Retry-After estimate derived from the queue
+// drain time, so well-behaved clients back off for exactly as long as
+// the backlog needs.
+
+package serve
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"wrbpg/internal/obs"
+)
+
+// Shed modes: the label vocabulary of the wrbpg_shed_total metric.
+const (
+	// shedQueueFull: every slot busy and the queue at capacity.
+	shedQueueFull = "queue_full"
+	// shedDoomed: the estimated queue wait (or the actual wait) exceeds
+	// the request's deadline budget — solving after it would only
+	// produce a deadline-blown answer.
+	shedDoomed = "doomed"
+	// shedCanceled: the client disconnected while the request waited.
+	shedCanceled = "canceled"
+	// shedDegraded: the queue was saturated but the deadline still had
+	// budget, so the request skipped the optimal tier and was answered
+	// by the baseline scheduler (a 200 flagged fallback_cause="shed").
+	shedDegraded = "degraded"
+	// shedBreaker: the fallback-storm breaker was open, so the request
+	// skipped the optimal tier without queueing at all.
+	shedBreaker = "breaker"
+)
+
+// admission is the deadline-aware bounded queue guarding the solver
+// slots. Acquire either admits (returning a ticket the caller must
+// Release) or sheds with a structured decision; it never blocks past
+// the caller's deadline budget or context.
+type admission struct {
+	// slots is the solver-slot semaphore (capacity MaxInflight).
+	slots chan struct{}
+	// maxQueue bounds the waiters; 0 means shed the moment every slot
+	// is busy.
+	maxQueue int
+	// queued counts current waiters (CAS-bounded by maxQueue).
+	queued atomic.Int64
+	// depth mirrors queued into the registered gauge.
+	depth *obs.Gauge
+	// hold is the histogram of slot-hold times (µs) — the wait
+	// estimator's input, fed by every Release.
+	hold *obs.Histogram
+	// enqueued, when non-nil, fires after a request joins the queue
+	// (test hook for deterministic queued-cancellation coverage).
+	enqueued func()
+}
+
+// ticket is an admitted request's slot. Release returns the slot and
+// records the hold time; it must be called exactly once.
+type ticket struct {
+	a       *admission
+	started time.Time
+	// waited is how long the request queued before admission; the
+	// caller subtracts it from the solve deadline so queue time and
+	// solve time share one budget.
+	waited time.Duration
+}
+
+// Release returns the slot and feeds the hold-time histogram.
+func (t *ticket) Release() {
+	t.a.hold.Observe(float64(time.Since(t.started).Microseconds()))
+	<-t.a.slots
+}
+
+// shedDecision explains a rejected admission.
+type shedDecision struct {
+	// mode is the shed classification (shed* constants).
+	mode string
+	// estWait is the estimated queue drain time at decision time.
+	estWait time.Duration
+	// retryAfter is the Retry-After value in seconds: the drain
+	// estimate rounded up, clamped to [1, 60].
+	retryAfter int64
+}
+
+// Acquire admits the caller to a solver slot or sheds it. budget is
+// the request's deadline budget (0 = unlimited): the estimated queue
+// wait must fit inside it for the request to queue at all, and the
+// actual wait is capped by it. On admission the returned ticket's
+// waited field reports the queue time; on shed the decision says why.
+func (a *admission) Acquire(ctx context.Context, budget time.Duration) (*ticket, *shedDecision) {
+	// Fast path: a free slot admits immediately, no estimation.
+	select {
+	case a.slots <- struct{}{}:
+		return &ticket{a: a, started: time.Now()}, nil
+	default:
+	}
+
+	est := a.estimateWait(a.queued.Load())
+	if budget > 0 && est > budget {
+		return nil, a.shed(shedDoomed, est)
+	}
+	// Join the queue; the CAS loop keeps the bound exact under
+	// concurrent arrivals.
+	for {
+		n := a.queued.Load()
+		if n >= int64(a.maxQueue) {
+			return nil, a.shed(shedQueueFull, est)
+		}
+		if a.queued.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	a.depth.Add(1)
+	defer func() {
+		a.queued.Add(-1)
+		a.depth.Add(-1)
+	}()
+	if a.enqueued != nil {
+		a.enqueued()
+	}
+
+	// Cap the wait by the deadline budget: a request that spends its
+	// whole budget queueing can only produce a blown answer.
+	var expired <-chan time.Time
+	if budget > 0 {
+		timer := time.NewTimer(budget)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	wait := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+		return &ticket{a: a, started: time.Now(), waited: time.Since(wait)}, nil
+	case <-ctx.Done():
+		return nil, a.shed(shedCanceled, est)
+	case <-expired:
+		return nil, a.shed(shedDoomed, est)
+	}
+}
+
+// saturated reports whether every slot is busy and the queue is at
+// capacity — the /readyz "overloaded" condition. An idle server with a
+// zero-length queue is not overloaded, so the slot check comes first.
+func (a *admission) saturated() bool {
+	return len(a.slots) == cap(a.slots) && a.queued.Load() >= int64(a.maxQueue)
+}
+
+// estimateWait predicts how long an arrival finding queuedAhead
+// waiters would queue: the median slot-hold time (from the live
+// histogram of completed holds) times the number of admission waves in
+// front of it — everyone already queued plus the set currently
+// holding slots, divided across the slots. An empty histogram (cold
+// start) estimates zero: admit and learn.
+func (a *admission) estimateWait(queuedAhead int64) time.Duration {
+	per := a.medianHoldUS()
+	if per <= 0 {
+		return 0
+	}
+	c := int64(cap(a.slots))
+	if c < 1 {
+		c = 1
+	}
+	waves := (queuedAhead + c) / c
+	return time.Duration(waves*per) * time.Microsecond
+}
+
+// medianHoldUS extracts the median (bucket upper bound) from the
+// hold-time histogram, 0 when it has no samples.
+func (a *admission) medianHoldUS() int64 {
+	n := a.hold.Count()
+	if n == 0 {
+		return 0
+	}
+	half := n / 2
+	bounds := a.hold.Bounds()
+	var cum uint64
+	for i, b := range bounds {
+		cum += a.hold.Bucket(i)
+		if cum > half {
+			return int64(b)
+		}
+	}
+	// Median in the +Inf bucket: the mean is the best bound available.
+	if mean := a.hold.Sum() / float64(n); mean > bounds[len(bounds)-1] {
+		return int64(mean)
+	}
+	return int64(bounds[len(bounds)-1])
+}
+
+// shed builds the decision for mode with the Retry-After estimate.
+func (a *admission) shed(mode string, est time.Duration) *shedDecision {
+	ra := int64(math.Ceil(est.Seconds()))
+	if ra < 1 {
+		ra = 1
+	}
+	if ra > 60 {
+		ra = 60
+	}
+	return &shedDecision{mode: mode, estWait: est, retryAfter: ra}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"wrbpg/internal/obs"
+)
+
+// newTestBreaker builds a breaker with a controllable clock.
+func newTestBreaker(window, minSamples int, threshold float64, cooldown time.Duration) (*breaker, *time.Time) {
+	reg := obs.NewRegistry()
+	b := newBreaker(window, minSamples, threshold, cooldown,
+		reg.Gauge("test_breaker_state", "t"), reg.Counter("test_breaker_trips", "t"))
+	clock := time.Now()
+	b.now = func() time.Time { return clock }
+	return b, &clock
+}
+
+func TestBreakerNilIsDisabled(t *testing.T) {
+	var b *breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker must allow everything")
+	}
+	b.Record(true) // must not panic
+	b.Cancel()
+	if got := b.State(); got != "disabled" {
+		t.Fatalf("State = %q, want disabled", got)
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(8, 4, 0.5, time.Minute)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("initial state = %q, want closed", got)
+	}
+	// 3 fallbacks out of 3 — below minSamples, must stay closed.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused")
+		}
+		b.Record(true)
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state below minSamples = %q, want closed", got)
+	}
+	// Fourth fallback: 4/4 ≥ 0.5 with minSamples met — trips.
+	b.Allow()
+	b.Record(true)
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after 4/4 fallbacks = %q, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+}
+
+func TestBreakerStaysClosedUnderThreshold(t *testing.T) {
+	b, _ := newTestBreaker(8, 4, 0.5, time.Minute)
+	// Alternate success/fallback well past minSamples: rate stays at
+	// 0.5 boundary only when falls ≥ threshold·n; 3 falls / 8 < 0.5.
+	pattern := []bool{false, true, false, false, true, false, true, false}
+	for _, fb := range pattern {
+		b.Allow()
+		b.Record(fb)
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state = %q, want closed at 3/8 fallback rate", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clock := newTestBreaker(4, 2, 0.5, 10*time.Second)
+	for i := 0; i < 2; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	// Still cooling down.
+	*clock = clock.Add(5 * time.Second)
+	if b.Allow() {
+		t.Fatal("allowed during cooldown")
+	}
+	// Cooldown elapsed: exactly one probe passes.
+	*clock = clock.Add(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if got := b.State(); got != "half_open" {
+		t.Fatalf("state = %q, want half_open", got)
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe allowed in half-open")
+	}
+	// Probe succeeds → closed, window reset.
+	b.Record(false)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after good probe = %q, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused after recovery")
+	}
+	b.Record(false)
+}
+
+func TestBreakerHalfOpenProbeFailsReopens(t *testing.T) {
+	b, clock := newTestBreaker(4, 2, 0.5, 10*time.Second)
+	for i := 0; i < 2; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	*clock = clock.Add(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(true) // probe fell back → reopen
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after failed probe = %q, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("allowed right after failed probe")
+	}
+	// The cooldown restarts from the failed probe.
+	*clock = clock.Add(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused after restarted cooldown")
+	}
+	b.Cancel() // canceled probe frees the half-open slot without a verdict
+	if got := b.State(); got != "half_open" {
+		t.Fatalf("state after canceled probe = %q, want half_open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot not freed by Cancel")
+	}
+	b.Record(false)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state = %q, want closed", got)
+	}
+}
+
+func TestBreakerMinSamplesClampedToWindow(t *testing.T) {
+	// minSamples > window would make the breaker untrippable (n never
+	// exceeds the window size); the constructor clamps it.
+	b, _ := newTestBreaker(4, 100, 0.5, time.Minute)
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state = %q, want open (minSamples must clamp to window)", got)
+	}
+}

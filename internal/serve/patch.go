@@ -161,14 +161,19 @@ func (s *Server) patch(ctx context.Context, req *wire.PatchRequest, ws *sweepWor
 		defer cancel()
 	}
 
-	// Admission: a patch re-solve is solver work, one semaphore slot
-	// like any cold solve. Waiting counts against the caller's context.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		return nil, asWireErr(guard.Wrap(ctx.Err()))
+	// Admission: a patch re-solve is solver work, one slot like any
+	// cold solve. The queue wait is bounded by the remaining request
+	// deadline (pctx already carries it); a shed patch is a structured
+	// 429 — the incremental engine has no cheap degraded tier.
+	tk, shed := s.adm.Acquire(ctx, guard.ClampDeadline(pctx, 0, s.opts.MaxTimeout))
+	if shed != nil {
+		s.m.shed(shed.mode)
+		if shed.mode == shedCanceled {
+			return nil, asWireErr(guard.Wrap(ctx.Err()))
+		}
+		return nil, shedErr(shed)
 	}
+	defer tk.Release()
 
 	s.m.inflight.Add(1)
 	wctx, wsp := obs.StartSpan(pctx, "patch.solve")

@@ -5,12 +5,18 @@
 // The request path is: decode + validate (structured 400s, no panics)
 // → canonical solve.Instance → content-addressed key → schedcache.Do.
 // A cache hit answers without touching the solver; a miss runs exactly
-// one solve per key (singleflight), bounded by the solver semaphore
-// and a per-request deadline mapped onto guard.Limits, degrading to
-// the baseline scheduler at the deadline rather than failing. Only
-// optimal results are cached — a deadline-degraded fallback is an
-// artifact of that request's time budget, and a later request with
-// more headroom deserves a fresh attempt.
+// one solve per key (singleflight), admitted through a deadline-aware
+// bounded queue: the expected queue wait is estimated from the live
+// slot-hold histogram, work that cannot finish inside its deadline is
+// rejected with a structured 429 + Retry-After, a saturated queue
+// degrades requests straight to the baseline scheduler (flagged
+// fallback_cause="shed"), and a fallback-storm circuit breaker keeps
+// thrashing traffic off the optimal tier entirely (docs/ROBUSTNESS.md,
+// "Overload policy"). Admitted solves run under a per-request deadline
+// mapped onto guard.Limits, degrading to the baseline at the deadline
+// rather than failing. Only optimal results are cached — a degraded
+// fallback is an artifact of that request's time budget, and a later
+// request with more headroom deserves a fresh attempt.
 //
 // Endpoints:
 //
@@ -21,6 +27,7 @@
 //	GET  /v1/lowerbound      Proposition 2.3/2.4 bounds, no solve
 //	GET  /v1/trace/{id}      span tree of a traced request
 //	GET  /healthz            liveness
+//	GET  /readyz             readiness (503 while draining or overloaded)
 //	GET  /statsz             cache/solver/latency/session counters
 //	GET  /metrics            Prometheus text exposition
 //
@@ -58,7 +65,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"wrbpg/internal/cdag"
 
 	"wrbpg/internal/core"
 	"wrbpg/internal/guard"
@@ -84,6 +94,25 @@ type Options struct {
 	// MaxInflight bounds concurrent solver invocations (default
 	// 2×GOMAXPROCS). Cache hits are not counted — they never solve.
 	MaxInflight int
+	// MaxQueue bounds requests queued for a solver slot when every
+	// slot is busy (default 8×MaxInflight; negative = never queue,
+	// shed the moment every slot is busy). Queued requests whose
+	// deadline budget cannot survive the estimated wait are shed up
+	// front with a 429 and a Retry-After derived from the queue drain
+	// time; see docs/ROBUSTNESS.md, "Overload policy".
+	MaxQueue int
+	// Breaker* configure the fallback-storm circuit breaker: when at
+	// least BreakerMinSamples of the last BreakerWindow solves exist
+	// and the fallback rate among them reaches BreakerThreshold, the
+	// optimal tier is presumed thrashing and requests skip straight to
+	// the baseline for BreakerCooldown, after which a single half-open
+	// probe decides whether to close again. Defaults: window 64
+	// (negative disables the breaker), threshold 0.5, min samples 16,
+	// cooldown 2s.
+	BreakerWindow     int
+	BreakerThreshold  float64
+	BreakerMinSamples int
+	BreakerCooldown   time.Duration
 	// DefaultTimeout is the per-solve deadline when the request does
 	// not name one (default 2s); MaxTimeout clamps request-supplied
 	// deadlines (default 30s).
@@ -120,6 +149,24 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxInflight <= 0 {
 		o.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 8 * o.MaxInflight
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = 0
+	}
+	if o.BreakerWindow == 0 {
+		o.BreakerWindow = 64
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 0.5
+	}
+	if o.BreakerMinSamples <= 0 {
+		o.BreakerMinSamples = 16
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
 	}
 	if o.DefaultTimeout <= 0 {
 		o.DefaultTimeout = 2 * time.Second
@@ -159,11 +206,16 @@ type Server struct {
 	// wsPool recycles sweep workspaces (budget/cost/item buffers), so
 	// steady-state sweep traffic allocates nothing per warm query.
 	wsPool sync.Pool
-	sem    chan struct{}
-	reg    *obs.Registry
-	m      *metrics
-	traces *obs.TraceStore
-	start  time.Time
+	// adm is the deadline-aware admission queue in front of the solver
+	// slots; brk is the fallback-storm breaker (nil when disabled).
+	adm *admission
+	brk *breaker
+	// draining flips /readyz to 503 ahead of a graceful shutdown.
+	draining atomic.Bool
+	reg      *obs.Registry
+	m        *metrics
+	traces   *obs.TraceStore
+	start    time.Time
 }
 
 // New builds a Server with the given options.
@@ -174,11 +226,20 @@ func New(opts Options) *Server {
 		opts:     opts,
 		cache:    schedcache.New[*wire.ScheduleResult](opts.CacheShards, opts.CachePerShard),
 		sessions: schedcache.New[*sessionEntry](1, opts.SweepSessions),
-		sem:      make(chan struct{}, opts.MaxInflight),
 		reg:      reg,
 		m:        newMetrics(reg),
 		traces:   obs.NewTraceStore(opts.TraceBuffer),
 		start:    time.Now(),
+	}
+	s.adm = &admission{
+		slots:    make(chan struct{}, opts.MaxInflight),
+		maxQueue: opts.MaxQueue,
+		depth:    s.m.queueDepth,
+		hold:     s.m.holdUS,
+	}
+	if opts.BreakerWindow > 0 {
+		s.brk = newBreaker(opts.BreakerWindow, opts.BreakerMinSamples,
+			opts.BreakerThreshold, opts.BreakerCooldown, s.m.breakerState, s.m.breakerTrips)
 	}
 	s.registerFuncs()
 	s.wsPool.New = func() any {
@@ -198,6 +259,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/lowerbound", s.handleLowerBound)
 	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.Handle("/metrics", s.MetricsHandler())
 	return s.withTracing(mux)
@@ -274,12 +336,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeErr writes a structured error body; every non-2xx response
-// goes through here, so clients always get {"status","error"}.
+// goes through here, so clients always get {"status","error"}. A 429
+// is server pushback, not a malformed request, so it carries its
+// Retry-After header instead of counting into bad_requests.
 func (s *Server) writeErr(w http.ResponseWriter, e *wire.Error) {
-	if e.Status >= 400 && e.Status < 500 {
+	if e.Status == http.StatusTooManyRequests {
+		if e.RetryAfterS > 0 {
+			w.Header().Set("Retry-After", strconv.FormatInt(e.RetryAfterS, 10))
+		}
+	} else if e.Status >= 400 && e.Status < 500 {
 		s.m.badRequests.Inc()
 	}
 	writeJSON(w, e.Status, e)
+}
+
+// shedErr builds the structured 429 for a shed decision: the queue
+// drain estimate rides in both the Retry-After header (set by
+// writeErr) and the JSON body.
+func shedErr(d *shedDecision) *wire.Error {
+	return wire.Errorf(http.StatusTooManyRequests,
+		"overloaded (%s): estimated queue wait %v; retry after %ds",
+		d.mode, d.estWait.Round(time.Millisecond), d.retryAfter).
+		WithReason("shed").WithRetryAfter(d.retryAfter)
 }
 
 // asWireErr maps an internal error onto a structured API error:
@@ -374,10 +452,23 @@ func (s *Server) schedule(ctx context.Context, req *wire.ScheduleRequest) (*wire
 	return res, nil
 }
 
-// solveCold is the cache-miss path: admission through the solver
-// semaphore, deadline mapping onto guard.Limits, the hardened solve,
-// and result construction. The bool reports cacheability — only
-// optimal results are stored.
+// minDegradeBudget is the smallest deadline budget worth a degraded
+// baseline answer: below it even the linear-time baseline plus
+// response encoding risks blowing the deadline, so the request is
+// shed with a 429 instead.
+const minDegradeBudget = 5 * time.Millisecond
+
+// solveCold is the cache-miss path, structured as a degradation
+// ladder. Tier 0: the fallback-storm breaker — while it is open the
+// optimal tier is presumed thrashing and the request goes straight to
+// the baseline. Tier 1: deadline-aware admission — the queue wait is
+// estimated from the live slot-hold histogram, doomed work is rejected
+// up front, and the actual wait is capped by the request's own
+// deadline budget. Tier 2: a queue-full request with deadline budget
+// left gets the baseline answer now instead of a 429. Tier 3: an
+// admitted solve runs with whatever deadline budget the queue wait
+// left over. The bool reports cacheability — only optimal results are
+// stored.
 func (s *Server) solveCold(ctx context.Context, inst *solve.Instance, budget int64, timeoutMS int64) (*wire.ScheduleResult, bool, error) {
 	_, bsp := obs.StartSpan(ctx, "build")
 	p, g, err := inst.Build()
@@ -399,20 +490,47 @@ func (s *Server) solveCold(ctx context.Context, inst *solve.Instance, budget int
 	}
 	deadline := guard.ClampDeadline(ctx, want, s.opts.MaxTimeout)
 
-	// Admission: one semaphore slot per running solve. Waiting counts
-	// against the caller's context, not the solve deadline.
-	_, asp := obs.StartSpan(ctx, "admission")
-	select {
-	case s.sem <- struct{}{}:
-		asp.End()
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		asp.End()
-		return nil, false, guard.Wrap(ctx.Err())
+	if !s.brk.Allow() {
+		s.m.shed(shedBreaker)
+		return s.solveShed(ctx, p, inst.Label(), budget)
 	}
 
+	_, asp := obs.StartSpan(ctx, "admission")
+	tk, shed := s.adm.Acquire(ctx, deadline)
+	if shed != nil {
+		asp.SetAttr("shed", shed.mode)
+		asp.End()
+		s.brk.Cancel()
+		switch shed.mode {
+		case shedCanceled:
+			s.m.shed(shedCanceled)
+			return nil, false, guard.Wrap(ctx.Err())
+		case shedQueueFull:
+			if deadline == 0 || deadline >= minDegradeBudget {
+				s.m.shed(shedDegraded)
+				return s.solveShed(ctx, p, inst.Label(), budget)
+			}
+			s.m.shed(shedQueueFull)
+			return nil, false, shedErr(shed)
+		default: // doomed: the wait estimate (or the wait itself) ate the deadline
+			s.m.shed(shedDoomed)
+			return nil, false, shedErr(shed)
+		}
+	}
+	asp.End()
+	defer tk.Release()
+
+	// Queue time and solve time share the deadline budget: solve with
+	// what the wait left over, floored so the solver can still unwind
+	// cleanly into its own deadline fallback.
 	lim := s.opts.Limits
-	lim.Deadline = deadline
+	if deadline > 0 {
+		remaining := deadline - tk.waited
+		if remaining < time.Millisecond {
+			remaining = time.Millisecond
+		}
+		lim.Deadline = remaining
+	}
 	s.m.inflight.Add(1)
 	sctx, ssp := obs.StartSpan(ctx, "solve")
 	out, err := solve.Run(sctx, p, budget, lim)
@@ -422,10 +540,37 @@ func (s *Server) solveCold(ctx context.Context, inst *solve.Instance, budget int
 	fallback := out.Source == solve.SourceFallback
 	s.m.observeSolve(out.Elapsed, fallback, err != nil, solve.FallbackReason(out.Err))
 	if err != nil {
+		// Cancellation says nothing about solver health; anything else
+		// that reached the solver and failed counts as a degradation
+		// signal for the breaker.
+		if errors.Is(err, guard.ErrCanceled) || errors.Is(err, context.Canceled) {
+			s.brk.Cancel()
+		} else {
+			s.brk.Record(true)
+		}
 		return nil, false, err
 	}
+	s.brk.Record(fallback)
 	res := wire.NewScheduleResult(inst.Label(), out, core.LowerBound(g), true)
 	return res, out.Source == solve.SourceOptimal, nil
+}
+
+// solveShed is the ladder's bottom tier: answer from the baseline
+// scheduler without touching the optimal tier or the solver slots.
+// The result is flagged fallback with cause "shed" and is never
+// cached — the next request with headroom deserves the real solve.
+func (s *Server) solveShed(ctx context.Context, p solve.Problem, label string, budget int64) (*wire.ScheduleResult, bool, error) {
+	sctx, ssp := obs.StartSpan(ctx, "solve")
+	out, err := solve.Degraded(sctx, p, cdag.Weight(budget))
+	ssp.SetAttr("source", out.Source.String())
+	ssp.SetAttr("shed", "true")
+	ssp.End()
+	s.m.observeSolve(out.Elapsed, true, err != nil, solve.FallbackReason(out.Err))
+	if err != nil {
+		return nil, false, err
+	}
+	res := wire.NewScheduleResult(label, out, core.LowerBound(p.G), true)
+	return res, false, nil
 }
 
 // handleBatch serves POST /v1/schedule/batch: independent fan-out over
@@ -555,14 +700,45 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz serves GET /readyz: the load-balancer routing signal,
+// distinct from /healthz liveness. It answers 503 while the daemon is
+// draining (shutdown announced, connections about to close) or
+// overloaded (admission queue at capacity), 200 otherwise — so
+// balancers stop routing before requests start failing.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	switch {
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case s.adm.saturated():
+		status, code = "overloaded", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"queue_depth": s.adm.queued.Load(),
+		"queue_limit": s.adm.maxQueue,
+		"breaker":     s.brk.State(),
+	})
+}
+
+// BeginDrain flips /readyz to "draining" (503) so load balancers stop
+// routing new work before the listener closes; in-flight requests are
+// unaffected. The daemon calls it on SIGINT/SIGTERM ahead of
+// http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
 // handleStatsz serves GET /statsz.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.m.snapshot(time.Since(s.start), s.cache.Snapshot(), s.sessions.Snapshot()))
+	st := s.m.snapshot(time.Since(s.start), s.cache.Snapshot(), s.sessions.Snapshot())
+	st.QueueDepth = s.adm.queued.Load()
+	st.QueueLimit = s.adm.maxQueue
+	st.Breaker = s.brk.State()
+	writeJSON(w, http.StatusOK, st)
 }
 
 // String describes the server configuration for startup logs.
 func (s *Server) String() string {
-	return fmt.Sprintf("cache %d×%d entries, %d solver slots, timeout %v (max %v)",
-		s.opts.CacheShards, s.opts.CachePerShard, s.opts.MaxInflight,
-		s.opts.DefaultTimeout, s.opts.MaxTimeout)
+	return fmt.Sprintf("cache %d×%d entries, %d solver slots (+%d queue), timeout %v (max %v), breaker %s",
+		s.opts.CacheShards, s.opts.CachePerShard, s.opts.MaxInflight, s.opts.MaxQueue,
+		s.opts.DefaultTimeout, s.opts.MaxTimeout, s.brk.State())
 }

@@ -60,7 +60,27 @@ type metrics struct {
 	patchChanged *obs.Counter
 	patchNoops   *obs.Counter
 
+	// Overload-control instruments: sheds by mode (pre-resolved so
+	// every mode appears in the exposition from startup), the admission
+	// queue depth, the slot-hold histogram feeding the wait estimator,
+	// and the fallback-storm breaker state/trips.
+	shedVec      *obs.CounterVec
+	shedBy       map[string]*obs.Counter
+	queueDepth   *obs.Gauge
+	holdUS       *obs.Histogram
+	breakerState *obs.Gauge
+	breakerTrips *obs.Counter
+
 	traced *obs.Counter
+}
+
+// shed counts one shed decision by mode.
+func (m *metrics) shed(mode string) {
+	if c, ok := m.shedBy[mode]; ok {
+		c.Inc()
+		return
+	}
+	m.shedVec.With(mode).Inc()
 }
 
 // newMetrics registers the server's metric families in reg and returns
@@ -71,6 +91,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 	bounds := make([]float64, len(latencyBoundsUS))
 	for i, b := range latencyBoundsUS {
 		bounds[i] = float64(b)
+	}
+	shedVec := reg.CounterVec("wrbpg_shed_total",
+		"Requests shed by overload control, by mode (queue_full, doomed, canceled, degraded, breaker).", "mode")
+	shedBy := make(map[string]*obs.Counter)
+	for _, mode := range []string{shedQueueFull, shedDoomed, shedCanceled, shedDegraded, shedBreaker} {
+		shedBy[mode] = shedVec.With(mode)
 	}
 	return &metrics{
 		reqSchedule: req.With("schedule"),
@@ -84,7 +110,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		fallbacks: reg.Counter("wrbpg_solve_fallbacks_total",
 			"Solves degraded to the baseline scheduler."),
 		fallbackVec: reg.CounterVec("wrbpg_fallback_total",
-			"Fallbacks and per-budget sweep aborts by classified reason (deadline, budget, panic, canceled, other).", "reason"),
+			"Fallbacks and per-budget sweep aborts by classified reason (deadline, budget, panic, canceled, shed, other).", "reason"),
 		solveErrors: reg.Counter("wrbpg_solve_errors_total",
 			"Solves that returned no schedule at all."),
 		inflight: reg.Gauge("wrbpg_solves_inflight",
@@ -107,6 +133,16 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Node weights actually written by patches (the diff against the session's current state)."),
 		patchNoops: reg.Counter("wrbpg_patch_noop_total",
 			"Patches whose diff was empty (the session was already at the target state)."),
+		shedVec: shedVec,
+		shedBy:  shedBy,
+		queueDepth: reg.Gauge("wrbpg_admission_queue_depth",
+			"Requests currently queued for a solver slot."),
+		holdUS: reg.Histogram("wrbpg_admission_hold_us",
+			"Solver-slot hold time per admitted request, microseconds (the queue-wait estimator's input).", bounds),
+		breakerState: reg.Gauge("wrbpg_breaker_state",
+			"Fallback-storm breaker state: 0 closed, 1 half-open, 2 open."),
+		breakerTrips: reg.Counter("wrbpg_breaker_trips_total",
+			"Times the fallback-storm breaker opened."),
 		traced: reg.Counter("wrbpg_traced_requests_total",
 			"Requests that opted into tracing via the X-Wrbpg-Trace header."),
 	}
@@ -138,6 +174,9 @@ func (s *Server) registerFuncs() {
 	reg.CounterFunc("wrbpg_sweep_session_evictions_total",
 		"Warm sessions evicted from the pool (LRU); a base_key patch against an evicted session is a 404.",
 		func() float64 { return float64(sessions.Snapshot().Evictions) })
+	reg.GaugeFunc("wrbpg_admission_queue_limit",
+		"Admission queue capacity (Options.MaxQueue); depth/limit is queue occupancy.",
+		func() float64 { return float64(s.opts.MaxQueue) })
 	reg.GaugeFunc("wrbpg_traces_stored",
 		"Completed request traces retained for GET /v1/trace/{id}.",
 		func() float64 { return float64(s.traces.Len()) })
@@ -205,6 +244,16 @@ type Stats struct {
 	PatchDeltas       uint64 `json:"patch_deltas"`
 	PatchChangedNodes uint64 `json:"patch_changed_nodes"`
 	PatchNoops        uint64 `json:"patch_noops"`
+	// Overload-control counters: current admission-queue occupancy,
+	// sheds by mode, and the fallback-storm breaker state
+	// ("closed" / "half_open" / "open" / "disabled") with its trip
+	// count. The handler fills QueueDepth/QueueLimit/Breaker from live
+	// server state.
+	QueueDepth   int64             `json:"queue_depth"`
+	QueueLimit   int               `json:"queue_limit"`
+	Shed         map[string]uint64 `json:"shed"`
+	Breaker      string            `json:"breaker"`
+	BreakerTrips uint64            `json:"breaker_trips"`
 	// SolveLatency is the cumulative histogram of solver wall-clock
 	// times (cache hits excluded — they never invoke the solver).
 	SolveLatency   []LatencyBucket `json:"solve_latency"`
@@ -237,7 +286,12 @@ func (m *metrics) snapshot(uptime time.Duration, cache, sessions schedcache.Stat
 		PatchDeltas:       m.patchDeltas.Value(),
 		PatchChangedNodes: m.patchChanged.Value(),
 		PatchNoops:        m.patchNoops.Value(),
+		BreakerTrips:      m.breakerTrips.Value(),
 		SolveLatencyUS:    int64(m.latency.Sum()),
+	}
+	st.Shed = make(map[string]uint64, len(m.shedBy))
+	for mode, c := range m.shedBy {
+		st.Shed[mode] = c.Value()
 	}
 	for i, b := range latencyBoundsUS {
 		st.SolveLatency = append(st.SolveLatency, LatencyBucket{LEUS: b, Count: m.latency.Bucket(i)})

@@ -112,14 +112,20 @@ func (s *Server) sweep(ctx context.Context, req *wire.SweepRequest, ws *sweepWor
 		defer cancel()
 	}
 
-	// Admission: a sweep is solver work, one semaphore slot like any
-	// cold solve. Waiting counts against the caller's context.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		return nil, asWireErr(guard.Wrap(ctx.Err()))
+	// Admission: a sweep is solver work, one slot like any cold solve.
+	// The queue wait is bounded by the remaining sweep deadline (sctx
+	// already carries it, so queue time and solve time share one
+	// budget); a shed sweep is a structured 429 — there is no cheap
+	// whole-sweep baseline to degrade to.
+	tk, shed := s.adm.Acquire(ctx, guard.ClampDeadline(sctx, 0, s.opts.MaxTimeout))
+	if shed != nil {
+		s.m.shed(shed.mode)
+		if shed.mode == shedCanceled {
+			return nil, asWireErr(guard.Wrap(ctx.Err()))
+		}
+		return nil, shedErr(shed)
 	}
+	defer tk.Release()
 
 	s.m.inflight.Add(1)
 	wctx, wsp := obs.StartSpan(sctx, "sweep.solve")

@@ -1,0 +1,115 @@
+// Fuzz targets for the wire request decoders: every malformed body
+// must come back as a structured error (the serve layer's 400), never
+// a panic. The targets mirror the handler pipeline exactly — strict
+// JSON decode, request→Instance conversion, Validate, key derivation —
+// but stop short of Build, so the fuzzer explores the parsing and
+// validation surface without paying graph-construction time or memory.
+//
+// Run continuously with:
+//
+//	go test -fuzz=FuzzScheduleRequest -fuzztime=30s ./internal/serve/wire
+//	go test -fuzz=FuzzPatchRequest    -fuzztime=30s ./internal/serve/wire
+
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodeLikeServer mimics serve.decodeStrict: DisallowUnknownFields
+// plus a trailing-data check. Returns false when the body is rejected
+// at the JSON layer (the handler's immediate 400).
+func decodeLikeServer(data []byte, v any) bool {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return false
+	}
+	return !dec.More()
+}
+
+func FuzzScheduleRequest(f *testing.F) {
+	// Seeds from docs/SERVICE.md examples plus boundary shapes.
+	f.Add([]byte(`{"family":"dwt","n":32,"d":4,"budget_bits":2048}`))
+	f.Add([]byte(`{"family":"dwt","n":32,"d":4,"weights":{"name":"da"},"budget_bits":2048,"timeout_ms":500,"include_moves":true}`))
+	f.Add([]byte(`{"family":"ktree","k":2,"height":5,"budget_bits":4096}`))
+	f.Add([]byte(`{"family":"mvm","m":96,"n":8,"budget_bits":1024}`))
+	f.Add([]byte(`{"family":"cdag","graph":{"nodes":[{"id":0,"weight_bits":8}]},"budget_bits":64}`))
+	f.Add([]byte(`{"family":"dwt","n":32,"d":4,"weights":{"word_bits":8,"input_words":1,"output_words":1},"budget_bits":256}`))
+	f.Add([]byte(`{"family":"dwt","n":-1,"d":0,"budget_bits":-5}`))
+	f.Add([]byte(`{"family":""}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"family":"dwt","n":9007199254740993,"d":4,"budget_bits":9223372036854775807}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req ScheduleRequest
+		if !decodeLikeServer(data, &req) {
+			return // handler answers 400 before the request exists
+		}
+		inst, err := req.Instance()
+		if err != nil {
+			return // structured 400
+		}
+		if err := inst.Validate(); err != nil {
+			return // structured 400
+		}
+		// A validated instance must be keyable without panicking; the
+		// keys feed the schedule cache and session pool.
+		if inst.Key(1) == "" {
+			t.Fatal("validated instance produced an empty cache key")
+		}
+		if inst.ShapeKey() == "" {
+			t.Fatal("validated instance produced an empty shape key")
+		}
+	})
+}
+
+func FuzzPatchRequest(f *testing.F) {
+	f.Add([]byte(`{"family":"dwt","n":64,"d":6,"deltas":[{"node":3,"weight_bits":24}],"budgets_bits":[112,176]}`))
+	f.Add([]byte(`{"family":"ktree","k":3,"height":3,"deltas":[{"node":0,"weight_bits":16}],"budgets_bits":[4096,2048,1024,512]}`))
+	f.Add([]byte(`{"base_key":"sha256:abcdef","deltas":[{"node":1,"weight_bits":8}],"budgets_bits":[64]}`))
+	f.Add([]byte(`{"family":"dwt","n":16,"d":2,"deltas":[{"node":5,"weight_bits":8},{"node":5,"weight_bits":12}],"budgets_bits":[128]}`))
+	f.Add([]byte(`{"family":"dwt","n":16,"d":2,"deltas":[],"budgets_bits":[]}`))
+	f.Add([]byte(`{"family":"dwt","n":16,"d":2,"deltas":[{"node":-1,"weight_bits":-9223372036854775808}],"budgets_bits":[0]}`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req PatchRequest
+		if !decodeLikeServer(data, &req) {
+			return
+		}
+		ds, err := CanonicalDeltas(req.Deltas)
+		if err != nil {
+			return // structured 400
+		}
+		// Canonical form is sorted by node with duplicates merged.
+		for i := 1; i < len(ds); i++ {
+			if ds[i-1].Node >= ds[i].Node {
+				t.Fatalf("CanonicalDeltas not strictly sorted: %v", ds)
+			}
+		}
+		if req.BaseKey != "" {
+			return // resolved against the session pool, nothing to build
+		}
+		inst, err := req.BaseInstance()
+		if err != nil {
+			return // structured 400
+		}
+		inst.Deltas = ds
+		if err := inst.Validate(); err != nil {
+			return // structured 400
+		}
+		if inst.ShapeKey() == "" || inst.BaseShapeKey() == "" {
+			t.Fatal("validated patch instance produced an empty key")
+		}
+		// The base key must not depend on the deltas.
+		base := inst.BaseShapeKey()
+		inst.Deltas = nil
+		if inst.BaseShapeKey() != base {
+			t.Fatal("BaseShapeKey depends on deltas")
+		}
+	})
+}

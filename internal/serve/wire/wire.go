@@ -401,8 +401,11 @@ type Error struct {
 	// the request (or what failed serving it).
 	Message string `json:"error"`
 	// Reason, when set, classifies the abort machine-readably:
-	// "deadline", "budget", "panic", "canceled" or "other".
+	// "deadline", "budget", "panic", "canceled", "shed" or "other".
 	Reason string `json:"reason,omitempty"`
+	// RetryAfterS, on a 429, is the server's queue-drain estimate in
+	// seconds — the same value it sends in the Retry-After header.
+	RetryAfterS int64 `json:"retry_after_s,omitempty"`
 }
 
 func (e *Error) Error() string { return e.Message }
@@ -416,6 +419,13 @@ func Errorf(status int, format string, args ...any) *Error {
 // returns e, for chaining off Errorf.
 func (e *Error) WithReason(reason string) *Error {
 	e.Reason = reason
+	return e
+}
+
+// WithRetryAfter stamps the retry estimate (seconds) and returns e,
+// for chaining off Errorf.
+func (e *Error) WithRetryAfter(seconds int64) *Error {
+	e.RetryAfterS = seconds
 	return e
 }
 

@@ -46,14 +46,23 @@ import (
 // ("optimal solver panicked: …").
 var ErrPanic = errors.New("panicked")
 
+// ErrShed marks a solve that never attempted the optimal tier: the
+// serving layer's overload control shed it straight to the baseline
+// scheduler (see Degraded). It reads naturally inside the wrapping
+// message ("shed by overload control").
+var ErrShed = errors.New("shed by overload control")
+
 // FallbackReason classifies a degradation (or abort) cause into the
 // label vocabulary shared by the wrbpg_fallback_total metric and the
 // wire-level fallback_reason field: "canceled", "deadline", "budget",
-// "panic" or "other" ("" for nil). It extends guard.AbortReason with
-// the panic causes only this layer can see (the Run recover and
-// *par.PanicError from sweep workers).
+// "panic", "shed" or "other" ("" for nil). It extends guard.AbortReason
+// with the causes only this layer can see (the Run recover,
+// *par.PanicError from sweep workers, and overload sheds).
 func FallbackReason(err error) string {
 	var pe *par.PanicError
+	if errors.Is(err, ErrShed) {
+		return "shed"
+	}
 	if errors.Is(err, ErrPanic) || errors.As(err, &pe) {
 		return "panic"
 	}
@@ -243,7 +252,12 @@ func run(ctx context.Context, p Problem, budget cdag.Weight, lim guard.Limits) (
 		return out, nil
 	}
 	if !degrade {
-		degrade = guard.Degradable(optErr)
+		// A *par.PanicError returned as a plain error (a pool worker
+		// panicked inside the optimal tier, already recovered by par) is
+		// the same solver-bug case as the goroutine recover above: the
+		// caller still wants an answer and the baseline is an independent
+		// code path.
+		degrade = guard.Degradable(optErr) || FallbackReason(optErr) == "panic"
 	}
 	if !degrade {
 		return Outcome{Source: SourceOptimal, Budget: budget, Err: optErr, Elapsed: time.Since(start)},
@@ -280,6 +294,56 @@ func fallback(p Problem, budget cdag.Weight) (core.Schedule, error) {
 		return baseline.LayerByLayer(p.G, p.Layers, budget)
 	}
 	return baseline.Greedy(p.G, budget)
+}
+
+// Degraded runs only the baseline scheduler — the overload answer of a
+// serving layer whose admission control decided this request cannot
+// afford (or must not touch) the optimal tier. The schedule is still
+// Simulate-validated, the Outcome is flagged SourceFallback with
+// Err = ErrShed (FallbackReason "shed"), and the observation hook
+// fires exactly as for Run, so shed solves land in the same fallback
+// metrics and logs as deadline degradations.
+func Degraded(ctx context.Context, p Problem, budget cdag.Weight) (Outcome, error) {
+	out, err := degraded(ctx, p, budget)
+	if h := hook.Load(); h != nil {
+		(*h)(p.Name, out, err)
+	}
+	return out, err
+}
+
+// degraded is Degraded without the observation hook.
+func degraded(ctx context.Context, p Problem, budget cdag.Weight) (Outcome, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		werr := guard.Wrap(err)
+		return Outcome{Source: SourceFallback, Budget: budget, Err: werr, Elapsed: time.Since(start)},
+			fmt.Errorf("solve: %s: %w", p.Name, werr)
+	}
+	_, fsp := obs.StartSpan(ctx, "solve.fallback")
+	fsp.SetAttr("reason", "shed")
+	sched, err := fallback(p, budget)
+	if err != nil {
+		fsp.End()
+		return Outcome{Source: SourceFallback, Budget: budget, Err: ErrShed, Elapsed: time.Since(start)},
+			fmt.Errorf("solve: %s: %w and baseline failed: %v", p.Name, ErrShed, err)
+	}
+	stats, serr := core.Simulate(p.G, budget, sched)
+	fsp.End()
+	if serr != nil {
+		return Outcome{Source: SourceFallback, Budget: budget, Err: ErrShed, Elapsed: time.Since(start)},
+			fmt.Errorf("solve: %s: shed baseline schedule failed validation: %w", p.Name, serr)
+	}
+	return Outcome{
+		Source:   SourceFallback,
+		Schedule: sched,
+		Stats:    stats,
+		Budget:   budget,
+		Err:      ErrShed,
+		Elapsed:  time.Since(start),
+	}, nil
 }
 
 // DWT wraps a DWT graph: the optimal solver is the P(v, b) dynamic
