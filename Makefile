@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fault bench-smoke bench-json bench-json-quick serve-check obs-check patch-check soak-smoke fuzz-smoke bench-overload staticcheck check
+.PHONY: all build vet test race race-fault bench-smoke bench-json bench-json-quick serve-check obs-check patch-check cluster-check soak-smoke fuzz-smoke bench-overload bench-cluster staticcheck check
 
 all: check
 
@@ -55,6 +55,13 @@ obs-check:
 patch-check:
 	$(GO) test -race -run 'SetWeights|Patch' ./internal/dwt/ ./internal/ktree/ ./internal/memstate/ ./internal/solve/ ./internal/serve/ ./cmd/wrbpg/
 
+# Race-enabled cluster gate: a 3-replica in-process fleet (consistent-
+# hash ring, peer fill, cross-replica singleflight) under round-robin
+# load, then a kill-one soak. Acceptance: near-zero duplicate cold
+# solves fleet-wide and zero 5xx while a replica dies (docs/CLUSTER.md).
+cluster-check:
+	$(GO) test -race -run TestClusterFleet -v ./cmd/wrbpgload/
+
 # 30-second chaos soak: wrbpgload drives an in-process server with a
 # panic injected into every 5th solver work item; the run must produce
 # zero 5xx and a bounded p99 (docs/ROBUSTNESS.md §overload).
@@ -68,6 +75,7 @@ soak-smoke:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzScheduleRequest -fuzztime=10s -run '^$$' ./internal/serve/wire/
 	$(GO) test -fuzz=FuzzPatchRequest -fuzztime=10s -run '^$$' ./internal/serve/wire/
+	$(GO) test -fuzz=FuzzPeerRequest -fuzztime=10s -run '^$$' ./internal/serve/wire/
 
 # The BENCH_7 overload run: measure capacity closed-loop, then offer 4x
 # that rate open-loop for 10s. Acceptance: nothing but 200s and 429s
@@ -75,6 +83,15 @@ fuzz-smoke:
 bench-overload:
 	$(GO) run ./cmd/wrbpgload -inproc -workers 4 -probe 3s -overload 4 \
 		-duration 10s -timeout 300ms -assert-no-5xx -out BENCH_7.json
+
+# The BENCH_8 cluster run: a 3-replica in-process fleet on a fixed
+# hot-key roster, then a 5s kill-one soak. Acceptance: fleet duplicate
+# cold solves near zero (cross-replica singleflight) and zero 5xx while
+# a replica drains and dies (docs/CLUSTER.md).
+bench-cluster:
+	$(GO) run ./cmd/wrbpgload -inproc-replicas 3 -workers 4 -duration 10s \
+		-timeout 400ms -hot-budgets 4 -kill-soak 5s -assert-no-5xx \
+		-max-duplicates 10 -out BENCH_8.json
 
 # Runs staticcheck when it is installed; skips (successfully) when not,
 # so the gate works in minimal containers. CI installs it explicitly.
@@ -85,4 +102,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-check: build vet race race-fault bench-smoke serve-check obs-check patch-check staticcheck
+check: build vet race race-fault bench-smoke serve-check obs-check patch-check cluster-check staticcheck

@@ -20,9 +20,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"wrbpg/internal/cluster"
 	"wrbpg/internal/guard"
 	"wrbpg/internal/obs"
 	"wrbpg/internal/serve"
@@ -63,6 +65,12 @@ func run(args []string, stdout *os.File) error {
 		idleTimeout    = fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 		drainTimeout   = fs.Duration("drain-timeout", 35*time.Second, "grace period for in-flight solves on shutdown")
 		drainDelay     = fs.Duration("drain-delay", 0, "pause between announcing drain on /readyz and closing the listener, so load balancers stop routing first")
+		peers          = fs.String("peers", "", "comma-separated base URLs of the other replicas (enables cluster peer routing; requires -cluster-self)")
+		clusterSelf    = fs.String("cluster-self", "", "this replica's advertised base URL on the ring, e.g. http://10.0.0.3:8080")
+		clusterSeed    = fs.Uint64("cluster-seed", 0, "ring hash seed; must match across the fleet")
+		peerVNodes     = fs.Int("peer-vnodes", 0, "virtual nodes per ring member (0 = default; must match across the fleet)")
+		peerTimeout    = fs.Duration("peer-timeout", 0, "peer-fill round-trip bound (0 = default 250ms)")
+		peerHealth     = fs.Duration("peer-health-interval", 0, "peer /readyz probe period (0 = default 1s)")
 	)
 	logFlags := obs.AddLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -76,7 +84,37 @@ func run(args []string, stdout *os.File) error {
 		return err
 	}
 
+	// Cluster membership: -peers turns this replica into a ring member
+	// that forwards cold solves for keys it does not own to their owner
+	// (docs/CLUSTER.md). Peer routing is strictly additive — a replica
+	// with an empty peer list behaves exactly like the single-node
+	// daemon.
+	var cl *cluster.Cluster
+	if *peers != "" || *clusterSelf != "" {
+		if *clusterSelf == "" {
+			return errors.New("-peers requires -cluster-self (the ring needs this replica's advertised URL)")
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:           *clusterSelf,
+			Peers:          peerList,
+			VNodes:         *peerVNodes,
+			Seed:           *clusterSeed,
+			PeerTimeout:    *peerTimeout,
+			HealthInterval: *peerHealth,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+	}
+
 	srv := serve.New(serve.Options{
+		Cluster:        cl,
 		CacheShards:    *cacheShards,
 		CachePerShard:  *cachePerShard,
 		MaxInflight:    *maxInflight,
@@ -164,6 +202,14 @@ func run(args []string, stdout *os.File) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// The health loop ejects unreachable peers from the ring and
+	// re-admits them when /readyz answers again; it dies with the
+	// signal context on shutdown.
+	if cl != nil {
+		cl.Start(ctx)
+		logger.Info("cluster", "members", len(cl.Health().Peers)+1, "self", cl.Self())
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

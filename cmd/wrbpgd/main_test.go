@@ -269,4 +269,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-addr", "127.0.0.1:1:bad"}, os.Stdout); err == nil {
 		t.Fatal("unlistenable address accepted")
 	}
+	if err := run([]string{"-peers", "http://127.0.0.1:9"}, os.Stdout); err == nil {
+		t.Fatal("-peers without -cluster-self accepted")
+	} else if !strings.Contains(err.Error(), "cluster-self") {
+		t.Fatalf("peer validation error should name -cluster-self: %v", err)
+	}
 }

@@ -54,15 +54,21 @@ type report struct {
 	// Capacity is the closed-loop probe result when -overload is used.
 	Capacity *loadgen.Result `json:"capacity,omitempty"`
 	// Run is the main measurement phase.
-	Run         *loadgen.Result `json:"run"`
-	GeneratedAt string          `json:"generated_at"`
+	Run *loadgen.Result `json:"run"`
+	// Cluster carries the fleet accounting for -inproc-replicas runs.
+	Cluster     *clusterReport `json:"cluster,omitempty"`
+	GeneratedAt string         `json:"generated_at"`
 }
 
 func run(args []string, stdout *os.File) error {
 	fs := flag.NewFlagSet("wrbpgload", flag.ContinueOnError)
 	var (
-		target      = fs.String("target", "", "base URL of a running wrbpgd (mutually exclusive with -inproc)")
+		target      = fs.String("target", "", "comma-separated base URLs of running wrbpgd replicas, load-balanced round-robin (mutually exclusive with -inproc)")
 		inproc      = fs.Bool("inproc", false, "serve an in-process wrbpg server on a loopback port (enables -fault-every)")
+		replicas    = fs.Int("inproc-replicas", 0, "boot an N-replica in-process cluster (consistent-hash ring, peer fill) and load it round-robin")
+		killSoak    = fs.Duration("kill-soak", 0, "after the main run, soak this long while one replica drains and dies mid-soak (-inproc-replicas only)")
+		hotBudgets  = fs.Int("hot-budgets", 0, "draw schedule budgets from a fixed roster of this size per shape, bounding the distinct-key population (0 = unbounded)")
+		maxDup      = fs.Int64("max-duplicates", -1, "exit nonzero if fleet duplicate cold solves exceed this (-inproc-replicas only, -1 = no bound)")
 		duration    = fs.Duration("duration", 10*time.Second, "main measurement duration")
 		workers     = fs.Int("workers", 4, "closed-loop concurrent requesters (ignored when -rate or -overload set)")
 		rate        = fs.Float64("rate", 0, "open-loop offered rate in req/s (overrides -workers)")
@@ -86,18 +92,48 @@ func run(args []string, stdout *os.File) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	if (*target == "") == !*inproc {
-		return errors.New("exactly one of -target or -inproc is required")
+	modes := 0
+	for _, on := range []bool{*target != "", *inproc, *replicas > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return errors.New("exactly one of -target, -inproc or -inproc-replicas is required")
 	}
 	if *faultEvery > 0 && !*inproc {
 		return errors.New("-fault-every needs -inproc (the fault hook is process-local)")
+	}
+	if (*killSoak > 0 || *maxDup >= 0) && *replicas == 0 {
+		return errors.New("-kill-soak and -max-duplicates need -inproc-replicas")
+	}
+	if *replicas == 1 {
+		return errors.New("-inproc-replicas needs at least 2 (use -inproc for a single server)")
 	}
 	mix, err := parseMix(*mixFlag)
 	if err != nil {
 		return err
 	}
 
-	base := *target
+	var targets []string
+	for _, t := range strings.Split(*target, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, t)
+		}
+	}
+	var flt *fleet
+	if *replicas > 1 {
+		var err error
+		flt, err = startFleet(*replicas, serve.Options{MaxInflight: *maxInflight, MaxQueue: *maxQueue}, uint64(*seed))
+		if err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+		defer flt.stop()
+		targets = flt.urls
+		fmt.Fprintf(stdout, "wrbpgload inproc fleet: %s\n", strings.Join(targets, ", "))
+	}
+
+	var base string
 	var faults atomic.Int64
 	if *inproc {
 		srv := serve.New(serve.Options{MaxInflight: *maxInflight, MaxQueue: *maxQueue})
@@ -124,16 +160,25 @@ func run(args []string, stdout *os.File) error {
 		}
 	}
 
+	if base != "" {
+		targets = []string{base}
+	}
 	cfg := loadgen.Config{
-		BaseURL:    base,
 		Mix:        mix,
 		Duration:   *duration,
 		Timeout:    *timeout,
 		MaxRetries: *retries,
 		MaxPending: *maxPending,
 		Seed:       *seed,
+		HotBudgets: *hotBudgets,
 	}
-	rep := &report{Target: base, Mix: mix, TimeoutMS: timeout.Milliseconds(), FaultEvery: *faultEvery}
+	if len(targets) == 1 {
+		cfg.BaseURL = targets[0]
+	} else {
+		cfg.BaseURLs = targets
+		cfg.ProbeInterval = 50 * time.Millisecond
+	}
+	rep := &report{Target: strings.Join(targets, ","), Mix: mix, TimeoutMS: timeout.Milliseconds(), FaultEvery: *faultEvery}
 	ctx := context.Background()
 
 	switch {
@@ -166,6 +211,46 @@ func run(args []string, stdout *os.File) error {
 	}
 	rep.Run = res
 	rep.FaultsFired = faults.Load()
+
+	if flt != nil {
+		// Fleet accounting is snapshotted before the kill soak so the
+		// duplicate metric covers exactly the main phase's traffic.
+		cr := &clusterReport{
+			Replicas:     len(flt.urls),
+			FleetSolves:  flt.solves(),
+			DistinctKeys: res.DistinctScheduleKeys,
+		}
+		cr.DuplicateSolves = int64(cr.FleetSolves) - int64(cr.DistinctKeys)
+		cr.PeerRequests, cr.PeerFill = flt.peerTraffic()
+		rep.Cluster = cr
+		fmt.Fprintf(stdout, "fleet: solves=%d distinct_keys=%d duplicates=%d peer_requests=%d fill=%v\n",
+			cr.FleetSolves, cr.DistinctKeys, cr.DuplicateSolves, cr.PeerRequests, cr.PeerFill)
+
+		if *killSoak > 0 {
+			scfg := cfg
+			scfg.Duration = *killSoak
+			type soakOut struct {
+				res *loadgen.Result
+				err error
+			}
+			ch := make(chan soakOut, 1)
+			go func() {
+				r, e := loadgen.Run(ctx, scfg)
+				ch <- soakOut{r, e}
+			}()
+			// Kill a quarter of the way in: in-flight requests, ring
+			// rebalance and re-routing all happen under live traffic.
+			time.Sleep(*killSoak / 4)
+			cr.KilledReplica = flt.killOne(stdout)
+			so := <-ch
+			if so.err != nil {
+				return fmt.Errorf("kill soak: %w", so.err)
+			}
+			cr.KillSoak = so.res
+			fmt.Fprintf(stdout, "kill soak: sent=%d ok=%d shed429=%d 5xx=%d transport=%d\n",
+				so.res.Sent, so.res.OK, so.res.Shed429, so.res.ServerErr, so.res.TransportErr)
+		}
+	}
 	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 
 	fmt.Fprintf(stdout,
@@ -189,6 +274,14 @@ func run(args []string, stdout *os.File) error {
 	// Assertions last, so the report is on disk even when they fail.
 	if *assertNo5xx && res.ServerErr > 0 {
 		return fmt.Errorf("%d server errors (5xx) — overload must shed, not fail", res.ServerErr)
+	}
+	if cr := rep.Cluster; cr != nil {
+		if *assertNo5xx && cr.KillSoak != nil && cr.KillSoak.ServerErr > 0 {
+			return fmt.Errorf("%d server errors (5xx) during the kill soak — losing a replica must cost capacity, not correctness", cr.KillSoak.ServerErr)
+		}
+		if *maxDup >= 0 && cr.DuplicateSolves > *maxDup {
+			return fmt.Errorf("%d duplicate cold solves across the fleet exceed the -max-duplicates bound %d (cross-replica singleflight should dedup)", cr.DuplicateSolves, *maxDup)
+		}
 	}
 	if *assertNo5xx && res.DeadlineBlown > 0 {
 		return fmt.Errorf("%d deadline-blown 200s — admission should have shed them", res.DeadlineBlown)

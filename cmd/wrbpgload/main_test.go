@@ -85,6 +85,59 @@ func TestOverloadTwoPhase(t *testing.T) {
 	}
 }
 
+// TestClusterFleet is the `make cluster-check` entry point: a 3-replica
+// in-process cluster under round-robin load with a fixed hot-key
+// roster, then a kill-one soak. Acceptance: cross-replica singleflight
+// keeps fleet duplicate cold solves near zero, and losing a replica
+// mid-soak produces zero 5xx.
+func TestClusterFleet(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{
+		"-inproc-replicas", "3",
+		"-workers", "3",
+		"-duration", "1500ms",
+		"-timeout", "400ms",
+		"-hot-budgets", "3",
+		"-kill-soak", "1200ms",
+		"-assert-no-5xx",
+		"-max-duplicates", "5",
+		"-out", out,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	cr := rep.Cluster
+	if cr == nil || cr.Replicas != 3 {
+		t.Fatalf("missing cluster section: %s", b)
+	}
+	if cr.DistinctKeys == 0 || cr.FleetSolves == 0 {
+		t.Fatalf("no fleet traffic accounted: %+v", cr)
+	}
+	if cr.DuplicateSolves > 5 {
+		t.Fatalf("%d duplicate cold solves — singleflight not deduplicating: %+v", cr.DuplicateSolves, cr)
+	}
+	if cr.PeerRequests == 0 || cr.PeerFill["filled"] == 0 {
+		t.Fatalf("no peer fills happened — ring routing inert: %+v", cr)
+	}
+	if cr.KilledReplica == "" || cr.KillSoak == nil {
+		t.Fatalf("kill soak did not run: %s", b)
+	}
+	if cr.KillSoak.ServerErr != 0 {
+		t.Fatalf("5xx during kill soak: %+v", cr.KillSoak)
+	}
+	if cr.KillSoak.OK == 0 {
+		t.Fatalf("kill soak served nothing: %+v", cr.KillSoak)
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
 		{},                          // neither -target nor -inproc
@@ -93,6 +146,10 @@ func TestFlagValidation(t *testing.T) {
 		{"-inproc", "-mix", "1,2"},                   // short mix
 		{"-inproc", "-mix", "0,0,0"},                 // all-zero mix
 		{"-inproc", "positional"},                    // stray arg
+		{"-inproc-replicas", "3", "-inproc"},         // two modes
+		{"-inproc-replicas", "1"},                    // fleet of one
+		{"-kill-soak", "1s", "-inproc"},              // soak needs replicas
+		{"-max-duplicates", "0", "-inproc"},          // bound needs replicas
 	} {
 		if err := run(args, os.Stdout); err == nil {
 			t.Errorf("run(%v) accepted", args)

@@ -1,0 +1,82 @@
+// The peer-fill client half of the POST /v1/peer/schedule protocol.
+// The serving layer is the other half (internal/serve): on a local
+// cache miss whose key the ring assigns elsewhere, it calls Fill
+// against the owner instead of cold-solving, bounded by a slice of the
+// request deadline, and falls back to the local solver on any error.
+
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"wrbpg/internal/serve/wire"
+)
+
+const (
+	// HopHeader marks a request as replica-to-replica. The peer endpoint
+	// requires it, and any schedule path seeing it never forwards again:
+	// a peer fill is exactly one hop, so ownership disagreement (rings
+	// mid-re-ring, version skew) can cost one wasted hop but never a
+	// forwarding loop.
+	HopHeader = "X-Wrbpg-Peer-Hop"
+	// PeerPath is the internal peer-fill endpoint.
+	PeerPath = "/v1/peer/schedule"
+)
+
+// maxPeerBody bounds a peer response read (schedules with full move
+// lists are well under this).
+const maxPeerBody = 32 << 20
+
+// Fill asks owner to answer preq. Exactly one of the three returns is
+// meaningful:
+//
+//   - result: the owner answered 200 (it solved, or hit its cache);
+//   - apiErr: the owner answered a structured API error — notably a
+//     429 carrying its Retry-After shed estimate, which cluster-aware
+//     shedding may propagate to the end client;
+//   - err: the transport failed (refused, reset, deadline) or the
+//     response was undecodable. The caller should treat the owner as
+//     suspect (ReportFillError) and solve locally.
+//
+// The caller bounds the round trip via ctx (the peer-timeout slice of
+// the request deadline).
+func (c *Cluster) Fill(ctx context.Context, owner string, preq *wire.PeerScheduleRequest) (*wire.ScheduleResult, *wire.Error, error) {
+	body, err := json.Marshal(preq)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: encode peer request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+PeerPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HopHeader, "1")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: read peer response: %w", err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		var res wire.ScheduleResult
+		if err := json.Unmarshal(b, &res); err != nil {
+			return nil, nil, fmt.Errorf("cluster: decode peer result: %w", err)
+		}
+		return &res, nil, nil
+	}
+	var we wire.Error
+	if err := json.Unmarshal(b, &we); err != nil || we.Status == 0 {
+		// Not a structured API error (proxy page, truncation): surface as
+		// a transport-class failure so the caller solves locally.
+		return nil, nil, fmt.Errorf("cluster: peer %s answered %d with unstructured body", owner, resp.StatusCode)
+	}
+	return nil, &we, nil
+}

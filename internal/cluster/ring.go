@@ -1,0 +1,178 @@
+// Package cluster is the distributed wrbpgd layer: a consistent-hash
+// ring over a static replica fleet, a peer-fill client speaking the
+// internal POST /v1/peer/schedule protocol, and a lightweight health
+// loop that ejects degraded peers from the ring and re-admits them on
+// recovery (docs/CLUSTER.md).
+//
+// The content-addressed schedule cache is the fleet's most valuable
+// asset — optimal red-blue pebbling schedules are expensive to compute
+// (the general problem is hard, Papp–Wattenhofer) — so the ring
+// assigns every cache key exactly one owner replica. A replica that
+// misses locally asks the owner before cold-solving, and the owner's
+// local singleflight dedups all forwarders plus its own traffic: in
+// the steady state each key is cold-solved at most once fleet-wide,
+// the cluster analogue of the replication-vs-communication trade-off
+// Böhnlein–Papp–Yzelman study inside the multiprocessor pebbling
+// model.
+//
+// Availability beats dedup everywhere: every peer interaction is
+// bounded by a slice of the request deadline and falls back to a local
+// solve, so a cluster replica is never less available than a
+// single-node daemon.
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultVNodes is the virtual-node count per member when Config
+// leaves it zero: high enough that one member's share of the key space
+// stays within a few percent of 1/N, low enough that ring rebuilds
+// (member eject/re-admit) stay microsecond-cheap.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over replica identities (base URLs).
+// Keys and members hash onto one 64-bit circle; a key is owned by the
+// first member point at or clockwise of its hash. Each member
+// contributes vnodes points, so removing a member moves only the keys
+// it owned (~1/N of the space) and adding one steals ~1/(N+1) spread
+// evenly from everyone — the property the rebalancing tests pin down.
+//
+// All replicas must build their rings with the same vnodes and seed or
+// they will disagree about ownership; the seed exists so distinct
+// clusters sharing a key space cannot accidentally agree.
+type Ring struct {
+	vnodes int
+	seed   uint64
+
+	mu      sync.RWMutex
+	members map[string]struct{}
+	points  []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node on the circle.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds an empty ring with the given virtual-node count
+// (DefaultVNodes when < 1) and hash seed.
+func NewRing(vnodes int, seed uint64) *Ring {
+	if vnodes < 1 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, seed: seed, members: make(map[string]struct{})}
+}
+
+// hash is 64-bit FNV-1a over the seed bytes followed by s, inlined so
+// Owner allocates nothing.
+func (r *Ring) hash(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= (r.seed >> (8 * i)) & 0xff
+		h *= prime
+	}
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Add inserts member (idempotent) and rebuilds the point list.
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	r.rebuild()
+}
+
+// Remove deletes member (idempotent) and rebuilds the point list.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	r.rebuild()
+}
+
+// Has reports whether member is currently on the ring.
+func (r *Ring) Has(member string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.members[member]
+	return ok
+}
+
+// rebuild regenerates the sorted vnode points; caller holds mu. Vnode
+// hashes are h(member + "#" + i): deterministic, so every replica
+// derives the identical circle from the identical membership.
+func (r *Ring) rebuild() {
+	r.points = r.points[:0]
+	var buf [20]byte
+	for m := range r.members {
+		for i := 0; i < r.vnodes; i++ {
+			n := len(buf)
+			for x := i; ; x /= 10 {
+				n--
+				buf[n] = byte('0' + x%10)
+				if x < 10 {
+					break
+				}
+			}
+			r.points = append(r.points, ringPoint{
+				hash:   r.hash(m + "#" + string(buf[n:])),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.member < b.member // deterministic under (vanishingly rare) collisions
+	})
+}
+
+// Owner returns the member owning key, or ok=false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := r.hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point clockwise of the top of the circle
+	}
+	return r.points[i].member, true
+}
+
+// Members returns the current membership, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the current member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0, 0)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if r.Len() != 0 || len(r.Members()) != 0 {
+		t.Fatal("empty ring reports members")
+	}
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r := NewRing(8, 1)
+	r.Add("http://a:1")
+	for i := 0; i < 100; i++ {
+		owner, ok := r.Owner(fmt.Sprintf("key-%d", i))
+		if !ok || owner != "http://a:1" {
+			t.Fatalf("key-%d: owner=%q ok=%v, want the only member", i, owner, ok)
+		}
+	}
+}
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	// Two rings built with the same members, vnodes and seed must agree
+	// on every key — the property the fleet's dedup rests on. A third
+	// ring with a different seed should disagree somewhere.
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, r2, r3 := NewRing(64, 7), NewRing(64, 7), NewRing(64, 8)
+	// Insertion order must not matter either.
+	for _, m := range members {
+		r1.Add(m)
+	}
+	for i := len(members) - 1; i >= 0; i-- {
+		r2.Add(members[i])
+		r3.Add(members[i])
+	}
+	agree3 := 0
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("sha256:%064d", i)
+		o1, _ := r1.Owner(k)
+		o2, _ := r2.Owner(k)
+		o3, _ := r3.Owner(k)
+		if o1 != o2 {
+			t.Fatalf("same-config rings disagree on %q: %q vs %q", k, o1, o2)
+		}
+		if o1 == o3 {
+			agree3++
+		}
+	}
+	// A different seed re-shuffles ownership; chance agreement is ~1/3.
+	if agree3 > 600 {
+		t.Fatalf("different-seed ring agrees on %d/1000 keys; seed is not perturbing the hash", agree3)
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(16, 0)
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 {
+		t.Fatalf("Len=%d after double Add", r.Len())
+	}
+	if got := len(r.points); got != 16 {
+		t.Fatalf("points=%d after double Add, want 16", got)
+	}
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("ring not empty after double Remove: len=%d points=%d", r.Len(), len(r.points))
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With 64 vnodes per member, each of 4 members should own a share
+	// of a large key population within ~2× of the fair 1/4 — consistent
+	// hashing is only statistically fair, so the bound is loose but
+	// catches gross placement bugs (e.g. all vnodes colliding).
+	r := NewRing(64, 42)
+	const n = 4
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("http://replica-%d:8080", i))
+	}
+	const keys = 20000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		o, _ := r.Owner(fmt.Sprintf("sha256:%x", i*2654435761))
+		counts[o]++
+	}
+	fair := float64(keys) / n
+	for m, c := range counts {
+		if math.Abs(float64(c)-fair) > fair {
+			t.Errorf("member %s owns %d of %d keys (fair share %.0f): distribution badly skewed", m, c, keys, fair)
+		}
+	}
+	if len(counts) != n {
+		t.Fatalf("only %d of %d members own any keys", len(counts), n)
+	}
+}
+
+func TestRingRebalanceMovesOnlyEvictedShare(t *testing.T) {
+	// The consistent-hashing contract: removing one of N members moves
+	// exactly the keys that member owned (~1/N) and no others; adding it
+	// back restores the original assignment exactly.
+	const n, keys = 5, 20000
+	r := NewRing(64, 9)
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("http://replica-%d:8080", i))
+	}
+	victim := "http://replica-3:8080"
+
+	before := make([]string, keys)
+	for i := range before {
+		before[i], _ = r.Owner(fmt.Sprintf("key:%d", i))
+	}
+	r.Remove(victim)
+	moved, victimKeys := 0, 0
+	for i := range before {
+		after, _ := r.Owner(fmt.Sprintf("key:%d", i))
+		if before[i] == victim {
+			victimKeys++
+			if after == victim {
+				t.Fatalf("key:%d still owned by removed member", i)
+			}
+			continue
+		}
+		if after != before[i] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed member changed owner; consistent hashing should move only the evicted share", moved)
+	}
+	if victimKeys == 0 {
+		t.Fatal("victim owned no keys before removal; test is vacuous")
+	}
+	// The victim's share should be in the ballpark of 1/N.
+	fair := float64(keys) / n
+	if float64(victimKeys) > 2*fair || float64(victimKeys) < fair/2 {
+		t.Errorf("victim owned %d keys, far from fair share %.0f", victimKeys, fair)
+	}
+
+	r.Add(victim)
+	for i := range before {
+		after, _ := r.Owner(fmt.Sprintf("key:%d", i))
+		if after != before[i] {
+			t.Fatalf("key:%d owner %q != original %q after re-admission; ring rebuild is not deterministic", i, after, before[i])
+		}
+	}
+}

@@ -81,6 +81,20 @@ func DefaultMix() Mix { return Mix{Schedule: 6, Sweep: 2, Patch: 2} }
 type Config struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs, when non-empty, spreads traffic round-robin across a
+	// replica fleet (BaseURL is then ignored). A readiness prober takes
+	// non-ready replicas out of rotation and re-admits them on recovery,
+	// emulating a load balancer; warmup runs against the first target.
+	BaseURLs []string
+	// ProbeInterval is the multi-target readiness probe period (default
+	// 100ms). Single-target runs never probe.
+	ProbeInterval time.Duration
+	// HotBudgets, when > 0, draws every schedule budget from a fixed
+	// per-shape roster of that many distinct feasible budgets instead of
+	// the full [minExist, 2·minExist] range. A finite key population
+	// lets fleet benchmarks compute duplicate cold solves exactly:
+	// fleet-wide solves minus Result.DistinctScheduleKeys.
+	HotBudgets int
 	// Shapes is the instance roster (DefaultShapes when empty).
 	Shapes []Shape
 	// Mix weights the traffic kinds (DefaultMix when zero).
@@ -128,12 +142,22 @@ type Result struct {
 	ServerErr    int64            `json:"server_5xx"`
 	TransportErr int64            `json:"transport_err"`
 	ByStatus     map[string]int64 `json:"by_status"`
+	// ByTarget breaks the outcome down per replica on multi-target runs
+	// (absent on single-target runs).
+	ByTarget map[string]*TargetStats `json:"by_target,omitempty"`
+	// DistinctScheduleKeys counts the distinct (shape, budget) pairs
+	// sent to /v1/schedule — the exact number of cold solves a perfectly
+	// deduplicating fleet would perform for this run's schedule traffic.
+	DistinctScheduleKeys int `json:"distinct_schedule_keys"`
 
 	// DegradedShed counts 200s answered by the shed baseline tier
 	// (fallback_cause == "shed").
 	DegradedShed int64 `json:"degraded_shed"`
-	// Fallback counts all 200s with source == "fallback".
-	Fallback int64 `json:"fallback"`
+	// Fallback counts all 200s with source == "fallback";
+	// FallbackByCause breaks them down by fallback_cause (deadline,
+	// budget, shed, …).
+	Fallback        int64            `json:"fallback"`
+	FallbackByCause map[string]int64 `json:"fallback_by_cause,omitempty"`
 	// DeadlineBlown counts 200s that took longer than 2×timeout + 1s —
 	// answers the admission layer should have shed instead.
 	DeadlineBlown int64 `json:"deadline_blown"`
@@ -162,12 +186,50 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	cl := newRetryClient(cfg.Client, cfg.MaxRetries, cfg.Timeout)
 
-	shapes, err := warmup(ctx, cl, cfg.BaseURL, cfg.Shapes)
+	targets := cfg.BaseURLs
+	if len(targets) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, fmt.Errorf("need BaseURL or BaseURLs")
+		}
+		targets = []string{cfg.BaseURL}
+	}
+	shapes, err := warmup(ctx, cl, targets[0], cfg.Shapes)
 	if err != nil {
 		return nil, fmt.Errorf("warmup: %w", err)
 	}
-	g := &generator{cfg: cfg, cl: cl, shapes: shapes}
+	g := &generator{cfg: cfg, cl: cl, shapes: shapes, targets: newTargetPool(targets)}
 	g.patchable = patchableShapes(shapes)
+	if cfg.HotBudgets > 0 {
+		g.hot = make(map[string][]int64, len(shapes))
+		for _, s := range shapes {
+			budgets := make([]int64, cfg.HotBudgets)
+			// Spread the roster across (1.5·minExist, 2·minExist]: the
+			// existence bound is necessary but not sufficient, so budgets
+			// just above it can be infeasible for the optimal tier (or
+			// worst-case branch-and-bound). Those answers never cache and
+			// would turn the fixed roster into a permanent fallback storm
+			// — the hot set is meant to measure caching, not feasibility
+			// edges.
+			step := s.minExist / int64(2*cfg.HotBudgets)
+			if step < 1 {
+				step = 1
+			}
+			for i := range budgets {
+				budgets[i] = 3*s.minExist/2 + int64(i+1)*step
+			}
+			g.hot[s.label()] = budgets
+		}
+	}
+	if len(targets) > 1 {
+		interval := cfg.ProbeInterval
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		pctx, stopProbe := context.WithCancel(ctx)
+		defer stopProbe()
+		g.targets.probe(pctx, cl.hc, interval) // initial sweep before traffic
+		go g.targets.watch(pctx, cl.hc, interval)
+	}
 	if cfg.Workers > 0 {
 		return g.closedLoop(ctx)
 	}
@@ -228,21 +290,35 @@ type generator struct {
 	cl        *retryClient
 	shapes    []Shape
 	patchable []Shape
+	targets   *targetPool
+	hot       map[string][]int64 // per-shape fixed budget roster (HotBudgets mode)
 
 	mu        sync.Mutex
-	latencies []int64 // µs, successful 200s only
+	latencies []int64             // µs, successful 200s only
+	seenKeys  map[string]struct{} // distinct schedule (shape, budget) pairs
 	res       Result
+}
+
+// budgetFor picks a feasible budget for s: from the fixed hot roster
+// when configured, otherwise uniform in [minExist, 2·minExist].
+func (g *generator) budgetFor(rng *rand.Rand, s Shape) int64 {
+	if roster := g.hot[s.label()]; len(roster) > 0 {
+		return roster[rng.Intn(len(roster))]
+	}
+	return s.minExist + rng.Int63n(s.minExist+1)
 }
 
 // nextRequest picks a traffic kind by mix weight and builds its
 // method, path and body. rng is per-worker: no lock on the hot path.
-func (g *generator) nextRequest(rng *rand.Rand) (path string, body []byte) {
+// schedKey identifies a /v1/schedule request's (shape, budget) pair
+// for the distinct-key census, "" for other kinds.
+func (g *generator) nextRequest(rng *rand.Rand) (path string, body []byte, schedKey string) {
 	m := g.cfg.Mix
 	total := m.Schedule + m.Sweep + m.Patch
 	pick := rng.Intn(total)
 	timeoutMS := g.cfg.Timeout.Milliseconds()
 	sh := g.shapes[rng.Intn(len(g.shapes))]
-	budget := sh.minExist + rng.Int63n(sh.minExist+1) // [minExist, 2·minExist]
+	budget := g.budgetFor(rng, sh)
 
 	switch {
 	case pick < m.Schedule || len(g.patchable) == 0 && pick >= m.Schedule+m.Sweep:
@@ -251,18 +327,18 @@ func (g *generator) nextRequest(rng *rand.Rand) (path string, body []byte) {
 		}
 		addDims(req, sh)
 		b, _ := json.Marshal(req)
-		return "/v1/schedule", b
+		return "/v1/schedule", b, fmt.Sprintf("%s@%d", sh.label(), budget)
 	case pick < m.Schedule+m.Sweep:
 		budgets := make([]int64, 1+rng.Intn(4))
 		for i := range budgets {
-			budgets[i] = sh.minExist + rng.Int63n(sh.minExist+1)
+			budgets[i] = g.budgetFor(rng, sh)
 		}
 		req := map[string]any{
 			"family": sh.Family, "budgets_bits": budgets, "timeout_ms": timeoutMS,
 		}
 		addDims(req, sh)
 		b, _ := json.Marshal(req)
-		return "/v1/schedule/sweep", b
+		return "/v1/schedule/sweep", b, ""
 	default:
 		ps := g.patchable[rng.Intn(len(g.patchable))]
 		deltas := []map[string]any{{
@@ -271,12 +347,12 @@ func (g *generator) nextRequest(rng *rand.Rand) (path string, body []byte) {
 		}}
 		req := map[string]any{
 			"family": ps.Family, "deltas": deltas,
-			"budgets_bits": []int64{ps.minExist + rng.Int63n(ps.minExist+1)},
+			"budgets_bits": []int64{g.budgetFor(rng, ps)},
 			"timeout_ms":   timeoutMS,
 		}
 		addDims(req, ps)
 		b, _ := json.Marshal(req)
-		return "/v1/schedule/patch", b
+		return "/v1/schedule/patch", b, ""
 	}
 }
 
@@ -290,21 +366,39 @@ func addDims(req map[string]any, s Shape) {
 
 // fire sends one request and records its outcome.
 func (g *generator) fire(ctx context.Context, rng *rand.Rand) {
-	path, body := g.nextRequest(rng)
+	path, body, schedKey := g.nextRequest(rng)
+	target := g.targets.pick()
 	start := time.Now()
-	st, respBody, retries, err := g.cl.post(ctx, g.cfg.BaseURL+path, body)
+	st, respBody, retries, err := g.cl.post(ctx, target+path, body)
 	lat := time.Since(start)
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.res.Sent++
 	g.res.Retries += int64(retries)
+	var tgt *TargetStats
+	if len(g.targets.urls) > 1 {
+		if g.res.ByTarget == nil {
+			g.res.ByTarget = make(map[string]*TargetStats, len(g.targets.urls))
+		}
+		if tgt = g.res.ByTarget[target]; tgt == nil {
+			tgt = &TargetStats{}
+			g.res.ByTarget[target] = tgt
+		}
+		tgt.Sent++
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			g.res.Sent-- // run ended mid-flight: not a sample
+			if tgt != nil {
+				tgt.Sent--
+			}
 			return
 		}
 		g.res.TransportErr++
+		if tgt != nil {
+			tgt.TransportErr++
+		}
 		return
 	}
 	if g.res.ByStatus == nil {
@@ -314,6 +408,19 @@ func (g *generator) fire(ctx context.Context, rng *rand.Rand) {
 	switch {
 	case st == 200:
 		g.res.OK++
+		if tgt != nil {
+			tgt.OK++
+		}
+		if schedKey != "" {
+			// Only answered keys join the census: a 200 for a schedule
+			// key means some replica solved it at least once, so fleet
+			// duplicate accounting (Σ solves − distinct keys) stays
+			// non-negative even when part of the traffic was shed.
+			if g.seenKeys == nil {
+				g.seenKeys = make(map[string]struct{})
+			}
+			g.seenKeys[schedKey] = struct{}{}
+		}
 		g.latencies = append(g.latencies, lat.Microseconds())
 		if lat > 2*g.cfg.Timeout+time.Second {
 			g.res.DeadlineBlown++
@@ -325,6 +432,10 @@ func (g *generator) fire(ctx context.Context, rng *rand.Rand) {
 			}
 			if json.Unmarshal(respBody, &r) == nil && r.Source == "fallback" {
 				g.res.Fallback++
+				if g.res.FallbackByCause == nil {
+					g.res.FallbackByCause = make(map[string]int64)
+				}
+				g.res.FallbackByCause[r.FallbackCause]++
 				if r.FallbackCause == "shed" {
 					g.res.DegradedShed++
 				}
@@ -332,10 +443,19 @@ func (g *generator) fire(ctx context.Context, rng *rand.Rand) {
 		}
 	case st == 429:
 		g.res.Shed429++
+		if tgt != nil {
+			tgt.Shed429++
+		}
 	case st >= 500:
 		g.res.ServerErr++
+		if tgt != nil {
+			tgt.ServerErr++
+		}
 	case st >= 400:
 		g.res.ClientErr++
+		if tgt != nil {
+			tgt.ClientErr++
+		}
 	}
 }
 
@@ -422,6 +542,7 @@ loop:
 // finish derives the aggregate fields from raw samples.
 func (g *generator) finish(elapsed time.Duration) {
 	g.res.DurationS = elapsed.Seconds()
+	g.res.DistinctScheduleKeys = len(g.seenKeys)
 	if elapsed > 0 {
 		g.res.ThroughputRPS = float64(g.res.OK) / elapsed.Seconds()
 	}

@@ -220,9 +220,124 @@ func BenchmarkNextRequest(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, body := g.nextRequest(rng)
+		_, body, _ := g.nextRequest(rng)
 		if len(body) == 0 {
 			b.Fatal("empty body")
 		}
+	}
+}
+
+// TestMultiTargetRoundRobin: traffic spreads across every replica in
+// the target list, and the per-target breakdown reconciles with the
+// aggregate counters.
+func TestMultiTargetRoundRobin(t *testing.T) {
+	var urls []string
+	for i := 0; i < 3; i++ {
+		s := serve.New(serve.Options{MaxInflight: 2, MaxQueue: 8})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+	res, err := Run(context.Background(), Config{
+		BaseURLs: urls,
+		Workers:  4,
+		Duration: 600 * time.Millisecond,
+		Timeout:  300 * time.Millisecond,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByTarget) != 3 {
+		t.Fatalf("by_target has %d rows, want 3: %+v", len(res.ByTarget), res.ByTarget)
+	}
+	var sent, ok int64
+	for u, tr := range res.ByTarget {
+		if tr.Sent == 0 {
+			t.Errorf("target %s got no traffic (round-robin broken)", u)
+		}
+		sent += tr.Sent
+		ok += tr.OK
+	}
+	if sent != res.Sent || ok != res.OK {
+		t.Fatalf("per-target sums (sent=%d ok=%d) don't reconcile with aggregate (sent=%d ok=%d)",
+			sent, ok, res.Sent, res.OK)
+	}
+	if res.DistinctScheduleKeys == 0 {
+		t.Fatal("no distinct schedule keys recorded")
+	}
+}
+
+// TestMultiTargetDownMarking: a replica that dies mid-run is taken out
+// of rotation by the readiness prober; the survivors absorb the
+// traffic and the dead replica accounts for at most a handful of
+// transport errors (the in-flight window before the probe notices).
+func TestMultiTargetDownMarking(t *testing.T) {
+	s0 := serve.New(serve.Options{MaxInflight: 2, MaxQueue: 8})
+	ts0 := httptest.NewServer(s0.Handler())
+	defer ts0.Close()
+	s1 := serve.New(serve.Options{MaxInflight: 2, MaxQueue: 8})
+	ts1 := httptest.NewServer(s1.Handler())
+
+	done := make(chan *Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := Run(context.Background(), Config{
+			BaseURLs:      []string{ts0.URL, ts1.URL},
+			ProbeInterval: 20 * time.Millisecond,
+			Workers:       4,
+			Duration:      900 * time.Millisecond,
+			Timeout:       200 * time.Millisecond,
+			Seed:          13,
+		})
+		done <- res
+		errc <- err
+	}()
+	time.Sleep(250 * time.Millisecond)
+	ts1.Close() // kill one replica mid-run
+
+	res, err := <-done, <-errc
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerErr != 0 {
+		t.Fatalf("5xx during kill: %+v", res.ByTarget)
+	}
+	alive := res.ByTarget[ts0.URL]
+	if alive == nil || alive.OK == 0 {
+		t.Fatalf("surviving replica served nothing: %+v", res.ByTarget)
+	}
+	// The kill window allows a few in-flight transport errors before
+	// the prober reacts; they must not dominate.
+	if res.TransportErr > res.Sent/4 {
+		t.Fatalf("transport_err=%d of sent=%d: down-marking is not working", res.TransportErr, res.Sent)
+	}
+	if res.Sent > 0 && res.OK == 0 {
+		t.Fatalf("nothing succeeded: %+v", res)
+	}
+}
+
+// TestHotBudgetsBoundDistinctKeys: with a fixed hot roster the
+// distinct schedule-key census is bounded by shapes × HotBudgets, so
+// fleet benchmarks can compare it against fleet-wide solves.
+func TestHotBudgetsBoundDistinctKeys(t *testing.T) {
+	s := serve.New(serve.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const hot = 3
+	res, err := Run(context.Background(), Config{
+		BaseURL:    ts.URL,
+		HotBudgets: hot,
+		Workers:    2,
+		Duration:   500 * time.Millisecond,
+		Timeout:    300 * time.Millisecond,
+		Seed:       17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max := len(DefaultShapes()) * hot; res.DistinctScheduleKeys == 0 || res.DistinctScheduleKeys > max {
+		t.Fatalf("distinct_schedule_keys=%d, want in (0, %d]", res.DistinctScheduleKeys, max)
 	}
 }

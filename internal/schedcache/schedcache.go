@@ -71,13 +71,17 @@ type entry[V any] struct {
 }
 
 // shard is one lock domain: an LRU (front = most recent) plus the
-// singleflight table for keys currently being computed.
+// singleflight table for keys currently being computed. evictions is
+// per-shard so ShardStats can expose skew — a single hot shard
+// evicting while the others idle means the key distribution (or the
+// shard count) is off.
 type shard[V any] struct {
-	mu       sync.Mutex
-	lru      *list.List // of *entry[V]
-	byKey    map[string]*list.Element
-	inflight map[string]*call[V]
-	cap      int
+	mu        sync.Mutex
+	lru       *list.List // of *entry[V]
+	byKey     map[string]*list.Element
+	inflight  map[string]*call[V]
+	cap       int
+	evictions atomic.Uint64
 }
 
 // Cache is a sharded LRU of solved results, safe for concurrent use.
@@ -162,6 +166,7 @@ func (c *Cache[V]) put(s *shard[V], key string, v V) {
 		s.lru.Remove(last)
 		delete(s.byKey, last.Value.(*entry[V]).key)
 		c.evictions.Add(1)
+		s.evictions.Add(1)
 	}
 }
 
@@ -226,6 +231,42 @@ func (c *Cache[V]) Len() int {
 	}
 	return n
 }
+
+// ShardStat is one shard's row in ShardStats: its live entry count,
+// its share of the evictions, and its fixed capacity.
+type ShardStat struct {
+	Entries   int    `json:"entries"`
+	Evictions uint64 `json:"evictions"`
+	Capacity  int    `json:"capacity"`
+}
+
+// ShardStats snapshots every shard, indexed by shard number. The rows
+// expose distribution skew the aggregate Snapshot hides: FNV-1a over
+// content digests should load shards near-uniformly, so one shard
+// evicting while its siblings sit half-empty points at a pathological
+// key population or an undersized shard count.
+func (c *Cache[V]) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = ShardStat{Entries: s.lru.Len(), Evictions: s.evictions.Load(), Capacity: s.cap}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ShardStat snapshots a single shard (panics on an out-of-range
+// index, like a slice).
+func (c *Cache[V]) ShardStat(i int) ShardStat {
+	s := &c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShardStat{Entries: s.lru.Len(), Evictions: s.evictions.Load(), Capacity: s.cap}
+}
+
+// Shards returns the shard count (power of two; see New).
+func (c *Cache[V]) Shards() int { return len(c.shards) }
 
 // Snapshot returns the current counters.
 func (c *Cache[V]) Snapshot() Stats {

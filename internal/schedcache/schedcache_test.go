@@ -215,3 +215,43 @@ func TestHitAfterSolveDeterminism(t *testing.T) {
 		t.Fatal("cached schedule differs from a fresh solve of the same instance")
 	}
 }
+
+// TestShardStats: per-shard rows sum to the aggregate snapshot, and
+// evictions land on the shard that overflowed.
+func TestShardStats(t *testing.T) {
+	c := New[int](4, 2) // 4 shards × 2 entries
+	if c.Shards() != 4 {
+		t.Fatalf("Shards=%d, want 4", c.Shards())
+	}
+	for i := 0; i < 40; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	agg := c.Snapshot()
+	rows := c.ShardStats()
+	if len(rows) != 4 {
+		t.Fatalf("ShardStats returned %d rows, want 4", len(rows))
+	}
+	entries, evictions := 0, uint64(0)
+	for i, row := range rows {
+		if row.Capacity != 2 {
+			t.Fatalf("shard %d capacity=%d, want 2", i, row.Capacity)
+		}
+		if row.Entries > row.Capacity {
+			t.Fatalf("shard %d entries=%d exceeds capacity", i, row.Entries)
+		}
+		if got := c.ShardStat(i); got != row {
+			t.Fatalf("ShardStat(%d)=%+v != ShardStats()[%d]=%+v", i, got, i, row)
+		}
+		entries += row.Entries
+		evictions += row.Evictions
+	}
+	if entries != agg.Entries {
+		t.Fatalf("per-shard entries sum %d != aggregate %d", entries, agg.Entries)
+	}
+	if evictions != agg.Evictions {
+		t.Fatalf("per-shard evictions sum %d != aggregate %d", evictions, agg.Evictions)
+	}
+	if evictions == 0 {
+		t.Fatal("40 inserts into 8 total capacity evicted nothing")
+	}
+}

@@ -1,0 +1,164 @@
+// Cluster mode: the peer-fill read path and the internal peer
+// endpoint. With Options.Cluster set, a local cache miss whose key the
+// consistent-hash ring assigns to another replica is first offered to
+// that owner (POST /v1/peer/schedule, bounded by a slice of the
+// request deadline); only on peer error, timeout or shed does the
+// local solver run. The owner's own cache singleflight dedups all
+// forwarders plus its local traffic, so in the steady state each key
+// is cold-solved at most once fleet-wide. See docs/CLUSTER.md.
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"wrbpg/internal/cluster"
+	"wrbpg/internal/obs"
+	"wrbpg/internal/serve/wire"
+)
+
+// Peer-fill outcomes: the label vocabulary of wrbpg_peer_fill_total.
+const (
+	// peerFilled: the owner answered an optimal result; it was cached
+	// locally (hot-key replication) without any local solve.
+	peerFilled = "filled"
+	// peerDegraded: the owner answered 200 but with a fallback result
+	// (its solver hit a deadline); used, never cached.
+	peerDegraded = "degraded"
+	// peerShed: the owner answered 429 — it is shedding. Cluster-aware
+	// shedding decides: propagate when the local queue is saturated too,
+	// otherwise solve locally.
+	peerShed = "shed"
+	// peerTimeout: the peer-fill deadline slice expired mid-fill.
+	peerTimeout = "timeout"
+	// peerError: transport failure or an unusable response; the owner is
+	// reported to the health loop as suspect.
+	peerError = "error"
+)
+
+// handlePeerSchedule serves POST /v1/peer/schedule, the internal
+// replica-to-replica fill protocol. It is the regular schedule path
+// with peer semantics: never forward again (loop guard), never degrade
+// to a baseline answer on queue saturation — shed with 429 +
+// Retry-After instead, because the forwarder still holds the request's
+// real deadline budget and can solve locally or propagate the shed.
+func (s *Server) handlePeerSchedule(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		s.writeErr(w, wire.Errorf(http.StatusNotFound, "cluster mode disabled (no -peers)"))
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "POST required"))
+		return
+	}
+	if r.Header.Get(cluster.HopHeader) == "" {
+		s.writeErr(w, wire.Errorf(http.StatusBadRequest,
+			"peer endpoint requires the %s header; external clients should use /v1/schedule", cluster.HopHeader))
+		return
+	}
+	s.m.reqPeer.Inc()
+	var preq wire.PeerScheduleRequest
+	if err := decodeStrict(w, r, s.opts.MaxBodyBytes, &preq); err != nil {
+		s.writeErr(w, asWireErr(err))
+		return
+	}
+	res, werr := s.scheduleAs(r.Context(), &preq.Req, true, preq.Key)
+	if werr != nil {
+		s.writeErr(w, werr)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// peerFill offers the miss to the owning replica. handled=false means
+// the caller should proceed with the local solve (peer error, timeout,
+// or a shed the local queue can still absorb); handled=true carries
+// the final verdict: a result (cacheable only when optimal) or the
+// propagated 429.
+func (s *Server) peerFill(ctx context.Context, owner, key string, req *wire.ScheduleRequest, deadline time.Duration) (res *wire.ScheduleResult, cacheable bool, err error, handled bool) {
+	// The fill may spend the configured peer timeout, but never more
+	// than half the request's remaining deadline: the local fallback
+	// solve must keep a workable budget even when the owner is slow.
+	timeout := s.cluster.PeerTimeout()
+	if deadline > 0 && deadline/2 < timeout {
+		timeout = deadline / 2
+	}
+	if timeout < time.Millisecond {
+		return nil, false, nil, false // no budget for a network hop
+	}
+
+	pctx, sp := obs.StartSpan(ctx, "peer.fill")
+	sp.SetAttr("owner", owner)
+	defer sp.End()
+	fctx, cancel := context.WithTimeout(pctx, timeout)
+	defer cancel()
+
+	fwd := *req
+	// The filled entry joins the local cache, so it must carry the full
+	// move list for future include_moves hits; the per-request stamping
+	// strips moves the end client did not ask for.
+	fwd.IncludeMoves = true
+	fwd.TimeoutMS = timeout.Milliseconds()
+	fill, apiErr, ferr := s.cluster.Fill(fctx, owner, &wire.PeerScheduleRequest{
+		Req: fwd, Key: key, Origin: s.cluster.Self(),
+	})
+	switch {
+	case ferr != nil:
+		outcome := peerError
+		if errors.Is(ferr, context.DeadlineExceeded) {
+			outcome = peerTimeout
+		}
+		sp.SetAttr("outcome", outcome)
+		s.m.peerFill(outcome)
+		s.cluster.ReportFillError(owner)
+		return nil, false, nil, false // local solve
+
+	case apiErr != nil:
+		if apiErr.Status == http.StatusTooManyRequests {
+			sp.SetAttr("outcome", peerShed)
+			s.m.peerFill(peerShed)
+			if s.adm.saturated() {
+				// Cluster-aware shedding: the owner is shedding and the
+				// local queue is saturated too — a local cold solve would
+				// only be the degraded ladder under another name. Surface
+				// the owner's 429 with its Retry-After clamped to the same
+				// [1, 60]s contract local sheds honor.
+				s.m.peerShedPropagated.Inc()
+				ra := apiErr.RetryAfterS
+				if ra < 1 {
+					ra = 1
+				}
+				if ra > 60 {
+					ra = 60
+				}
+				return nil, false, wire.Errorf(http.StatusTooManyRequests,
+					"owner replica overloaded: %s", apiErr.Message).
+					WithReason("shed").WithRetryAfter(ra), true
+			}
+			return nil, false, nil, false // local capacity absorbs the miss
+		}
+		// 4xx/5xx from the owner (key mismatch, internal failure): the
+		// local solver is authoritative; the disagreement is visible in
+		// the error outcome counter.
+		sp.SetAttr("outcome", peerError)
+		s.m.peerFill(peerError)
+		return nil, false, nil, false
+
+	default:
+		outcome := peerFilled
+		cacheable = fill.Source == "optimal"
+		if !cacheable {
+			outcome = peerDegraded
+		}
+		sp.SetAttr("outcome", outcome)
+		s.m.peerFill(outcome)
+		// Scrub the owner's per-request stamping; the local request path
+		// re-stamps cache disposition and key. ElapsedUS stays the
+		// owner's solve time — the same semantics a local solve reports.
+		fill.Cache, fill.CacheKey = "", ""
+		return fill, cacheable, nil, true
+	}
+}

@@ -70,6 +70,7 @@ import (
 
 	"wrbpg/internal/cdag"
 
+	"wrbpg/internal/cluster"
 	"wrbpg/internal/core"
 	"wrbpg/internal/guard"
 	"wrbpg/internal/obs"
@@ -137,6 +138,14 @@ type Options struct {
 	// TraceBuffer caps the completed traces retained for
 	// GET /v1/trace/{id} (default 64, oldest evicted first).
 	TraceBuffer int
+	// Cluster, when non-nil, enables cluster mode: local cache misses
+	// whose content-addressed key the consistent-hash ring assigns to
+	// another replica are peer-filled from that owner before the local
+	// solver runs, and POST /v1/peer/schedule answers the other
+	// replicas' fills (docs/CLUSTER.md). The caller owns the cluster's
+	// health-loop lifecycle (cluster.Start); the server registers its
+	// metrics and routes through it.
+	Cluster *cluster.Cluster
 }
 
 // withDefaults resolves zero fields.
@@ -212,10 +221,12 @@ type Server struct {
 	brk *breaker
 	// draining flips /readyz to 503 ahead of a graceful shutdown.
 	draining atomic.Bool
-	reg      *obs.Registry
-	m        *metrics
-	traces   *obs.TraceStore
-	start    time.Time
+	// cluster is the replica fleet view (nil outside cluster mode).
+	cluster *cluster.Cluster
+	reg     *obs.Registry
+	m       *metrics
+	traces  *obs.TraceStore
+	start   time.Time
 }
 
 // New builds a Server with the given options.
@@ -226,6 +237,7 @@ func New(opts Options) *Server {
 		opts:     opts,
 		cache:    schedcache.New[*wire.ScheduleResult](opts.CacheShards, opts.CachePerShard),
 		sessions: schedcache.New[*sessionEntry](1, opts.SweepSessions),
+		cluster:  opts.Cluster,
 		reg:      reg,
 		m:        newMetrics(reg),
 		traces:   obs.NewTraceStore(opts.TraceBuffer),
@@ -256,6 +268,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/schedule/batch", s.handleBatch)
 	mux.HandleFunc("/v1/schedule/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/schedule/patch", s.handlePatch)
+	mux.HandleFunc(cluster.PeerPath, s.handlePeerSchedule)
 	mux.HandleFunc("/v1/lowerbound", s.handleLowerBound)
 	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -401,7 +414,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, asWireErr(err))
 		return
 	}
-	res, werr := s.schedule(r.Context(), &req)
+	// A hop-marked request came from another replica (or a client
+	// playing one): treat it with peer semantics so forwards never
+	// chain, whatever path it arrived on.
+	peer := r.Header.Get(cluster.HopHeader) != ""
+	res, werr := s.scheduleAs(r.Context(), &req, peer, "")
 	if werr != nil {
 		s.writeErr(w, werr)
 		return
@@ -413,6 +430,17 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // item): validate, canonicalize, cache-or-solve, stamp per-request
 // fields.
 func (s *Server) schedule(ctx context.Context, req *wire.ScheduleRequest) (*wire.ScheduleResult, *wire.Error) {
+	return s.scheduleAs(ctx, req, false, "")
+}
+
+// scheduleAs is schedule with cluster semantics: peerCall marks a
+// replica-to-replica request (never forward again, shed with 429
+// instead of degrading on queue saturation), and wantKey, when
+// non-empty, is the forwarder's content-addressed key — a mismatch
+// against the locally computed key is a 400, so canonicalization skew
+// between replicas fails loudly instead of silently splitting the
+// fleet's cache.
+func (s *Server) scheduleAs(ctx context.Context, req *wire.ScheduleRequest, peerCall bool, wantKey string) (*wire.ScheduleResult, *wire.Error) {
 	start := time.Now()
 	if req.BudgetBits < 1 {
 		return nil, wire.Errorf(http.StatusBadRequest,
@@ -426,10 +454,14 @@ func (s *Server) schedule(ctx context.Context, req *wire.ScheduleRequest) (*wire
 	}
 	budget := req.BudgetBits
 	key := inst.Key(budget)
+	if wantKey != "" && wantKey != key {
+		return nil, wire.Errorf(http.StatusBadRequest,
+			"peer key mismatch: forwarder sent %s, owner computed %s (replica version skew?)", wantKey, key)
+	}
 
 	cctx, sp := obs.StartSpan(ctx, "cache")
 	cached, state, err := s.cache.Do(key, func() (*wire.ScheduleResult, bool, error) {
-		return s.solveCold(cctx, &inst, budget, req.TimeoutMS)
+		return s.solveCold(cctx, req, &inst, key, budget, peerCall)
 	})
 	sp.SetAttr("disposition", state.String())
 	sp.End()
@@ -459,17 +491,26 @@ func (s *Server) schedule(ctx context.Context, req *wire.ScheduleRequest) (*wire
 const minDegradeBudget = 5 * time.Millisecond
 
 // solveCold is the cache-miss path, structured as a degradation
-// ladder. Tier 0: the fallback-storm breaker — while it is open the
-// optimal tier is presumed thrashing and the request goes straight to
-// the baseline. Tier 1: deadline-aware admission — the queue wait is
-// estimated from the live slot-hold histogram, doomed work is rejected
-// up front, and the actual wait is capped by the request's own
-// deadline budget. Tier 2: a queue-full request with deadline budget
-// left gets the baseline answer now instead of a 429. Tier 3: an
-// admitted solve runs with whatever deadline budget the queue wait
-// left over. The bool reports cacheability — only optimal results are
-// stored.
-func (s *Server) solveCold(ctx context.Context, inst *solve.Instance, budget int64, timeoutMS int64) (*wire.ScheduleResult, bool, error) {
+// ladder. Tier −1 (cluster mode): if the consistent-hash ring assigns
+// the key to another replica, offer the miss to that owner first
+// (bounded by the peer-timeout slice of the deadline) — a filled
+// answer costs this replica no solver slot at all; on peer error or
+// shed, continue down the local ladder. Tier 0: the fallback-storm
+// breaker — while it is open the optimal tier is presumed thrashing
+// and the request goes straight to the baseline. Tier 1:
+// deadline-aware admission — the queue wait is estimated from the live
+// slot-hold histogram, doomed work is rejected up front, and the
+// actual wait is capped by the request's own deadline budget. Tier 2:
+// a queue-full request with deadline budget left gets the baseline
+// answer now instead of a 429. Tier 3: an admitted solve runs with
+// whatever deadline budget the queue wait left over. The bool reports
+// cacheability — only optimal results are stored.
+//
+// peerCall marks a replica-to-replica request: tier −1 is skipped (a
+// fill is exactly one hop) and the degrading tiers 0 and 2 shed with a
+// 429 instead — the forwarder holds the request's real deadline budget
+// and decides between its own baseline and propagating the shed.
+func (s *Server) solveCold(ctx context.Context, req *wire.ScheduleRequest, inst *solve.Instance, key string, budget int64, peerCall bool) (*wire.ScheduleResult, bool, error) {
 	_, bsp := obs.StartSpan(ctx, "build")
 	p, g, err := inst.Build()
 	bsp.End()
@@ -485,13 +526,25 @@ func (s *Server) solveCold(ctx context.Context, inst *solve.Instance, budget int
 	// (or default) timeout, clamped by the server maximum and by the
 	// transport context's own deadline.
 	want := s.opts.DefaultTimeout
-	if timeoutMS > 0 {
-		want = time.Duration(timeoutMS) * time.Millisecond
+	if req.TimeoutMS > 0 {
+		want = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 	deadline := guard.ClampDeadline(ctx, want, s.opts.MaxTimeout)
 
+	if !peerCall && s.cluster != nil {
+		if owner, local := s.cluster.Route(key); !local {
+			if res, cacheable, err, handled := s.peerFill(ctx, owner, key, req, deadline); handled {
+				return res, cacheable, err
+			}
+		}
+	}
+
 	if !s.brk.Allow() {
 		s.m.shed(shedBreaker)
+		if peerCall {
+			return nil, false, wire.Errorf(http.StatusTooManyRequests,
+				"fallback-storm breaker open").WithReason("shed").WithRetryAfter(1)
+		}
 		return s.solveShed(ctx, p, inst.Label(), budget)
 	}
 
@@ -506,7 +559,7 @@ func (s *Server) solveCold(ctx context.Context, inst *solve.Instance, budget int
 			s.m.shed(shedCanceled)
 			return nil, false, guard.Wrap(ctx.Err())
 		case shedQueueFull:
-			if deadline == 0 || deadline >= minDegradeBudget {
+			if !peerCall && (deadline == 0 || deadline >= minDegradeBudget) {
 				s.m.shed(shedDegraded)
 				return s.solveShed(ctx, p, inst.Label(), budget)
 			}
@@ -713,12 +766,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	case s.adm.saturated():
 		status, code = "overloaded", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":      status,
 		"queue_depth": s.adm.queued.Load(),
 		"queue_limit": s.adm.maxQueue,
 		"breaker":     s.brk.State(),
-	})
+	}
+	if s.cluster != nil {
+		// Peer reachability rides along for operators; it never flips
+		// readiness — a replica that lost its peers still serves (it just
+		// solves everything locally), and taking it out of rotation for
+		// that would turn a partition into an outage.
+		body["peers"] = s.cluster.Health()
+	}
+	writeJSON(w, code, body)
 }
 
 // BeginDrain flips /readyz to "draining" (503) so load balancers stop
@@ -729,16 +790,41 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // handleStatsz serves GET /statsz.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats assembles the full /statsz snapshot. Exported so in-process
+// fleets (the wrbpgload cluster harness, tests) can read per-replica
+// counters — notably Solves, the input to fleet duplicate-solve
+// accounting — without an HTTP round trip.
+func (s *Server) Stats() Stats {
 	st := s.m.snapshot(time.Since(s.start), s.cache.Snapshot(), s.sessions.Snapshot())
 	st.QueueDepth = s.adm.queued.Load()
 	st.QueueLimit = s.adm.maxQueue
 	st.Breaker = s.brk.State()
-	writeJSON(w, http.StatusOK, st)
+	st.CacheShards = s.cache.ShardStats()
+	if s.cluster != nil {
+		rep := s.cluster.Health()
+		st.Peers = &rep
+		st.PeerRequests = s.m.reqPeer.Value()
+		st.PeerShedPropagated = s.m.peerShedPropagated.Value()
+		st.PeerFill = make(map[string]uint64, len(s.m.peerFillBy))
+		for outcome, c := range s.m.peerFillBy {
+			st.PeerFill[outcome] = c.Value()
+		}
+	}
+	return st
 }
 
 // String describes the server configuration for startup logs.
 func (s *Server) String() string {
-	return fmt.Sprintf("cache %d×%d entries, %d solver slots (+%d queue), timeout %v (max %v), breaker %s",
+	desc := fmt.Sprintf("cache %d×%d entries, %d solver slots (+%d queue), timeout %v (max %v), breaker %s",
 		s.opts.CacheShards, s.opts.CachePerShard, s.opts.MaxInflight, s.opts.MaxQueue,
 		s.opts.DefaultTimeout, s.opts.MaxTimeout, s.brk.State())
+	if s.cluster != nil {
+		rep := s.cluster.Health()
+		desc += fmt.Sprintf(", cluster %d members (self %s, peer timeout %v)",
+			rep.Total, s.cluster.Self(), s.cluster.PeerTimeout())
+	}
+	return desc
 }

@@ -8,8 +8,10 @@
 package serve
 
 import (
+	"strconv"
 	"time"
 
+	"wrbpg/internal/cluster"
 	"wrbpg/internal/obs"
 	"wrbpg/internal/schedcache"
 )
@@ -38,6 +40,7 @@ type metrics struct {
 	reqBatch    *obs.Counter
 	reqSweep    *obs.Counter
 	reqPatch    *obs.Counter
+	reqPeer     *obs.Counter
 	badRequests *obs.Counter
 
 	solves      *obs.Counter
@@ -71,7 +74,23 @@ type metrics struct {
 	breakerState *obs.Gauge
 	breakerTrips *obs.Counter
 
+	// Cluster-mode instruments: peer-fill attempts by outcome
+	// (pre-resolved so every outcome appears in the exposition from
+	// startup) and owner 429s propagated to the end client.
+	peerFillVec        *obs.CounterVec
+	peerFillBy         map[string]*obs.Counter
+	peerShedPropagated *obs.Counter
+
 	traced *obs.Counter
+}
+
+// peerFill counts one peer-fill attempt by outcome.
+func (m *metrics) peerFill(outcome string) {
+	if c, ok := m.peerFillBy[outcome]; ok {
+		c.Inc()
+		return
+	}
+	m.peerFillVec.With(outcome).Inc()
 }
 
 // shed counts one shed decision by mode.
@@ -98,11 +117,18 @@ func newMetrics(reg *obs.Registry) *metrics {
 	for _, mode := range []string{shedQueueFull, shedDoomed, shedCanceled, shedDegraded, shedBreaker} {
 		shedBy[mode] = shedVec.With(mode)
 	}
+	peerFillVec := reg.CounterVec("wrbpg_peer_fill_total",
+		"Peer-fill attempts by outcome (filled, degraded, shed, timeout, error).", "outcome")
+	peerFillBy := make(map[string]*obs.Counter)
+	for _, outcome := range []string{peerFilled, peerDegraded, peerShed, peerTimeout, peerError} {
+		peerFillBy[outcome] = peerFillVec.With(outcome)
+	}
 	return &metrics{
 		reqSchedule: req.With("schedule"),
 		reqBatch:    req.With("batch"),
 		reqSweep:    req.With("sweep"),
 		reqPatch:    req.With("patch"),
+		reqPeer:     req.With("peer"),
 		badRequests: reg.Counter("wrbpg_http_bad_requests_total",
 			"Structured 4xx responses."),
 		solves: reg.Counter("wrbpg_solves_total",
@@ -143,6 +169,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Fallback-storm breaker state: 0 closed, 1 half-open, 2 open."),
 		breakerTrips: reg.Counter("wrbpg_breaker_trips_total",
 			"Times the fallback-storm breaker opened."),
+		peerFillVec: peerFillVec,
+		peerFillBy:  peerFillBy,
+		peerShedPropagated: reg.Counter("wrbpg_peer_shed_propagated_total",
+			"Owner-replica 429s surfaced to the end client because the local queue was saturated too."),
 		traced: reg.Counter("wrbpg_traced_requests_total",
 			"Requests that opted into tracing via the X-Wrbpg-Trace header."),
 	}
@@ -166,6 +196,25 @@ func (s *Server) registerFuncs() {
 		"Schedule-cache LRU evictions.", func() float64 { return float64(cache.Snapshot().Evictions) })
 	reg.GaugeFunc("wrbpg_cache_entries",
 		"Schedule-cache entries currently live.", func() float64 { return float64(cache.Len()) })
+	// Per-shard cache series expose the distribution skew the aggregate
+	// counters hide; the callbacks read live shard state at exposition
+	// time, so the request path pays nothing extra.
+	shardEntries := reg.GaugeFuncVec("wrbpg_cache_shard_entries",
+		"Schedule-cache entries currently live, by shard.", "shard")
+	shardEvictions := reg.CounterFuncVec("wrbpg_cache_shard_evictions_total",
+		"Schedule-cache LRU evictions, by shard.", "shard")
+	shardCapacity := reg.GaugeFuncVec("wrbpg_cache_shard_capacity",
+		"Schedule-cache per-shard entry capacity.", "shard")
+	for i := 0; i < cache.Shards(); i++ {
+		i := i
+		label := strconv.Itoa(i)
+		shardEntries.With(label, func() float64 { return float64(cache.ShardStat(i).Entries) })
+		shardEvictions.With(label, func() float64 { return float64(cache.ShardStat(i).Evictions) })
+		shardCapacity.With(label, func() float64 { return float64(cache.ShardStat(i).Capacity) })
+	}
+	if s.cluster != nil {
+		s.cluster.RegisterMetrics(reg)
+	}
 	reg.GaugeFunc("wrbpg_sweep_sessions_live",
 		"Warm solver sessions currently pooled.", func() float64 { return float64(sessions.Len()) })
 	reg.GaugeFunc("wrbpg_sweep_session_capacity",
@@ -258,6 +307,17 @@ type Stats struct {
 	// times (cache hits excluded — they never invoke the solver).
 	SolveLatency   []LatencyBucket `json:"solve_latency"`
 	SolveLatencyUS int64           `json:"solve_latency_sum_us"`
+	// CacheShards breaks the schedule cache down by shard (entry count,
+	// evictions, capacity), exposing key-distribution skew.
+	CacheShards []schedcache.ShardStat `json:"cache_shards,omitempty"`
+	// Cluster-mode section (absent on single-node servers): peer
+	// requests served, fill attempts by outcome, owner 429s propagated
+	// to end clients, and the fleet health report. The handler fills
+	// Peers from live cluster state.
+	Peers              *cluster.HealthReport `json:"peers,omitempty"`
+	PeerRequests       uint64                `json:"peer_requests,omitempty"`
+	PeerFill           map[string]uint64     `json:"peer_fill,omitempty"`
+	PeerShedPropagated uint64                `json:"peer_shed_propagated,omitempty"`
 }
 
 // snapshot assembles the exported view from the registered metrics;

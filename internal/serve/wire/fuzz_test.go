@@ -9,6 +9,7 @@
 //
 //	go test -fuzz=FuzzScheduleRequest -fuzztime=30s ./internal/serve/wire
 //	go test -fuzz=FuzzPatchRequest    -fuzztime=30s ./internal/serve/wire
+//	go test -fuzz=FuzzPeerRequest     -fuzztime=30s ./internal/serve/wire
 
 package wire
 
@@ -64,6 +65,44 @@ func FuzzScheduleRequest(f *testing.F) {
 		if inst.ShapeKey() == "" {
 			t.Fatal("validated instance produced an empty shape key")
 		}
+	})
+}
+
+// FuzzPeerRequest exercises the replica-to-replica fill decoder: the
+// peer endpoint runs the same pipeline as the public one but with the
+// forwarder's envelope (inner request + expected key + origin), so the
+// envelope layer must reject garbage as a structured 400 and never let
+// a hostile peer body panic a replica.
+func FuzzPeerRequest(f *testing.F) {
+	f.Add([]byte(`{"req":{"family":"dwt","n":32,"d":4,"budget_bits":2048,"include_moves":true,"timeout_ms":125},"key":"sha256:ab","origin":"http://replica-0:8080"}`))
+	f.Add([]byte(`{"req":{"family":"ktree","k":2,"height":5,"budget_bits":4096}}`))
+	f.Add([]byte(`{"req":{},"key":"","origin":""}`))
+	f.Add([]byte(`{"key":"sha256:no-request"}`))
+	f.Add([]byte(`{"req":{"family":"dwt","n":-1,"d":0,"budget_bits":-5},"key":"zz"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var preq PeerScheduleRequest
+		if !decodeLikeServer(data, &preq) {
+			return // handler answers 400 before the envelope exists
+		}
+		inst, err := preq.Req.Instance()
+		if err != nil {
+			return // structured 400
+		}
+		if err := inst.Validate(); err != nil {
+			return // structured 400
+		}
+		// The owner recomputes the key and compares against the
+		// forwarder's; both sides must be derivable without panicking.
+		key := inst.Key(preq.Req.BudgetBits)
+		if key == "" {
+			t.Fatal("validated peer request produced an empty cache key")
+		}
+		// The mismatch check is pure string comparison; any forwarder-sent
+		// key must be safely comparable (no canonicalization surprises).
+		_ = preq.Key == key
 	})
 }
 

@@ -360,6 +360,28 @@ type PatchResponse struct {
 	ElapsedUS        int64 `json:"elapsed_us"`
 }
 
+// PeerScheduleRequest is the body of the internal replica-to-replica
+// peer-fill protocol (POST /v1/peer/schedule): a replica that missed
+// its local cache forwards the schedule request to the key's ring
+// owner instead of cold-solving. The endpoint is loop-guarded by the
+// X-Wrbpg-Peer-Hop header — an owner answering a peer request never
+// forwards again — so ring disagreement costs at most one wasted hop.
+type PeerScheduleRequest struct {
+	// Req is the schedule request exactly as the forwarder would solve
+	// it locally (the forwarder sets include_moves so the filled cache
+	// entry keeps the full move list, and timeout_ms to its peer-fill
+	// deadline slice).
+	Req ScheduleRequest `json:"req"`
+	// Key is the forwarder's content-addressed key for Req at its
+	// budget. The owner recomputes the key and rejects a mismatch with
+	// a 400 — two replicas disagreeing on canonicalization (version
+	// skew) must fail loudly, not silently split the fleet's cache.
+	Key string `json:"key,omitempty"`
+	// Origin is the forwarding replica's advertised URL (diagnostics
+	// and the owner's peer-traffic logs; never routing).
+	Origin string `json:"origin,omitempty"`
+}
+
 // BatchRequest fans out independent schedule requests.
 type BatchRequest struct {
 	Requests []ScheduleRequest `json:"requests"`
