@@ -5,14 +5,15 @@
 //
 // Usage:
 //
-//	wrbpg info     -workload dwt|mvm [-n N] [-d D] [-m M] [-weights equal|da]
-//	wrbpg schedule -workload dwt|mvm -budget BITS [...] [-moves] [-json] [-patch FILE]
+//	wrbpg info     -workload dwt|mvm|cdag [-n N] [-d D] [-m M] [-graph FILE] [-weights equal|da]
+//	wrbpg schedule -workload dwt|mvm|cdag -budget BITS [...] [-moves] [-json] [-patch FILE]
 //	wrbpg minmem   -workload dwt|mvm [...]
 //	wrbpg synth    -bits CAPACITY [-word BITS]
 //	wrbpg dot      -workload dwt|mvm [...]
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -21,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"wrbpg/internal/anytime"
 	"wrbpg/internal/baseline"
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/conv"
@@ -67,12 +69,15 @@ type workloadFlags struct {
 	n, d, m  int
 	k, taps  int
 	weights  string
+	graph    string
 	log      *obs.LogFlags
 }
 
 func addWorkloadFlags(fs *flag.FlagSet) *workloadFlags {
 	wf := &workloadFlags{}
-	fs.StringVar(&wf.workload, "workload", "dwt", "dwt, mvm, fft, mmm or conv")
+	fs.StringVar(&wf.workload, "workload", "dwt", "dwt, mvm, fft, mmm, conv or cdag")
+	fs.StringVar(&wf.graph, "graph", "",
+		"CDAG JSON file for -workload cdag (raw node/edge spec or the interchange form)")
 	fs.IntVar(&wf.n, "n", 256, "DWT/FFT/conv inputs, MVM/MMM columns")
 	fs.IntVar(&wf.d, "d", 8, "DWT level / conv downsample")
 	fs.IntVar(&wf.m, "m", 96, "MVM/MMM rows")
@@ -98,12 +103,15 @@ func (wf *workloadFlags) config() wcfg.Config {
 // built bundles whichever workload graph was constructed; exactly one
 // typed field is non-nil.
 type built struct {
-	g     *cdag.Graph
-	dwt   *dwt.Graph
-	mvm   *mvm.Graph
-	fft   *fft.Graph
-	mmm   *mmm.Graph
-	conv  *conv.Graph
+	g    *cdag.Graph
+	dwt  *dwt.Graph
+	mvm  *mvm.Graph
+	fft  *fft.Graph
+	mmm  *mmm.Graph
+	conv *conv.Graph
+	// cdag marks an arbitrary user-supplied graph (-workload cdag);
+	// only g is set and scheduling goes through the anytime tier.
+	cdag  bool
 	label string
 }
 
@@ -141,10 +149,48 @@ func (wf *workloadFlags) build() built {
 			fatal(err)
 		}
 		return built{g: g.G, conv: g, label: fmt.Sprintf("%s Conv(%d,%d,%d)", cfg.Name, wf.n, wf.taps, wf.d)}
+	case "cdag":
+		if wf.graph == "" {
+			fatalf("-workload cdag requires -graph FILE")
+		}
+		g, err := loadGraphFile(wf.graph)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			fatal(err)
+		}
+		return built{g: g, cdag: true, label: fmt.Sprintf("CDAG(%d nodes)", g.Len())}
 	default:
-		fatalf("unknown workload %q (want dwt, mvm, fft, mmm or conv)", wf.workload)
+		fatalf("unknown workload %q (want dwt, mvm, fft, mmm, conv or cdag)", wf.workload)
 		panic("unreachable")
 	}
+}
+
+// loadGraphFile parses a CDAG from disk: the raw node/edge spec (named
+// deps, any order — the same schema POST /v1/schedule takes) is tried
+// first, falling back to the cdag interchange form (integer parents in
+// topological order, as written by MarshalJSON).
+func loadGraphFile(path string) (*cdag.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec wire.GraphSpec
+	if err := dec.Decode(&spec); err == nil && len(spec.Nodes) > 0 && spec.Nodes[0].Name != "" {
+		g, err := spec.Graph()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return g, nil
+	}
+	var g cdag.Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("%s: not a raw node/edge spec and not the cdag interchange form: %v", path, err)
+	}
+	return &g, nil
 }
 
 func main() {
@@ -251,9 +297,24 @@ func buildSchedule(w built, budget cdag.Weight) (cdag.Weight, core.Schedule, err
 		}
 		sched, err := w.conv.Schedule(c)
 		return b, sched, err
+	case w.cdag:
+		if b == 0 {
+			b = core.MinExistenceBudget(w.g)
+		}
+		res, err := anytime.Search(context.Background(), w.g, b,
+			guard.Limits{Deadline: cdagCLIDeadline}, anytime.Options{})
+		if err != nil {
+			return 0, nil, err
+		}
+		return b, res.Schedule, nil
 	}
 	return 0, nil, fmt.Errorf("no workload built")
 }
+
+// cdagCLIDeadline bounds the anytime search when the CLI schedules an
+// arbitrary graph without an explicit -timeout: long enough to drain
+// small graphs (a certified answer), short enough to stay interactive.
+const cdagCLIDeadline = 2 * time.Second
 
 func cmdCompile(args []string) {
 	fs := flag.NewFlagSet("compile", flag.ExitOnError)
@@ -348,6 +409,8 @@ func defaultBudget(w built) (cdag.Weight, error) {
 		return w.mmm.MinMemory(), nil
 	case w.conv != nil:
 		return w.conv.MinMemory(), nil
+	case w.cdag:
+		return core.MinExistenceBudget(w.g), nil
 	}
 	return 0, fmt.Errorf("no workload built")
 }
@@ -361,6 +424,8 @@ func problemFor(w built) solve.Problem {
 		return solve.DWT(w.dwt)
 	case w.mvm != nil:
 		return solve.MVM(w.mvm)
+	case w.cdag:
+		return solve.AnytimeCDAG(w.g)
 	case w.fft != nil:
 		return solve.Problem{Name: "fft", G: w.g,
 			Optimal: func(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
@@ -521,6 +586,18 @@ func cmdSchedule(args []string) {
 		}
 		fmt.Printf("resident window buffer: %d inputs\n", c)
 		sched, err = w.conv.Schedule(c)
+	case w.cdag:
+		if b == 0 {
+			b = core.MinExistenceBudget(w.g)
+		}
+		res, serr := anytime.Search(context.Background(), w.g, b,
+			guard.Limits{Deadline: cdagCLIDeadline}, anytime.Options{})
+		if serr != nil {
+			fatal(serr)
+		}
+		fmt.Printf("anytime: seed %d -> %d bits (complete=%v, %d states expanded)\n",
+			res.SeedCost, res.Cost, res.Complete, res.Expanded)
+		sched = res.Schedule
 	}
 	if err != nil {
 		fatal(err)
@@ -665,6 +742,9 @@ func cmdMinMem(args []string) {
 		fmt.Printf("  %-15v %v\n", c, memdesign.NewSpec(w.mmm.MinMemory(), cfg.WordBits))
 	case w.conv != nil:
 		fmt.Printf("  full window:     %v\n", memdesign.NewSpec(w.conv.MinMemory(), cfg.WordBits))
+	case w.cdag:
+		fmt.Printf("  existence bound: %v (Proposition 2.3)\n",
+			memdesign.NewSpec(core.MinExistenceBudget(w.g), cfg.WordBits))
 	}
 }
 

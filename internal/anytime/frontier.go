@@ -1,0 +1,92 @@
+// Frontier sharding: one mutex-guarded min-heap per worker. A child
+// state lands on the shard its hash owns (spreading hot subtrees
+// across workers), and a worker pops its own shard first, then steals
+// from the others — so the pool stays busy even when one region of the
+// search space collapses under pruning.
+
+package anytime
+
+import "sync"
+
+type frontierShard struct {
+	mu   sync.Mutex
+	heap []*state
+}
+
+// better orders the frontier: smallest f first (best-first), deepest
+// state on ties (closer to a complete schedule, so incumbents arrive
+// early — the anytime property depends on reaching goals fast).
+func better(a, b *state) bool {
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	return a.nDone > b.nDone
+}
+
+func (fs *frontierShard) push(st *state) {
+	fs.mu.Lock()
+	h := fs.heap
+	h = append(h, st)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !better(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	fs.heap = h
+	fs.mu.Unlock()
+}
+
+func (fs *frontierShard) pop() *state {
+	fs.mu.Lock()
+	h := fs.heap
+	n := len(h)
+	if n == 0 {
+		fs.mu.Unlock()
+		return nil
+	}
+	top := h[0]
+	n--
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && better(h[l], h[m]) {
+			m = l
+		}
+		if r < n && better(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	fs.heap = h
+	fs.mu.Unlock()
+	return top
+}
+
+// push routes a child to the shard owning its hash.
+func (s *searcher) push(h uint64, st *state) {
+	s.shards[h%uint64(len(s.shards))].push(st)
+}
+
+// pop serves worker id: its own shard first, then a scan of the others
+// (work stealing). Returns nil when every shard is empty right now.
+func (s *searcher) pop(id int) *state {
+	n := len(s.shards)
+	for k := 0; k < n; k++ {
+		if st := s.shards[(id+k)%n].pop(); st != nil {
+			return st
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestAnytimeSuiteSmoke runs the BENCH_9 suite in a tiny
+// configuration — 3 graphs, 5 ms slices — and checks the report's
+// structural invariants. The headline numbers (≥2× parallel speedup,
+// ≥half beating baseline) are timing-sensitive and belong to the full
+// `make bench-anytime` run, not to this smoke pass.
+func TestAnytimeSuiteSmoke(t *testing.T) {
+	rep, err := RunAnytimeSuiteWith(3, 5*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Graphs) != 3 || rep.Workers != 2 || rep.SliceMs != 5 {
+		t.Fatalf("report shape wrong: %d graphs, workers %d, slice %d",
+			len(rep.Graphs), rep.Workers, rep.SliceMs)
+	}
+	for _, g := range rep.Graphs {
+		if g.CostBits > g.BaselineBits {
+			t.Fatalf("graph %d: incumbent %d above baseline %d", g.Index, g.CostBits, g.BaselineBits)
+		}
+		if g.CostBits < g.LowerBoundBits {
+			t.Fatalf("graph %d: incumbent %d below lower bound %d", g.Index, g.CostBits, g.LowerBoundBits)
+		}
+		if g.SeedBits < g.CostBits {
+			t.Fatalf("graph %d: seed %d below final cost %d (trajectory not monotone)", g.Index, g.SeedBits, g.CostBits)
+		}
+		if g.PruningRatio < 0 || g.PruningRatio > 1 {
+			t.Fatalf("graph %d: pruning ratio %f outside [0,1]", g.Index, g.PruningRatio)
+		}
+		if g.OneWorkerCostBits < g.LowerBoundBits || g.OneWorkerCostBits > g.SeedBits {
+			t.Fatalf("graph %d: 1-worker cost %d outside [lb %d, seed %d]",
+				g.Index, g.OneWorkerCostBits, g.LowerBoundBits, g.SeedBits)
+		}
+		if g.ParallelMatchNs <= 0 {
+			t.Fatalf("graph %d: target run recorded no wall clock", g.Index)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back AnytimeReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Graphs) != len(rep.Graphs) {
+		t.Fatalf("round-trip lost graphs: %d != %d", len(back.Graphs), len(rep.Graphs))
+	}
+}

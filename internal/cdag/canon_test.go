@@ -1,0 +1,154 @@
+// Tests for the structural canonical form: isomorphic graphs (same
+// dataflow, different node numbering) must canonicalize to identical
+// graphs, the recorded permutation must actually map the original onto
+// the canonical form, and the roster generator must produce valid
+// graphs of the requested size.
+
+package cdag
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// permute relabels g by a random permutation that keeps insertion
+// order topological (shuffles within, then re-inserts in a valid
+// order): the result is isomorphic to g by construction. perm maps
+// old IDs to new IDs.
+func permute(t *testing.T, g *Graph, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// Random topological re-ordering: repeatedly pick a random node
+	// whose parents are all placed.
+	n := g.Len()
+	placed := make([]bool, n)
+	newID := make([]NodeID, n)
+	var order []NodeID
+	for len(order) < n {
+		var ready []NodeID
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			ok := true
+			for _, p := range g.Parents(NodeID(v)) {
+				if !placed[p] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, NodeID(v))
+			}
+		}
+		pick := ready[rng.Intn(len(ready))]
+		placed[pick] = true
+		newID[pick] = NodeID(len(order))
+		order = append(order, pick)
+	}
+	out := &Graph{}
+	for _, old := range order {
+		ps := make([]NodeID, 0, len(g.Parents(old)))
+		for _, p := range g.Parents(old) {
+			ps = append(ps, newID[p])
+		}
+		out.AddNode(g.Weight(old), "", ps...)
+	}
+	return out
+}
+
+func TestCanonicalIsomorphismInvariant(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := Random(100+seed, 25)
+		cg, _ := Canonical(g)
+		want, err := json.Marshal(cg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := int64(0); p < 4; p++ {
+			iso := permute(t, g, seed*10+p)
+			ci, _ := Canonical(iso)
+			got, err := json.Marshal(ci)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("seed %d perm %d: isomorphic graphs canonicalized differently:\n%s\n%s",
+					seed, p, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonicalPermIsFaithful: perm[orig] = canon really maps the
+// original structure onto the canonical one — weights and edges agree
+// under the relabeling.
+func TestCanonicalPermIsFaithful(t *testing.T) {
+	g := Random(7, 30)
+	cg, perm := Canonical(g)
+	if len(perm) != g.Len() || cg.Len() != g.Len() {
+		t.Fatalf("size mismatch: perm %d canon %d orig %d", len(perm), cg.Len(), g.Len())
+	}
+	for v := 0; v < g.Len(); v++ {
+		id := NodeID(v)
+		if g.Weight(id) != cg.Weight(perm[id]) {
+			t.Fatalf("node %d: weight %d became %d", v, g.Weight(id), cg.Weight(perm[id]))
+		}
+		want := map[NodeID]bool{}
+		for _, p := range g.Parents(id) {
+			want[perm[p]] = true
+		}
+		got := cg.Parents(perm[id])
+		if len(got) != len(want) {
+			t.Fatalf("node %d: parent count %d became %d", v, len(want), len(got))
+		}
+		for _, p := range got {
+			if !want[p] {
+				t.Fatalf("node %d: unexpected canonical parent %d", v, p)
+			}
+		}
+	}
+	inv := InversePerm(perm)
+	for v := range perm {
+		if inv[perm[v]] != NodeID(v) {
+			t.Fatalf("InversePerm broken at %d", v)
+		}
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	g := Random(11, 20)
+	c1, _ := Canonical(g)
+	c2, perm := Canonical(c1)
+	if !c1.Equal(c2) {
+		t.Fatal("canonicalizing a canonical graph changed it")
+	}
+	for v, p := range perm {
+		if int(p) != v {
+			t.Fatalf("re-canonicalization permuted: perm[%d]=%d", v, p)
+		}
+	}
+}
+
+func TestRandomGraphsValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 15 + int(seed)*2
+		g := Random(seed, n)
+		if g.Len() != n {
+			t.Fatalf("seed %d: %d nodes, want %d", seed, g.Len(), n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for v := 0; v < n; v++ {
+			if g.Weight(NodeID(v)) < 1 {
+				t.Fatalf("seed %d: node %d has weight %d", seed, v, g.Weight(NodeID(v)))
+			}
+		}
+		// Determinism: same seed, same graph.
+		if !g.Equal(Random(seed, n)) {
+			t.Fatalf("seed %d: Random not deterministic", seed)
+		}
+	}
+}

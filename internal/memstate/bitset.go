@@ -57,6 +57,60 @@ func (s Bitset) With(v cdag.NodeID) Bitset {
 	return Bitset{w0: s.w0, ext: ext}
 }
 
+// Without returns s \ {v}. Like With it never mutates the receiver's
+// storage, and it keeps the no-trailing-zero-word normalization so
+// equal sets always share one packed representation.
+func (s Bitset) Without(v cdag.NodeID) Bitset {
+	if !s.Has(v) {
+		return s
+	}
+	w, b := int(v)>>6, uint(v)&63
+	if w == 0 {
+		return Bitset{w0: s.w0 &^ (1 << b), ext: s.ext}
+	}
+	ext := make([]uint64, len(s.ext))
+	copy(ext, s.ext)
+	ext[w-1] &^= 1 << b
+	for len(ext) > 0 && ext[len(ext)-1] == 0 {
+		ext = ext[:len(ext)-1]
+	}
+	if len(ext) == 0 {
+		ext = nil
+	}
+	return Bitset{w0: s.w0, ext: ext}
+}
+
+// Equal reports whether s and o hold the same members. Normalization
+// (no trailing zero words) makes this a word-by-word comparison.
+func (s Bitset) Equal(o Bitset) bool {
+	if s.w0 != o.w0 || len(s.ext) != len(o.ext) {
+		return false
+	}
+	for i, w := range s.ext {
+		if o.ext[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash mixes the set's words into a 64-bit hash, seeded so composite
+// keys (several bitsets) can chain hashes without collapsing on equal
+// components. The mixing constants match pmKey.hash.
+func (s Bitset) Hash(seed uint64) uint64 {
+	h := seed*0x9E3779B97F4A7C15 + 0x27D4EB2F165667C5
+	mix := func(w uint64) {
+		h ^= w * 0x165667B19E3779F9
+		h ^= h >> 32
+		h *= 0xD6E8FEB86659FD93
+	}
+	mix(s.w0)
+	for _, w := range s.ext {
+		mix(w)
+	}
+	return h ^ h>>29
+}
+
 // Empty reports whether the set has no members.
 func (s Bitset) Empty() bool { return s.w0 == 0 && len(s.ext) == 0 }
 

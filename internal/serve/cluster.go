@@ -149,7 +149,7 @@ func (s *Server) peerFill(ctx context.Context, owner, key string, req *wire.Sche
 
 	default:
 		outcome := peerFilled
-		cacheable = fill.Source == "optimal"
+		cacheable = cacheableSource(fill)
 		if !cacheable {
 			outcome = peerDegraded
 		}

@@ -480,6 +480,12 @@ func (s *Server) scheduleAs(ctx context.Context, req *wire.ScheduleRequest, peer
 	}
 	if !req.IncludeMoves {
 		res.Schedule = nil
+	} else if !peerCall {
+		// Cached cdag schedules live in canonical node numbering (the
+		// cache key is isomorphism-invariant); express the moves back in
+		// this requester's numbering. Peer calls stay canonical — the
+		// forwarder caches the fill and remaps at its own edge.
+		res.Schedule = inst.RequestSchedule(res.Schedule)
 	}
 	return res, nil
 }
@@ -604,8 +610,24 @@ func (s *Server) solveCold(ctx context.Context, req *wire.ScheduleRequest, inst 
 		return nil, false, err
 	}
 	s.brk.Record(fallback)
+	if out.Anytime != nil {
+		s.m.observeAnytime(out.Anytime)
+	}
 	res := wire.NewScheduleResult(inst.Label(), out, core.LowerBound(g), true)
-	return res, out.Source == solve.SourceOptimal, nil
+	return res, cacheableSource(res), nil
+}
+
+// cacheableSource decides whether a solve result may enter the
+// schedule cache (and be accepted from a peer fill): optimal results
+// always; anytime results only when the search drained its frontier —
+// Complete certifies the cost optimal within the no-recompute
+// subspace, so serving it from cache repeats the best answer rather
+// than freezing an arbitrary deadline's incumbent.
+func cacheableSource(res *wire.ScheduleResult) bool {
+	if res.Source == solve.SourceOptimal.String() {
+		return true
+	}
+	return res.Source == solve.SourceAnytime.String() && res.Anytime != nil && res.Anytime.Complete
 }
 
 // solveShed is the ladder's bottom tier: answer from the baseline
@@ -682,13 +704,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleLowerBound serves GET /v1/lowerbound for the parametric
-// families: the compulsory-I/O lower bound (Proposition 2.4) and the
-// schedule-existence bound (Proposition 2.3), computed without
-// solving. Query parameters: family, n, d, m, k, height, weights.
+// handleLowerBound serves /v1/lowerbound: the compulsory-I/O lower
+// bound (Proposition 2.4) and the schedule-existence bound
+// (Proposition 2.3), computed without solving. Parametric families use
+// GET query parameters (family, n, d, m, k, height, weights); explicit
+// family:"cdag" graphs arrive as a request body (raw node/edge spec or
+// interchange form, exactly as /v1/schedule takes them, no budget
+// needed) on GET or POST.
 func (s *Server) handleLowerBound(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "GET required"))
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "GET or POST required"))
+		return
+	}
+	if r.Method == http.MethodPost || r.URL.Query().Get("family") == solve.FamilyCDAG {
+		s.lowerBoundFromBody(w, r)
 		return
 	}
 	q := r.URL.Query()
@@ -707,11 +736,6 @@ func (s *Server) handleLowerBound(w http.ResponseWriter, r *http.Request) {
 		Family:  q.Get("family"),
 		Weights: wire.WeightSpec{Name: q.Get("weights")},
 	}
-	if req.Family == solve.FamilyCDAG {
-		s.writeErr(w, wire.Errorf(http.StatusBadRequest,
-			"family cdag needs a request body; use POST /v1/schedule"))
-		return
-	}
 	for _, f := range []struct {
 		name string
 		dst  *int
@@ -723,6 +747,23 @@ func (s *Server) handleLowerBound(w http.ResponseWriter, r *http.Request) {
 		}
 		*f.dst = v
 	}
+	s.writeLowerBound(w, &req)
+}
+
+// lowerBoundFromBody answers bounds for a body-borne request — the
+// way to submit family:"cdag" graphs, which don't fit in a query
+// string. BudgetBits is not required: bounds are budget-free.
+func (s *Server) lowerBoundFromBody(w http.ResponseWriter, r *http.Request) {
+	var req wire.ScheduleRequest
+	if err := decodeStrict(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		s.writeErr(w, asWireErr(err))
+		return
+	}
+	s.writeLowerBound(w, &req)
+}
+
+// writeLowerBound resolves the instance and writes its bounds.
+func (s *Server) writeLowerBound(w http.ResponseWriter, req *wire.ScheduleRequest) {
 	inst, err := req.Instance()
 	if err != nil {
 		s.writeErr(w, wire.Errorf(http.StatusBadRequest, "%v", err))

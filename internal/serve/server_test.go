@@ -183,8 +183,9 @@ func TestScheduleValidation(t *testing.T) {
 }
 
 // TestScheduleCDAGFamily: an arbitrary CDAG in the spec format solves
-// through the exact solver and caches by content — node names don't
-// affect the key, weights do.
+// through the anytime tier (Complete on a graph this small, hence
+// cacheable) and caches by content — node names don't affect the key,
+// weights do.
 func TestScheduleCDAGFamily(t *testing.T) {
 	ts, _, _ := newTestServer(t, Options{})
 	graph := func(name string) json.RawMessage {
@@ -204,8 +205,11 @@ func TestScheduleCDAGFamily(t *testing.T) {
 		return out
 	}
 	a := post(graph("a"))
-	if a.Cache != "miss" || a.Source != "optimal" {
+	if a.Cache != "miss" || a.Source != "anytime" {
 		t.Fatalf("first cdag solve: cache=%q source=%q", a.Cache, a.Source)
+	}
+	if a.Anytime == nil || !a.Anytime.Complete {
+		t.Fatalf("tiny cdag solve should report a complete anytime search, got %+v", a.Anytime)
 	}
 	b := post(graph("renamed"))
 	if b.Cache != "hit" {

@@ -14,6 +14,7 @@ import (
 	"wrbpg/internal/cluster"
 	"wrbpg/internal/obs"
 	"wrbpg/internal/schedcache"
+	"wrbpg/internal/solve"
 )
 
 // latencyBoundsUS are the upper bounds (µs) of the solve-latency
@@ -73,6 +74,13 @@ type metrics struct {
 	holdUS       *obs.Histogram
 	breakerState *obs.Gauge
 	breakerTrips *obs.Counter
+
+	// General-DAG anytime-tier counters: branch-and-bound states
+	// expanded, states pruned against the shared incumbent, and
+	// incumbent improvements, summed across all anytime solves.
+	anytimeExpanded     *obs.Counter
+	anytimePruned       *obs.Counter
+	anytimeImprovements *obs.Counter
 
 	// Cluster-mode instruments: peer-fill attempts by outcome
 	// (pre-resolved so every outcome appears in the exposition from
@@ -169,6 +177,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Fallback-storm breaker state: 0 closed, 1 half-open, 2 open."),
 		breakerTrips: reg.Counter("wrbpg_breaker_trips_total",
 			"Times the fallback-storm breaker opened."),
+		anytimeExpanded: reg.Counter("wrbpg_anytime_expanded_total",
+			"Branch-and-bound states expanded by the general-DAG anytime tier."),
+		anytimePruned: reg.Counter("wrbpg_anytime_pruned_total",
+			"Anytime-tier states pruned against the shared incumbent bound."),
+		anytimeImprovements: reg.Counter("wrbpg_anytime_improvements_total",
+			"Incumbent improvements found by anytime searches."),
 		peerFillVec: peerFillVec,
 		peerFillBy:  peerFillBy,
 		peerShedPropagated: reg.Counter("wrbpg_peer_shed_propagated_total",
@@ -250,6 +264,13 @@ func (m *metrics) observeSolve(d time.Duration, fallback, failed bool, reason st
 	m.latency.Observe(float64(d.Microseconds()))
 }
 
+// observeAnytime accumulates one anytime search's effort counters.
+func (m *metrics) observeAnytime(a *solve.AnytimeInfo) {
+	m.anytimeExpanded.Add(uint64(a.Expanded))
+	m.anytimePruned.Add(uint64(a.Pruned))
+	m.anytimeImprovements.Add(uint64(a.Improvements))
+}
+
 // LatencyBucket is one histogram bucket in the /statsz response.
 type LatencyBucket struct {
 	// LEUS is the bucket's inclusive upper bound in microseconds;
@@ -303,6 +324,11 @@ type Stats struct {
 	Shed         map[string]uint64 `json:"shed"`
 	Breaker      string            `json:"breaker"`
 	BreakerTrips uint64            `json:"breaker_trips"`
+	// Anytime-tier counters: branch-and-bound effort across all
+	// general-DAG solves.
+	AnytimeExpanded     uint64 `json:"anytime_expanded,omitempty"`
+	AnytimePruned       uint64 `json:"anytime_pruned,omitempty"`
+	AnytimeImprovements uint64 `json:"anytime_improvements,omitempty"`
 	// SolveLatency is the cumulative histogram of solver wall-clock
 	// times (cache hits excluded — they never invoke the solver).
 	SolveLatency   []LatencyBucket `json:"solve_latency"`
@@ -324,30 +350,33 @@ type Stats struct {
 // the JSON shape predates the registry and stays wire-compatible.
 func (m *metrics) snapshot(uptime time.Duration, cache, sessions schedcache.Stats) Stats {
 	st := Stats{
-		UptimeS:           uptime.Seconds(),
-		Requests:          m.reqSchedule.Value(),
-		Batches:           m.reqBatch.Value(),
-		BadRequests:       m.badRequests.Value(),
-		Cache:             cache,
-		Solves:            m.solves.Value(),
-		Fallbacks:         m.fallbacks.Value(),
-		SolveErrors:       m.solveErrors.Value(),
-		InFlight:          m.inflight.Value(),
-		Sweeps:            m.reqSweep.Value(),
-		SweepBudgets:      m.sweepBudgets.Value(),
-		SessionHits:       m.sessionHits.Value(),
-		SessionMisses:     m.sessionMisses.Value(),
-		SessionsLive:      sessions.Entries,
-		SweepWorkspaces:   m.wsAllocs.Value(),
-		SessionCapacity:   sessions.Capacity,
-		SessionEvictions:  sessions.Evictions,
-		Patches:           m.reqPatch.Value(),
-		PatchBudgets:      m.patchBudgets.Value(),
-		PatchDeltas:       m.patchDeltas.Value(),
-		PatchChangedNodes: m.patchChanged.Value(),
-		PatchNoops:        m.patchNoops.Value(),
-		BreakerTrips:      m.breakerTrips.Value(),
-		SolveLatencyUS:    int64(m.latency.Sum()),
+		UptimeS:             uptime.Seconds(),
+		Requests:            m.reqSchedule.Value(),
+		Batches:             m.reqBatch.Value(),
+		BadRequests:         m.badRequests.Value(),
+		Cache:               cache,
+		Solves:              m.solves.Value(),
+		Fallbacks:           m.fallbacks.Value(),
+		SolveErrors:         m.solveErrors.Value(),
+		InFlight:            m.inflight.Value(),
+		Sweeps:              m.reqSweep.Value(),
+		SweepBudgets:        m.sweepBudgets.Value(),
+		SessionHits:         m.sessionHits.Value(),
+		SessionMisses:       m.sessionMisses.Value(),
+		SessionsLive:        sessions.Entries,
+		SweepWorkspaces:     m.wsAllocs.Value(),
+		SessionCapacity:     sessions.Capacity,
+		SessionEvictions:    sessions.Evictions,
+		Patches:             m.reqPatch.Value(),
+		PatchBudgets:        m.patchBudgets.Value(),
+		PatchDeltas:         m.patchDeltas.Value(),
+		PatchChangedNodes:   m.patchChanged.Value(),
+		PatchNoops:          m.patchNoops.Value(),
+		BreakerTrips:        m.breakerTrips.Value(),
+		SolveLatencyUS:      int64(m.latency.Sum()),
+		AnytimeExpanded:     m.anytimeExpanded.Value(),
+		AnytimePruned:       m.anytimePruned.Value(),
+		AnytimeImprovements: m.anytimeImprovements.Value(),
 	}
 	st.Shed = make(map[string]uint64, len(m.shedBy))
 	for mode, c := range m.shedBy {

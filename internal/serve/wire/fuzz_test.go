@@ -8,6 +8,7 @@
 // Run continuously with:
 //
 //	go test -fuzz=FuzzScheduleRequest -fuzztime=30s ./internal/serve/wire
+//	go test -fuzz=FuzzCDAGRequest     -fuzztime=30s ./internal/serve/wire
 //	go test -fuzz=FuzzPatchRequest    -fuzztime=30s ./internal/serve/wire
 //	go test -fuzz=FuzzPeerRequest     -fuzztime=30s ./internal/serve/wire
 
@@ -17,6 +18,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"wrbpg/internal/solve"
 )
 
 // decodeLikeServer mimics serve.decodeStrict: DisallowUnknownFields
@@ -64,6 +67,60 @@ func FuzzScheduleRequest(f *testing.F) {
 		}
 		if inst.ShapeKey() == "" {
 			t.Fatal("validated instance produced an empty shape key")
+		}
+	})
+}
+
+// FuzzCDAGRequest exercises the raw node/edge CDAG decoder end to
+// end: strict JSON decode, GraphSpec compilation (name resolution,
+// toposort, cycle detection), instance validation and canonical
+// relabeling. Malformed specs — cycles, dangling deps, duplicate
+// names, non-positive weights — must come back as structured errors,
+// never panics; accepted specs must canonicalize deterministically
+// with a valid permutation.
+func FuzzCDAGRequest(f *testing.F) {
+	f.Add([]byte(`{"family":"cdag","budget_bits":64,"cdag":{"nodes":[{"name":"x","weight_bits":8},{"name":"y","weight_bits":8},{"name":"out","weight_bits":16,"deps":["x","y"]}]}}`))
+	f.Add([]byte(`{"family":"cdag","budget_bits":64,"cdag":{"nodes":[{"name":"out","weight_bits":16,"deps":["x"]},{"name":"x","weight_bits":8}]}}`))
+	f.Add([]byte(`{"family":"cdag","budget_bits":64,"cdag":{"nodes":[{"name":"a","weight_bits":8,"deps":["b"]},{"name":"b","weight_bits":8,"deps":["a"]}]}}`))
+	f.Add([]byte(`{"family":"cdag","budget_bits":64,"cdag":{"nodes":[{"name":"a","weight_bits":8,"deps":["ghost"]}]}}`))
+	f.Add([]byte(`{"family":"cdag","budget_bits":64,"cdag":{"nodes":[{"name":"a","weight_bits":-8}]}}`))
+	f.Add([]byte(`{"family":"cdag","budget_bits":64,"cdag":{"nodes":[{"name":"a","weight_bits":8},{"name":"a","weight_bits":8}]}}`))
+	f.Add([]byte(`{"family":"cdag","budget_bits":64,"cdag":{"nodes":[]}}`))
+	f.Add([]byte(`{"family":"cdag","budget_bits":64,"cdag":{"nodes":[{"name":"a","weight_bits":8,"deps":["a"]}]}}`))
+	f.Add([]byte(`{"family":"cdag","budget_bits":64,"graph":{"nodes":[{"w":8}]},"cdag":{"nodes":[{"name":"a","weight_bits":8}]}}`))
+	f.Add([]byte(`{"family":"cdag"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req ScheduleRequest
+		if !decodeLikeServer(data, &req) {
+			return // handler answers 400 before the request exists
+		}
+		inst, err := req.Instance()
+		if err != nil {
+			return // structured 400
+		}
+		// Canonicalization must be a real relabeling: when a permutation
+		// was recorded it covers every node exactly once.
+		if inst.Family == solve.FamilyCDAG {
+			if len(inst.Perm) != inst.G.Len() {
+				t.Fatalf("perm length %d for %d-node graph", len(inst.Perm), inst.G.Len())
+			}
+			seen := make([]bool, len(inst.Perm))
+			for _, p := range inst.Perm {
+				if p < 0 || int(p) >= len(seen) || seen[p] {
+					t.Fatalf("perm is not a permutation: %v", inst.Perm)
+				}
+				seen[p] = true
+			}
+		}
+		// Re-converting the same request must land on the same key —
+		// the cache identity of a cdag body is deterministic.
+		again, err := req.Instance()
+		if err != nil {
+			t.Fatalf("second Instance() of an accepted request failed: %v", err)
+		}
+		if inst.Key(64) != again.Key(64) {
+			t.Fatal("cdag request key not deterministic across conversions")
 		}
 	})
 }

@@ -68,8 +68,13 @@ type ScheduleRequest struct {
 	// (servers have no "default to minimum memory" convention — the
 	// budget is part of the cache identity).
 	BudgetBits int64 `json:"budget_bits"`
-	// Graph is the explicit CDAG of a family:"cdag" request.
+	// Graph is the explicit CDAG of a family:"cdag" request in the
+	// cdag interchange form (integer parents, topological order).
 	Graph *cdag.Graph `json:"graph,omitempty"`
+	// CDAG is the raw node/edge form of a family:"cdag" request: named
+	// nodes with symbolic deps in any order (see GraphSpec). Exactly one
+	// of Graph and CDAG may be set.
+	CDAG *GraphSpec `json:"cdag,omitempty"`
 	// TimeoutMS optionally overrides the server's default solve
 	// deadline, clamped to its maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -84,7 +89,12 @@ type ScheduleRequest struct {
 	Deltas []PatchDelta `json:"deltas,omitempty"`
 }
 
-// Instance converts the request to its canonical solve.Instance.
+// Instance converts the request to its canonical solve.Instance. For
+// family:"cdag" the graph — whichever wire form carried it — is
+// relabeled into the structural canonical form, so isomorphic
+// submissions (same dataflow, different node order or names) share one
+// cache key; Instance.Perm records the relabeling for callers that
+// must express move lists back in the requester's numbering.
 func (r *ScheduleRequest) Instance() (solve.Instance, error) {
 	var cfg wcfg.Config
 	if r.Family != solve.FamilyCDAG {
@@ -93,12 +103,22 @@ func (r *ScheduleRequest) Instance() (solve.Instance, error) {
 			return solve.Instance{}, err
 		}
 	}
+	g := r.Graph
+	if r.CDAG != nil {
+		if g != nil {
+			return solve.Instance{}, fmt.Errorf("wire: request sets both graph and cdag; send exactly one")
+		}
+		var err error
+		if g, err = r.CDAG.Graph(); err != nil {
+			return solve.Instance{}, fmt.Errorf("wire: %v", err)
+		}
+	}
 	in := solve.Instance{
 		Family: r.Family,
 		N:      r.N, D: r.D, M: r.M,
 		K: r.K, Height: r.Height,
 		Cfg: cfg,
-		G:   r.Graph,
+		G:   g,
 	}
 	ds, err := CanonicalDeltas(r.Deltas)
 	if err != nil {
@@ -108,6 +128,7 @@ func (r *ScheduleRequest) Instance() (solve.Instance, error) {
 	if err := in.Validate(); err != nil {
 		return solve.Instance{}, err
 	}
+	in.Canonicalize()
 	return in, nil
 }
 
@@ -144,7 +165,8 @@ func CanonicalDeltas(ds []PatchDelta) ([]cdag.WeightDelta, error) {
 type ScheduleResult struct {
 	// Workload is the human-readable instance label.
 	Workload string `json:"workload"`
-	// Source is "optimal" or "fallback".
+	// Source is "optimal", "anytime" (the general-DAG branch-and-bound
+	// tier) or "fallback".
 	Source string `json:"source"`
 	// FallbackReason is the human-readable degradation cause when
 	// Source is "fallback"; FallbackCause is its machine-readable
@@ -162,6 +184,9 @@ type ScheduleResult struct {
 	// MoveCount is the schedule length; MoveKinds counts M1–M4.
 	MoveCount int            `json:"move_count"`
 	MoveKinds map[string]int `json:"move_kinds"`
+	// Anytime carries the branch-and-bound search report when Source is
+	// "anytime" (the general-DAG tier).
+	Anytime *AnytimeResult `json:"anytime,omitempty"`
 	// Schedule is the full move list, present only when requested.
 	Schedule core.Schedule `json:"schedule,omitempty"`
 	// ElapsedUS is the wall-clock solve time in microseconds. On a
@@ -173,6 +198,21 @@ type ScheduleResult struct {
 	// empty from the CLI.
 	CacheKey string `json:"cache_key,omitempty"`
 	Cache    string `json:"cache,omitempty"`
+}
+
+// AnytimeResult reports one branch-and-bound search of the general-DAG
+// anytime tier: whether the frontier drained (Complete certifies the
+// cost optimal within the no-recompute subspace — such results are
+// cacheable like optimal ones), the baseline seed the search improved
+// on, and the search-effort counters.
+type AnytimeResult struct {
+	Complete     bool  `json:"complete"`
+	SeedCostBits int64 `json:"seed_cost_bits"`
+	Expanded     int64 `json:"expanded"`
+	Pruned       int64 `json:"pruned"`
+	Deduped      int64 `json:"deduped"`
+	Improvements int64 `json:"improvements"`
+	Workers      int   `json:"workers"`
 }
 
 // NewScheduleResult builds the shared result struct from a solve
@@ -197,6 +237,17 @@ func NewScheduleResult(label string, out solve.Outcome, lb cdag.Weight, includeM
 	if out.Source == solve.SourceFallback && out.Err != nil {
 		r.FallbackReason = out.Err.Error()
 		r.FallbackCause = solve.FallbackReason(out.Err)
+	}
+	if out.Anytime != nil {
+		r.Anytime = &AnytimeResult{
+			Complete:     out.Anytime.Complete,
+			SeedCostBits: int64(out.Anytime.SeedCost),
+			Expanded:     out.Anytime.Expanded,
+			Pruned:       out.Anytime.Pruned,
+			Deduped:      out.Anytime.Deduped,
+			Improvements: out.Anytime.Improvements,
+			Workers:      out.Anytime.Workers,
+		}
 	}
 	if includeMoves {
 		r.Schedule = out.Schedule
@@ -233,6 +284,8 @@ type SweepRequest struct {
 	Weights WeightSpec `json:"weights,omitempty"`
 	// Graph is the explicit CDAG of a family:"cdag" request.
 	Graph *cdag.Graph `json:"graph,omitempty"`
+	// CDAG is the raw node/edge form of a family:"cdag" request.
+	CDAG *GraphSpec `json:"cdag,omitempty"`
 	// BudgetsBits lists the fast-memory budgets to answer, all
 	// positive; answers come back in the same order.
 	BudgetsBits []int64 `json:"budgets_bits"`
@@ -249,6 +302,7 @@ func (r *SweepRequest) Instance() (solve.Instance, error) {
 		K: r.K, Height: r.Height,
 		Weights: r.Weights,
 		Graph:   r.Graph,
+		CDAG:    r.CDAG,
 	}
 	return sr.Instance()
 }

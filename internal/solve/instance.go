@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"wrbpg/internal/cdag"
+	"wrbpg/internal/core"
 	"wrbpg/internal/dwt"
 	"wrbpg/internal/ktree"
 	"wrbpg/internal/mvm"
@@ -49,6 +50,12 @@ type Instance struct {
 	Cfg wcfg.Config
 	// G is the explicit graph of a FamilyCDAG instance.
 	G *cdag.Graph
+	// Perm, when non-nil, records the relabeling Canonicalize applied:
+	// Perm[requestID] = canonical ID. It is not part of the instance's
+	// content-addressed identity (that is the point of canonicalizing);
+	// serving layers keep it to remap canonical-space move lists back
+	// into the requester's numbering.
+	Perm []cdag.NodeID
 	// Deltas, when non-empty, are per-node weight overrides applied on
 	// top of the Cfg-derived weights — the canonical delta form of the
 	// incremental re-solve engine. They must be in canonical order
@@ -243,9 +250,49 @@ func (in *Instance) Build() (Problem, *cdag.Graph, error) {
 		}
 		return MVM(g), g.G, nil
 	case FamilyCDAG:
-		return Exact(in.G), in.G, nil
+		return AnytimeCDAG(in.G), in.G, nil
 	}
 	return Problem{}, nil, fmt.Errorf("solve: unknown family %q", in.Family)
+}
+
+// Canonicalize relabels a FamilyCDAG instance's graph into the
+// structural canonical form (cdag.Canonical) and records the applied
+// permutation in Perm, so isomorphic submissions of the same dataflow
+// share one Key regardless of node order or names. Non-cdag families
+// are already canonical (their identity is their parameters); calling
+// it twice is harmless (the second relabeling is an identity composed
+// into Perm).
+func (in *Instance) Canonicalize() {
+	if in.Family != FamilyCDAG || in.G == nil || in.G.Validate() != nil {
+		return
+	}
+	canon, perm := cdag.Canonical(in.G)
+	if in.Perm == nil {
+		in.Perm = perm
+	} else {
+		composed := make([]cdag.NodeID, len(in.Perm))
+		for orig, mid := range in.Perm {
+			composed[orig] = perm[mid]
+		}
+		in.Perm = composed
+	}
+	in.G = canon
+}
+
+// RequestSchedule expresses a canonical-space schedule back in the
+// requester's original node numbering — the inverse of the relabeling
+// Canonicalize recorded in Perm. When no relabeling was applied the
+// schedule is returned unchanged.
+func (in *Instance) RequestSchedule(s core.Schedule) core.Schedule {
+	if len(in.Perm) == 0 || s == nil {
+		return s
+	}
+	inv := cdag.InversePerm(in.Perm)
+	out := make(core.Schedule, len(s))
+	for i, m := range s {
+		out[i] = core.Move{Kind: m.Kind, Node: inv[m.Node]}
+	}
+	return out
 }
 
 // buildDWT, buildKTree and buildMVM construct the family-typed graphs;

@@ -20,10 +20,10 @@ import (
 	"math"
 	"runtime/debug"
 
+	"wrbpg/internal/anytime"
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
 	"wrbpg/internal/dwt"
-	"wrbpg/internal/exact"
 	"wrbpg/internal/guard"
 	"wrbpg/internal/ktree"
 	"wrbpg/internal/mvm"
@@ -66,7 +66,7 @@ type Session struct {
 	// (memo hits, cells, splits) into the obs registry. Public queries
 	// flush per call; SweepCosts flushes once per sweep, keeping the
 	// warm-sweep hot path at a couple of atomic adds total. Nil for
-	// FamilyCDAG, where exact.SolveCtx flushes internally.
+	// FamilyCDAG, where anytime.Search flushes internally.
 	fc         *guard.FamilyCounters
 	takeCounts func() guard.Counts
 	// patch, for the incremental families (dwt, ktree), applies weight
@@ -91,9 +91,9 @@ func (s *Session) flush() {
 }
 
 // NewSession builds the instance's graph once and wraps the family
-// solver's warm session around it. For FamilyCDAG the exact search has
-// no reusable memo, so every budget query is a cold (but guarded)
-// exact solve — the Session still provides the uniform surface.
+// solver's warm session around it. For FamilyCDAG there is no reusable
+// memo, so every budget query is a cold (but guarded) anytime search —
+// the Session still provides the uniform surface.
 //
 // For the incremental families the *base* graph (deltas stripped) is
 // built first and any instance deltas are then applied through PatchTo,
@@ -146,11 +146,17 @@ func NewSession(inst Instance) (*Session, error) {
 		s.fc = guard.CountersFor("mvm")
 		s.takeCounts = se.TakeCounts
 	case FamilyCDAG:
+		// The general-DAG tier: every budget query is an anytime search
+		// (the exact Dijkstra solver stays available as a library for
+		// certification, but cannot answer within serving deadlines on
+		// arbitrary graphs). Costs are upper bounds unless the search
+		// reports Complete; they are still monotone enough for sweeps
+		// because every query seeds from the same baselines.
 		g := inst.G
 		s.g = g
 		s.cost = func(ctx context.Context, lim guard.Limits, b cdag.Weight) (cdag.Weight, error) {
-			res, err := exact.SolveCtx(ctx, g, b, lim)
-			if errors.Is(err, exact.ErrInfeasible) {
+			res, err := anytime.Search(ctx, g, b, lim, anytime.Options{})
+			if errors.Is(err, anytime.ErrInfeasible) {
 				return infCost, nil
 			}
 			if err != nil {
@@ -159,7 +165,7 @@ func NewSession(inst Instance) (*Session, error) {
 			return res.Cost, nil
 		}
 		s.sched = func(ctx context.Context, lim guard.Limits, b cdag.Weight) (core.Schedule, error) {
-			res, err := exact.SolveCtx(ctx, g, b, lim)
+			res, err := anytime.Search(ctx, g, b, lim, anytime.Options{})
 			if err != nil {
 				return nil, err
 			}

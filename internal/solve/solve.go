@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wrbpg/internal/anytime"
 	"wrbpg/internal/baseline"
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
@@ -79,6 +80,11 @@ const (
 	// SourceFallback marks a schedule from the baseline scheduler,
 	// produced because the optimal solve was aborted.
 	SourceFallback
+	// SourceAnytime marks a schedule from the anytime branch-and-bound
+	// tier (family cdag): the best schedule found within the deadline,
+	// never worse than the baseline, optimal only when
+	// Outcome.Anytime.Complete is set.
+	SourceAnytime
 )
 
 func (s Source) String() string {
@@ -87,6 +93,8 @@ func (s Source) String() string {
 		return "optimal"
 	case SourceFallback:
 		return "fallback"
+	case SourceAnytime:
+		return "anytime"
 	default:
 		return fmt.Sprintf("Source(%d)", int(s))
 	}
@@ -109,6 +117,33 @@ type Problem struct {
 	// isolates it in a goroutine so even a non-cooperative solver
 	// cannot hang the caller.
 	Optimal func(ctx context.Context, lim guard.Limits, budget cdag.Weight) (core.Schedule, error)
+	// Anytime marks problems whose Optimal is the anytime tier: a
+	// successful return is labeled SourceAnytime and carries the info
+	// the closure deposited in the info holder.
+	Anytime bool
+	// info receives the anytime search report. The Optimal closure
+	// writes it before returning; Run reads it only after receiving the
+	// closure's result from its channel (a happens-before edge), and
+	// never on the abandoned-goroutine path.
+	info *AnytimeInfo
+}
+
+// AnytimeInfo reports the anytime search behind a SourceAnytime
+// outcome: whether the search completed (frontier drained or the
+// Proposition 2.4 bound met — the result is then optimal within the
+// no-recompute space and safe to cache), the baseline seed it started
+// from, and the search counters the serving layer feeds its
+// wrbpg_anytime_* metrics from.
+type AnytimeInfo struct {
+	Complete     bool
+	SeedCost     cdag.Weight
+	Cost         cdag.Weight
+	LowerBound   cdag.Weight
+	Expanded     int64
+	Pruned       int64
+	Deduped      int64
+	Improvements int64
+	Workers      int
 }
 
 // Outcome reports one hardened solve.
@@ -128,6 +163,9 @@ type Outcome struct {
 	// Elapsed is the wall-clock time of the whole solve, fallback
 	// included.
 	Elapsed time.Duration
+	// Anytime, set on SourceAnytime outcomes, reports the search behind
+	// the schedule (completeness, seed, pruning counters).
+	Anytime *AnytimeInfo
 }
 
 // optResult carries the optimal goroutine's answer.
@@ -234,6 +272,13 @@ func run(ctx context.Context, p Problem, budget cdag.Weight, lim guard.Limits) (
 			} else {
 				out.Schedule = r.sched
 				out.Stats = stats
+				if p.Anytime {
+					out.Source = SourceAnytime
+					if p.info != nil {
+						info := *p.info
+						out.Anytime = &info
+					}
+				}
 			}
 		}
 	case <-rctx.Done():
@@ -389,6 +434,69 @@ func MVM(g *mvm.Graph) Problem {
 				return nil, err
 			}
 			return g.TileSchedule(tc)
+		},
+	}
+}
+
+// anytimeMargin returns how much of the caller's deadline the anytime
+// search leaves on the table so its incumbent wins the race against
+// Run's watchdog: the search polls its deadline every few hundred
+// expansions, so without a margin the watchdog (which fires at exactly
+// lim.Deadline) would declare the solve late and serve the bare
+// baseline instead of the strictly-better incumbent sitting in the
+// returning goroutine.
+func anytimeMargin(d time.Duration) time.Duration {
+	m := d / 8
+	if m > 25*time.Millisecond {
+		m = 25 * time.Millisecond
+	}
+	if m < time.Millisecond {
+		m = time.Millisecond
+	}
+	return m
+}
+
+// AnytimeCDAG wraps an arbitrary CDAG with the anytime tier: the
+// "optimal" attempt is the parallel branch-and-bound search of
+// internal/anytime, which returns the best schedule found within the
+// deadline (never worse than the baselines it seeds from), and the
+// fallback — reachable only through sheds and crashes, since the
+// search itself degrades internally — is layer-by-layer over the
+// graph's depth layers. A successful Run is labeled SourceAnytime and
+// carries Outcome.Anytime. The returned Problem must not be Run
+// concurrently with itself (the info holder is per-Problem).
+func AnytimeCDAG(g *cdag.Graph) Problem {
+	info := &AnytimeInfo{}
+	return Problem{
+		Name:    "cdag",
+		G:       g,
+		Layers:  anytime.DepthLayers(g),
+		Anytime: true,
+		info:    info,
+		Optimal: func(ctx context.Context, lim guard.Limits, budget cdag.Weight) (core.Schedule, error) {
+			if lim.Deadline > 0 {
+				inner := lim.Deadline - anytimeMargin(lim.Deadline)
+				if inner < time.Millisecond {
+					inner = lim.Deadline / 2
+				}
+				lim.Deadline = inner
+			}
+			res, err := anytime.Search(ctx, g, budget, lim, anytime.Options{})
+			if err != nil {
+				return nil, err
+			}
+			*info = AnytimeInfo{
+				Complete:     res.Complete,
+				SeedCost:     res.SeedCost,
+				Cost:         res.Cost,
+				LowerBound:   res.LowerBound,
+				Expanded:     res.Expanded,
+				Pruned:       res.Pruned,
+				Deduped:      res.Deduped,
+				Improvements: res.Improvements,
+				Workers:      res.Workers,
+			}
+			return res.Schedule, nil
 		},
 	}
 }
