@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fault bench-smoke bench-json bench-json-quick serve-check obs-check patch-check cluster-check cdag-check soak-smoke fuzz-smoke bench-overload bench-cluster bench-anytime staticcheck check
+.PHONY: all build vet test race race-fault bench-smoke bench-json bench-json-quick serve-check obs-check metrics-lint patch-check cluster-check cdag-check soak-smoke fuzz-smoke bench-overload bench-cluster bench-anytime staticcheck check
 
 all: check
 
@@ -44,9 +44,19 @@ serve-check:
 # Boots the daemon with a debug listener, scrapes GET /metrics, and
 # validates the whole observability surface: exposition parseability,
 # series count, trace retrieval, pprof, and structured JSON logs
-# (docs/OBSERVABILITY.md).
-obs-check:
+# (docs/OBSERVABILITY.md). Includes the fleet metrics lint and the
+# race-enabled tracing/SLO unit suites.
+obs-check: metrics-lint
 	$(GO) test -race -run TestObsEndToEnd -v ./cmd/wrbpgd/
+	$(GO) test -race ./internal/obs/...
+
+# Metrics contract lint: boots a 3-replica in-process fleet, scrapes
+# every replica in both exposition flavors (Prometheus 0.0.4 and
+# OpenMetrics with exemplars), and asserts every wrbpg_* series carries
+# HELP/TYPE metadata and round-trips through the strict parser
+# (docs/OBSERVABILITY.md §metrics).
+metrics-lint:
+	$(GO) test -race -run TestMetricsLint -v ./cmd/wrbpgload/
 
 # Race-enabled incremental re-solve gate: the shuffled-delta property
 # tests in every family (warm answers bit-identical to cold rebuilds),
@@ -64,10 +74,14 @@ cluster-check:
 
 # 30-second chaos soak: wrbpgload drives an in-process server with a
 # panic injected into every 5th solver work item; the run must produce
-# zero 5xx and a bounded p99 (docs/ROBUSTNESS.md §overload).
+# zero 5xx, a bounded p99, and stay inside the report-gate SLOs (the
+# same burn-rate math the server's /v1/slo uses; docs/ROBUSTNESS.md
+# §overload). The availability bar is loose (0.9) because the soak
+# sheds on purpose — the gate proves the wiring, not a production SLO.
 soak-smoke:
 	$(GO) run ./cmd/wrbpgload -inproc -workers 4 -duration 30s \
-		-timeout 300ms -fault-every 5 -assert-no-5xx -max-p99 5s
+		-timeout 300ms -fault-every 5 -assert-no-5xx -max-p99 5s \
+		-slo-p99 5s -slo-availability 0.9
 
 # Short fuzz pass over the wire request decoders: malformed bodies must
 # surface as structured 400s, never panics. One -fuzz per invocation

@@ -71,6 +71,8 @@ func run(args []string, stdout *os.File) error {
 		peerVNodes     = fs.Int("peer-vnodes", 0, "virtual nodes per ring member (0 = default; must match across the fleet)")
 		peerTimeout    = fs.Duration("peer-timeout", 0, "peer-fill round-trip bound (0 = default 250ms)")
 		peerHealth     = fs.Duration("peer-health-interval", 0, "peer /readyz probe period (0 = default 1s)")
+		sloLatencyP99  = fs.Duration("slo-latency-p99", 0, "latency SLO target: p99 of API requests must finish within this (0 = default 250ms)")
+		sloAvail       = fs.Float64("slo-availability", 0, "availability SLO target fraction of requests not shed/5xx (0 = default 0.999)")
 	)
 	logFlags := obs.AddLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -115,6 +117,7 @@ func run(args []string, stdout *os.File) error {
 
 	srv := serve.New(serve.Options{
 		Cluster:        cl,
+		Logger:         logger,
 		CacheShards:    *cacheShards,
 		CachePerShard:  *cachePerShard,
 		MaxInflight:    *maxInflight,
@@ -132,6 +135,8 @@ func run(args []string, stdout *os.File) error {
 		BreakerThreshold:  *brkThreshold,
 		BreakerMinSamples: *brkMinSamples,
 		BreakerCooldown:   *brkCooldown,
+		SLOLatencyP99:     *sloLatencyP99,
+		SLOAvailability:   *sloAvail,
 	})
 
 	// The write timeout must outlast the slowest admitted solve (queue

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"wrbpg/internal/loadgen"
+	"wrbpg/internal/obs/slo"
 	"wrbpg/internal/par"
 	"wrbpg/internal/serve"
 )
@@ -85,6 +86,8 @@ func run(args []string, stdout *os.File) error {
 		outPath     = fs.String("out", "", "write the JSON report here")
 		assertNo5xx = fs.Bool("assert-no-5xx", false, "exit nonzero if any response was a 5xx")
 		maxP99      = fs.Duration("max-p99", 0, "exit nonzero if the run's p99 exceeds this (0 = no bound)")
+		sloP99      = fs.Duration("slo-p99", 0, "latency SLO gate: exit nonzero if the run's p99 exceeds this target (0 = no gate)")
+		sloAvail    = fs.Float64("slo-availability", 0, "availability SLO gate: exit nonzero if sheds+5xx burned more than the error budget for this target fraction, e.g. 0.999 (0 = no gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -289,6 +292,24 @@ func run(args []string, stdout *os.File) error {
 	if *maxP99 > 0 && time.Duration(res.P99US)*time.Microsecond > *maxP99 {
 		return fmt.Errorf("p99 %v exceeds bound %v",
 			time.Duration(res.P99US)*time.Microsecond, *maxP99)
+	}
+	// SLO gates: the identical objective arithmetic wrbpgd serves live
+	// on GET /v1/slo, applied to the offline run — burn rate above 1.0
+	// means the run spent more than its whole error budget.
+	if *sloAvail > 0 {
+		if *sloAvail >= 1 {
+			return fmt.Errorf("-slo-availability %v: want a target fraction in (0,1), e.g. 0.999", *sloAvail)
+		}
+		total := uint64(res.OK + res.Shed429 + res.ClientErr + res.ServerErr)
+		bad := uint64(res.Shed429 + res.ServerErr)
+		if burn := slo.BurnRate(total, bad, 1-*sloAvail); burn > 1 {
+			return fmt.Errorf("availability SLO violated: %d/%d bad responses burn %.2fx the error budget for target %v",
+				bad, total, burn, *sloAvail)
+		}
+	}
+	if *sloP99 > 0 && time.Duration(res.P99US)*time.Microsecond > *sloP99 {
+		return fmt.Errorf("latency SLO violated: p99 %v exceeds target %v",
+			time.Duration(res.P99US)*time.Microsecond, *sloP99)
 	}
 	return nil
 }

@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"testing"
+)
+
+// BenchmarkServeSweepWarm runs the ServeSweepWarm perf kernel under
+// the standard benchmark driver so the warm serving path can be A/B
+// compared in isolation (the BENCH_10.json overhead check) without
+// running the whole RunPerfSuite.
+func BenchmarkServeSweepWarm(b *testing.B) {
+	for _, k := range perfKernels() {
+		if k.name != "ServeSweepWarm" {
+			continue
+		}
+		body, err := k.setup()
+		if err != nil {
+			b.Fatalf("setup: %v", err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := body(); err != nil {
+				b.Fatalf("kernel body: %v", err)
+			}
+		}
+		return
+	}
+	b.Fatal("ServeSweepWarm kernel not found")
+}

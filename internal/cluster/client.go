@@ -14,6 +14,7 @@ import (
 	"io"
 	"net/http"
 
+	"wrbpg/internal/obs"
 	"wrbpg/internal/serve/wire"
 )
 
@@ -24,6 +25,11 @@ const (
 	// mid-re-ring, version skew) can cost one wasted hop but never a
 	// forwarding loop.
 	HopHeader = "X-Wrbpg-Peer-Hop"
+	// TraceParentHeader propagates the forwarder's trace context
+	// ("traceid:spanid", obs.TraceParent) on a peer fill, so the owner
+	// resumes the same trace and returns its span subtree in the
+	// response envelope.
+	TraceParentHeader = "X-Wrbpg-Trace-Parent"
 	// PeerPath is the internal peer-fill endpoint.
 	PeerPath = "/v1/peer/schedule"
 )
@@ -32,10 +38,12 @@ const (
 // lists are well under this).
 const maxPeerBody = 32 << 20
 
-// Fill asks owner to answer preq. Exactly one of the three returns is
+// Fill asks owner to answer preq. Exactly one of result/apiErr/err is
 // meaningful:
 //
-//   - result: the owner answered 200 (it solved, or hit its cache);
+//   - result: the owner answered 200 (it solved, or hit its cache).
+//     When the forwarder propagated trace context (preq.TraceParent),
+//     trace carries the owner's span subtree alongside it;
 //   - apiErr: the owner answered a structured API error — notably a
 //     429 carrying its Retry-After shed estimate, which cluster-aware
 //     shedding may propagate to the end client;
@@ -45,38 +53,74 @@ const maxPeerBody = 32 << 20
 //
 // The caller bounds the round trip via ctx (the peer-timeout slice of
 // the request deadline).
-func (c *Cluster) Fill(ctx context.Context, owner string, preq *wire.PeerScheduleRequest) (*wire.ScheduleResult, *wire.Error, error) {
+func (c *Cluster) Fill(ctx context.Context, owner string, preq *wire.PeerScheduleRequest) (*wire.ScheduleResult, *obs.TraceExport, *wire.Error, error) {
 	body, err := json.Marshal(preq)
 	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: encode peer request: %w", err)
+		return nil, nil, nil, fmt.Errorf("cluster: encode peer request: %w", err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+PeerPath, bytes.NewReader(body))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(HopHeader, "1")
+	if preq.TraceParent != "" {
+		req.Header.Set(TraceParentHeader, preq.TraceParent)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
 	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: read peer response: %w", err)
+		return nil, nil, nil, fmt.Errorf("cluster: read peer response: %w", err)
 	}
 	if resp.StatusCode == http.StatusOK {
-		var res wire.ScheduleResult
-		if err := json.Unmarshal(b, &res); err != nil {
-			return nil, nil, fmt.Errorf("cluster: decode peer result: %w", err)
+		var env wire.PeerScheduleResponse
+		if err := json.Unmarshal(b, &env); err != nil {
+			return nil, nil, nil, fmt.Errorf("cluster: decode peer result: %w", err)
 		}
-		return &res, nil, nil
+		if env.Result == nil {
+			// Pre-envelope owner (version skew): the 200 body is a bare
+			// ScheduleResult.
+			var res wire.ScheduleResult
+			if err := json.Unmarshal(b, &res); err != nil || res.Workload == "" {
+				return nil, nil, nil, fmt.Errorf("cluster: peer %s answered 200 with unrecognized body", owner)
+			}
+			return &res, nil, nil, nil
+		}
+		return env.Result, env.Trace, nil, nil
 	}
 	var we wire.Error
 	if err := json.Unmarshal(b, &we); err != nil || we.Status == 0 {
 		// Not a structured API error (proxy page, truncation): surface as
 		// a transport-class failure so the caller solves locally.
-		return nil, nil, fmt.Errorf("cluster: peer %s answered %d with unstructured body", owner, resp.StatusCode)
+		return nil, nil, nil, fmt.Errorf("cluster: peer %s answered %d with unstructured body", owner, resp.StatusCode)
 	}
-	return nil, &we, nil
+	return nil, nil, &we, nil
+}
+
+// GetJSON fetches path from peer (GET) and decodes the 200 body into
+// v. Non-200s and transport failures come back as errors — callers
+// (the /v1/cluster/stats fan-out) report the peer as unreachable
+// rather than failing the whole scrape.
+func (c *Cluster) GetJSON(ctx context.Context, peer, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		return fmt.Errorf("cluster: read %s%s: %w", peer, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s%s answered %d", peer, path, resp.StatusCode)
+	}
+	return json.Unmarshal(b, v)
 }

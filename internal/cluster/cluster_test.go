@@ -180,7 +180,11 @@ func TestFillDecodesResultAndErrors(t *testing.T) {
 		switch preq.Key {
 		case "ok":
 			w.Header().Set("Content-Type", "application/json")
-			fmt.Fprint(w, `{"source":"optimal","cost_bits":7}`)
+			fmt.Fprint(w, `{"result":{"workload":"w","source":"optimal","cost_bits":7},"trace":{"trace_id":"ab12","start_unix_us":1,"spans":[{"name":"peer.serve","start_us":0,"duration_us":5}]}}`)
+		case "legacy":
+			// Pre-envelope owner: a bare ScheduleResult as the 200 body.
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"workload":"w","source":"optimal","cost_bits":7}`)
 		case "shed":
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusTooManyRequests)
@@ -199,12 +203,23 @@ func TestFillDecodesResultAndErrors(t *testing.T) {
 	}
 	ctx := context.Background()
 
-	res, apiErr, ferr := c.Fill(ctx, ts.URL, &wire.PeerScheduleRequest{Key: "ok"})
+	res, tex, apiErr, ferr := c.Fill(ctx, ts.URL, &wire.PeerScheduleRequest{Key: "ok"})
 	if ferr != nil || apiErr != nil || res == nil || res.CostBits != 7 {
 		t.Fatalf("ok fill: res=%+v apiErr=%v err=%v", res, apiErr, ferr)
 	}
+	if tex == nil || tex.TraceID != "ab12" || len(tex.Spans) != 1 {
+		t.Fatalf("ok fill trace subtree = %+v, want the owner's peer.serve span", tex)
+	}
 
-	res, apiErr, ferr = c.Fill(ctx, ts.URL, &wire.PeerScheduleRequest{Key: "shed"})
+	res, tex, apiErr, ferr = c.Fill(ctx, ts.URL, &wire.PeerScheduleRequest{Key: "legacy"})
+	if ferr != nil || apiErr != nil || res == nil || res.CostBits != 7 {
+		t.Fatalf("legacy bare-body fill: res=%+v apiErr=%v err=%v", res, apiErr, ferr)
+	}
+	if tex != nil {
+		t.Fatalf("legacy bare-body fill carried a trace subtree: %+v", tex)
+	}
+
+	res, _, apiErr, ferr = c.Fill(ctx, ts.URL, &wire.PeerScheduleRequest{Key: "shed"})
 	if ferr != nil || res != nil {
 		t.Fatalf("shed fill: res=%+v err=%v", res, ferr)
 	}
@@ -212,7 +227,7 @@ func TestFillDecodesResultAndErrors(t *testing.T) {
 		t.Fatalf("shed fill apiErr=%+v, want structured 429 with retry_after_s=3", apiErr)
 	}
 
-	res, apiErr, ferr = c.Fill(ctx, ts.URL, &wire.PeerScheduleRequest{Key: "garbage"})
+	res, _, apiErr, ferr = c.Fill(ctx, ts.URL, &wire.PeerScheduleRequest{Key: "garbage"})
 	if res != nil || apiErr != nil || ferr == nil {
 		t.Fatalf("unstructured 502 should be a transport-class error, got res=%v apiErr=%v err=%v", res, apiErr, ferr)
 	}
@@ -221,7 +236,7 @@ func TestFillDecodesResultAndErrors(t *testing.T) {
 	dead := httptest.NewServer(http.NotFoundHandler())
 	deadURL := dead.URL
 	dead.Close()
-	if _, _, ferr = c.Fill(ctx, deadURL, &wire.PeerScheduleRequest{Key: "ok"}); ferr == nil {
+	if _, _, _, ferr = c.Fill(ctx, deadURL, &wire.PeerScheduleRequest{Key: "ok"}); ferr == nil {
 		t.Fatal("fill against a dead peer returned no error")
 	}
 }

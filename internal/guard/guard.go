@@ -116,6 +116,7 @@ type Checker struct {
 	states int
 	err    error
 	counts Counts
+	sink   *CountsSink // tee target for TakeCounts; captured from ctx
 }
 
 // New builds a checker for one solve. When lim.Deadline is positive a
@@ -125,7 +126,7 @@ func New(ctx context.Context, lim Limits) *Checker {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c := &Checker{ctx: ctx, lim: lim}
+	c := &Checker{ctx: ctx, lim: lim, sink: SinkFrom(ctx)}
 	if lim.Deadline > 0 {
 		c.ctx, c.cancel = context.WithTimeout(ctx, lim.Deadline)
 	}
@@ -147,8 +148,10 @@ func (c *Checker) Reset(ctx context.Context, lim Limits) {
 		ctx = context.Background()
 	}
 	// Budget charges reset (Limits are per query); observation counts
-	// survive, so session owners can read cumulative progress.
-	*c = Checker{ctx: ctx, lim: lim, counts: c.counts}
+	// survive, so session owners can read cumulative progress. The tee
+	// sink follows the new context: a warm session's checker reports to
+	// whichever request is currently driving it.
+	*c = Checker{ctx: ctx, lim: lim, counts: c.counts, sink: SinkFrom(ctx)}
 	if lim.Deadline > 0 {
 		c.ctx, c.cancel = context.WithTimeout(ctx, lim.Deadline)
 	}
@@ -254,12 +257,16 @@ func (c *Checker) Counts() Counts {
 
 // TakeCounts returns the cumulative observation counters and zeroes
 // them, so per-query deltas need no bookkeeping on the caller's side.
+// The delta is also teed into the CountsSink carried by the context
+// the checker was last built or Reset under, feeding the serving
+// layer's per-request cost accounting.
 func (c *Checker) TakeCounts() Counts {
 	if c == nil {
 		return Counts{}
 	}
 	ct := c.counts
 	c.counts = Counts{}
+	c.sink.Add(ct)
 	return ct
 }
 

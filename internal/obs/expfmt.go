@@ -19,6 +19,17 @@ type Sample struct {
 	Name   string
 	Labels map[string]string
 	Value  float64
+	// Exemplar is the parsed OpenMetrics exemplar riding the sample
+	// line, nil when absent (always nil in plain Prometheus output).
+	Exemplar *SampleExemplar
+}
+
+// SampleExemplar is a parsed OpenMetrics exemplar:
+// `# {trace_id="..."} value [timestamp]` after a sample value.
+type SampleExemplar struct {
+	Labels     map[string]string
+	Value      float64
+	TimestampS float64 // seconds; 0 when absent
 }
 
 // Series returns the full series identity, e.g.
@@ -118,21 +129,7 @@ func parseSample(line string) (Sample, error) {
 	rest = rest[i:]
 	// Label set.
 	if strings.HasPrefix(rest, "{") {
-		end := -1
-		inQuote := false
-		for j := 1; j < len(rest); j++ {
-			switch {
-			case inQuote && rest[j] == '\\':
-				j++ // skip escaped char
-			case rest[j] == '"':
-				inQuote = !inQuote
-			case !inQuote && rest[j] == '}':
-				end = j
-			}
-			if end >= 0 {
-				break
-			}
-		}
+		end := labelSetEnd(rest)
 		if end < 0 {
 			return s, fmt.Errorf("unterminated label set in %q", line)
 		}
@@ -140,6 +137,17 @@ func parseSample(line string) (Sample, error) {
 			return s, err
 		}
 		rest = rest[end+1:]
+	}
+	// OpenMetrics exemplar: `value [ts] # {labels} exval [exts]`. The
+	// label values this registry emits never contain '#', so the first
+	// hash after the label set is the exemplar marker.
+	if hash := strings.IndexByte(rest, '#'); hash >= 0 {
+		ex, err := parseExemplar(strings.TrimSpace(rest[hash+1:]))
+		if err != nil {
+			return s, err
+		}
+		s.Exemplar = ex
+		rest = rest[:hash]
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
@@ -156,6 +164,56 @@ func parseSample(line string) (Sample, error) {
 		}
 	}
 	return s, nil
+}
+
+// labelSetEnd returns the index of the '}' closing the label set that
+// opens at s[0], scanning quote-aware; -1 when unterminated.
+func labelSetEnd(s string) int {
+	inQuote := false
+	for j := 1; j < len(s); j++ {
+		switch {
+		case inQuote && s[j] == '\\':
+			j++ // skip escaped char
+		case s[j] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[j] == '}':
+			return j
+		}
+	}
+	return -1
+}
+
+// parseExemplar parses the OpenMetrics exemplar body after the '#'
+// marker: `{labels} value [timestamp]`, timestamp in float seconds.
+func parseExemplar(body string) (*SampleExemplar, error) {
+	if !strings.HasPrefix(body, "{") {
+		return nil, fmt.Errorf("exemplar must open with a label set, got %q", body)
+	}
+	end := labelSetEnd(body)
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated exemplar label set in %q", body)
+	}
+	ex := &SampleExemplar{Labels: map[string]string{}}
+	if err := parseLabels(body[1:end], ex.Labels); err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	fields := strings.Fields(body[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("want `value [timestamp]` after exemplar labels, got %q", body[end+1:])
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %v", fields[0], err)
+	}
+	ex.Value = v
+	if len(fields) == 2 {
+		ts, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q: %v", fields[1], err)
+		}
+		ex.TimestampS = ts
+	}
+	return ex, nil
 }
 
 // parseLabels parses `k1="v1",k2="v2"` into dst.

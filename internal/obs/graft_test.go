@@ -1,0 +1,249 @@
+// Tests for the cross-replica tracing primitives: trace-parent header
+// round-trips, subtree grafting (the forwarder adopting the owner's
+// span export), and the trace store under concurrent churn.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSplitTraceParent(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		id   string
+		span int
+		ok   bool
+	}{
+		{"ab12cd34ab12cd34:3", "ab12cd34ab12cd34", 3, true},
+		{"ab12cd34ab12cd34:-1", "ab12cd34ab12cd34", -1, true},
+		{"", "", 0, false},
+		{"noseparator", "", 0, false},
+		{":5", "", 0, false},
+		{"UPPERHEX:5", "", 0, false},
+		{"ab12:notanumber", "", 0, false},
+		{"ab12:-2", "", 0, false},
+	} {
+		id, span, ok := SplitTraceParent(tc.in)
+		if ok != tc.ok || (ok && (id != tc.id || span != tc.span)) {
+			t.Errorf("SplitTraceParent(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				tc.in, id, span, ok, tc.id, tc.span, tc.ok)
+		}
+	}
+}
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	ctx, sp := StartSpan(ctx, "request")
+	defer sp.End()
+	hdr := TraceParent(ctx)
+	id, span, ok := SplitTraceParent(hdr)
+	if !ok || id != tr.ID() || span != 0 {
+		t.Fatalf("TraceParent %q split to (%q, %d, %v), want (%q, 0, true)", hdr, id, span, ok, tr.ID())
+	}
+	// Resuming under the parsed ID continues the same trace identity.
+	resumed := ResumeTrace(id)
+	if resumed.ID() != tr.ID() {
+		t.Fatalf("ResumeTrace(%q).ID() = %q", id, resumed.ID())
+	}
+	// A mangled ID must not be adopted: resume mints a fresh one.
+	if got := ResumeTrace("NOT HEX").ID(); !ValidTraceID(got) || got == "NOT HEX" {
+		t.Fatalf("ResumeTrace of an invalid ID yielded %q", got)
+	}
+	if TraceParent(context.Background()) != "" {
+		t.Error("TraceParent of an untraced context is non-empty")
+	}
+}
+
+// TestGraftResumeNoOrphans is the cross-replica stitching property
+// test: random owner-side span forests, exported and grafted under a
+// random forwarder-side span, must always produce a single connected
+// tree — every grafted span reachable from the forwarder's roots, no
+// orphans — with starts clamped inside the adopting span's timeline.
+func TestGraftResumeNoOrphans(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 60; iter++ {
+		// Forwarder: a request root with a peer.fill child, exactly the
+		// serve-layer shape, plus some unrelated siblings.
+		fw := NewTrace()
+		fctx := WithTrace(context.Background(), fw)
+		rctx, root := StartSpan(fctx, "request")
+		extra := rng.Intn(3)
+		for i := 0; i < extra; i++ {
+			_, s := StartSpan(rctx, fmt.Sprintf("local%d", i))
+			s.End()
+		}
+		pctx, fill := StartSpan(rctx, "peer.fill")
+		_ = pctx
+
+		// Owner: resume from the forwarder's trace-parent, then record a
+		// random span forest the way handlePeerSchedule does.
+		id, _, ok := SplitTraceParent(TraceParent(pctx))
+		if !ok {
+			t.Fatalf("iter %d: forwarder produced an unparseable trace parent", iter)
+		}
+		own := ResumeTrace(id)
+		if own.ID() != fw.ID() {
+			t.Fatalf("iter %d: owner resumed trace %q, want %q", iter, own.ID(), fw.ID())
+		}
+		octx, oroot := StartSpan(WithTrace(context.Background(), own), "peer.serve")
+		ownerSpans := 1
+		ctxs := []context.Context{octx}
+		n := rng.Intn(12)
+		for i := 0; i < n; i++ {
+			c, s := StartSpan(ctxs[rng.Intn(len(ctxs))], fmt.Sprintf("o%d", i))
+			s.End()
+			ctxs = append(ctxs, c)
+			ownerSpans++
+		}
+		oroot.End()
+		sub := own.Tree()
+
+		fill.Graft(sub)
+		fill.End()
+		root.End()
+		fw.Finish()
+
+		ex := fw.Tree()
+		if len(ex.Spans) != 1 || ex.Spans[0].Name != "request" {
+			t.Fatalf("iter %d: forwarder roots = %+v, want the single request root", iter, ex.Spans)
+		}
+		// No orphans: every span — forwarder-local and grafted — is in
+		// the tree under the request root.
+		total := countTree(ex.Spans)
+		want := 2 + extra + ownerSpans // request + peer.fill + locals + graft
+		if total != want {
+			t.Fatalf("iter %d: tree has %d spans, want %d (orphans dropped?)", iter, total, want)
+		}
+		var fillNode *SpanNode
+		for _, c := range ex.Spans[0].Children {
+			if c.Name == "peer.fill" {
+				fillNode = c
+			}
+		}
+		if fillNode == nil {
+			t.Fatalf("iter %d: peer.fill missing from request children", iter)
+		}
+		if len(fillNode.Children) != 1 || fillNode.Children[0].Name != "peer.serve" {
+			t.Fatalf("iter %d: peer.fill children = %+v, want the grafted peer.serve root",
+				iter, fillNode.Children)
+		}
+		if got := countTree(fillNode.Children); got != ownerSpans {
+			t.Fatalf("iter %d: grafted subtree has %d spans, want %d", iter, got, ownerSpans)
+		}
+		// Clock rebase: the grafted root never starts before the span
+		// that awaited it, children never before their parents.
+		assertNested(t, iter, fillNode.Children, fillNode.StartUS)
+	}
+}
+
+func countTree(nodes []*SpanNode) int {
+	n := 0
+	for _, sp := range nodes {
+		n += 1 + countTree(sp.Children)
+	}
+	return n
+}
+
+func assertNested(t *testing.T, iter int, nodes []*SpanNode, parentStart int64) {
+	t.Helper()
+	for _, n := range nodes {
+		if n.StartUS < parentStart {
+			t.Fatalf("iter %d: span %q starts %dus before its parent", iter, n.Name, parentStart-n.StartUS)
+		}
+		assertNested(t, iter, n.Children, n.StartUS)
+	}
+}
+
+// TestGraftAfterFinishIsNoop: a straggler peer response arriving after
+// the forwarder's trace is finished (stored, exported) must not mutate
+// the exported tree.
+func TestGraftAfterFinishIsNoop(t *testing.T) {
+	fw := NewTrace()
+	ctx := WithTrace(context.Background(), fw)
+	_, fill := StartSpan(ctx, "peer.fill")
+	fill.End()
+	fw.Finish()
+	before := countTree(fw.Tree().Spans)
+	fill.Graft(&TraceExport{TraceID: fw.ID(), Spans: []*SpanNode{{Name: "late"}}})
+	if after := countTree(fw.Tree().Spans); after != before {
+		t.Fatalf("graft after Finish grew the tree from %d to %d spans", before, after)
+	}
+}
+
+// TestTraceStoreChurn: concurrent writers evicting through a tiny ring
+// while readers Get random IDs — run under -race by `make obs-check`.
+// Every lookup must be a clean hit or miss, the ring must never exceed
+// its capacity, and the newest traces must remain retrievable.
+func TestTraceStoreChurn(t *testing.T) {
+	const (
+		capacity = 8
+		writers  = 8
+		perW     = 200
+	)
+	ts := NewTraceStore(capacity)
+	ids := make(chan string, writers*perW)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				tr := NewTrace()
+				ctx := WithTrace(context.Background(), tr)
+				_, sp := StartSpan(ctx, "request")
+				sp.End()
+				ts.Put(tr)
+				ids <- tr.ID()
+				if got, ok := ts.Get(tr.ID()); ok && got.ID() != tr.ID() {
+					t.Errorf("Get(%q) returned trace %q", tr.ID(), got.ID())
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			seen := []string{}
+			for {
+				select {
+				case id := <-ids:
+					seen = append(seen, id)
+				case <-done:
+					return
+				default:
+					if len(seen) > 0 {
+						id := seen[rand.Intn(len(seen))]
+						if tr, ok := ts.Get(id); ok {
+							// Evicted-or-present is fine; a hit must export.
+							if tr.Tree().TraceID != id {
+								t.Errorf("trace %q exported wrong ID", id)
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+	if ts.Len() != capacity {
+		t.Fatalf("store holds %d traces after churn, want the full ring of %d", ts.Len(), capacity)
+	}
+	// The very last Put from some writer is among the newest `capacity`
+	// traces fleet-wide only per-writer ordering is guaranteed, so just
+	// assert Get still works on whatever the ring reports as resident.
+	last := NewTrace()
+	ts.Put(last)
+	if _, ok := ts.Get(last.ID()); !ok {
+		t.Fatal("freshly put trace not retrievable after churn")
+	}
+}

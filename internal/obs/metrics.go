@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric. The zero value is
@@ -62,6 +63,20 @@ type Histogram struct {
 	inf     atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits
 	count   atomic.Uint64
+	// exemplars holds one last-writer-wins slot per bucket (including
+	// +Inf at index len(bounds)), linking a recent observation in that
+	// bucket back to the trace that produced it. Stores are lock-free
+	// pointer swaps; slots stay nil until a traced observation lands.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar pins one recent observation's trace identity to a histogram
+// bucket, rendered in OpenMetrics exemplar syntax so a tail-latency
+// bucket links straight to GET /v1/trace/{id}.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	UnixMS  int64
 }
 
 // Observe records one sample.
@@ -82,6 +97,33 @@ sum:
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// replaces the matching bucket's exemplar slot (last writer wins, one
+// atomic pointer swap — racing observers lose nothing but the slot).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := len(h.bounds)
+	for j, b := range h.bounds {
+		if v <= b {
+			i = j
+			break
+		}
+	}
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, UnixMS: time.Now().UnixMilli()})
+}
+
+// Exemplar returns bucket i's exemplar, or nil when no traced
+// observation has landed there; i == len(bounds) addresses +Inf.
+func (h *Histogram) Exemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the total number of observations.
@@ -265,6 +307,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	}
 	h := &Histogram{bounds: append([]float64(nil), bounds...)}
 	h.buckets = make([]atomic.Uint64, len(h.bounds))
+	h.exemplars = make([]atomic.Pointer[Exemplar], len(h.bounds)+1)
 	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
 	return h
 }
@@ -339,9 +382,21 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 // Handler serves the merged text exposition of the given registries
 // (later registries append after earlier ones; names must not collide
-// across them).
+// across them). `?openmetrics=1` (or an Accept header naming
+// application/openmetrics-text) switches to the OpenMetrics flavor,
+// which carries histogram exemplars and the `# EOF` terminator.
 func Handler(regs ...*Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if wantOpenMetrics(req) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			for _, r := range regs {
+				if err := r.WriteOpenMetrics(w); err != nil {
+					return
+				}
+			}
+			io.WriteString(w, "# EOF\n")
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		for _, r := range regs {
 			if err := r.WriteText(w); err != nil {
@@ -349,6 +404,16 @@ func Handler(regs ...*Registry) http.Handler {
 			}
 		}
 	})
+}
+
+// wantOpenMetrics implements the /metrics content negotiation: the
+// explicit query knob wins, otherwise an Accept header naming the
+// OpenMetrics media type.
+func wantOpenMetrics(req *http.Request) bool {
+	if v := req.URL.Query().Get("openmetrics"); v != "" {
+		return v == "1" || v == "true"
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text")
 }
 
 func typeName(k metricKind) string {

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteOpenMetrics renders every registered metric in the OpenMetrics
+// flavor of the text exposition: the families and sample lines match
+// WriteText (this registry keeps Prometheus-style family names, e.g.
+// counters retain their _total suffix in the TYPE line), with two
+// additions — histogram bucket lines carry their exemplar when a
+// traced observation has landed in the bucket, and the caller is
+// expected to terminate the full exposition with `# EOF` (Handler
+// does, after the last registry).
+//
+// Exemplar syntax, per the OpenMetrics spec:
+//
+//	name_bucket{le="0.25"} 7 # {trace_id="7bf1..."} 0.231 1731000000.123
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	ms := r.snapshotMetrics()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	var b strings.Builder
+	for _, m := range ms {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, typeName(m.kind))
+		switch {
+		case m.hist != nil:
+			h := m.hist
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.Bucket(i)
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d%s\n",
+					m.name, formatFloat(bound), cum, exemplarSuffix(h.Exemplar(i)))
+			}
+			cum += h.Bucket(len(h.bounds))
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d%s\n",
+				m.name, cum, exemplarSuffix(h.Exemplar(len(h.bounds))))
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, cum)
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(float64(m.counter.Value())))
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(float64(m.gauge.Value())))
+		case m.fn != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.fn()))
+		case m.vec != nil:
+			m.vec.mu.RLock()
+			vals := make([]string, 0, len(m.vec.kids))
+			for v := range m.vec.kids {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				fmt.Fprintf(&b, "%s{%s=%q} %s\n",
+					m.name, m.vec.label, v, formatFloat(float64(m.vec.kids[v].Value())))
+			}
+			m.vec.mu.RUnlock()
+		case m.fvec != nil:
+			m.fvec.mu.RLock()
+			vals := make([]string, 0, len(m.fvec.kids))
+			for v := range m.fvec.kids {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				fmt.Fprintf(&b, "%s{%s=%q} %s\n",
+					m.name, m.fvec.label, v, formatFloat(m.fvec.kids[v]()))
+			}
+			m.fvec.mu.RUnlock()
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exemplarSuffix renders one bucket's exemplar (empty when the slot is
+// unset). The timestamp is seconds with millisecond precision, as the
+// spec requires.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	ts := strconv.FormatFloat(float64(e.UnixMS)/1000, 'f', 3, 64)
+	return fmt.Sprintf(" # {trace_id=%q} %s %s", e.TraceID, formatFloat(e.Value), ts)
+}

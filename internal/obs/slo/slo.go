@@ -1,0 +1,329 @@
+// Package slo tracks service-level objectives over multi-window
+// sliding counters and computes error-budget burn rates.
+//
+// Two objective shapes cover the serving stack: a latency objective
+// (a quantile of requests must complete within a target, e.g. p99 ≤
+// 250ms — a request slower than the target is "bad") and an
+// availability objective (a request shed with 429 or failed with 5xx
+// is "bad"). Both reduce to the same budget arithmetic: with target
+// fraction T of good requests, the error budget is 1−T, and the burn
+// rate over a window is (bad/total)/(1−T) — 1.0 means the window is
+// consuming budget exactly as fast as the objective allows, 14.4 is
+// the classic "page now" multi-window threshold. The arithmetic lives
+// in exported functions (BurnRate, BudgetRemaining) so cmd/wrbpgload's
+// report gates apply the identical math to offline results.
+//
+// The engine keeps one ring of sub-buckets per window (5m/1h/6h by
+// default); Record is O(windows) under one mutex and allocation-free,
+// so it sits comfortably on the per-request path.
+package slo
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wrbpg/internal/obs"
+)
+
+// ringBuckets is the resolution of each sliding window: the window
+// reports over at most windowLen + windowLen/ringBuckets of history,
+// which keeps the 5m window honest to ±10s.
+const ringBuckets = 30
+
+// Config sets the engine's objectives. Zero fields take defaults.
+type Config struct {
+	// LatencyTarget is the latency objective's threshold: a request
+	// slower than this is latency-bad. Default 250ms.
+	LatencyTarget time.Duration
+	// LatencyQuantile is the fraction of requests that must meet
+	// LatencyTarget (0.99 ⇒ "p99 ≤ target"). Default 0.99.
+	LatencyQuantile float64
+	// Availability is the fraction of requests that must not be shed
+	// (429) or fail (5xx). Default 0.999.
+	Availability float64
+	// Windows are the sliding-window lengths. Default 5m, 1h, 6h.
+	Windows []time.Duration
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c *Config) applyDefaults() {
+	if c.LatencyTarget <= 0 {
+		c.LatencyTarget = 250 * time.Millisecond
+	}
+	if c.LatencyQuantile <= 0 || c.LatencyQuantile >= 1 {
+		c.LatencyQuantile = 0.99
+	}
+	if c.Availability <= 0 || c.Availability >= 1 {
+		c.Availability = 0.999
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []time.Duration{5 * time.Minute, time.Hour, 6 * time.Hour}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// bucket is one ring slot's tallies.
+type bucket struct {
+	total uint64
+	bad   uint64 // availability-bad: shed or 5xx
+	slow  uint64 // latency-bad: slower than LatencyTarget
+}
+
+// window is one sliding window: a ring of sub-buckets rotated by the
+// clock on every Record/snapshot.
+type window struct {
+	name     string
+	length   time.Duration
+	slotLen  time.Duration
+	ring     [ringBuckets]bucket
+	cur      int
+	curStart time.Time
+}
+
+// rotate advances the ring so ring[cur] covers now.
+func (w *window) rotate(now time.Time) {
+	steps := int(now.Sub(w.curStart) / w.slotLen)
+	if steps <= 0 {
+		return
+	}
+	if steps > ringBuckets {
+		steps = ringBuckets
+		w.curStart = now
+	} else {
+		w.curStart = w.curStart.Add(time.Duration(steps) * w.slotLen)
+	}
+	for i := 0; i < steps; i++ {
+		w.cur = (w.cur + 1) % ringBuckets
+		w.ring[w.cur] = bucket{}
+	}
+}
+
+// sum tallies the whole ring.
+func (w *window) sum() bucket {
+	var b bucket
+	for i := range w.ring {
+		b.total += w.ring[i].total
+		b.bad += w.ring[i].bad
+		b.slow += w.ring[i].slow
+	}
+	return b
+}
+
+// Engine records per-request outcomes and reports burn rates.
+type Engine struct {
+	cfg Config
+
+	mu   sync.Mutex
+	wins []*window
+}
+
+// New returns an engine tracking the configured objectives.
+func New(cfg Config) *Engine {
+	cfg.applyDefaults()
+	e := &Engine{cfg: cfg}
+	now := cfg.now()
+	for _, d := range cfg.Windows {
+		e.wins = append(e.wins, &window{
+			name:     windowName(d),
+			length:   d,
+			slotLen:  d / ringBuckets,
+			curStart: now,
+		})
+	}
+	return e
+}
+
+// windowName renders a window length compactly ("5m", "1h", "6h"),
+// dropping only genuinely zero trailing components so a 90s window
+// still reads "1m30s".
+func windowName(d time.Duration) string {
+	s := d.String() // e.g. "5m0s", "1h0m0s"
+	if strings.HasSuffix(s, "m0s") {
+		s = s[:len(s)-2]
+	}
+	if strings.HasSuffix(s, "h0m") {
+		s = s[:len(s)-2]
+	}
+	return s
+}
+
+// Record tallies one finished request: its latency and whether it was
+// availability-bad (shed with 429 or failed with 5xx).
+func (e *Engine) Record(latency time.Duration, bad bool) {
+	slow := latency > e.cfg.LatencyTarget
+	now := e.cfg.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, w := range e.wins {
+		w.rotate(now)
+		b := &w.ring[w.cur]
+		b.total++
+		if bad {
+			b.bad++
+		}
+		if slow {
+			b.slow++
+		}
+	}
+}
+
+// BurnRate is the rate at which a window consumes error budget:
+// (bad/total)/budget. 1.0 consumes the budget exactly over the SLO
+// period; an empty window burns nothing.
+func BurnRate(total, bad uint64, budget float64) float64 {
+	if total == 0 || budget <= 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// BudgetRemaining is the fraction of a window's error budget still
+// unspent: 1 − (bad/total)/budget, clamped below at -1 so a blown
+// window reads as "overspent" without unbounded negatives.
+func BudgetRemaining(total, bad uint64, budget float64) float64 {
+	rem := 1 - BurnRate(total, bad, budget)
+	if rem < -1 {
+		return -1
+	}
+	return rem
+}
+
+// WindowStatus is one window's view of one objective.
+type WindowStatus struct {
+	Window          string  `json:"window"`
+	Total           uint64  `json:"total"`
+	Bad             uint64  `json:"bad"`
+	BurnRate        float64 `json:"burn_rate"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// ObjectiveStatus is one objective across all windows.
+type ObjectiveStatus struct {
+	Name    string         `json:"name"`
+	Target  float64        `json:"target"`
+	Budget  float64        `json:"budget"`
+	Detail  string         `json:"detail"`
+	Windows []WindowStatus `json:"windows"`
+}
+
+// Report is the GET /v1/slo response body.
+type Report struct {
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// objectiveNames used in reports, metrics labels and log lines.
+const (
+	ObjectiveAvailability = "availability"
+	ObjectiveLatency      = "latency"
+)
+
+// Report snapshots both objectives across every window.
+func (e *Engine) Report() Report {
+	now := e.cfg.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	avail := ObjectiveStatus{
+		Name:   ObjectiveAvailability,
+		Target: e.cfg.Availability,
+		Budget: 1 - e.cfg.Availability,
+		Detail: "requests not shed (429) or failed (5xx)",
+	}
+	lat := ObjectiveStatus{
+		Name:   ObjectiveLatency,
+		Target: e.cfg.LatencyQuantile,
+		Budget: 1 - e.cfg.LatencyQuantile,
+		Detail: "p" + trimQuantile(e.cfg.LatencyQuantile) + " ≤ " + e.cfg.LatencyTarget.String(),
+	}
+	for _, w := range e.wins {
+		w.rotate(now)
+		b := w.sum()
+		avail.Windows = append(avail.Windows, WindowStatus{
+			Window:          w.name,
+			Total:           b.total,
+			Bad:             b.bad,
+			BurnRate:        BurnRate(b.total, b.bad, avail.Budget),
+			BudgetRemaining: BudgetRemaining(b.total, b.bad, avail.Budget),
+		})
+		lat.Windows = append(lat.Windows, WindowStatus{
+			Window:          w.name,
+			Total:           b.total,
+			Bad:             b.slow,
+			BurnRate:        BurnRate(b.total, b.slow, lat.Budget),
+			BudgetRemaining: BudgetRemaining(b.total, b.slow, lat.Budget),
+		})
+	}
+	return Report{Objectives: []ObjectiveStatus{avail, lat}}
+}
+
+// trimQuantile renders 0.99 as "99", 0.999 as "99.9".
+func trimQuantile(q float64) string {
+	return strconv.FormatFloat(q*100, 'f', -1, 64)
+}
+
+// Summary condenses the report for /readyz: per objective, the worst
+// burn rate across windows and the shortest window's budget remaining.
+func (e *Engine) Summary() map[string]any {
+	rep := e.Report()
+	out := make(map[string]any, len(rep.Objectives))
+	for _, o := range rep.Objectives {
+		worst := 0.0
+		for _, w := range o.Windows {
+			if w.BurnRate > worst {
+				worst = w.BurnRate
+			}
+		}
+		var shortest WindowStatus
+		if len(o.Windows) > 0 {
+			shortest = o.Windows[0]
+		}
+		out[o.Name] = map[string]any{
+			"worst_burn_rate":  worst,
+			"budget_remaining": shortest.BudgetRemaining,
+			"window":           shortest.Window,
+		}
+	}
+	return out
+}
+
+// RegisterMetrics exposes wrbpg_slo_burn_rate and
+// wrbpg_slo_budget_remaining gauge families on reg, one series per
+// objective×window (label value "availability_5m" etc.), evaluated at
+// scrape time.
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	burn := reg.GaugeFuncVec("wrbpg_slo_burn_rate",
+		"Error-budget burn rate per objective and window (1.0 = consuming budget exactly at the objective's rate).", "slo")
+	rem := reg.GaugeFuncVec("wrbpg_slo_budget_remaining",
+		"Fraction of the error budget left per objective and window (negative = overspent).", "slo")
+	e.mu.Lock()
+	wins := append([]*window(nil), e.wins...)
+	e.mu.Unlock()
+	for _, w := range wins {
+		for _, obj := range []string{ObjectiveAvailability, ObjectiveLatency} {
+			obj, name := obj, w.name
+			burn.With(obj+"_"+name, func() float64 { return e.lookup(obj, name).BurnRate })
+			rem.With(obj+"_"+name, func() float64 { return e.lookup(obj, name).BudgetRemaining })
+		}
+	}
+}
+
+// lookup finds one objective×window status in a fresh report.
+func (e *Engine) lookup(objective, window string) WindowStatus {
+	rep := e.Report()
+	for _, o := range rep.Objectives {
+		if o.Name != objective {
+			continue
+		}
+		for _, w := range o.Windows {
+			if w.Window == window {
+				return w
+			}
+		}
+	}
+	return WindowStatus{}
+}

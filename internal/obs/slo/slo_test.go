@@ -1,0 +1,187 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"wrbpg/internal/obs"
+)
+
+// fakeClock drives the window rings deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestEngine(cfg Config) (*Engine, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	cfg.now = clk.now
+	return New(cfg), clk
+}
+
+func TestBurnRateArithmetic(t *testing.T) {
+	for _, tc := range []struct {
+		total, bad uint64
+		budget     float64
+		burn, rem  float64
+	}{
+		{0, 0, 0.001, 0, 1},       // empty window burns nothing
+		{1000, 1, 0.001, 1, 0},    // exactly on budget
+		{1000, 10, 0.001, 10, -1}, // 10x burn, remaining clamps at -1
+		{1000, 0, 0.001, 0, 1},
+		{100, 50, 0.5, 1, 0},
+		{10, 5, 0, 0, 1}, // degenerate budget guards, not divides
+	} {
+		if got := BurnRate(tc.total, tc.bad, tc.budget); math.Abs(got-tc.burn) > 1e-12 {
+			t.Errorf("BurnRate(%d,%d,%v) = %v, want %v", tc.total, tc.bad, tc.budget, got, tc.burn)
+		}
+		if got := BudgetRemaining(tc.total, tc.bad, tc.budget); math.Abs(got-tc.rem) > 1e-12 {
+			t.Errorf("BudgetRemaining(%d,%d,%v) = %v, want %v", tc.total, tc.bad, tc.budget, got, tc.rem)
+		}
+	}
+}
+
+func TestRecordAndReport(t *testing.T) {
+	e, _ := newTestEngine(Config{LatencyTarget: 100 * time.Millisecond, Availability: 0.999})
+	for i := 0; i < 997; i++ {
+		e.Record(10*time.Millisecond, false)
+	}
+	e.Record(time.Second, false) // slow but available
+	e.Record(time.Millisecond, true)
+	e.Record(time.Millisecond, true)
+
+	rep := e.Report()
+	if len(rep.Objectives) != 2 {
+		t.Fatalf("report has %d objectives, want availability+latency", len(rep.Objectives))
+	}
+	var avail, lat *ObjectiveStatus
+	for i := range rep.Objectives {
+		switch rep.Objectives[i].Name {
+		case ObjectiveAvailability:
+			avail = &rep.Objectives[i]
+		case ObjectiveLatency:
+			lat = &rep.Objectives[i]
+		}
+	}
+	if avail == nil || lat == nil {
+		t.Fatalf("objectives = %+v", rep.Objectives)
+	}
+	if len(avail.Windows) != 3 || avail.Windows[0].Window != "5m" {
+		t.Fatalf("availability windows = %+v, want 5m/1h/6h", avail.Windows)
+	}
+	for _, w := range avail.Windows {
+		if w.Total != 1000 || w.Bad != 2 {
+			t.Errorf("availability %s: total=%d bad=%d, want 1000/2", w.Window, w.Total, w.Bad)
+		}
+		if math.Abs(w.BurnRate-2) > 1e-9 { // 2/1000 against a 0.001 budget
+			t.Errorf("availability %s burn = %v, want 2", w.Window, w.BurnRate)
+		}
+	}
+	for _, w := range lat.Windows {
+		if w.Bad != 1 { // only the 1s request breached 100ms
+			t.Errorf("latency %s bad = %d, want 1", w.Window, w.Bad)
+		}
+	}
+	if !strings.Contains(lat.Detail, "p99") || !strings.Contains(lat.Detail, "100ms") {
+		t.Errorf("latency detail %q, want the quantile and target spelled out", lat.Detail)
+	}
+}
+
+// TestWindowExpiry: outcomes age out of the short window while the
+// long windows still remember them.
+func TestWindowExpiry(t *testing.T) {
+	e, clk := newTestEngine(Config{})
+	for i := 0; i < 100; i++ {
+		e.Record(time.Millisecond, true)
+	}
+	clk.advance(6 * time.Minute) // past 5m + slack, inside 1h
+	e.Record(time.Millisecond, false)
+
+	rep := e.Report()
+	avail := rep.Objectives[0]
+	if avail.Name != ObjectiveAvailability {
+		t.Fatalf("first objective %q", avail.Name)
+	}
+	short, long := avail.Windows[0], avail.Windows[1]
+	if short.Bad != 0 || short.Total != 1 {
+		t.Errorf("5m window after expiry: total=%d bad=%d, want 1/0", short.Total, short.Bad)
+	}
+	if long.Bad != 100 || long.Total != 101 {
+		t.Errorf("1h window: total=%d bad=%d, want 101/100", long.Total, long.Bad)
+	}
+}
+
+func TestSummaryWorstBurn(t *testing.T) {
+	e, clk := newTestEngine(Config{})
+	// Blow the budget, then go quiet: the 5m window forgets, the 6h
+	// window keeps burning, so the summary's worst-burn must pick it up.
+	for i := 0; i < 100; i++ {
+		e.Record(time.Millisecond, true)
+	}
+	clk.advance(10 * time.Minute)
+	for i := 0; i < 100; i++ {
+		e.Record(time.Millisecond, false)
+	}
+	sum := e.Summary()
+	av, ok := sum[ObjectiveAvailability].(map[string]any)
+	if !ok {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if worst := av["worst_burn_rate"].(float64); worst <= 1 {
+		t.Errorf("worst_burn_rate = %v, want the long window's blown budget to dominate", worst)
+	}
+	if av["window"].(string) != "5m" {
+		t.Errorf("summary window = %v, want the shortest (5m)", av["window"])
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	e, _ := newTestEngine(Config{})
+	for i := 0; i < 10; i++ {
+		e.Record(time.Millisecond, i == 0) // 1/10 bad: burn 100x a 0.001 budget
+	}
+	reg := obs.NewRegistry()
+	e.RegisterMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(sb.String())
+	if err != nil {
+		t.Fatalf("slo gauges unparseable: %v", err)
+	}
+	series := map[string]float64{}
+	for _, s := range samples {
+		series[s.Series()] = s.Value
+	}
+	for _, want := range []string{"availability_5m", "availability_1h", "availability_6h",
+		"latency_5m", "latency_1h", "latency_6h"} {
+		if _, ok := series[`wrbpg_slo_burn_rate{slo="`+want+`"}`]; !ok {
+			t.Errorf("missing burn-rate series for %s:\n%s", want, sb.String())
+		}
+		if _, ok := series[`wrbpg_slo_budget_remaining{slo="`+want+`"}`]; !ok {
+			t.Errorf("missing budget-remaining series for %s", want)
+		}
+	}
+	if got := series[`wrbpg_slo_burn_rate{slo="availability_5m"}`]; math.Abs(got-100) > 1e-9 {
+		t.Errorf(`availability_5m burn gauge = %v, want 100`, got)
+	}
+	if got := series[`wrbpg_slo_budget_remaining{slo="availability_5m"}`]; got != -1 {
+		t.Errorf(`availability_5m remaining gauge = %v, want the -1 clamp`, got)
+	}
+}
+
+func TestWindowName(t *testing.T) {
+	for d, want := range map[time.Duration]string{
+		5 * time.Minute:  "5m",
+		time.Hour:        "1h",
+		6 * time.Hour:    "6h",
+		90 * time.Second: "1m30s",
+	} {
+		if got := windowName(d); got != want {
+			t.Errorf("windowName(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

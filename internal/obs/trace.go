@@ -14,6 +14,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -62,6 +64,64 @@ func NewTrace() *Trace {
 		}
 	}
 	return &Trace{id: hex.EncodeToString(b[:]), start: time.Now()}
+}
+
+// ResumeTrace continues a trace that was started on another replica:
+// the returned trace reuses the propagated ID, so spans recorded here
+// stitch into the originator's tree when the subtree is exported back
+// (Span.Graft on the forwarding side). IDs that could not have been
+// minted by this package fall back to a fresh trace rather than
+// letting a peer inject arbitrary identifiers into the store.
+func ResumeTrace(id string) *Trace {
+	if !ValidTraceID(id) {
+		return NewTrace()
+	}
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ValidTraceID reports whether id looks like a trace identifier this
+// package mints: 1–64 lowercase hex characters.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceParent encodes the context's active trace position as a
+// "traceid:spanid" pair for cross-replica propagation (the
+// X-Wrbpg-Trace-Parent peer header). Empty when ctx carries no trace.
+func TraceParent(ctx context.Context) string {
+	a, ok := ctx.Value(ctxKey{}).(active)
+	if !ok || a.tr == nil {
+		return ""
+	}
+	return a.tr.id + ":" + strconv.Itoa(a.spanID)
+}
+
+// SplitTraceParent parses a TraceParent value back into its trace ID
+// and parent span ID. ok is false for anything malformed, so callers
+// can treat a bad header as "untraced" without further validation.
+func SplitTraceParent(v string) (id string, span int, ok bool) {
+	i := strings.LastIndexByte(v, ':')
+	if i <= 0 {
+		return "", 0, false
+	}
+	id = v[:i]
+	if !ValidTraceID(id) {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(v[i+1:])
+	if err != nil || n < -1 {
+		return "", 0, false
+	}
+	return id, n, true
 }
 
 // ID returns the trace's hex identifier.
@@ -150,6 +210,53 @@ func (s *Span) SetAttr(key, value string) {
 	defer s.tr.mu.Unlock()
 	if !s.ended {
 		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+}
+
+// Graft appends a span forest exported by another trace — typically
+// the owner replica's subtree returned in the peer response envelope —
+// as children of s. Node offsets are re-based from the subtree's wall
+// clock onto this trace's clock, clamped so no grafted span starts
+// before s itself (cross-host clock skew must not render a child ahead
+// of its parent). Parent IDs are assigned at append time under the
+// trace lock, so a graft can never introduce orphan spans. Safe on
+// nil; dropped once the trace is finished.
+func (s *Span) Graft(ex *TraceExport) {
+	if s == nil || ex == nil || len(ex.Spans) == 0 {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	base := time.Duration(ex.StartUS-t.start.UnixMicro()) * time.Microsecond
+	if base < s.start {
+		base = s.start
+	}
+	var add func(n *SpanNode, parent int)
+	add = func(n *SpanNode, parent int) {
+		if n == nil {
+			return
+		}
+		sp := &Span{
+			tr:       t,
+			id:       len(t.spans),
+			parent:   parent,
+			name:     n.Name,
+			start:    base + time.Duration(n.StartUS)*time.Microsecond,
+			duration: time.Duration(n.DurationUS) * time.Microsecond,
+			ended:    true,
+			attrs:    append([]Attr(nil), n.Attrs...),
+		}
+		t.spans = append(t.spans, sp)
+		for _, c := range n.Children {
+			add(c, sp.id)
+		}
+	}
+	for _, n := range ex.Spans {
+		add(n, s.id)
 	}
 }
 

@@ -12,7 +12,9 @@ package serve
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"wrbpg/internal/cluster"
@@ -65,12 +67,74 @@ func (s *Server) handlePeerSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, asWireErr(err))
 		return
 	}
-	res, werr := s.scheduleAs(r.Context(), &preq.Req, true, preq.Key)
+	// Resume the forwarder's trace when it propagated context: the
+	// owner-side phases (cache, admission, solve) record under a
+	// "peer.serve" root carrying the same trace ID, the completed
+	// owner-side trace is retained locally for GET /v1/trace/{id}, and
+	// the span subtree rides back in the response envelope so the
+	// forwarder grafts it under its peer.fill span.
+	ctx := r.Context()
+	var (
+		tr   *obs.Trace
+		root *obs.Span
+	)
+	if id, pspan, ok := obs.SplitTraceParent(r.Header.Get(cluster.TraceParentHeader)); ok {
+		tr = obs.ResumeTrace(id)
+		ctx, root = obs.StartSpan(obs.WithTrace(ctx, tr), "peer.serve")
+		root.SetAttr("origin", preq.Origin)
+		root.SetAttr("parent_span", strconv.Itoa(pspan))
+		w.Header().Set(TraceIDHeader, tr.ID())
+	}
+	res, werr := s.scheduleAs(ctx, &preq.Req, true, preq.Key)
+	var tex *obs.TraceExport
+	if tr != nil {
+		root.End()
+		s.traces.Put(tr)
+		tex = tr.Tree()
+	}
 	if werr != nil {
+		s.logPeerServe(tr, preq.Origin, werr.Status)
 		s.writeErr(w, werr)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	s.logPeerServe(tr, preq.Origin, http.StatusOK)
+	writeJSON(w, http.StatusOK, wire.PeerScheduleResponse{Result: res, Trace: tex})
+}
+
+// logPeerServe emits the owner-side structured line for one served
+// peer fill, correlated by trace_id when the forwarder propagated one.
+func (s *Server) logPeerServe(tr *obs.Trace, origin string, status int) {
+	if s.log == nil {
+		return
+	}
+	attrs := []any{"origin", origin, "status", status}
+	if tr != nil {
+		attrs = append(attrs, "trace_id", tr.ID())
+	}
+	s.log.Debug("peer fill served", attrs...)
+}
+
+// logPeerFill emits the forwarder-side structured line for one
+// peer-fill attempt. The outcome vocabulary is exactly the
+// wrbpg_peer_fill_total label set, so log lines and the counter join
+// on the same strings; fills that failed over to the local solver
+// (error/timeout) log at Warn, the rest at Debug.
+func (s *Server) logPeerFill(ctx context.Context, owner, outcome string, err error) {
+	if s.log == nil {
+		return
+	}
+	attrs := []any{"owner", owner, "outcome", outcome}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		attrs = append(attrs, "trace_id", tr.ID())
+	}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+	}
+	lvl := slog.LevelDebug
+	if outcome == peerError || outcome == peerTimeout {
+		lvl = slog.LevelWarn
+	}
+	s.log.Log(ctx, lvl, "peer fill", attrs...)
 }
 
 // peerFill offers the miss to the owning replica. handled=false means
@@ -102,8 +166,11 @@ func (s *Server) peerFill(ctx context.Context, owner, key string, req *wire.Sche
 	// strips moves the end client did not ask for.
 	fwd.IncludeMoves = true
 	fwd.TimeoutMS = timeout.Milliseconds()
-	fill, apiErr, ferr := s.cluster.Fill(fctx, owner, &wire.PeerScheduleRequest{
+	fill, sub, apiErr, ferr := s.cluster.Fill(fctx, owner, &wire.PeerScheduleRequest{
 		Req: fwd, Key: key, Origin: s.cluster.Self(),
+		// The trace parent is read off pctx (inside the peer.fill span),
+		// so the owner's grafted subtree hangs under peer.fill.
+		TraceParent: obs.TraceParent(pctx),
 	})
 	switch {
 	case ferr != nil:
@@ -113,6 +180,7 @@ func (s *Server) peerFill(ctx context.Context, owner, key string, req *wire.Sche
 		}
 		sp.SetAttr("outcome", outcome)
 		s.m.peerFill(outcome)
+		s.logPeerFill(ctx, owner, outcome, ferr)
 		s.cluster.ReportFillError(owner)
 		return nil, false, nil, false // local solve
 
@@ -120,6 +188,7 @@ func (s *Server) peerFill(ctx context.Context, owner, key string, req *wire.Sche
 		if apiErr.Status == http.StatusTooManyRequests {
 			sp.SetAttr("outcome", peerShed)
 			s.m.peerFill(peerShed)
+			s.logPeerFill(ctx, owner, peerShed, nil)
 			if s.adm.saturated() {
 				// Cluster-aware shedding: the owner is shedding and the
 				// local queue is saturated too — a local cold solve would
@@ -145,6 +214,7 @@ func (s *Server) peerFill(ctx context.Context, owner, key string, req *wire.Sche
 		// the error outcome counter.
 		sp.SetAttr("outcome", peerError)
 		s.m.peerFill(peerError)
+		s.logPeerFill(ctx, owner, peerError, apiErr)
 		return nil, false, nil, false
 
 	default:
@@ -155,10 +225,24 @@ func (s *Server) peerFill(ctx context.Context, owner, key string, req *wire.Sche
 		}
 		sp.SetAttr("outcome", outcome)
 		s.m.peerFill(outcome)
+		s.logPeerFill(ctx, owner, outcome, nil)
+		// Stitch the owner's span subtree under peer.fill, so the
+		// forwarder's GET /v1/trace/{id} shows the complete cross-replica
+		// tree (transport gap included: the subtree is narrower than the
+		// peer.fill span that contains it).
+		sp.Graft(sub)
 		// Scrub the owner's per-request stamping; the local request path
 		// re-stamps cache disposition and key. ElapsedUS stays the
 		// owner's solve time — the same semantics a local solve reports.
 		fill.Cache, fill.CacheKey = "", ""
+		// Cost accounting crosses the fleet with the fill: the owner's
+		// meter (its solve or cache disposition) survives, re-tiered as a
+		// peer answer one hop further from the client.
+		if fill.Cost == nil {
+			fill.Cost = &wire.CostMeta{}
+		}
+		fill.Cost.SourceTier = wire.TierPeer
+		fill.Cost.PeerHops++
 		return fill, cacheable, nil, true
 	}
 }

@@ -1,0 +1,121 @@
+// GET /v1/cluster/stats: the fleet-wide stats fan-out. Any replica
+// answers for the whole fleet by merging its own counters with every
+// healthy peer's GET /statsz, scraped concurrently under the peer
+// timeout. Unreachable peers degrade to an error row instead of
+// failing the scrape — a partitioned fleet still reports the side you
+// can see.
+
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"wrbpg/internal/serve/wire"
+)
+
+// ReplicaStats is one replica's row in the fleet view.
+type ReplicaStats struct {
+	URL  string `json:"url"`
+	Self bool   `json:"self,omitempty"`
+	// Error marks a replica whose /statsz scrape failed (unreachable or
+	// unhealthy); Stats is absent then.
+	Error string `json:"error,omitempty"`
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// ClusterStats is the GET /v1/cluster/stats response body: fleet
+// totals over the reachable replicas plus the per-replica breakdown.
+type ClusterStats struct {
+	// Replicas counts cluster members including self; Healthy counts
+	// members on the ring; Scraped counts members whose /statsz
+	// answered this fan-out (totals sum over exactly these).
+	Replicas int `json:"replicas"`
+	Healthy  int `json:"healthy"`
+	Scraped  int `json:"scraped"`
+	// Fleet totals summed across scraped replicas. Solves versus
+	// Requests is the fleet's duplicate-solve ratio; PeerFill outcomes
+	// aggregate the replica-to-replica traffic.
+	Requests           uint64            `json:"requests"`
+	Solves             uint64            `json:"solves"`
+	Fallbacks          uint64            `json:"fallbacks"`
+	CacheHits          uint64            `json:"cache_hits"`
+	CacheMisses        uint64            `json:"cache_misses"`
+	PeerRequests       uint64            `json:"peer_requests"`
+	PeerShedPropagated uint64            `json:"peer_shed_propagated"`
+	Shed               map[string]uint64 `json:"shed"`
+	PeerFill           map[string]uint64 `json:"peer_fill"`
+	PerReplica         []ReplicaStats    `json:"per_replica"`
+}
+
+// handleClusterStats serves GET /v1/cluster/stats.
+func (s *Server) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		s.writeErr(w, wire.Errorf(http.StatusNotFound, "cluster mode disabled (no -peers)"))
+		return
+	}
+	if r.Method != http.MethodGet {
+		s.writeErr(w, wire.Errorf(http.StatusMethodNotAllowed, "GET required"))
+		return
+	}
+
+	rep := s.cluster.Health()
+	self := s.Stats()
+	rows := make([]ReplicaStats, 1+len(rep.Peers))
+	rows[0] = ReplicaStats{URL: s.cluster.Self(), Self: true, Stats: &self}
+
+	// Scrape peers concurrently, each bounded by the peer timeout (a
+	// stats scrape should never be slower than a fill). Unhealthy peers
+	// are reported without a scrape attempt — the health loop already
+	// established they are unreachable.
+	var wg sync.WaitGroup
+	for i, p := range rep.Peers {
+		if !p.Healthy {
+			rows[1+i] = ReplicaStats{URL: p.URL, Error: "unhealthy (off the ring)"}
+			continue
+		}
+		wg.Add(1)
+		go func(row *ReplicaStats, url string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), s.cluster.PeerTimeout())
+			defer cancel()
+			var st Stats
+			if err := s.cluster.GetJSON(ctx, url, "/statsz", &st); err != nil {
+				*row = ReplicaStats{URL: url, Error: err.Error()}
+				return
+			}
+			*row = ReplicaStats{URL: url, Stats: &st}
+		}(&rows[1+i], p.URL)
+	}
+	wg.Wait()
+
+	out := ClusterStats{
+		Replicas:   rep.Total,
+		Healthy:    rep.Healthy,
+		Shed:       make(map[string]uint64),
+		PeerFill:   make(map[string]uint64),
+		PerReplica: rows,
+	}
+	for i := range rows {
+		st := rows[i].Stats
+		if st == nil {
+			continue
+		}
+		out.Scraped++
+		out.Requests += st.Requests
+		out.Solves += st.Solves
+		out.Fallbacks += st.Fallbacks
+		out.CacheHits += st.Cache.Hits
+		out.CacheMisses += st.Cache.Misses
+		out.PeerRequests += st.PeerRequests
+		out.PeerShedPropagated += st.PeerShedPropagated
+		for mode, n := range st.Shed {
+			out.Shed[mode] += n
+		}
+		for outcome, n := range st.PeerFill {
+			out.PeerFill[outcome] += n
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -176,10 +176,14 @@ func (s *Server) patch(ctx context.Context, req *wire.PatchRequest, ws *sweepWor
 	defer tk.Release()
 
 	s.m.inflight.Add(1)
-	wctx, wsp := obs.StartSpan(pctx, "patch.solve")
+	// The counts sink rides the patch context, like the sweep path.
+	cs := &guard.CountsSink{}
+	solveStart := time.Now()
+	wctx, wsp := obs.StartSpan(guard.WithSink(pctx, cs), "patch.solve")
 	pts, out, err := s.PatchCosts(wctx, &inst, baseKey, budgets, ws.pts[:0])
 	wsp.SetAttr("session", out.Session.String())
 	wsp.End()
+	solveWall := time.Since(solveStart)
 	s.m.inflight.Add(-1)
 	ws.pts = pts
 	if err != nil {
@@ -220,7 +224,12 @@ func (s *Server) patch(ctx context.Context, req *wire.PatchRequest, ws *sweepWor
 		s.m.patchNoops.Inc()
 	}
 
-	return &wire.PatchResponse{
+	// The incremental-engine work report is authoritative for the cost
+	// block's cell counters (the sink only sees what a checker flushed).
+	cost := costMeta(wire.TierSession, tk.waited, solveWall, cs)
+	cost.CellsInvalidated = out.Stats.Invalidated
+	cost.CellsReused = out.Stats.Reused
+	resp := &wire.PatchResponse{
 		Workload:         out.Label,
 		BaseKey:          baseKey,
 		PatchKey:         inst.ShapeKey(),
@@ -235,7 +244,10 @@ func (s *Server) patch(ctx context.Context, req *wire.PatchRequest, ws *sweepWor
 		CellsInvalidated: out.Stats.Invalidated,
 		CellsReused:      out.Stats.Reused,
 		ElapsedUS:        wire.Elapsed(start),
-	}, nil
+		Cost:             cost,
+	}
+	noteCost(ctx, resp.Cost)
+	return resp, nil
 }
 
 // PatchCosts is the allocation-free core of the patch path (the bench

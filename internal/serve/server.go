@@ -60,6 +60,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -74,6 +75,7 @@ import (
 	"wrbpg/internal/core"
 	"wrbpg/internal/guard"
 	"wrbpg/internal/obs"
+	"wrbpg/internal/obs/slo"
 	"wrbpg/internal/par"
 	"wrbpg/internal/schedcache"
 	"wrbpg/internal/serve/wire"
@@ -138,6 +140,20 @@ type Options struct {
 	// TraceBuffer caps the completed traces retained for
 	// GET /v1/trace/{id} (default 64, oldest evicted first).
 	TraceBuffer int
+	// Logger, when non-nil, receives the structured request log (one
+	// line per API request with status, latency, trace ID and the
+	// CostMeta fields) and the cluster peer-fill lines. Nil keeps the
+	// serving layer silent — the pre-logging default, so embedded
+	// servers and tests opt in explicitly.
+	Logger *slog.Logger
+	// SLOLatencyP99 is the latency objective's threshold: the SLO
+	// engine counts a request slower than this as latency-bad (default
+	// 250ms). SLOAvailability is the availability objective's target
+	// fraction of requests not shed (429) or failed (5xx); default
+	// 0.999. Both feed GET /v1/slo, the /readyz detail section and the
+	// wrbpg_slo_* gauge families.
+	SLOLatencyP99   time.Duration
+	SLOAvailability float64
 	// Cluster, when non-nil, enables cluster mode: local cache misses
 	// whose content-addressed key the consistent-hash ring assigns to
 	// another replica are peer-filled from that owner before the local
@@ -201,6 +217,12 @@ func (o Options) withDefaults() Options {
 	if o.TraceBuffer <= 0 {
 		o.TraceBuffer = 64
 	}
+	if o.SLOLatencyP99 <= 0 {
+		o.SLOLatencyP99 = 250 * time.Millisecond
+	}
+	if o.SLOAvailability <= 0 || o.SLOAvailability >= 1 {
+		o.SLOAvailability = 0.999
+	}
 	return o
 }
 
@@ -226,7 +248,12 @@ type Server struct {
 	reg     *obs.Registry
 	m       *metrics
 	traces  *obs.TraceStore
-	start   time.Time
+	// slo tracks the latency and availability objectives over sliding
+	// windows; every API request feeds it through withRequestObs.
+	slo *slo.Engine
+	// log is the structured request logger (nil = silent).
+	log   *slog.Logger
+	start time.Time
 }
 
 // New builds a Server with the given options.
@@ -241,8 +268,11 @@ func New(opts Options) *Server {
 		reg:      reg,
 		m:        newMetrics(reg),
 		traces:   obs.NewTraceStore(opts.TraceBuffer),
+		slo:      slo.New(slo.Config{LatencyTarget: opts.SLOLatencyP99, Availability: opts.SLOAvailability}),
+		log:      opts.Logger,
 		start:    time.Now(),
 	}
+	s.slo.RegisterMetrics(reg)
 	s.adm = &admission{
 		slots:    make(chan struct{}, opts.MaxInflight),
 		maxQueue: opts.MaxQueue,
@@ -271,11 +301,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(cluster.PeerPath, s.handlePeerSchedule)
 	mux.HandleFunc("/v1/lowerbound", s.handleLowerBound)
 	mux.HandleFunc("/v1/trace/", s.handleTrace)
+	mux.HandleFunc("/v1/slo", s.handleSLO)
+	mux.HandleFunc("/v1/cluster/stats", s.handleClusterStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.Handle("/metrics", s.MetricsHandler())
-	return s.withTracing(mux)
+	return s.withTracing(s.withRequestObs(mux))
 }
 
 // MetricsHandler serves the merged Prometheus text exposition: this
@@ -328,11 +360,15 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			"trace %q not found (buffer keeps the last %d traced requests)", id, s.opts.TraceBuffer))
 		return
 	}
-	if r.URL.Query().Get("format") == "chrome" {
+	switch format := r.URL.Query().Get("format"); format {
+	case "chrome":
 		writeJSON(w, http.StatusOK, tr.ChromeTrace())
-		return
+	case "", "tree":
+		writeJSON(w, http.StatusOK, tr.Tree())
+	default:
+		s.writeErr(w, wire.Errorf(http.StatusBadRequest,
+			"unknown format %q: want \"tree\" (default) or \"chrome\"", format))
 	}
-	writeJSON(w, http.StatusOK, tr.Tree())
 }
 
 // CacheStats exposes the cache counters (for tests and the daemon's
@@ -459,7 +495,12 @@ func (s *Server) scheduleAs(ctx context.Context, req *wire.ScheduleRequest, peer
 			"peer key mismatch: forwarder sent %s, owner computed %s (replica version skew?)", wantKey, key)
 	}
 
-	cctx, sp := obs.StartSpan(ctx, "cache")
+	// The counts sink rides the solve context: every guard.Checker the
+	// request drives (one-shot solvers, anytime workers) tees its
+	// TakeCounts delta here, feeding the response's CostMeta without any
+	// solver API change.
+	cs := &guard.CountsSink{}
+	cctx, sp := obs.StartSpan(guard.WithSink(ctx, cs), "cache")
 	cached, state, err := s.cache.Do(key, func() (*wire.ScheduleResult, bool, error) {
 		return s.solveCold(cctx, req, &inst, key, budget, peerCall)
 	})
@@ -477,7 +518,15 @@ func (s *Server) scheduleAs(ctx context.Context, req *wire.ScheduleRequest, peer
 	res.CacheKey = key
 	if state != schedcache.Miss {
 		res.ElapsedUS = wire.Elapsed(start)
+		// This request paid a cache lookup, not the cached entry's solve:
+		// its cost block says so instead of repeating the leader's meter.
+		tier := wire.TierCache
+		if state == schedcache.Shared {
+			tier = wire.TierShared
+		}
+		res.Cost = &wire.CostMeta{SourceTier: tier}
 	}
+	noteCost(ctx, res.Cost)
 	if !req.IncludeMoves {
 		res.Schedule = nil
 	} else if !peerCall {
@@ -551,7 +600,7 @@ func (s *Server) solveCold(ctx context.Context, req *wire.ScheduleRequest, inst 
 			return nil, false, wire.Errorf(http.StatusTooManyRequests,
 				"fallback-storm breaker open").WithReason("shed").WithRetryAfter(1)
 		}
-		return s.solveShed(ctx, p, inst.Label(), budget)
+		return s.solveShed(ctx, p, inst.Label(), budget, wire.TierBreaker)
 	}
 
 	_, asp := obs.StartSpan(ctx, "admission")
@@ -567,7 +616,7 @@ func (s *Server) solveCold(ctx context.Context, req *wire.ScheduleRequest, inst 
 		case shedQueueFull:
 			if !peerCall && (deadline == 0 || deadline >= minDegradeBudget) {
 				s.m.shed(shedDegraded)
-				return s.solveShed(ctx, p, inst.Label(), budget)
+				return s.solveShed(ctx, p, inst.Label(), budget, wire.TierDegraded)
 			}
 			s.m.shed(shedQueueFull)
 			return nil, false, shedErr(shed)
@@ -614,7 +663,25 @@ func (s *Server) solveCold(ctx context.Context, req *wire.ScheduleRequest, inst 
 		s.m.observeAnytime(out.Anytime)
 	}
 	res := wire.NewScheduleResult(inst.Label(), out, core.LowerBound(g), true)
+	res.Cost = costMeta(wire.TierSolve, tk.waited, out.Elapsed, guard.SinkFrom(ctx))
 	return res, cacheableSource(res), nil
+}
+
+// costMeta assembles the cost block for a fresh (uncached) answer from
+// the admission wait, the solver wall time and the request's teed
+// solver-progress counters.
+func costMeta(tier string, wait, wall time.Duration, cs *guard.CountsSink) *wire.CostMeta {
+	c := cs.Snapshot()
+	return &wire.CostMeta{
+		SourceTier:       tier,
+		QueueWaitUS:      wait.Microseconds(),
+		SolveWallUS:      wall.Microseconds(),
+		StatesExpanded:   c.States,
+		MemoHits:         c.MemoHits,
+		MemoMisses:       c.MemoEntries,
+		CellsInvalidated: c.CellsInvalidated,
+		CellsReused:      c.CellsReused,
+	}
 }
 
 // cacheableSource decides whether a solve result may enter the
@@ -634,7 +701,7 @@ func cacheableSource(res *wire.ScheduleResult) bool {
 // scheduler without touching the optimal tier or the solver slots.
 // The result is flagged fallback with cause "shed" and is never
 // cached — the next request with headroom deserves the real solve.
-func (s *Server) solveShed(ctx context.Context, p solve.Problem, label string, budget int64) (*wire.ScheduleResult, bool, error) {
+func (s *Server) solveShed(ctx context.Context, p solve.Problem, label string, budget int64, tier string) (*wire.ScheduleResult, bool, error) {
 	sctx, ssp := obs.StartSpan(ctx, "solve")
 	out, err := solve.Degraded(sctx, p, cdag.Weight(budget))
 	ssp.SetAttr("source", out.Source.String())
@@ -645,6 +712,7 @@ func (s *Server) solveShed(ctx context.Context, p solve.Problem, label string, b
 		return nil, false, err
 	}
 	res := wire.NewScheduleResult(label, out, core.LowerBound(p.G), true)
+	res.Cost = costMeta(tier, 0, out.Elapsed, guard.SinkFrom(ctx))
 	return res, false, nil
 }
 
@@ -812,6 +880,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"queue_depth": s.adm.queued.Load(),
 		"queue_limit": s.adm.maxQueue,
 		"breaker":     s.brk.State(),
+		// SLO detail rides along for operators; like peer health it never
+		// flips readiness — burn rate is a paging signal, not a routing
+		// one (pulling a replica for burning budget would shift its load
+		// onto the others and burn faster).
+		"slo": s.slo.Summary(),
 	}
 	if s.cluster != nil {
 		// Peer reachability rides along for operators; it never flips

@@ -90,6 +90,12 @@ type metrics struct {
 	peerShedPropagated *obs.Counter
 
 	traced *obs.Counter
+
+	// reqSeconds is the end-to-end API request latency histogram
+	// (seconds, tracked endpoints only — see withRequestObs). Traced
+	// requests attach their trace ID to the matching bucket's exemplar
+	// slot, surfaced in the OpenMetrics exposition.
+	reqSeconds *obs.Histogram
 }
 
 // peerFill counts one peer-fill attempt by outcome.
@@ -189,7 +195,18 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Owner-replica 429s surfaced to the end client because the local queue was saturated too."),
 		traced: reg.Counter("wrbpg_traced_requests_total",
 			"Requests that opted into tracing via the X-Wrbpg-Trace header."),
+		reqSeconds: reg.Histogram("wrbpg_request_seconds",
+			"End-to-end API request latency in seconds (schedule, batch, sweep, patch, lowerbound); traced requests attach their trace ID as an OpenMetrics exemplar.",
+			requestSecondsBounds),
 	}
+}
+
+// requestSecondsBounds buckets wrbpg_request_seconds: sub-millisecond
+// cache hits through multi-second degraded solves, with extra
+// resolution around the 250ms latency-SLO target.
+var requestSecondsBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
 // registerFuncs exposes quantities other components already track

@@ -128,10 +128,16 @@ func (s *Server) sweep(ctx context.Context, req *wire.SweepRequest, ws *sweepWor
 	defer tk.Release()
 
 	s.m.inflight.Add(1)
-	wctx, wsp := obs.StartSpan(sctx, "sweep.solve")
+	// The counts sink rides the sweep context: the warm session's guard
+	// checker is Reset under it per budget query, so its TakeCounts
+	// flush feeds this request's cost block.
+	cs := &guard.CountsSink{}
+	solveStart := time.Now()
+	wctx, wsp := obs.StartSpan(guard.WithSink(sctx, cs), "sweep.solve")
 	pts, state, err := s.SweepCosts(wctx, &inst, inst.ShapeKey(), budgets, ws.pts[:0])
 	wsp.SetAttr("session", state.String())
 	wsp.End()
+	solveWall := time.Since(solveStart)
 	s.m.inflight.Add(-1)
 	ws.pts = pts
 	if err != nil {
@@ -163,7 +169,7 @@ func (s *Server) sweep(ctx context.Context, req *wire.SweepRequest, ws *sweepWor
 	s.m.sweepBudgets.Add(uint64(len(budgets)))
 
 	se := s.sessionMeta(&inst)
-	return &wire.SweepResponse{
+	resp := &wire.SweepResponse{
 		Workload:         se.Label(),
 		LowerBoundBits:   int64(se.LowerBound()),
 		MinExistenceBits: int64(se.MinExistence()),
@@ -172,7 +178,10 @@ func (s *Server) sweep(ctx context.Context, req *wire.SweepRequest, ws *sweepWor
 		Failed:           failed,
 		Session:          state.String(),
 		ElapsedUS:        wire.Elapsed(start),
-	}, nil
+		Cost:             costMeta(wire.TierSession, tk.waited, solveWall, cs),
+	}
+	noteCost(ctx, resp.Cost)
+	return resp, nil
 }
 
 // SweepCosts is the allocation-free core of the sweep path (the bench

@@ -11,6 +11,7 @@ import (
 
 	"wrbpg/internal/cdag"
 	"wrbpg/internal/core"
+	"wrbpg/internal/obs"
 	"wrbpg/internal/solve"
 	"wrbpg/internal/wcfg"
 )
@@ -198,7 +199,55 @@ type ScheduleResult struct {
 	// empty from the CLI.
 	CacheKey string `json:"cache_key,omitempty"`
 	Cache    string `json:"cache,omitempty"`
+	// Cost is the per-request cost accounting block, stamped by wrbpgd
+	// (absent from the CLI's -json output).
+	Cost *CostMeta `json:"cost,omitempty"`
 }
+
+// CostMeta is the per-request cost accounting block: where a response
+// came from (SourceTier) and what serving it spent — queue wait, solve
+// wall time, and the solver-progress counters teed from
+// guard.TakeCounts. Every schedule/sweep/patch response carries one,
+// and the serve layer's structured request log line repeats it, so
+// expensive requests are attributable from either surface.
+type CostMeta struct {
+	// SourceTier names the degradation-ladder tier that produced the
+	// response: "cache" / "shared" (local cache), "peer" (ring-owner
+	// fill), "solve" (admitted local solve), "degraded" (baseline
+	// fallback under shed pressure), "breaker" (peer-breaker fallback)
+	// or "session" (sweep/patch warm-session answer).
+	SourceTier string `json:"source_tier"`
+	// QueueWaitUS is the time spent in the admission queue.
+	QueueWaitUS int64 `json:"queue_wait_us,omitempty"`
+	// SolveWallUS is the wall-clock time of the solve (or sweep/patch)
+	// itself, excluding queueing and transport.
+	SolveWallUS int64 `json:"solve_wall_us,omitempty"`
+	// StatesExpanded counts tracked search states (exact/anytime tiers).
+	StatesExpanded int64 `json:"states_expanded,omitempty"`
+	// MemoHits / MemoMisses count warm memo probes versus fresh cells
+	// created across every solver the request drove.
+	MemoHits   int64 `json:"memo_hits,omitempty"`
+	MemoMisses int64 `json:"memo_misses,omitempty"`
+	// CellsInvalidated / CellsReused report incremental-engine work
+	// (patch requests).
+	CellsInvalidated int64 `json:"cells_invalidated,omitempty"`
+	CellsReused      int64 `json:"cells_reused,omitempty"`
+	// PeerHops counts replica-to-replica forwards taken to answer.
+	PeerHops int `json:"peer_hops,omitempty"`
+}
+
+// CostMeta.SourceTier vocabulary, ordered roughly by cost: cache
+// dispositions, a ring-owner fill, a warm-session answer, an admitted
+// local solve, and the two shed-pressure fallbacks.
+const (
+	TierCache    = "cache"
+	TierShared   = "shared"
+	TierPeer     = "peer"
+	TierSession  = "session"
+	TierSolve    = "solve"
+	TierDegraded = "degraded"
+	TierBreaker  = "breaker"
+)
 
 // AnytimeResult reports one branch-and-bound search of the general-DAG
 // anytime tier: whether the frontier drained (Complete certifies the
@@ -256,12 +305,17 @@ func NewScheduleResult(label string, out solve.Outcome, lb cdag.Weight, includeM
 }
 
 // Clone returns a shallow-plus-maps copy, so per-request fields
-// (Cache, ElapsedUS) can be stamped without mutating a cached result.
+// (Cache, ElapsedUS, Cost) can be stamped without mutating a cached
+// result.
 func (r *ScheduleResult) Clone() *ScheduleResult {
 	cp := *r
 	cp.MoveKinds = make(map[string]int, len(r.MoveKinds))
 	for k, v := range r.MoveKinds {
 		cp.MoveKinds[k] = v
+	}
+	if r.Cost != nil {
+		c := *r.Cost
+		cp.Cost = &c
 	}
 	return &cp
 }
@@ -332,6 +386,8 @@ type SweepResponse struct {
 	// concurrent request built it.
 	Session   string `json:"session"`
 	ElapsedUS int64  `json:"elapsed_us"`
+	// Cost is the per-request cost accounting block.
+	Cost *CostMeta `json:"cost,omitempty"`
 }
 
 // PatchRequest asks for incremental re-solves: apply weight deltas to
@@ -412,6 +468,8 @@ type PatchResponse struct {
 	CellsInvalidated int64 `json:"cells_invalidated"`
 	CellsReused      int64 `json:"cells_reused"`
 	ElapsedUS        int64 `json:"elapsed_us"`
+	// Cost is the per-request cost accounting block.
+	Cost *CostMeta `json:"cost,omitempty"`
 }
 
 // PeerScheduleRequest is the body of the internal replica-to-replica
@@ -434,6 +492,21 @@ type PeerScheduleRequest struct {
 	// Origin is the forwarding replica's advertised URL (diagnostics
 	// and the owner's peer-traffic logs; never routing).
 	Origin string `json:"origin,omitempty"`
+	// TraceParent is the forwarder's trace position ("traceid:spanid",
+	// obs.TraceParent). It travels as the X-Wrbpg-Trace-Parent header —
+	// the peer client injects it, the owner reads the header — so it is
+	// excluded from the JSON body and old/new replicas interoperate.
+	TraceParent string `json:"-"`
+}
+
+// PeerScheduleResponse is the 200 body of POST /v1/peer/schedule. When
+// the forwarder propagated trace context, Trace carries the owner's
+// span subtree for the forwarder to graft under its peer.fill span, so
+// GET /v1/trace/{id} on the forwarder shows the complete cross-replica
+// tree.
+type PeerScheduleResponse struct {
+	Result *ScheduleResult  `json:"result"`
+	Trace  *obs.TraceExport `json:"trace,omitempty"`
 }
 
 // BatchRequest fans out independent schedule requests.
